@@ -1,0 +1,33 @@
+"""E1 — Figure 1(b): the distance pdf of a uniform-disk uncertain point.
+
+Times the analytic ``g_{q,i}`` evaluation over the figure's radius grid and
+checks the distribution facts the figure displays: support ``[5, 15]``,
+unimodality near the crossover, unit mass.
+"""
+
+import numpy as np
+
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+POINT = DiskUniformPoint((0.0, 0.0), 5.0)
+QUERY = (6.0, 8.0)
+GRID = [5.0 + 10.0 * t / 400 for t in range(401)]
+
+
+def evaluate_pdf_grid():
+    return [POINT.distance_pdf(QUERY, r) for r in GRID]
+
+
+def test_e01_fig1_distance_pdf(benchmark):
+    values = benchmark(evaluate_pdf_grid)
+    # Support: zero outside [5, 15] = [d - R, d + R].
+    assert POINT.distance_pdf(QUERY, 4.99) == 0.0
+    assert POINT.distance_pdf(QUERY, 15.01) == 0.0
+    # Positive inside, with the mode in the interior (Figure 1's shape).
+    interior = values[20:-20]
+    assert all(v > 0 for v in interior)
+    peak = GRID[values.index(max(values))]
+    assert 8.0 < peak < 13.0
+    # Unit mass.
+    mass = float(np.trapezoid(values, GRID))
+    assert abs(mass - 1.0) < 1e-3

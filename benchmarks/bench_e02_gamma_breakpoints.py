@@ -1,0 +1,22 @@
+"""E2 — Lemma 2.2: gamma_i envelopes have <= 2n breakpoints.
+
+Times the full ``O(n^2 log n)`` gamma-curve construction at n = 48 and
+checks the breakpoint bound for every curve.
+"""
+
+from repro.core.workloads import random_disks
+from repro.voronoi.gamma import build_gamma_curves
+
+N = 48
+DISKS = random_disks(N, seed=202, r_min=0.3, r_max=1.2)
+
+
+def build():
+    return build_gamma_curves(DISKS)
+
+
+def test_e02_gamma_breakpoints(benchmark):
+    curves = benchmark(build)
+    assert len(curves) == N
+    for curve in curves:
+        assert curve.breakpoint_count() <= 2 * N

@@ -1,0 +1,28 @@
+"""E3 — Theorem 2.5: V!=0 construction on random disks.
+
+Times the full diagram construction (envelopes + O(n^3) witness triples +
+Euler counting) at n = 24 and checks the O(n^3) complexity bound plus the
+internal consistency of the counts.
+"""
+
+from repro.core.workloads import random_disks
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+N = 24
+DISKS = random_disks(N, seed=303, r_min=0.3, r_max=1.2)
+
+
+def build():
+    return NonzeroVoronoiDiagram(DISKS)
+
+
+def test_e03_v0_random_complexity(benchmark):
+    diagram = benchmark.pedantic(build, rounds=3, iterations=1)
+    # Theorem 2.5 bound (with the paper's constants left generous).
+    assert diagram.num_vertices <= 2 * N ** 3
+    assert diagram.num_faces >= 1
+    assert diagram.complexity == (diagram.num_vertices + diagram.num_edges
+                                  + diagram.num_faces)
+    # A sampled census never discovers more cells than Euler counted.
+    census = diagram.sample_cell_census(samples=2000, seed=1)
+    assert len(census) <= diagram.num_faces

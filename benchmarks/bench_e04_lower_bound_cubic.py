@@ -1,0 +1,35 @@
+"""E4 — Theorem 2.7 / Figure 5: the Omega(n^3) construction.
+
+Times the diagram construction on the paper's two-radius instance (m = 3,
+n = 12, R = 8 n^2, omega = n^-2) and asserts the proof's count: every
+triple (i, j, k) contributes two crossing vertices between a D- curve and
+a D+ curve, i.e. at least 4 m^3 paired crossings.
+"""
+
+from repro.voronoi.constructions import cubic_lower_bound_disks
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+M = 3
+DISKS = cubic_lower_bound_disks(M)
+
+
+def build():
+    return NonzeroVoronoiDiagram(DISKS, merge_tol=1e-9)
+
+
+def count_paired_crossings(diagram):
+    paired = 0
+    for v in diagram.crossing_vertices():
+        idxs = sorted(v.on_curves)
+        if any(a < M <= b < 2 * M for a in idxs for b in idxs):
+            paired += 1
+    return paired
+
+
+def test_e04_lower_bound_cubic(benchmark):
+    diagram = benchmark.pedantic(build, rounds=1, iterations=1)
+    paired = count_paired_crossings(diagram)
+    assert paired >= 4 * M ** 3, \
+        f"expected >= {4 * M ** 3} paired crossings, found {paired}"
+    # Total vertex count therefore reaches the n^3/16 regime.
+    assert diagram.num_vertices >= len(DISKS) ** 3 // 16

@@ -1,0 +1,28 @@
+"""E5 — Theorem 2.8 / Figure 6: the equal-radius Omega(n^3) construction.
+
+Times the diagram construction on the unit-radius instance (m = 4, n = 12)
+and asserts at least m^3 crossings pairing a D- curve with a D+ curve —
+one per triple (i, j, k), as the proof constructs.
+"""
+
+from repro.voronoi.constructions import equal_radius_lower_bound_disks
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+M = 4
+DISKS = equal_radius_lower_bound_disks(M)
+
+
+def build():
+    return NonzeroVoronoiDiagram(DISKS, merge_tol=1e-10)
+
+
+def test_e05_lower_bound_equal_radius(benchmark):
+    diagram = benchmark.pedantic(build, rounds=1, iterations=1)
+    paired = 0
+    for v in diagram.crossing_vertices():
+        idxs = sorted(v.on_curves)
+        if any(a < M <= b < 2 * M for a in idxs for b in idxs):
+            paired += 1
+    assert paired >= M ** 3, \
+        f"expected >= {M ** 3} paired crossings, found {paired}"
+    assert all(d.r == 1.0 for d in DISKS)

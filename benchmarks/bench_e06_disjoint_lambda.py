@@ -1,0 +1,44 @@
+"""E6 — Theorem 2.10: disjoint disks with bounded radius ratio.
+
+Times the diagram on the paper's explicit Omega(n^2) instance (collinear
+unit disks, m = 5) and asserts every predicted vertex coordinate is
+realized.  A second (untimed) check confirms the O(lambda n^2) regime:
+for disjoint families the vertex count stays quadratic, far below n^3.
+"""
+
+import math
+
+from repro.core.workloads import disjoint_disks
+from repro.voronoi.constructions import (
+    quadratic_lower_bound_disks,
+    quadratic_lower_bound_predicted_vertices,
+)
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+M = 5
+DISKS = quadratic_lower_bound_disks(M)
+
+
+def build():
+    return NonzeroVoronoiDiagram(DISKS)
+
+
+def test_e06_disjoint_lambda(benchmark):
+    diagram = benchmark.pedantic(build, rounds=1, iterations=1)
+    verts = diagram.vertex_points()
+    predicted = quadratic_lower_bound_predicted_vertices(M)
+    for p in predicted:
+        assert any(math.dist(p, v) < 1e-5 for v in verts), \
+            f"predicted vertex {p} missing from the diagram"
+    # Omega(n^2) realized with lambda = 1.
+    n = 2 * M
+    assert diagram.num_vertices >= len(predicted)
+    assert diagram.num_vertices >= (n * n) // 8
+
+
+def test_e06_lambda_scaling():
+    """Disjoint families stay in the quadratic regime (no timing)."""
+    n = 24
+    for lam in (1.0, 4.0):
+        diagram = NonzeroVoronoiDiagram(disjoint_disks(n, ratio=lam, seed=5))
+        assert diagram.num_vertices <= 4 * lam * n * n

@@ -1,0 +1,23 @@
+"""E7 — Theorem 2.14: the discrete-case V!=0 vertex census.
+
+Times the circumcenter-triple enumeration at (n, k) = (10, 3) and checks
+the O(k n^3) bound plus the census consistency.
+"""
+
+from repro.core.workloads import random_discrete_points
+from repro.voronoi.discrete_diagram import DiscreteNonzeroVoronoi
+
+N, K = 10, 3
+POINTS = random_discrete_points(N, K, seed=707, spread=1.5)
+
+
+def build():
+    return DiscreteNonzeroVoronoi(POINTS)
+
+
+def test_e07_discrete_v0(benchmark):
+    diagram = benchmark.pedantic(build, rounds=2, iterations=1)
+    assert diagram.num_vertices <= K * N ** 3
+    census = diagram.vertex_census()
+    assert sum(census.values()) == diagram.num_vertices
+    assert "crossing" in census

@@ -1,0 +1,47 @@
+"""E8 — Theorem 3.1: two-stage continuous NN!=0 queries.
+
+Builds the index once over 20k disk-uniform points, then times a single
+query.  The claim checked: query output matches brute force, and the
+timed query beats the measured brute-force scan by a widening margin
+(logarithmic vs linear behaviour; the EXPERIMENTS.md table shows the
+growth across n).
+"""
+
+import math
+import random
+import time
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_disks
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+N = 20_000
+EXTENT = math.sqrt(N) * 2.0
+_DISKS = random_disks(N, seed=808, extent=EXTENT, r_min=0.1, r_max=0.4)
+INDEX = PNNIndex([DiskUniformPoint(d.center, d.r) for d in _DISKS])
+RNG = random.Random(99)
+QUERIES = [(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+           for _ in range(64)]
+_cursor = 0
+
+
+def one_query():
+    global _cursor
+    q = QUERIES[_cursor % len(QUERIES)]
+    _cursor += 1
+    return INDEX.nonzero_nn(q)
+
+
+def test_e08_nn_query_continuous(benchmark):
+    result = benchmark(one_query)
+    assert result  # never empty
+    # Correctness + speedup on a fresh sample of queries.
+    start = time.perf_counter()
+    fast = [INDEX.nonzero_nn(q) for q in QUERIES]
+    fast_t = time.perf_counter() - start
+    start = time.perf_counter()
+    brute = [INDEX.nonzero_nn_bruteforce(q) for q in QUERIES]
+    brute_t = time.perf_counter() - start
+    assert all(a == sorted(b) for a, b in zip(fast, brute))
+    assert brute_t > 3.0 * fast_t, \
+        f"expected >3x speedup at n={N}, got {brute_t / fast_t:.1f}x"

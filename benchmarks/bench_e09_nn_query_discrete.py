@@ -1,0 +1,43 @@
+"""E9 — Theorem 3.2: two-stage discrete NN!=0 queries.
+
+Index over n = 8000 discrete points with k = 4 sites each (N = 32k sites);
+times a single query and checks correctness plus the sublinear speedup.
+"""
+
+import math
+import random
+import time
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_discrete_points
+
+N_POINTS = 8_000
+K = 4
+EXTENT = math.sqrt(N_POINTS) * 2.0
+INDEX = PNNIndex(random_discrete_points(N_POINTS, K, seed=909,
+                                        extent=EXTENT, spread=0.3))
+RNG = random.Random(7)
+QUERIES = [(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+           for _ in range(64)]
+_cursor = 0
+
+
+def one_query():
+    global _cursor
+    q = QUERIES[_cursor % len(QUERIES)]
+    _cursor += 1
+    return INDEX.nonzero_nn(q)
+
+
+def test_e09_nn_query_discrete(benchmark):
+    result = benchmark(one_query)
+    assert result
+    start = time.perf_counter()
+    fast = [INDEX.nonzero_nn(q) for q in QUERIES]
+    fast_t = time.perf_counter() - start
+    start = time.perf_counter()
+    brute = [INDEX.nonzero_nn_bruteforce(q) for q in QUERIES]
+    brute_t = time.perf_counter() - start
+    assert all(a == sorted(b) for a, b in zip(fast, brute))
+    assert brute_t > 3.0 * fast_t, \
+        f"expected >3x speedup at N={N_POINTS * K}, got {brute_t / fast_t:.1f}x"

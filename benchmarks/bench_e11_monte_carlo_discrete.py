@@ -1,0 +1,38 @@
+"""E11 — Theorem 4.3: Monte-Carlo quantification for discrete inputs.
+
+Builds the s-round structure once (eps = 0.1, delta = 0.05) and times a
+single estimate; asserts the ±eps guarantee against the exact sweep.
+"""
+
+import random
+
+from repro.core.workloads import random_discrete_points
+from repro.quantification.exact_discrete import quantification_vector
+from repro.quantification.monte_carlo import MonteCarloQuantifier
+
+EPS = 0.1
+POINTS = random_discrete_points(12, 3, seed=111, spread=2.0)
+MC = MonteCarloQuantifier(POINTS, epsilon=EPS, delta=0.05, seed=23)
+RNG = random.Random(17)
+QUERIES = [(RNG.uniform(0, 10), RNG.uniform(0, 10)) for _ in range(32)]
+_cursor = 0
+
+
+def one_estimate():
+    global _cursor
+    q = QUERIES[_cursor % len(QUERIES)]
+    _cursor += 1
+    return MC.estimate(q)
+
+
+def test_e11_monte_carlo_discrete(benchmark):
+    est = benchmark(one_estimate)
+    assert abs(sum(est.values()) - 1.0) < 1e-9
+    # The Theorem 4.3 guarantee, checked over a query sample.
+    violations = 0
+    for q in QUERIES:
+        vec = MC.estimate_vector(q)
+        exact = quantification_vector(POINTS, q)
+        err = max(abs(a - b) for a, b in zip(vec, exact))
+        violations += err > EPS
+    assert violations / len(QUERIES) <= 0.05 + 1e-9

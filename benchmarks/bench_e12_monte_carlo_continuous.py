@@ -1,0 +1,39 @@
+"""E12 — Theorem 4.5: Monte-Carlo quantification for continuous pdfs.
+
+Times the Eq. (1) quadrature ground truth (the expensive oracle the
+theorem's estimator avoids) and asserts the continuous -> discrete
+reduction achieves the ±eps target against it.
+"""
+
+import random
+
+from repro.quantification.exact_continuous import quantification_continuous_vector
+from repro.quantification.exact_discrete import quantification_vector
+from repro.quantification.monte_carlo import (
+    MonteCarloQuantifier,
+    discretize_continuous,
+)
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+POINTS = [DiskUniformPoint((0, 0), 1.2), DiskUniformPoint((2.5, 0.4), 1.0),
+          DiskUniformPoint((1.0, 2.2), 0.8), DiskUniformPoint((3.4, 2.6), 1.1)]
+QUERY = (1.6, 1.2)
+
+
+def quadrature():
+    return quantification_continuous_vector(POINTS, QUERY)
+
+
+def test_e12_monte_carlo_continuous(benchmark):
+    truth = benchmark.pedantic(quadrature, rounds=2, iterations=1)
+    assert abs(sum(truth) - 1.0) < 1e-5
+    # Theorem 4.5 pipeline: discretize then run the discrete MC structure.
+    eps = 0.1
+    surrogates = [discretize_continuous(p, 256, seed=i)
+                  for i, p in enumerate(POINTS)]
+    bias = max(abs(a - b) for a, b in zip(
+        quantification_vector(surrogates, QUERY), truth))
+    mc = MonteCarloQuantifier(surrogates, epsilon=eps, delta=0.05, seed=11)
+    est = mc.estimate_vector(QUERY)
+    err = max(abs(a - b) for a, b in zip(est, truth))
+    assert err <= eps + bias + 0.02, (err, bias)

@@ -1,0 +1,39 @@
+"""E13 — Theorem 4.7: the spiral-search estimator.
+
+Times a single spiral-search estimate (eps = 0.05) on a bounded-spread
+workload and asserts the one-sided guarantee pi_hat <= pi <= pi_hat + eps
+plus the m(rho, eps) retrieval bound.
+"""
+
+import random
+
+from repro.core.workloads import random_discrete_points
+from repro.quantification.exact_discrete import quantification_vector
+from repro.quantification.spiral import SpiralSearchQuantifier, m_bound
+
+EPS = 0.05
+POINTS = random_discrete_points(40, 4, seed=131, weight_ratio=2.0,
+                                extent=20.0)
+SPIRAL = SpiralSearchQuantifier(POINTS)
+RNG = random.Random(41)
+QUERIES = [(RNG.uniform(0, 20), RNG.uniform(0, 20)) for _ in range(32)]
+_cursor = 0
+
+
+def one_estimate():
+    global _cursor
+    q = QUERIES[_cursor % len(QUERIES)]
+    _cursor += 1
+    return SPIRAL.estimate(q, EPS)
+
+
+def test_e13_spiral_search(benchmark):
+    benchmark(one_estimate)
+    assert SPIRAL.m_for(EPS) == min(SPIRAL.total_sites,
+                                    m_bound(SPIRAL.rho, SPIRAL.k_max, EPS))
+    for q in QUERIES[:12]:
+        est = SPIRAL.estimate_vector(q, EPS)
+        exact = quantification_vector(POINTS, q)
+        for a, b in zip(est, exact):
+            assert a <= b + 1e-9, "pi_hat must lower-bound pi (Lemma 4.6)"
+            assert b - a <= EPS + 1e-9, "error must stay within eps"

@@ -1,0 +1,23 @@
+"""E14 — Section 4.3 Remark (i): dropping small weights flips the ranking.
+
+Times the eta-comparison computation on the paper's adversarial instance
+and asserts the three stated inequalities.
+"""
+
+from repro.quantification.spiral import remark_eta_comparison
+
+EPS = 0.01
+
+
+def compare():
+    return remark_eta_comparison(EPS)
+
+
+def test_e14_spiral_adversarial(benchmark):
+    vals = benchmark(compare)
+    assert abs(vals["eta_p1"] - 3 * EPS) < 1e-12
+    assert vals["eta_p2_true"] < 2 * EPS
+    assert vals["eta_p2_dropped"] > 4 * EPS
+    # The ranking flip the remark warns about.
+    assert vals["eta_p1"] > vals["eta_p2_true"]
+    assert vals["eta_p1"] < vals["eta_p2_dropped"]

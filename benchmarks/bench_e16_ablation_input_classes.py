@@ -1,0 +1,26 @@
+"""E16 — ablation for the paper's open problem (i).
+
+"A natural question is to characterize the sets of uncertain points for
+which the complexity of V!=0(P) is near linear."  Times the diagram on the
+benign sparse regime at n = 32 and asserts the separation between benign
+and adversarial growth measured by the quick ablation sweep.
+"""
+
+from repro.core.workloads import disjoint_disks
+from repro.experiments.runners import run_e16
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+DISKS = disjoint_disks(32, ratio=2.0, seed=32)
+
+
+def build_benign():
+    return NonzeroVoronoiDiagram(DISKS)
+
+
+def test_e16_ablation_input_classes(benchmark):
+    diagram = benchmark.pedantic(build_benign, rounds=2, iterations=1)
+    n = len(DISKS)
+    # Benign regime: far below the cubic worst case.
+    assert diagram.num_vertices < n ** 2
+    result = run_e16(quick=True)
+    assert result.passed, result.conclusion

@@ -1,0 +1,35 @@
+"""E17 — [SE08]: guaranteed Voronoi cells have O(n) total complexity.
+
+Times the guaranteed-diagram construction at n = 64 disjoint disks and
+asserts the linear-complexity claim plus consistency with singleton
+NN!=0 answers.
+"""
+
+import random
+
+from repro.core.workloads import disjoint_disks
+from repro.geometry.disks import nonzero_nn_bruteforce
+from repro.voronoi.guaranteed import GuaranteedVoronoi
+
+N = 64
+DISKS = disjoint_disks(N, ratio=2.0, seed=17)
+
+
+def build():
+    return GuaranteedVoronoi(DISKS)
+
+
+def test_e17_guaranteed_voronoi(benchmark):
+    guaranteed = benchmark.pedantic(build, rounds=2, iterations=1)
+    # Linear total complexity (constant arcs per cell on disjoint inputs).
+    assert guaranteed.total_complexity() <= 12 * N
+    # Semantics: a guaranteed winner is exactly a singleton NN!=0.
+    rng = random.Random(3)
+    hits = 0
+    for _ in range(100):
+        q = (rng.uniform(0, 80), rng.uniform(0, 80))
+        winner = guaranteed.locate(q)
+        if winner is not None:
+            hits += 1
+            assert nonzero_nn_bruteforce(DISKS, q) == [winner]
+    assert hits > 0

@@ -1,0 +1,38 @@
+"""E18 — the [CKP04] R-tree branch-and-prune baseline.
+
+Times one baseline query at n = 20000 and asserts output identity with the
+paper's two-stage structure on a query sample.
+"""
+
+import math
+import random
+
+from repro.core.baseline import BranchAndPruneIndex
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_disks
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+N = 20_000
+EXTENT = math.sqrt(N) * 2.0
+_DISKS = random_disks(N, seed=18, extent=EXTENT, r_min=0.1, r_max=0.4)
+_POINTS = [DiskUniformPoint(d.center, d.r) for d in _DISKS]
+BASELINE = BranchAndPruneIndex(_POINTS)
+OURS = PNNIndex(_POINTS)
+RNG = random.Random(77)
+QUERIES = [(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+           for _ in range(64)]
+_cursor = 0
+
+
+def one_query():
+    global _cursor
+    q = QUERIES[_cursor % len(QUERIES)]
+    _cursor += 1
+    return BASELINE.nonzero_nn(q)
+
+
+def test_e18_baseline_comparison(benchmark):
+    result = benchmark(one_query)
+    assert result
+    for q in QUERIES[:32]:
+        assert sorted(BASELINE.nonzero_nn(q)) == OURS.nonzero_nn(q)

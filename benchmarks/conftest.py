@@ -1,0 +1,16 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_eXX_*.py`` file regenerates one paper artifact (see DESIGN.md
+§3): the benchmark fixture times the experiment's hot kernel, and plain
+assertions re-check the paper's shape claim on the same data.
+"""
+
+import random
+
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG for query generation."""
+    return random.Random(12345)

@@ -1,0 +1,76 @@
+"""Probabilistic NN over moving objects with stale location pings.
+
+The moving-object scenario of [CKP04] that the paper's introduction cites:
+each tracked object reported its position a few times in the past; its
+*current* position is uncertain, modeled as a discrete distribution over
+the recent pings with recency-decayed weights.
+
+Demonstrates the discrete-case toolchain:
+
+1. exact quantification (Eq. 2 sweep) as ground truth,
+2. the spiral-search estimator (Theorem 4.7): one-sided ±eps from just
+   the m(rho, eps) nearest pings,
+3. the exact probabilistic Voronoi diagram (Theorem 4.2) on a small
+   sub-fleet, with point-location queries,
+4. a taxi-dispatch loop comparing the estimators' answers and costs.
+
+Run:  python examples/mobile_objects.py
+"""
+
+import random
+
+from repro import PNNIndex, mobile_object_tracks
+from repro.quantification import (
+    SpiralSearchQuantifier,
+    quantification_vector,
+)
+
+
+def main() -> None:
+    fleet = mobile_object_tracks(n=30, pings=4, seed=21, extent=50.0)
+    index = PNNIndex(fleet)
+    spiral = SpiralSearchQuantifier(fleet)
+    rng = random.Random(9)
+
+    print(f"fleet of {len(fleet)} objects, {spiral.total_sites} pings total, "
+          f"weight spread rho = {spiral.rho:.1f}")
+    eps = 0.02
+    print(f"spiral search at eps = {eps} touches m = {spiral.m_for(eps)} "
+          f"of {spiral.total_sites} pings per query\n")
+
+    for rider_id in range(3):
+        pickup = (rng.uniform(10, 40), rng.uniform(10, 40))
+        print(f"=== pickup {rider_id} at ({pickup[0]:.1f}, {pickup[1]:.1f}) ===")
+
+        exact = quantification_vector(fleet, pickup)
+        approx = spiral.estimate(pickup, eps)
+
+        ranked = sorted(enumerate(exact), key=lambda kv: -kv[1])
+        print("closest-vehicle probabilities (exact | spiral):")
+        for obj, prob in ranked[:4]:
+            if prob < 1e-6:
+                break
+            print(f"  object {obj:>2}: {prob:.4f} | "
+                  f"{approx.get(obj, 0.0):.4f}")
+        worst = max(exact[i] - approx.get(i, 0.0) for i in range(len(fleet)))
+        print(f"max spiral underestimate: {worst:.4f} (guarantee: <= {eps})")
+
+        sure = index.threshold_nn(pickup, tau=0.3)
+        print(f"assign if pi > 0.3: certain {sure.certain}, "
+              f"needs exact check {sure.candidates}\n")
+
+    # Exact diagram on a small sub-fleet: every query in the window is a
+    # point-location lookup.
+    sub = fleet[:5]
+    sub_index = PNNIndex(sub)
+    vpr = sub_index.build_vpr()
+    print(f"exact V_Pr over 5 objects ({5 * 4} pings): "
+          f"{vpr.num_faces} cells, {vpr.distinct_vectors()} distinct "
+          f"probability vectors")
+    q = (25.0, 25.0)
+    print(f"V_Pr lookup at {q}: "
+          f"{ {i: round(v, 3) for i, v in vpr.positive_probabilities(q).items()} }")
+
+
+if __name__ == "__main__":
+    main()

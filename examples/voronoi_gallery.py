@@ -1,0 +1,71 @@
+"""Render the nonzero Voronoi diagram of a disk family to SVG.
+
+Draws the Section 2 geometry for a small instance: the uncertainty disks,
+the curves ``gamma_i`` bounding each region ``R_i = {x : delta_i < Delta}``,
+and the diagram's vertices (envelope breakpoints and curve crossings).
+Also renders the paper's Theorem 2.10 lower-bound instance with its
+predicted vertex positions highlighted.
+
+Run:  python examples/voronoi_gallery.py
+Outputs: gallery_random.svg, gallery_quadratic.svg (current directory).
+"""
+
+from repro import Disk, NonzeroVoronoiDiagram
+from repro.viz import SvgScene
+from repro.voronoi.constructions import (
+    quadratic_lower_bound_disks,
+    quadratic_lower_bound_predicted_vertices,
+)
+
+PALETTE = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+
+def render(diagram: NonzeroVoronoiDiagram, path: str,
+           highlight=()) -> None:
+    scene = SvgScene(width=900, height=900)
+    for i, disk in enumerate(diagram.disks):
+        color = PALETTE[i % len(PALETTE)]
+        scene.add_circle(disk.center, disk.r, stroke=color,
+                         fill=color, opacity=0.25)
+    for gamma in diagram.gammas:
+        color = PALETTE[gamma.index % len(PALETTE)]
+        pts = gamma.sample_points(720)
+        # Split the polyline at large jumps (separate curve components).
+        chunk = []
+        prev = None
+        for p in pts:
+            if prev is not None and (abs(p[0] - prev[0]) + abs(p[1] - prev[1])) > 5.0:
+                if len(chunk) > 1:
+                    scene.add_polyline(chunk, stroke=color, stroke_width=1.2)
+                chunk = []
+            chunk.append(p)
+            prev = p
+        if len(chunk) > 1:
+            scene.add_polyline(chunk, stroke=color, stroke_width=1.2)
+    for v in diagram.vertices:
+        scene.add_dot(v.point, radius=3.0,
+                      fill="#000" if v.kind == "crossing" else "#888")
+    for p in highlight:
+        scene.add_dot(p, radius=5.0, fill="#e6a700")
+    scene.write(path)
+    print(f"wrote {path}: V={diagram.num_vertices} E={diagram.num_edges} "
+          f"F={diagram.num_faces}")
+
+
+def main() -> None:
+    # A small random-looking instance with interesting structure.
+    disks = [Disk(0, 0, 1.2), Disk(6, 1, 0.8), Disk(3, 5, 1.0),
+             Disk(-2, 4, 0.7), Disk(2, -3, 0.9)]
+    render(NonzeroVoronoiDiagram(disks), "gallery_random.svg")
+
+    # Theorem 2.10's Omega(n^2) instance, with the predicted vertices
+    # (the paper's v1/v2 formulas) highlighted in gold.
+    m = 3
+    quad = quadratic_lower_bound_disks(m)
+    predicted = quadratic_lower_bound_predicted_vertices(m)
+    render(NonzeroVoronoiDiagram(quad), "gallery_quadratic.svg",
+           highlight=predicted)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run a compact end-to-end demonstration (index build, NN!=0 queries,
+    quantification with all three estimators).
+``info``
+    Print the library version and the module inventory.
+``experiments [--quick] [ids...]``
+    Forwarded to :mod:`repro.experiments` (regenerates EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _demo() -> int:
+    import random
+
+    from .core.index import PNNIndex
+    from .core.workloads import mobile_object_tracks
+
+    print("repro demo: probabilistic NN over 12 moving objects")
+    fleet = mobile_object_tracks(12, seed=3)
+    index = PNNIndex(fleet)
+    rng = random.Random(1)
+    q = (rng.uniform(10, 40), rng.uniform(10, 40))
+    print(f"query: ({q[0]:.1f}, {q[1]:.1f})")
+    print(f"possible NNs: {index.nonzero_nn(q)}")
+    for method in ("exact", "spiral", "monte_carlo"):
+        est = index.quantify(q, method, epsilon=0.05)
+        pretty = {i: round(v, 3) for i, v in sorted(est.items()) if v > 0.004}
+        print(f"{method:>12}: {pretty}")
+    top = index.top_k_nn(q, 3, method="exact")
+    print(f"top-3 by probability: {[(i, round(p, 3)) for i, p in top]}")
+    return 0
+
+
+def _info() -> int:
+    from . import __version__
+
+    print(f"repro {__version__} — reproduction of "
+          "'Nearest-Neighbor Searching Under Uncertainty II' (PODS 2013)")
+    print("subpackages: core, geometry, spatial, uncertain, voronoi, "
+          "quantification, experiments, viz")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def main(argv: list) -> int:
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    command = argv[0]
+    if command == "demo":
+        return _demo()
+    if command == "info":
+        return _info()
+    if command == "experiments":
+        from .experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+    print(f"unknown command {command!r}; try: demo, info, experiments")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,31 @@
+"""Core facade (``PNNIndex``) and synthetic workload generators."""
+
+from .index import PNNIndex
+from .baseline import BranchAndPruneIndex
+from .io import load_workload, save_workload
+from .linf import SquareNNIndex, rotate45
+from .workloads import (
+    clustered_sensor_field,
+    disjoint_disks,
+    gaussian_sensor_field,
+    mobile_object_tracks,
+    random_discrete_points,
+    random_disks,
+    rfid_histogram_field,
+)
+
+__all__ = [
+    "BranchAndPruneIndex",
+    "PNNIndex",
+    "SquareNNIndex",
+    "rotate45",
+    "load_workload",
+    "save_workload",
+    "clustered_sensor_field",
+    "disjoint_disks",
+    "gaussian_sensor_field",
+    "mobile_object_tracks",
+    "random_discrete_points",
+    "random_disks",
+    "rfid_histogram_field",
+]

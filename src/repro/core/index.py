@@ -1,0 +1,266 @@
+"""``PNNIndex`` — the library's front door for probabilistic NN queries.
+
+Wraps a set of uncertain points (any mix of models) and exposes the
+paper's two query primitives:
+
+* :meth:`nonzero_nn` — all points with nonzero probability of being the
+  nearest neighbor (Sections 2–3), answered by the two-stage query of
+  Theorems 3.1/3.2: first ``Delta(q)``, then report
+  ``{i : delta_i(q) < Delta(q)}``.  Both stages are *exact* for every
+  model: the kd-tree over support disks provides candidate pruning, and
+  each candidate is confirmed with the model's exact ``min_dist`` /
+  ``max_dist``.
+* :meth:`quantify` — the quantification probabilities ``pi_i(q)``
+  (Section 4), exactly or to additive error ``eps`` via the Monte-Carlo or
+  spiral-search estimators.
+
+Heavier artifacts (the nonzero Voronoi diagram, the exact probabilistic
+Voronoi diagram) are built on demand via :meth:`build_nonzero_voronoi` and
+:meth:`build_vpr`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point
+from ..quantification.exact_continuous import quantification_continuous_vector
+from ..quantification.exact_discrete import quantification_vector
+from ..quantification.monte_carlo import MonteCarloQuantifier
+from ..quantification.spiral import SpiralSearchQuantifier
+from ..quantification.threshold import ThresholdResult, classify_threshold
+from ..spatial.kdtree import KDTree
+from ..uncertain.base import UncertainPoint
+from ..uncertain.discrete import DiscreteUncertainPoint
+from ..voronoi.diagram import NonzeroVoronoiDiagram
+from ..voronoi.vpr import ProbabilisticVoronoiDiagram
+
+__all__ = ["PNNIndex"]
+
+
+class PNNIndex:
+    """Probabilistic nearest-neighbor index over uncertain points.
+
+    Parameters
+    ----------
+    points:
+        The uncertain points (at least one; models may be mixed).
+
+    Examples
+    --------
+    >>> from repro import PNNIndex, DiskUniformPoint
+    >>> index = PNNIndex([DiskUniformPoint((0, 0), 1), DiskUniformPoint((4, 0), 1)])
+    >>> index.nonzero_nn((1.0, 0.0))
+    [0]
+    >>> sorted(index.nonzero_nn((2.0, 0.0)))
+    [0, 1]
+    """
+
+    def __init__(self, points: Sequence[UncertainPoint]) -> None:
+        if not points:
+            raise ValueError("PNNIndex needs at least one uncertain point")
+        self.points: List[UncertainPoint] = list(points)
+        self._supports: List[Disk] = [p.support_disk() for p in self.points]
+        self._support_tree = KDTree(
+            [d.center for d in self._supports],
+            [d.r for d in self._supports])
+        self._mc_cache: Dict[tuple, MonteCarloQuantifier] = {}
+        self._spiral: Optional[SpiralSearchQuantifier] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of uncertain points."""
+        return len(self.points)
+
+    def all_discrete(self) -> bool:
+        """Whether every point has a discrete distribution."""
+        return all(isinstance(p, DiscreteUncertainPoint) for p in self.points)
+
+    # ------------------------------------------------------------------
+    # Stage 1: Delta(q).
+    # ------------------------------------------------------------------
+    def delta(self, q: Point) -> float:
+        """``Delta(q) = min_i Delta_i(q)``, exactly.
+
+        The support-disk kd-tree gives the upper bound
+        ``min_i (d(q, c_i) + r_i)`` in one weighted-NN query; each
+        candidate whose lower bound ``d(q, c_i) - r_i`` beats it is
+        re-evaluated with the model's exact ``max_dist`` (for disk supports
+        the bound is already exact).
+        """
+        return self._delta_info(q)[0]
+
+    def _delta_info(self, q: Point) -> tuple:
+        """Exact ``(min Delta, second-min Delta, unique argmin or None)``.
+
+        The second minimum and argmin uniqueness feed the exact Lemma 2.1
+        semantics: for the unique minimizer of ``Delta`` the comparison
+        threshold ranges over ``j != i`` and is the second minimum —
+        which matters for zero-extent (certain) supports where
+        ``delta_i = Delta_i``.
+        """
+        (_, v1_ub), (_, v2_ub) = self._support_tree.weighted_two_min(q)
+        bound = v2_ub if math.isfinite(v2_ub) else v1_ub
+        candidates = self._support_tree.weighted_report(q, bound, strict=False)
+        exact = sorted((self.points[i].max_dist(q), i) for i in candidates)
+        min1 = exact[0][0]
+        attainers = [i for v, i in exact if v == min1]
+        unique = attainers[0] if len(attainers) == 1 else None
+        second = exact[1][0] if len(exact) > 1 else math.inf
+        return min1, second, unique
+
+    # ------------------------------------------------------------------
+    # Stage 2: the nonzero NN report.
+    # ------------------------------------------------------------------
+    def nonzero_nn(self, q: Point) -> List[int]:
+        """``NN!=0(q)``: indices with nonzero probability of being the NN.
+
+        Exact two-stage query (Lemma 2.1 + Theorems 3.1/3.2): compute
+        ``Delta(q)`` (and its second minimum, for the ``j != i``
+        semantics), then report every point whose exact minimum distance
+        beats its threshold.  The kd-tree prunes with the support-disk
+        lower bound ``d(q, c_i) - r_i <= min_dist_i(q)``, so the candidate
+        set is a superset of the answer and each candidate is confirmed
+        exactly.
+        """
+        if self.n == 1:
+            return [0]
+        min1, second, unique = self._delta_info(q)
+        report_bound = second if unique is not None else min1
+        if math.isfinite(report_bound):
+            candidates = self._support_tree.weighted_report(
+                q, report_bound, strict=False)
+        else:
+            candidates = range(self.n)
+        out = []
+        for i in candidates:
+            threshold = second if i == unique else min1
+            if self.points[i].min_dist(q) < threshold:
+                out.append(i)
+        return sorted(out)
+
+    def nonzero_nn_bruteforce(self, q: Point) -> List[int]:
+        """Reference O(n) implementation of the Lemma 2.1 predicate."""
+        from ..geometry.disks import nonzero_nn_indices
+
+        return nonzero_nn_indices([p.min_dist(q) for p in self.points],
+                                  [p.max_dist(q) for p in self.points])
+
+    # ------------------------------------------------------------------
+    # Quantification probabilities.
+    # ------------------------------------------------------------------
+    def quantify(self, q: Point, method: str = "auto",
+                 epsilon: float = 0.05, delta: float = 0.05,
+                 seed: int = 0) -> Dict[int, float]:
+        """Quantification probabilities ``{i: pi_i(q)}`` (zeros omitted).
+
+        ``method``:
+
+        * ``"exact"`` — Eq. (2) sweep for discrete inputs, Eq. (1)
+          quadrature for continuous ones (slow, reference quality);
+        * ``"monte_carlo"`` — Theorem 4.3/4.5 estimator, ±epsilon with
+          probability 1 - delta; works for every model;
+        * ``"spiral"`` — Theorem 4.7 estimator (discrete only),
+          one-sided: ``pi_hat <= pi <= pi_hat + eps``;
+        * ``"auto"`` — ``"spiral"`` when all-discrete, else
+          ``"monte_carlo"``.
+        """
+        if method == "auto":
+            method = "spiral" if self.all_discrete() else "monte_carlo"
+        if method == "exact":
+            if self.all_discrete():
+                vec = quantification_vector(self.points, q)  # type: ignore[arg-type]
+            else:
+                vec = quantification_continuous_vector(self.points, q)
+            return {i: v for i, v in enumerate(vec) if v > 0.0}
+        if method == "monte_carlo":
+            key = ("mc", epsilon, delta, seed)
+            if key not in self._mc_cache:
+                self._mc_cache[key] = MonteCarloQuantifier(
+                    self.points, epsilon=epsilon, delta=delta, seed=seed)
+            return self._mc_cache[key].estimate(q)
+        if method == "spiral":
+            if not self.all_discrete():
+                raise ValueError("spiral search requires discrete distributions")
+            if self._spiral is None:
+                self._spiral = SpiralSearchQuantifier(self.points)  # type: ignore[arg-type]
+            return self._spiral.estimate(q, epsilon)
+        raise ValueError(f"unknown method {method!r}")
+
+    def top_k_nn(self, q: Point, k: int, method: str = "auto",
+                 epsilon: float = 0.05, delta: float = 0.05,
+                 seed: int = 0) -> List[tuple]:
+        """The ``k`` most probable nearest neighbors, as ``(index, pi)`` pairs.
+
+        The probabilistic k-NN variant the paper's Section 1.2 surveys
+        ([BSI08]-style "top-k probable NNs", ranked by quantification
+        probability).  With a ±epsilon estimator the returned order is
+        correct for any pair separated by more than ``2 * epsilon``; ties
+        within the noise band are broken by index for determinism.
+        """
+        if k <= 0:
+            return []
+        estimates = self.quantify(q, method=method, epsilon=epsilon,
+                                  delta=delta, seed=seed)
+        ranked = sorted(estimates.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:k]
+
+    def threshold_nn(self, q: Point, tau: float,
+                     epsilon: Optional[float] = None,
+                     method: str = "auto", delta: float = 0.05,
+                     seed: int = 0) -> ThresholdResult:
+        """Points with ``pi_i(q) > tau``, with a ±epsilon decision margin.
+
+        Defaults to ``epsilon = tau / 4`` (well inside the ``eps < tau``
+        requirement), so at most ``1/(tau - eps)`` candidates survive.
+        """
+        if epsilon is None:
+            epsilon = tau / 4.0
+        estimates = self.quantify(q, method=method, epsilon=epsilon,
+                                  delta=delta, seed=seed)
+        return classify_threshold(estimates, tau, epsilon)
+
+    # ------------------------------------------------------------------
+    # The expected-distance alternative ([AESZ12], discussed in §1.2).
+    # ------------------------------------------------------------------
+    def expected_distance_ranking(self, q: Point, samples: int = 2048,
+                                  seed: int = 0) -> List[int]:
+        """Indices ranked by expected distance ``E[d(q, P_i)]``, closest first.
+
+        The companion paper [AESZ12] defines the NN of *q* as the point
+        minimizing expected distance.  The paper reproduced here argues
+        (citing [YTX+10]) that this ranking can disagree with the
+        quantification-probability ranking under large uncertainty — the
+        sensor-dispatch example demonstrates exactly that.  Expectations
+        are Monte-Carlo estimates with a shared seeded budget, except for
+        discrete distributions where they are computed exactly.
+        """
+        def expected(p: UncertainPoint) -> float:
+            if isinstance(p, DiscreteUncertainPoint):
+                return sum(w * math.dist(site, q)
+                           for site, w in p.sites_with_weights())
+            return p.mean_dist(q, samples=samples, seed=seed)
+
+        return sorted(range(self.n), key=lambda i: expected(self.points[i]))
+
+    # ------------------------------------------------------------------
+    # Heavy artifacts.
+    # ------------------------------------------------------------------
+    def build_nonzero_voronoi(self, tol: float = 1e-7) -> NonzeroVoronoiDiagram:
+        """Construct ``V!=0`` over the support disks (Theorem 2.5).
+
+        Exact for disk-supported models; for site-based models the support
+        disk is the smallest enclosing disk, a conservative region (the
+        paper's discrete machinery, :class:`~repro.voronoi.discrete_diagram.
+        DiscreteNonzeroVoronoi`, handles those exactly).
+        """
+        return NonzeroVoronoiDiagram(self._supports, tol=tol)
+
+    def build_vpr(self) -> ProbabilisticVoronoiDiagram:
+        """Construct the exact probabilistic Voronoi diagram (Theorem 4.2)."""
+        if not self.all_discrete():
+            raise ValueError("V_Pr requires discrete distributions")
+        return ProbabilisticVoronoiDiagram(self.points)  # type: ignore[arg-type]

@@ -1,0 +1,76 @@
+"""NN!=0 queries for square regions under the L-infinity metric.
+
+Implements Remark (ii) after Theorem 3.1: with square uncertainty regions
+and Chebyshev distances, both stages of the two-stage query carry over —
+squares are L-infinity balls, so ``Delta_i(q) = ||q - c_i||_inf + h_i`` and
+``delta_i(q) = max(||q - c_i||_inf - h_i, 0)`` mirror the disk formulas,
+and the same additively-weighted kd-tree searches answer them (now with
+Chebyshev box bounds).
+
+L1 (diamond regions) reduces to this case by rotating the plane 45 degrees:
+``rotate45`` is provided for exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from ..geometry.primitives import Point
+from ..geometry.squares import Square, nonzero_nn_bruteforce_linf
+from ..spatial.kdtree import KDTree
+
+__all__ = ["SquareNNIndex", "rotate45"]
+
+_SQRT_HALF = math.sqrt(0.5)
+
+
+def rotate45(p: Point) -> Point:
+    """Rotate a point by 45 degrees (maps L1 diamonds to L-inf squares)."""
+    return (_SQRT_HALF * (p[0] - p[1]), _SQRT_HALF * (p[0] + p[1]))
+
+
+class SquareNNIndex:
+    """Two-stage NN!=0 queries over squares in the L-infinity metric.
+
+    Exact for square regions: the support bound *is* the region, so no
+    refinement pass is needed (unlike the general ``PNNIndex`` path).
+    """
+
+    def __init__(self, squares: Sequence[Square]) -> None:
+        if not squares:
+            raise ValueError("need at least one square")
+        self.squares: List[Square] = list(squares)
+        self._tree = KDTree([s.center for s in self.squares],
+                            [s.h for s in self.squares], metric="linf")
+
+    @property
+    def n(self) -> int:
+        """Number of uncertain regions."""
+        return len(self.squares)
+
+    def delta(self, q: Point) -> float:
+        """``Delta(q) = min_i (||q - c_i||_inf + h_i)``, exactly."""
+        return self._tree.weighted_min(q)[1]
+
+    def nonzero_nn(self, q: Point) -> List[int]:
+        """``NN!=0(q)`` under L-infinity (Lemma 2.1, Chebyshev distances).
+
+        Squares have positive extent (``h > 0``) in the intended regime, so
+        the ``Delta``-argmin always qualifies; zero-extent squares are
+        handled by the same second-minimum refinement as the L2 index.
+        """
+        if self.n == 1:
+            return [0]
+        (i1, v1), (_, v2) = self._tree.weighted_two_min(q)
+        out = []
+        for i in self._tree.weighted_report(q, v2 if math.isfinite(v2) else v1,
+                                            strict=False):
+            threshold = v2 if (i == i1 and self.squares[i].h == 0.0) else v1
+            if self.squares[i].min_dist(q) < threshold:
+                out.append(i)
+        return sorted(out)
+
+    def nonzero_nn_bruteforce(self, q: Point) -> List[int]:
+        """Reference O(n) evaluation."""
+        return nonzero_nn_bruteforce_linf(self.squares, q)

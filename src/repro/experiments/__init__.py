@@ -1,0 +1,9 @@
+"""Experiment registry: regenerates every reproduced table/figure.
+
+``python -m repro.experiments`` writes EXPERIMENTS.md; individual runners
+are also called by the benchmark harness.
+"""
+
+from .runners import REGISTRY, ExperimentResult, run_all
+
+__all__ = ["REGISTRY", "ExperimentResult", "run_all"]

@@ -1,0 +1,116 @@
+"""Geometric substrate: primitives, disks, hyperbolae, envelopes, areas,
+arrangements — everything the paper's constructions are assembled from.
+
+All modules operate on plain ``(x, y)`` float tuples and share the
+tolerance model of :mod:`repro.geometry.primitives`.
+"""
+
+from .areas import circle_rect_area, disk_area, lens_area
+from .circle_polygon import circle_polygon_area
+from .circles import circumcenter, circle_through, smallest_enclosing_disk
+from .convexhull import FarthestPointOracle, convex_hull, farthest_point_index
+from .disks import (
+    Disk,
+    delta_value,
+    nonzero_nn_bruteforce,
+    nonzero_nn_indices,
+    pairwise_disjoint,
+    radius_ratio,
+)
+from .envelopes import Arc, PiecewisePolarCurve, lower_envelope
+from .halfplanes import (
+    Halfplane,
+    clip_polygon,
+    halfplane_intersection,
+    polygon_area,
+    polygon_contains,
+)
+from .hyperbola import (
+    PolarHyperbola,
+    gamma_branch,
+    intersect_same_focus,
+    witness_branch,
+)
+from .primitives import (
+    EPS,
+    Point,
+    almost_equal,
+    angle_of,
+    bounding_box,
+    centroid,
+    cross,
+    dedupe_points,
+    dist,
+    dist2,
+    dot,
+    midpoint,
+    normalize_angle,
+    orient,
+    orient_sign,
+    polar_point,
+    rel_eps,
+)
+from .seg_arrangement import SegmentArrangement
+from .squares import Square, linf_dist, nonzero_nn_bruteforce_linf
+from .segments import (
+    bisector_line,
+    line_box_clip,
+    point_on_segment,
+    segment_intersection,
+)
+
+__all__ = [
+    "EPS",
+    "Point",
+    "Disk",
+    "Halfplane",
+    "PolarHyperbola",
+    "PiecewisePolarCurve",
+    "Arc",
+    "SegmentArrangement",
+    "Square",
+    "FarthestPointOracle",
+    "almost_equal",
+    "angle_of",
+    "bisector_line",
+    "bounding_box",
+    "centroid",
+    "circle_polygon_area",
+    "circle_rect_area",
+    "circle_through",
+    "circumcenter",
+    "clip_polygon",
+    "convex_hull",
+    "cross",
+    "dedupe_points",
+    "delta_value",
+    "disk_area",
+    "dist",
+    "dist2",
+    "dot",
+    "farthest_point_index",
+    "gamma_branch",
+    "halfplane_intersection",
+    "intersect_same_focus",
+    "lens_area",
+    "linf_dist",
+    "line_box_clip",
+    "lower_envelope",
+    "midpoint",
+    "nonzero_nn_bruteforce",
+    "nonzero_nn_bruteforce_linf",
+    "nonzero_nn_indices",
+    "normalize_angle",
+    "orient",
+    "orient_sign",
+    "pairwise_disjoint",
+    "point_on_segment",
+    "polar_point",
+    "polygon_area",
+    "polygon_contains",
+    "radius_ratio",
+    "rel_eps",
+    "segment_intersection",
+    "smallest_enclosing_disk",
+    "witness_branch",
+]

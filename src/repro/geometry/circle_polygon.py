@@ -1,0 +1,86 @@
+"""Exact area of a circle intersected with a convex polygon.
+
+Needed for uniform-on-polygon uncertain points (Theorem 2.6 allows
+semialgebraic uncertainty regions of constant description complexity;
+convex polygons are the simplest useful family, and the remark after
+Theorem 2.10 discusses convex alpha-fat regions): the distance cdf is
+
+    G_q(r) = area(B(q, r) ∩ polygon) / area(polygon).
+
+Algorithm: the classic edge-sweep decomposition.  With the circle
+translated to the origin, the intersection area is the sum over directed
+polygon edges of the signed area between the edge and the center, where
+each edge is clipped to the circle — straight pieces inside contribute
+triangle areas, pieces outside contribute circular sectors spanned by
+their direction change.  Exact up to floating point; validated against
+Monte-Carlo in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from .primitives import Point
+
+__all__ = ["circle_polygon_area"]
+
+
+def circle_polygon_area(center: Point, r: float,
+                        polygon: Sequence[Point]) -> float:
+    """Area of ``disk(center, r)`` intersected with a CCW convex polygon.
+
+    Also correct for simple non-convex CCW polygons (the edge-sweep is
+    orientation-based), though the library only feeds convex ones.
+    Returns 0 for polygons with fewer than 3 vertices.
+    """
+    if r < 0:
+        raise ValueError("negative radius")
+    if r == 0 or len(polygon) < 3:
+        return 0.0
+    total = 0.0
+    cx, cy = center
+    shifted: List[Point] = [(x - cx, y - cy) for x, y in polygon]
+    for idx in range(len(shifted)):
+        a = shifted[idx]
+        b = shifted[(idx + 1) % len(shifted)]
+        total += _edge_contribution(a, b, r)
+    return max(0.0, total)
+
+
+def _edge_contribution(a: Point, b: Point, r: float) -> float:
+    """Signed area between edge ``ab`` and the origin, clipped to radius r."""
+    dx = b[0] - a[0]
+    dy = b[1] - a[1]
+    qa = dx * dx + dy * dy
+    if qa <= 1e-30:
+        return 0.0
+    qb = 2.0 * (a[0] * dx + a[1] * dy)
+    qc = a[0] * a[0] + a[1] * a[1] - r * r
+    disc = qb * qb - 4.0 * qa * qc
+    if disc <= 0.0:
+        # Line misses the circle: the whole edge is outside.
+        return _sector(a, b, r)
+    root = math.sqrt(disc)
+    t_lo = (-qb - root) / (2.0 * qa)
+    t_hi = (-qb + root) / (2.0 * qa)
+    lo = max(t_lo, 0.0)
+    hi = min(t_hi, 1.0)
+    if lo >= hi:
+        return _sector(a, b, r)
+    p_lo = (a[0] + lo * dx, a[1] + lo * dy)
+    p_hi = (a[0] + hi * dx, a[1] + hi * dy)
+    area = 0.5 * (p_lo[0] * p_hi[1] - p_hi[0] * p_lo[1])
+    if lo > 0.0:
+        area += _sector(a, p_lo, r)
+    if hi < 1.0:
+        area += _sector(p_hi, b, r)
+    return area
+
+
+def _sector(p: Point, q: Point, r: float) -> float:
+    """Signed circular-sector area spanned by directions ``p`` to ``q``."""
+    cross = p[0] * q[1] - p[1] * q[0]
+    dot = p[0] * q[0] + p[1] * q[1]
+    theta = math.atan2(cross, dot)
+    return 0.5 * r * r * theta

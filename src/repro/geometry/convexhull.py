@@ -1,0 +1,88 @@
+"""Convex hulls and farthest-point queries.
+
+The discrete-distribution machinery needs, for a site set ``P_i``, fast
+evaluation of ``Delta_i(q) = max_p d(q, p)``.  The maximum is always
+attained at a vertex of the convex hull of ``P_i``, so precomputing the
+hull (Andrew's monotone chain) reduces the per-query work from ``k`` to
+``h <= k`` distance evaluations — and the hull itself is reused by the
+halfplane-redundancy analysis of the dominance polygons ``K_ij``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .primitives import Point, dist, orient
+
+__all__ = ["convex_hull", "farthest_point_index", "FarthestPointOracle"]
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Convex hull in counter-clockwise order (Andrew's monotone chain).
+
+    Collinear points on the hull boundary are dropped; duplicate input
+    points are tolerated.  For fewer than three distinct points the hull is
+    the distinct points themselves (possibly a segment or a single point).
+    """
+    pts = sorted(set(points))
+    if len(pts) <= 2:
+        return pts
+
+    def half(seq: Sequence[Point]) -> List[Point]:
+        chain: List[Point] = []
+        for p in seq:
+            # Pop on right turns and exact collinearity.  No epsilon here:
+            # a tolerance band makes the chain drop genuinely extreme
+            # vertices whose cross products are tiny (e.g. subnormal
+            # coordinates); exact zero keeps the hull a superset of the
+            # true hull, which is the safe direction for the farthest-point
+            # and dominance uses downstream.
+            while len(chain) >= 2 and orient(chain[-2], chain[-1], p) <= 0.0:
+                chain.pop()
+            chain.append(p)
+        return chain
+
+    lower = half(pts)
+    upper = half(pts[::-1])
+    return lower[:-1] + upper[:-1]
+
+
+def farthest_point_index(points: Sequence[Point], q: Point) -> int:
+    """Index (into *points*) of the point farthest from *q* (brute force).
+
+    Ties break toward the smallest index, making the result deterministic
+    for the degenerate configurations used in tests.
+    """
+    if not points:
+        raise ValueError("farthest point of empty set")
+    best = 0
+    best_d = dist(points[0], q)
+    for i in range(1, len(points)):
+        d = dist(points[i], q)
+        if d > best_d:
+            best, best_d = i, d
+    return best
+
+
+class FarthestPointOracle:
+    """Farthest-point distance queries against a fixed point set.
+
+    Precomputes the convex hull once; queries scan only hull vertices.
+    This matches how the paper's ``Delta_i`` surfaces are built from the
+    farthest-point Voronoi diagram of ``P_i`` (Section 2.2) — the farthest
+    site is always a hull vertex.
+    """
+
+    def __init__(self, points: Sequence[Point]) -> None:
+        if not points:
+            raise ValueError("oracle needs at least one point")
+        self.points = list(points)
+        self.hull = convex_hull(points) or [self.points[0]]
+
+    def max_dist(self, q: Point) -> float:
+        """``Delta(q) = max_p d(q, p)`` over the stored points."""
+        return max(dist(v, q) for v in self.hull)
+
+    def farthest(self, q: Point) -> Point:
+        """The hull vertex attaining ``max_dist(q)``."""
+        return max(self.hull, key=lambda v: dist(v, q))

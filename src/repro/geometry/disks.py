@@ -1,0 +1,203 @@
+"""Circular disks: the canonical uncertainty region of the paper.
+
+Section 2.1 of the paper models each uncertain point's support as a disk
+``D_i`` of radius ``r_i`` centered at ``c_i``; the two distance functions
+
+* ``Delta_i(q) = d(q, c_i) + r_i``  (max distance from q to the region) and
+* ``delta_i(q) = max(d(q, c_i) - r_i, 0)``  (min distance)
+
+drive everything in the nonzero-Voronoi machinery.  :class:`Disk` packages
+those together with the tangency predicates used to validate arrangement
+vertices ("touches from the outside / from the inside" in the paper's
+terminology).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+from .primitives import EPS, Point, dist, rel_eps
+
+
+@dataclass(frozen=True)
+class Disk:
+    """A closed disk with center ``(cx, cy)`` and radius ``r >= 0``."""
+
+    cx: float
+    cy: float
+    r: float
+
+    def __post_init__(self) -> None:
+        if self.r < 0:
+            raise ValueError(f"disk radius must be non-negative, got {self.r}")
+
+    @property
+    def center(self) -> Point:
+        """Center as an ``(x, y)`` tuple."""
+        return (self.cx, self.cy)
+
+    @property
+    def area(self) -> float:
+        """Area of the disk."""
+        return math.pi * self.r * self.r
+
+    # ------------------------------------------------------------------
+    # Distance functions (the paper's Delta_i / delta_i).
+    # ------------------------------------------------------------------
+    def max_dist(self, q: Point) -> float:
+        """``Delta(q)``: the largest distance from *q* to a point of the disk."""
+        return dist(q, self.center) + self.r
+
+    def min_dist(self, q: Point) -> float:
+        """``delta(q)``: the smallest distance from *q* to a point of the disk.
+
+        Zero when *q* lies inside the disk, matching the paper's
+        ``max(d(q, c) - r, 0)``.
+        """
+        return max(dist(q, self.center) - self.r, 0.0)
+
+    # ------------------------------------------------------------------
+    # Point / disk relations.
+    # ------------------------------------------------------------------
+    def contains_point(self, q: Point, tol: float = EPS) -> bool:
+        """Whether *q* lies in the closed disk (with tolerance)."""
+        return dist(q, self.center) <= self.r + tol
+
+    def contains_disk(self, other: "Disk", tol: float = EPS) -> bool:
+        """Whether *other* lies entirely inside this disk (with tolerance)."""
+        return dist(self.center, other.center) + other.r <= self.r + tol
+
+    def intersects_disk(self, other: "Disk", tol: float = EPS) -> bool:
+        """Whether the two closed disks share at least one point."""
+        return dist(self.center, other.center) <= self.r + other.r + tol
+
+    def interior_disjoint(self, other: "Disk", tol: float = EPS) -> bool:
+        """Whether the two open disks are disjoint."""
+        return dist(self.center, other.center) >= self.r + other.r - tol
+
+    # ------------------------------------------------------------------
+    # Tangency classification (paper, Section 2.1): a disk W "touches
+    # D from the outside" when their boundaries meet but their interiors are
+    # disjoint; W "touches D from the inside" when D lies inside W and the
+    # boundaries meet.
+    # ------------------------------------------------------------------
+    def touches_externally(self, other: "Disk", tol: float | None = None) -> bool:
+        """Whether this disk and *other* are externally tangent."""
+        d = dist(self.center, other.center)
+        if tol is None:
+            tol = rel_eps(d) * 1e3
+        return abs(d - (self.r + other.r)) <= tol
+
+    def touches_internally(self, inner: "Disk", tol: float | None = None) -> bool:
+        """Whether *inner* touches this disk from the inside.
+
+        The paper's definition: ``int(inner)`` is contained in ``int(self)``
+        and the boundaries intersect, i.e. ``d(centers) = self.r - inner.r``.
+        """
+        d = dist(self.center, inner.center)
+        if tol is None:
+            tol = rel_eps(max(d, self.r)) * 1e3
+        return abs(d - (self.r - inner.r)) <= tol and self.r >= inner.r - tol
+
+    def properly_contains_disk(self, other: "Disk", tol: float = EPS) -> bool:
+        """Whether *other* lies in the open interior of this disk."""
+        return dist(self.center, other.center) + other.r < self.r - tol
+
+    # ------------------------------------------------------------------
+    # Boundary sampling, useful for tests and the SVG gallery.
+    # ------------------------------------------------------------------
+    def boundary_point(self, theta: float) -> Point:
+        """Boundary point at angle *theta*."""
+        return (self.cx + self.r * math.cos(theta),
+                self.cy + self.r * math.sin(theta))
+
+    def boundary_points(self, count: int) -> List[Point]:
+        """*count* evenly spaced boundary points, CCW starting at angle 0."""
+        step = 2.0 * math.pi / count
+        return [self.boundary_point(i * step) for i in range(count)]
+
+
+def pairwise_disjoint(disks: Iterable[Disk], tol: float = EPS) -> bool:
+    """Whether the closed disks in *disks* are pairwise interior-disjoint.
+
+    Quadratic check; the Theorem 2.10 machinery uses it to validate inputs
+    (the ``O(lambda n^2)`` bound requires pairwise-disjoint regions).
+    """
+    ds = list(disks)
+    for i in range(len(ds)):
+        for j in range(i + 1, len(ds)):
+            if not ds[i].interior_disjoint(ds[j], tol):
+                return False
+    return True
+
+
+def radius_ratio(disks: Iterable[Disk]) -> float:
+    """The paper's ``lambda``: ratio of the largest to the smallest radius."""
+    radii = [d.r for d in disks]
+    if not radii:
+        raise ValueError("radius ratio of empty disk set")
+    smallest = min(radii)
+    if smallest <= 0:
+        raise ValueError("radius ratio undefined for zero-radius disks")
+    return max(radii) / smallest
+
+
+def delta_value(disks: List[Disk], q: Point) -> float:
+    """``Delta(q) = min_i Delta_i(q)``, the lower envelope of max distances.
+
+    Brute-force evaluation used as ground truth in tests; the query data
+    structures in :mod:`repro.spatial` compute the same value with pruning.
+    """
+    if not disks:
+        raise ValueError("Delta of empty disk set")
+    return min(d.max_dist(q) for d in disks)
+
+
+def nonzero_nn_indices(mins: List[float], maxs: List[float]) -> List[int]:
+    """Lemma 2.1: indices with ``delta_i < Delta_j`` for all ``j != i``.
+
+    Shared semantic core for every NN!=0 implementation.  The paper's
+    Eq. (4) simplifies the condition to ``delta_i < min_j Delta_j``, which
+    is equivalent whenever ``delta_i < Delta_i`` holds strictly (true for
+    any region of positive extent) but breaks for *certain* points, where
+    ``delta_i = Delta_i``: the unique nearest certain point must still
+    qualify.  We therefore exclude ``j = i`` properly: the threshold for
+    the unique minimizer of ``Delta`` is the second-smallest ``Delta``.
+    """
+    n = len(mins)
+    if n == 1:
+        return [0]
+    best = math.inf
+    second = math.inf
+    best_idx = -1
+    best_count = 0
+    for i, v in enumerate(maxs):
+        if v < best:
+            second = best
+            best = v
+            best_idx = i
+            best_count = 1
+        elif v == best:
+            best_count += 1
+            second = v
+        elif v < second:
+            second = v
+    out = []
+    for i in range(n):
+        threshold = second if (i == best_idx and best_count == 1) else best
+        if mins[i] < threshold:
+            out.append(i)
+    return out
+
+
+def nonzero_nn_bruteforce(disks: List[Disk], q: Point,
+                          tol: float = EPS) -> List[int]:
+    """``NN!=0(q)`` by direct evaluation of the Lemma 2.1 predicate.
+
+    This is the semantic reference implementation every data structure is
+    tested against.
+    """
+    return nonzero_nn_indices([d.min_dist(q) for d in disks],
+                              [d.max_dist(q) for d in disks])

@@ -1,0 +1,284 @@
+"""Lower envelopes of polar curves (the Lemma 2.2 machinery).
+
+The paper computes each curve ``gamma_i`` as the lower envelope, in polar
+coordinates around ``c_i``, of the ``n - 1`` hyperbola branches
+``gamma_ij``.  Because each pair of branches crosses at most twice, the
+envelope is a Davenport–Schinzel sequence of order 2 with at most ``2n``
+breakpoints, computable in ``O(n log n)`` by divide and conquer — which is
+exactly what :func:`lower_envelope` implements.
+
+Representation: a :class:`PiecewisePolarCurve` covers the full angle range
+``[0, 2*pi]`` with a sorted list of :class:`Arc` objects.  Each arc either
+references the curve attaining the minimum on it, or ``None`` where no curve
+is defined (the envelope is ``+inf`` there — directions in which the region
+``R_i = {x : delta_i(x) < Delta(x)}`` is unbounded).
+
+All pairwise intersections are obtained in closed form from
+:func:`repro.geometry.hyperbola.intersect_same_focus`; the merge itself only
+compares radii at interval midpoints, so no iterative root finding is ever
+performed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .hyperbola import PolarHyperbola, intersect_same_focus
+from .primitives import EPS, TWO_PI, Point
+
+__all__ = ["Arc", "PiecewisePolarCurve", "lower_envelope"]
+
+#: Angular slack for arc bookkeeping.  Arcs shorter than this are dropped.
+_ANGLE_TOL = 1e-12
+
+
+@dataclass(frozen=True)
+class Arc:
+    """An angular interval ``[start, end]`` owned by one curve (or none).
+
+    ``curve is None`` encodes the envelope being ``+inf`` on the arc.
+    Arcs never wrap: ``0 <= start <= end <= 2*pi``.
+    """
+
+    start: float
+    end: float
+    curve: Optional[PolarHyperbola]
+
+    @property
+    def width(self) -> float:
+        """Angular width of the arc."""
+        return self.end - self.start
+
+    @property
+    def midpoint(self) -> float:
+        """Angle at the middle of the arc."""
+        return 0.5 * (self.start + self.end)
+
+
+class PiecewisePolarCurve:
+    """A piecewise curve ``theta -> rho`` covering ``[0, 2*pi]``.
+
+    Produced by :func:`lower_envelope`.  The arcs are sorted, contiguous and
+    cover the full circle; consecutive arcs always reference different
+    curves (or alternate between a curve and ``None``).
+    """
+
+    def __init__(self, focus: Point, arcs: Sequence[Arc]) -> None:
+        self.focus = focus
+        self.arcs: List[Arc] = list(arcs)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.arcs:
+            raise ValueError("piecewise polar curve needs at least one arc")
+        if abs(self.arcs[0].start) > 1e-9 or abs(self.arcs[-1].end - TWO_PI) > 1e-9:
+            raise ValueError("arcs must cover [0, 2*pi]")
+        for prev, cur in zip(self.arcs, self.arcs[1:]):
+            if abs(prev.end - cur.start) > 1e-9:
+                raise ValueError("arcs must be contiguous")
+
+    # ------------------------------------------------------------------
+    def piece_at(self, theta: float) -> Optional[PolarHyperbola]:
+        """The curve attaining the envelope at angle *theta* (binary search)."""
+        theta = theta % TWO_PI
+        lo, hi = 0, len(self.arcs) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.arcs[mid].end < theta:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self.arcs[lo].curve
+
+    def radius(self, theta: float) -> float:
+        """Envelope value at *theta* (``inf`` where no curve is defined)."""
+        piece = self.piece_at(theta)
+        if piece is None:
+            return math.inf
+        return piece.radius(theta % TWO_PI)
+
+    def point_at(self, theta: float) -> Point:
+        """Cartesian point of the envelope at *theta*."""
+        rho = self.radius(theta)
+        if not math.isfinite(rho):
+            raise ValueError(f"envelope is unbounded in direction {theta}")
+        return (self.focus[0] + rho * math.cos(theta),
+                self.focus[1] + rho * math.sin(theta))
+
+    # ------------------------------------------------------------------
+    def finite_arcs(self) -> List[Arc]:
+        """The arcs on which the envelope is finite."""
+        return [a for a in self.arcs if a.curve is not None]
+
+    def is_everywhere_infinite(self) -> bool:
+        """Whether no curve contributes anywhere (empty envelope)."""
+        return all(a.curve is None for a in self.arcs)
+
+    def breakpoints(self) -> List[Tuple[float, PolarHyperbola, PolarHyperbola]]:
+        """Boundaries where two *finite* pieces meet.
+
+        These are the paper's breakpoints of ``gamma_i`` (Lemma 2.2): points
+        where the minimizing ``gamma_ij`` changes, i.e. where the witness
+        disk of ``Delta`` swaps.  Transitions between a finite piece and an
+        infinite gap are asymptote directions, not breakpoints, and are
+        excluded.
+
+        The wrap-around boundary at ``theta = 0 (= 2*pi)`` is counted once.
+        Returns ``(theta, left_curve, right_curve)`` triples.
+        """
+        out: List[Tuple[float, PolarHyperbola, PolarHyperbola]] = []
+        n = len(self.arcs)
+        for idx in range(n):
+            cur = self.arcs[idx]
+            nxt = self.arcs[(idx + 1) % n]
+            if idx == n - 1:
+                # Wrap boundary: skip if it splits a single logical arc.
+                if cur.curve is nxt.curve:
+                    continue
+            if cur.curve is not None and nxt.curve is not None \
+                    and cur.curve is not nxt.curve:
+                out.append((nxt.start % TWO_PI, cur.curve, nxt.curve))
+        return out
+
+    def breakpoint_points(self) -> List[Point]:
+        """Cartesian coordinates of the breakpoints."""
+        pts = []
+        for theta, left, _right in self.breakpoints():
+            rho = left.radius(theta)
+            if not math.isfinite(rho):
+                # Boundary angle can sit a hair outside the left piece's
+                # domain after normalization; use the right piece instead.
+                rho = _right_radius(self, theta)
+            pts.append((self.focus[0] + rho * math.cos(theta),
+                        self.focus[1] + rho * math.sin(theta)))
+        return pts
+
+    def complexity(self) -> int:
+        """Number of finite arcs — the curve's combinatorial complexity."""
+        return len(self.finite_arcs())
+
+
+def _right_radius(curve: PiecewisePolarCurve, theta: float) -> float:
+    nudged = (theta + 1e-12) % TWO_PI
+    return curve.radius(nudged)
+
+
+# ----------------------------------------------------------------------
+# Envelope construction.
+# ----------------------------------------------------------------------
+
+def _single_curve_arcs(curve: PolarHyperbola) -> List[Arc]:
+    """Arcs of the trivial envelope of one curve: its domain, gaps = None."""
+    intervals = curve.domain_intervals()
+    arcs: List[Arc] = []
+    cursor = 0.0
+    for lo, hi in sorted(intervals):
+        lo = max(lo, 0.0)
+        hi = min(hi, TWO_PI)
+        if lo - cursor > _ANGLE_TOL:
+            arcs.append(Arc(cursor, lo, None))
+        if hi - lo > _ANGLE_TOL:
+            arcs.append(Arc(max(lo, cursor), hi, curve))
+        cursor = max(cursor, hi)
+    if TWO_PI - cursor > _ANGLE_TOL:
+        arcs.append(Arc(cursor, TWO_PI, None))
+    if not arcs:
+        arcs = [Arc(0.0, TWO_PI, None)]
+    return _coalesce(arcs)
+
+
+def _coalesce(arcs: List[Arc]) -> List[Arc]:
+    """Merge consecutive arcs owned by the same curve, drop empty slivers."""
+    out: List[Arc] = []
+    for arc in arcs:
+        if arc.width <= _ANGLE_TOL and out:
+            # Extend the previous arc over the sliver.
+            prev = out[-1]
+            out[-1] = Arc(prev.start, arc.end, prev.curve)
+            continue
+        if out and out[-1].curve is arc.curve:
+            prev = out[-1]
+            out[-1] = Arc(prev.start, arc.end, prev.curve)
+        else:
+            out.append(arc)
+    if not out:
+        return [Arc(0.0, TWO_PI, None)]
+    # Snap the cover to exactly [0, 2*pi].
+    first, last = out[0], out[-1]
+    out[0] = Arc(0.0, first.end, first.curve)
+    out[-1] = Arc(out[-1].start, TWO_PI, last.curve)
+    return out
+
+
+def _winner(c1: Optional[PolarHyperbola], c2: Optional[PolarHyperbola],
+            theta: float) -> Optional[PolarHyperbola]:
+    """Which of two candidate pieces is lower at angle *theta*."""
+    if c1 is None:
+        return c2
+    if c2 is None:
+        return c1
+    return c1 if c1.radius(theta) <= c2.radius(theta) else c2
+
+
+def _merge(focus: Point, arcs1: List[Arc], arcs2: List[Arc]) -> List[Arc]:
+    """Merge two envelopes into the envelope of their union of curves.
+
+    Sweeps the circle over the union of both arc subdivisions; inside each
+    elementary interval both inputs are single analytic pieces, so their
+    crossings come from the closed-form same-focus intersection and the
+    winner flips only at those angles.
+    """
+    boundaries = sorted({0.0, TWO_PI}
+                        | {a.start for a in arcs1} | {a.end for a in arcs1}
+                        | {a.start for a in arcs2} | {a.end for a in arcs2})
+    out: List[Arc] = []
+    env1 = PiecewisePolarCurve(focus, arcs1)
+    env2 = PiecewisePolarCurve(focus, arcs2)
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if hi - lo <= _ANGLE_TOL:
+            continue
+        mid = 0.5 * (lo + hi)
+        c1 = env1.piece_at(mid)
+        c2 = env2.piece_at(mid)
+        if c1 is None or c2 is None or c1 is c2:
+            out.append(Arc(lo, hi, c1 if c2 is None else (c2 if c1 is None else c1)))
+            continue
+        cuts = [t for t in intersect_same_focus(c1, c2)
+                if lo + _ANGLE_TOL < t < hi - _ANGLE_TOL]
+        cuts.sort()
+        prev = lo
+        for cut in cuts + [hi]:
+            if cut - prev > _ANGLE_TOL:
+                m = 0.5 * (prev + cut)
+                out.append(Arc(prev, cut, _winner(c1, c2, m)))
+            prev = cut
+    return _coalesce(out)
+
+
+def lower_envelope(focus: Point,
+                   curves: Sequence[PolarHyperbola]) -> PiecewisePolarCurve:
+    """Lower envelope of same-focus polar curves by divide and conquer.
+
+    Runs in ``O(m log m)`` merges for ``m`` curves; with the paper's
+    pairwise-intersection bound of two this yields the ``O(n log n)``
+    construction of Lemma 2.2.
+
+    An empty input produces the everywhere-infinite envelope.
+    """
+    for c in curves:
+        if c.focus != focus:
+            raise ValueError("all envelope curves must share the focus")
+    if not curves:
+        return PiecewisePolarCurve(focus, [Arc(0.0, TWO_PI, None)])
+    pieces: List[List[Arc]] = [_single_curve_arcs(c) for c in curves]
+    while len(pieces) > 1:
+        merged: List[List[Arc]] = []
+        for i in range(0, len(pieces) - 1, 2):
+            merged.append(_merge(focus, pieces[i], pieces[i + 1]))
+        if len(pieces) % 2 == 1:
+            merged.append(pieces[-1])
+        pieces = merged
+    return PiecewisePolarCurve(focus, pieces[0])

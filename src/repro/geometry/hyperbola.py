@@ -1,0 +1,254 @@
+"""Hyperbola branches in polar form around a focus.
+
+The paper's Section 2.1 rests on two families of curves, both branches of
+hyperbolae with foci at two disk centers:
+
+* ``gamma_ij = {x : delta_i(x) = Delta_j(x)}`` — the points whose smallest
+  distance to disk ``D_i`` equals their largest distance to disk ``D_j``,
+  i.e. ``d(x, c_i) - d(x, c_j) = r_i + r_j``.  Lemma 2.2 observes that a ray
+  from ``c_i`` meets this curve at most once, so it is the graph of a
+  function in polar coordinates around ``c_i``.
+* The same point set viewed in polar coordinates around the *other* focus
+  ``c_j`` — used by the witness-disk solver (Theorem 2.5's vertex
+  characterization), where two such curves share the inner disk's center as
+  a common focus.
+
+Both have the rational polar form::
+
+    rho(theta) = num / (A*cos(theta) + B*sin(theta) + C),   denom > 0
+
+which makes every pairwise intersection of two same-focus branches a
+solution of a single linear equation in ``(cos theta, sin theta)`` — solved
+exactly by one ``atan2`` and one ``acos``.  This closed form is what keeps
+the envelope and vertex computations robust: no iterative root finding is
+needed anywhere in the continuous-case pipeline.
+
+A zero transverse axis (``r_i + r_j = 0``, i.e. two certain points) yields
+``C = 0`` and the "hyperbola" degenerates gracefully to the perpendicular
+bisector line, still in the same representation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .disks import Disk
+from .primitives import EPS, TWO_PI, Point, angle_of, dist, normalize_angle
+
+__all__ = [
+    "PolarHyperbola",
+    "gamma_branch",
+    "witness_branch",
+    "intersect_same_focus",
+]
+
+
+class PolarHyperbola:
+    """A curve ``rho(theta) = num / (A cos(theta) + B sin(theta) + C)``.
+
+    Defined (and positive) on the open angular domain where the denominator
+    is positive.  ``num`` is always positive by construction.
+
+    Attributes
+    ----------
+    focus:
+        The pole of the polar coordinate system.
+    num, A, B, C:
+        Coefficients of the rational polar form.
+    label:
+        Opaque tag identifying the curve (the envelope code stores the index
+        of the "other" disk here so breakpoints can name their witnesses).
+    """
+
+    __slots__ = ("focus", "num", "A", "B", "C", "label")
+
+    def __init__(self, focus: Point, num: float, A: float, B: float,
+                 C: float, label: object = None) -> None:
+        if num <= 0:
+            raise ValueError(f"polar hyperbola numerator must be > 0, got {num}")
+        self.focus = focus
+        self.num = num
+        self.A = A
+        self.B = B
+        self.C = C
+        self.label = label
+
+    # ------------------------------------------------------------------
+    def denom(self, theta: float) -> float:
+        """Denominator ``A cos(theta) + B sin(theta) + C``."""
+        return self.A * math.cos(theta) + self.B * math.sin(theta) + self.C
+
+    def radius(self, theta: float) -> float:
+        """Radial distance at angle *theta*, ``inf`` outside the domain."""
+        d = self.denom(theta)
+        if d <= EPS * max(1.0, abs(self.A), abs(self.B), abs(self.C)):
+            return math.inf
+        return self.num / d
+
+    def point_at(self, theta: float) -> Point:
+        """The curve point at angle *theta* (must be inside the domain)."""
+        rho = self.radius(theta)
+        if not math.isfinite(rho):
+            raise ValueError(f"theta={theta} outside domain of {self!r}")
+        return (self.focus[0] + rho * math.cos(theta),
+                self.focus[1] + rho * math.sin(theta))
+
+    def domain(self) -> Optional[Tuple[float, float]]:
+        """The angular domain as ``(center, half_width)``, or ``None`` if empty.
+
+        The domain is the arc ``(center - half_width, center + half_width)``
+        (angles mod 2*pi).  ``half_width == pi`` means the full circle.
+        """
+        r = math.hypot(self.A, self.B)
+        if r <= EPS:
+            # Constant denominator.
+            return (0.0, math.pi) if self.C > EPS else None
+        alpha = math.atan2(self.B, self.A)
+        ratio = -self.C / r
+        if ratio >= 1.0 - 1e-15:
+            return None  # denominator never positive
+        if ratio <= -1.0 + 1e-15:
+            return (normalize_angle(alpha), math.pi)  # full circle
+        return (normalize_angle(alpha), math.acos(ratio))
+
+    def domain_intervals(self) -> List[Tuple[float, float]]:
+        """The domain as a list of ``[lo, hi]`` intervals inside ``[0, 2*pi]``.
+
+        Wrapping arcs are split at 0, so downstream code can work with plain
+        ordered intervals.
+        """
+        dom = self.domain()
+        if dom is None:
+            return []
+        center, half = dom
+        if half >= math.pi - 1e-15:
+            return [(0.0, TWO_PI)]
+        lo = center - half
+        hi = center + half
+        lo_n = normalize_angle(lo)
+        hi_n = normalize_angle(hi)
+        if lo_n <= hi_n:
+            return [(lo_n, hi_n)]
+        return [(0.0, hi_n), (lo_n, TWO_PI)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PolarHyperbola(focus={self.focus}, num={self.num:.6g}, "
+                f"A={self.A:.6g}, B={self.B:.6g}, C={self.C:.6g}, "
+                f"label={self.label!r})")
+
+
+def gamma_branch(inner: Disk, outer: Disk,
+                 label: object = None) -> Optional[PolarHyperbola]:
+    """The curve ``{x : delta_inner(x) = Delta_outer(x)}``, polar around
+    ``inner.center``.
+
+    This is the paper's ``gamma_ij`` (with ``i = inner``, ``j = outer``): the
+    locus where the minimum distance to ``D_i`` equals the maximum distance
+    to ``D_j``, i.e. ``d(x, c_i) - d(x, c_j) = r_i + r_j``.  It is the branch
+    of a hyperbola closer to ``c_j`` and exists iff the disks are strictly
+    interior-disjoint (``|c_i c_j| > r_i + r_j``); otherwise ``None`` is
+    returned because ``delta_i < Delta_j`` everywhere.
+
+    Derivation (in polar coordinates ``x = c_i + rho * u(theta)``, with
+    ``D = |c_i c_j|``, ``2a = r_i + r_j`` and ``psi = theta - angle(c_j - c_i)``)::
+
+        sqrt(rho^2 + D^2 - 2 rho D cos psi) = rho - 2a
+        =>  rho = (D^2 - 4a^2) / (2 D cos psi - 4a)
+    """
+    ci = inner.center
+    cj = outer.center
+    d_centers = dist(ci, cj)
+    two_a = inner.r + outer.r
+    if d_centers <= two_a + EPS * max(1.0, d_centers):
+        return None  # overlapping (or tangent) disks: delta_i < Delta_j always
+    phi = angle_of((cj[0] - ci[0], cj[1] - ci[1]))
+    num = d_centers * d_centers - two_a * two_a
+    a_coef = 2.0 * d_centers * math.cos(phi)
+    b_coef = 2.0 * d_centers * math.sin(phi)
+    c_coef = -2.0 * two_a
+    return PolarHyperbola(ci, num, a_coef, b_coef, c_coef, label=label)
+
+
+def witness_branch(moving: Disk, pivot: Disk,
+                   label: object = None) -> Optional[PolarHyperbola]:
+    """The same point set ``{x : delta_moving(x) = Delta_pivot(x)}`` but in
+    polar coordinates around ``pivot.center``.
+
+    Used by the witness-disk solver: a vertex of ``V!=0`` where curves
+    ``gamma_i`` and ``gamma_j`` cross with witness disk ``D_u`` satisfies
+    ``delta_i(x) = Delta_u(x)`` and ``delta_j(x) = Delta_u(x)``.  Expressing
+    both curves around the *common* focus ``c_u`` lets
+    :func:`intersect_same_focus` find the crossing in closed form.
+
+    Derivation (``s = d(x, c_u)``, ``D = |c_i c_u|``, ``2a = r_i + r_u``,
+    ``psi = theta - angle(c_i - c_u)``)::
+
+        d(x, c_i) = s + 2a
+        =>  s = (D^2 - 4a^2) / (2 D cos psi + 4a)
+    """
+    ci = moving.center
+    cu = pivot.center
+    d_centers = dist(ci, cu)
+    two_a = moving.r + pivot.r
+    if d_centers <= two_a + EPS * max(1.0, d_centers):
+        return None
+    phi = angle_of((ci[0] - cu[0], ci[1] - cu[1]))
+    num = d_centers * d_centers - two_a * two_a
+    a_coef = 2.0 * d_centers * math.cos(phi)
+    b_coef = 2.0 * d_centers * math.sin(phi)
+    c_coef = 2.0 * two_a
+    return PolarHyperbola(cu, num, a_coef, b_coef, c_coef, label=label)
+
+
+def intersect_same_focus(h1: PolarHyperbola, h2: PolarHyperbola,
+                         tol: float = EPS) -> List[float]:
+    """Angles where two same-focus branches have equal (finite) radius.
+
+    ``num1 / denom1(theta) = num2 / denom2(theta)`` rearranges to::
+
+        Ab*cos(theta) + Bb*sin(theta) + Cb = 0
+
+    with ``Ab = num1*A2 - num2*A1`` etc., which has at most two solutions —
+    matching the paper's "each pair of curves intersects at most twice"
+    (proof of Lemma 2.2).  Solutions where either curve is outside its
+    domain (non-positive denominator) are discarded.
+
+    Returns angles normalized to ``[0, 2*pi)``, deduplicated; tangential
+    contacts yield a single angle.
+    """
+    if h1.focus != h2.focus:
+        raise ValueError("intersect_same_focus requires a common focus")
+    ab = h1.num * h2.A - h2.num * h1.A
+    bb = h1.num * h2.B - h2.num * h1.B
+    cb = h1.num * h2.C - h2.num * h1.C
+    r = math.hypot(ab, bb)
+    scale = max(1.0, abs(h1.num), abs(h2.num),
+                abs(h1.A) + abs(h1.B), abs(h2.A) + abs(h2.B))
+    if r <= tol * scale:
+        # Either identical curves (infinitely many intersections; callers
+        # treat overlapping inputs as degenerate) or no solution.
+        return []
+    ratio = -cb / r
+    if ratio > 1.0:
+        if ratio > 1.0 + tol:
+            return []
+        ratio = 1.0
+    elif ratio < -1.0:
+        if ratio < -1.0 - tol:
+            return []
+        ratio = -1.0
+    alpha = math.atan2(bb, ab)
+    offset = math.acos(ratio)
+    candidates = [alpha + offset, alpha - offset]
+    out: List[float] = []
+    for theta in candidates:
+        theta = normalize_angle(theta)
+        d1 = h1.denom(theta)
+        d2 = h2.denom(theta)
+        if d1 <= tol * scale or d2 <= tol * scale:
+            continue
+        if not any(abs(theta - t) <= 1e-12 or
+                   abs(abs(theta - t) - TWO_PI) <= 1e-12 for t in out):
+            out.append(theta)
+    return out

@@ -1,0 +1,220 @@
+"""Planar geometric primitives and the shared tolerance model.
+
+Everything in :mod:`repro.geometry` operates on plain ``(x, y)`` tuples of
+floats.  We deliberately avoid a heavyweight ``Point`` class: the library
+manipulates millions of coordinates in the arrangement and envelope code, and
+tuples keep that cheap while staying hashable (useful for vertex
+de-duplication).
+
+The tolerance model
+-------------------
+The paper assumes the real-RAM model with exact constant-degree root finding.
+We work in floating point instead, so every combinatorial predicate
+(tangency, breakpoint ordering, vertex identity) is evaluated against a
+tolerance.  Two knobs are exposed:
+
+``EPS``
+    absolute slack used by generic comparisons (1e-9).
+``rel_eps(scale)``
+    scale-aware slack: ``EPS * max(1, |scale|)``.  Used whenever the inputs
+    can be large (e.g. the Theorem 2.7 construction places disks at distance
+    ``8 n^2`` from the origin).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence, Tuple
+
+Point = Tuple[float, float]
+
+#: Absolute tolerance used by the geometric predicates in this package.
+EPS = 1e-9
+
+#: Full turn, used by the polar-coordinate envelope machinery.
+TWO_PI = 2.0 * math.pi
+
+
+def rel_eps(scale: float) -> float:
+    """Return a tolerance appropriate for coordinates of magnitude *scale*."""
+    return EPS * max(1.0, abs(scale))
+
+
+def almost_equal(a: float, b: float, tol: float = EPS) -> bool:
+    """Whether *a* and *b* agree up to absolute + relative tolerance *tol*."""
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def dist(p: Point, q: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(p[0] - q[0], p[1] - q[1])
+
+
+def dist2(p: Point, q: Point) -> float:
+    """Squared Euclidean distance (avoids the sqrt in comparisons)."""
+    dx = p[0] - q[0]
+    dy = p[1] - q[1]
+    return dx * dx + dy * dy
+
+
+def norm(v: Point) -> float:
+    """Euclidean norm of a vector."""
+    return math.hypot(v[0], v[1])
+
+
+def sub(p: Point, q: Point) -> Point:
+    """Vector difference ``p - q``."""
+    return (p[0] - q[0], p[1] - q[1])
+
+
+def add(p: Point, q: Point) -> Point:
+    """Vector sum ``p + q``."""
+    return (p[0] + q[0], p[1] + q[1])
+
+
+def scale(p: Point, s: float) -> Point:
+    """Vector ``p`` scaled by ``s``."""
+    return (p[0] * s, p[1] * s)
+
+
+def dot(p: Point, q: Point) -> float:
+    """Dot product."""
+    return p[0] * q[0] + p[1] * q[1]
+
+
+def cross(p: Point, q: Point) -> float:
+    """Z-component of the 3-D cross product of two plane vectors."""
+    return p[0] * q[1] - p[1] * q[0]
+
+
+def midpoint(p: Point, q: Point) -> Point:
+    """Midpoint of the segment ``pq``."""
+    return ((p[0] + q[0]) / 2.0, (p[1] + q[1]) / 2.0)
+
+
+def orient(a: Point, b: Point, c: Point) -> float:
+    """Signed twice-area of triangle ``abc``.
+
+    Positive when ``c`` lies to the left of the directed line ``a -> b``.
+    This is the fundamental orientation predicate used by the convex hull,
+    halfplane clipping and segment-intersection code.
+    """
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def orient_sign(a: Point, b: Point, c: Point, tol: float = EPS) -> int:
+    """Orientation of ``c`` relative to line ``a -> b``: -1, 0 or +1.
+
+    The zero band scales with the magnitude of the inputs so that nearly
+    collinear triples of large coordinates are classified as collinear
+    rather than flipping sign with rounding noise.
+    """
+    v = orient(a, b, c)
+    span = max(
+        abs(b[0] - a[0]) + abs(b[1] - a[1]),
+        abs(c[0] - a[0]) + abs(c[1] - a[1]),
+    )
+    if abs(v) <= tol * max(1.0, span * span):
+        return 0
+    return 1 if v > 0 else -1
+
+
+def angle_of(v: Point) -> float:
+    """Polar angle of vector *v* normalized to ``[0, 2*pi)``."""
+    a = math.atan2(v[1], v[0])
+    if a < 0.0:
+        a += TWO_PI
+    return a
+
+
+def normalize_angle(theta: float) -> float:
+    """Normalize an angle to ``[0, 2*pi)``."""
+    theta = math.fmod(theta, TWO_PI)
+    if theta < 0.0:
+        theta += TWO_PI
+    if theta >= TWO_PI:  # tiny negatives round up to exactly 2*pi
+        theta = 0.0
+    return theta
+
+
+def angle_in_ccw_range(theta: float, start: float, end: float,
+                       tol: float = EPS) -> bool:
+    """Whether angle *theta* lies on the CCW arc from *start* to *end*.
+
+    All angles are normalized first; a full-circle arc (``start == end``)
+    contains everything.
+    """
+    theta = normalize_angle(theta)
+    start = normalize_angle(start)
+    end = normalize_angle(end)
+    if almost_equal(start, end, tol):
+        return True
+    if start <= end:
+        return start - tol <= theta <= end + tol
+    return theta >= start - tol or theta <= end + tol
+
+
+def polar_point(center: Point, radius: float, theta: float) -> Point:
+    """The point at polar coordinates ``(radius, theta)`` around *center*."""
+    return (center[0] + radius * math.cos(theta),
+            center[1] + radius * math.sin(theta))
+
+
+def centroid(points: Sequence[Point]) -> Point:
+    """Arithmetic mean of a non-empty point sequence."""
+    if not points:
+        raise ValueError("centroid of empty point set")
+    sx = sum(p[0] for p in points)
+    sy = sum(p[1] for p in points)
+    return (sx / len(points), sy / len(points))
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """Axis-aligned bounding box ``(lo, hi)`` of a non-empty point iterable."""
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("bounding box of empty point set") from None
+    xmin = xmax = first[0]
+    ymin = ymax = first[1]
+    for x, y in it:
+        xmin = min(xmin, x)
+        xmax = max(xmax, x)
+        ymin = min(ymin, y)
+        ymax = max(ymax, y)
+    return (xmin, ymin), (xmax, ymax)
+
+
+def dedupe_points(points: Iterable[Point], tol: float = 1e-7) -> list:
+    """Collapse a point collection up to tolerance *tol*.
+
+    Used by the diagram code to count geometrically distinct vertices: the
+    same arrangement vertex is typically discovered several times (once per
+    incident curve pair), with coordinates agreeing only up to roundoff.
+
+    A hash grid with cell size *tol* makes this O(n) while merging any two
+    points within distance *tol* (points in neighbouring cells are checked
+    explicitly).
+    """
+    grid = {}
+    out = []
+    inv = 1.0 / tol
+    for p in points:
+        cx = math.floor(p[0] * inv)
+        cy = math.floor(p[1] * inv)
+        found = False
+        for dx_cell in (-1, 0, 1):
+            for dy_cell in (-1, 0, 1):
+                for q in grid.get((cx + dx_cell, cy + dy_cell), ()):
+                    if dist(p, q) <= tol:
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                break
+        if not found:
+            grid.setdefault((cx, cy), []).append(p)
+            out.append(p)
+    return out

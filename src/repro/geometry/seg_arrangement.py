@@ -1,0 +1,303 @@
+"""Planar arrangements of line segments with face extraction.
+
+This is the substrate behind the exact probabilistic Voronoi diagram
+``V_Pr`` of Theorem 4.2 / Lemma 4.1: the ``O(N^2)`` bisector lines of all
+pairs of possible site locations are clipped to a bounding box and their
+arrangement is built here; each face of the arrangement has a constant
+distance order to all sites and therefore constant quantification
+probabilities.
+
+The paper invokes the randomized incremental construction of [AS00]; we use
+the straightforward quadratic algorithm (all pairwise intersections, then a
+half-edge face traversal).  For the instance sizes where an ``Theta(N^4)``
+object is storable at all, the quadratic construction is not the
+bottleneck, and its robustness story is much simpler: a single tolerance
+merges coincident vertices, after which the combinatorics are exact.
+
+Face loops are extracted by the standard rotation system: outgoing
+half-edges are sorted by angle around each vertex and ``next(h)`` is the
+clockwise predecessor of ``twin(h)``, which walks each face with its
+interior on the left.  Counts satisfy Euler's relation
+``V - E + F = 1 + C`` (checked in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .primitives import Point, dist
+from .segments import segment_intersection
+
+__all__ = ["SegmentArrangement"]
+
+
+class _VertexRegistry:
+    """Hash-grid vertex deduplication at a fixed tolerance."""
+
+    def __init__(self, tol: float) -> None:
+        self.tol = tol
+        self._grid: Dict[Tuple[int, int], List[int]] = {}
+        self.coords: List[Point] = []
+
+    def insert(self, p: Point) -> int:
+        inv = 1.0 / self.tol
+        cx = math.floor(p[0] * inv)
+        cy = math.floor(p[1] * inv)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for vid in self._grid.get((cx + dx, cy + dy), ()):
+                    if dist(p, self.coords[vid]) <= self.tol:
+                        return vid
+        vid = len(self.coords)
+        self.coords.append(p)
+        self._grid.setdefault((cx, cy), []).append(vid)
+        return vid
+
+
+class SegmentArrangement:
+    """Arrangement of straight-line segments.
+
+    Parameters
+    ----------
+    segments:
+        Input segments as ``((x1, y1), (x2, y2))`` pairs.  Zero-length
+        segments are ignored.  Collinear overlapping segments are not
+        supported (the ``V_Pr`` builder deduplicates identical bisectors
+        upstream); crossing, touching and shared-endpoint configurations
+        are all handled.
+    tol:
+        Vertex merge tolerance.  Nearly-coincident intersection points
+        (e.g. three bisectors through one circumcenter) merge into a single
+        higher-degree vertex.
+    """
+
+    def __init__(self, segments: Sequence[Tuple[Point, Point]],
+                 tol: float = 1e-9) -> None:
+        self.tol = tol
+        self._registry = _VertexRegistry(tol)
+        self._build(list(segments))
+
+    # ------------------------------------------------------------------
+    # Construction.
+    # ------------------------------------------------------------------
+    def _build(self, segments: List[Tuple[Point, Point]]) -> None:
+        segments = [(a, b) for a, b in segments if dist(a, b) > self.tol]
+        cuts: List[List[Point]] = [[a, b] for a, b in segments]
+        for i in range(len(segments)):
+            a, b = segments[i]
+            for j in range(i + 1, len(segments)):
+                c, d = segments[j]
+                p = segment_intersection(a, b, c, d)
+                if p is not None:
+                    cuts[i].append(p)
+                    cuts[j].append(p)
+
+        edge_set: Dict[Tuple[int, int], None] = {}
+        for (a, b), pts in zip(segments, cuts):
+            dx = b[0] - a[0]
+            dy = b[1] - a[1]
+            pts.sort(key=lambda p: (p[0] - a[0]) * dx + (p[1] - a[1]) * dy)
+            vids = [self._registry.insert(p) for p in pts]
+            for u, v in zip(vids, vids[1:]):
+                if u != v:
+                    key = (min(u, v), max(u, v))
+                    edge_set[key] = None
+
+        self.vertices: List[Point] = self._registry.coords
+        self.edges: List[Tuple[int, int]] = list(edge_set.keys())
+        self._build_faces()
+
+    def _build_faces(self) -> None:
+        coords = self.vertices
+        # Rotation system: outgoing half-edges sorted CCW around each vertex.
+        outgoing: Dict[int, List[int]] = {}
+        half_src: List[int] = []
+        half_dst: List[int] = []
+        for (u, v) in self.edges:
+            for s, t in ((u, v), (v, u)):
+                hid = len(half_src)
+                half_src.append(s)
+                half_dst.append(t)
+                outgoing.setdefault(s, []).append(hid)
+
+        def angle(hid: int) -> float:
+            s, t = half_src[hid], half_dst[hid]
+            return math.atan2(coords[t][1] - coords[s][1],
+                              coords[t][0] - coords[s][0])
+
+        position: Dict[int, int] = {}
+        for s, hids in outgoing.items():
+            hids.sort(key=angle)
+            for pos, hid in enumerate(hids):
+                position[hid] = pos
+
+        def twin(hid: int) -> int:
+            return hid ^ 1
+
+        def next_half(hid: int) -> int:
+            # Arrive at v via hid; leave along the CW predecessor of the
+            # reversed half-edge, keeping the face interior on the left.
+            t = twin(hid)
+            ring = outgoing[half_src[t]]
+            pos = position[t]
+            return ring[(pos - 1) % len(ring)]
+
+        visited = [False] * len(half_src)
+        loops: List[List[int]] = []
+        for hid in range(len(half_src)):
+            if visited[hid]:
+                continue
+            loop = []
+            cur = hid
+            while not visited[cur]:
+                visited[cur] = True
+                loop.append(cur)
+                cur = next_half(cur)
+            loops.append(loop)
+
+        self._half_src = half_src
+        self._half_dst = half_dst
+        self._half_index: Dict[Tuple[int, int], int] = {
+            (half_src[h], half_dst[h]): h for h in range(len(half_src))
+        }
+        self._half_loop: List[int] = [0] * len(half_src)
+        self.face_loops: List[List[int]] = []     # vertex id loops
+        self.face_areas: List[float] = []
+        for loop_id, loop in enumerate(loops):
+            vloop = [half_src[h] for h in loop]
+            area = 0.0
+            for a, b in zip(vloop, vloop[1:] + vloop[:1]):
+                area += coords[a][0] * coords[b][1] - coords[b][0] * coords[a][1]
+            self.face_loops.append(vloop)
+            self.face_areas.append(0.5 * area)
+            for h in loop:
+                self._half_loop[h] = loop_id
+
+    def loop_of_halfedge(self, src: int, dst: int) -> int:
+        """Index (into ``face_loops``) of the face left of half-edge src->dst.
+
+        The rotation-system traversal walks every face with its interior on
+        the left, so the loop containing a half-edge is exactly the face on
+        its left side.  Used by the slab point locator to map an edge found
+        above/below a query to a face id.
+        """
+        return self._half_loop[self._half_index[(src, dst)]]
+
+    # ------------------------------------------------------------------
+    # Counts.
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct arrangement vertices."""
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of arrangement edges (maximal pieces between vertices)."""
+        return len(self.edges)
+
+    @property
+    def num_components(self) -> int:
+        """Connected components of the arrangement graph."""
+        parent = list(range(len(self.vertices)))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for u, v in self.edges:
+            ru, rv = find(u), find(v)
+            if ru != rv:
+                parent[ru] = rv
+        used = {find(u) for u, v in self.edges} | {find(v) for u, v in self.edges}
+        return len(used)
+
+    @property
+    def num_faces(self) -> int:
+        """Number of faces including the unbounded face (Euler relation)."""
+        if not self.edges:
+            return 1
+        return self.num_edges - self.num_vertices + 1 + self.num_components
+
+    @property
+    def complexity(self) -> int:
+        """Total complexity ``V + E + F`` — the paper's diagram complexity."""
+        return self.num_vertices + self.num_edges + self.num_faces
+
+    # ------------------------------------------------------------------
+    # Face geometry.
+    # ------------------------------------------------------------------
+    def bounded_face_loops(self) -> List[List[int]]:
+        """Vertex loops of the bounded faces (positive signed area).
+
+        The rotation-system traversal yields every face once; bounded faces
+        come out with CCW (positive-area) loops, the unbounded face(s) with
+        negative total area.
+        """
+        return [loop for loop, area in zip(self.face_loops, self.face_areas)
+                if area > self.tol]
+
+    def bounded_face_count(self) -> int:
+        """Number of bounded faces."""
+        return len(self.bounded_face_loops())
+
+    def face_interior_points(self) -> List[Point]:
+        """One interior sample point per bounded face.
+
+        Uses the classic convex-corner/triangle method, which is exact for
+        simple faces (all faces of a line arrangement are convex, so the
+        ``V_Pr`` use case is fully covered).
+        """
+        out: List[Point] = []
+        coords = self.vertices
+        for loop in self.bounded_face_loops():
+            pts = [coords[v] for v in loop]
+            out.append(_interior_point(pts))
+        return out
+
+
+def _interior_point(poly: List[Point]) -> Point:
+    """An interior point of a simple CCW polygon."""
+    n = len(poly)
+    if n == 3:
+        return ((poly[0][0] + poly[1][0] + poly[2][0]) / 3.0,
+                (poly[0][1] + poly[1][1] + poly[2][1]) / 3.0)
+    # Find a strictly convex corner (the lowest-then-leftmost vertex is one).
+    idx = min(range(n), key=lambda i: (poly[i][1], poly[i][0]))
+    a = poly[(idx - 1) % n]
+    b = poly[idx]
+    c = poly[(idx + 1) % n]
+    inside: Optional[Point] = None
+    best = -1.0
+    for i, q in enumerate(poly):
+        if i in ((idx - 1) % n, idx, (idx + 1) % n):
+            continue
+        if _in_triangle(q, a, b, c):
+            d = _line_dist(q, a, c)
+            if d > best:
+                best = d
+                inside = q
+    if inside is None:
+        return ((a[0] + b[0] + c[0]) / 3.0, (a[1] + b[1] + c[1]) / 3.0)
+    return ((b[0] + inside[0]) / 2.0, (b[1] + inside[1]) / 2.0)
+
+
+def _in_triangle(p: Point, a: Point, b: Point, c: Point) -> bool:
+    def cross(o: Point, u: Point, v: Point) -> float:
+        return (u[0] - o[0]) * (v[1] - o[1]) - (u[1] - o[1]) * (v[0] - o[0])
+
+    d1 = cross(a, b, p)
+    d2 = cross(b, c, p)
+    d3 = cross(c, a, p)
+    has_neg = d1 < 0 or d2 < 0 or d3 < 0
+    has_pos = d1 > 0 or d2 > 0 or d3 > 0
+    return not (has_neg and has_pos)
+
+
+def _line_dist(p: Point, a: Point, b: Point) -> float:
+    num = abs((b[0] - a[0]) * (a[1] - p[1]) - (a[0] - p[0]) * (b[1] - a[1]))
+    den = math.hypot(b[0] - a[0], b[1] - a[1])
+    return num / den if den > 0 else 0.0

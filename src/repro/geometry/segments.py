@@ -1,0 +1,110 @@
+"""Segment and line intersection predicates.
+
+Substrate for the segment-arrangement module (used by the probabilistic
+Voronoi diagram ``V_Pr`` of Theorem 4.2, whose edges are pieces of bisector
+lines clipped to a bounding box).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+from .primitives import EPS, Point, cross, sub
+
+__all__ = [
+    "segment_intersection",
+    "line_box_clip",
+    "bisector_line",
+    "point_on_segment",
+]
+
+
+def point_on_segment(p: Point, a: Point, b: Point, tol: float = 1e-9) -> bool:
+    """Whether *p* lies on segment ``ab`` (within tolerance)."""
+    ab = sub(b, a)
+    ap = sub(p, a)
+    span = max(1.0, abs(ab[0]) + abs(ab[1]))
+    if abs(cross(ab, ap)) > tol * span * span:
+        return False
+    t = (ap[0] * ab[0] + ap[1] * ab[1])
+    return -tol * span * span <= t <= ab[0] * ab[0] + ab[1] * ab[1] + tol * span * span
+
+
+def segment_intersection(a: Point, b: Point, c: Point, d: Point,
+                         tol: float = EPS) -> Optional[Point]:
+    """The single proper or touching intersection of segments ``ab``, ``cd``.
+
+    Returns ``None`` when the segments miss each other or are parallel
+    (collinear overlap is treated as degenerate and reported as ``None``;
+    the arrangement code never feeds overlapping collinear segments —
+    duplicate bisectors are deduplicated upstream).
+    """
+    r = sub(b, a)
+    s = sub(d, c)
+    denom = cross(r, s)
+    span = max(1.0, abs(r[0]) + abs(r[1]), abs(s[0]) + abs(s[1]))
+    if abs(denom) <= tol * span * span:
+        return None
+    qp = sub(c, a)
+    t = cross(qp, s) / denom
+    u = cross(qp, r) / denom
+    slack = 1e-12
+    if -slack <= t <= 1.0 + slack and -slack <= u <= 1.0 + slack:
+        return (a[0] + t * r[0], a[1] + t * r[1])
+    return None
+
+
+def bisector_line(p: Point, q: Point) -> Tuple[float, float, float]:
+    """Coefficients ``(a, b, c)`` of the perpendicular bisector ``ax+by=c``.
+
+    The bisector of distinct points ``p`` and ``q``; these are exactly the
+    lines whose arrangement refines the probabilistic Voronoi diagram
+    ``V_Pr`` in Lemma 4.1 (each pair of possible site locations contributes
+    one bisector).
+    """
+    if p == q:
+        raise ValueError("bisector of identical points is undefined")
+    a = 2.0 * (q[0] - p[0])
+    b = 2.0 * (q[1] - p[1])
+    c = (q[0] ** 2 + q[1] ** 2) - (p[0] ** 2 + p[1] ** 2)
+    return (a, b, c)
+
+
+def line_box_clip(a: float, b: float, c: float,
+                  box: Tuple[Point, Point]) -> Optional[Tuple[Point, Point]]:
+    """Clip the line ``a*x + b*y = c`` to an axis-aligned box.
+
+    Returns the clipped segment endpoints or ``None`` if the line misses
+    the box.  Uses a parametric (Liang–Barsky style) clip of a long segment
+    aligned with the line direction.
+    """
+    (xmin, ymin), (xmax, ymax) = box
+    norm = math.hypot(a, b)
+    if norm <= EPS:
+        raise ValueError("degenerate line coefficients")
+    # Point on the line closest to the box center, and the line direction.
+    cx = 0.5 * (xmin + xmax)
+    cy = 0.5 * (ymin + ymax)
+    offset = (a * cx + b * cy - c) / (norm * norm)
+    px = cx - offset * a
+    py = cy - offset * b
+    dx = -b / norm
+    dy = a / norm
+    # Parametric clipping of p + t*d against the four box walls.
+    t0 = -math.inf
+    t1 = math.inf
+    for coord, d, lo, hi in ((px, dx, xmin, xmax), (py, dy, ymin, ymax)):
+        if abs(d) <= EPS:
+            if coord < lo - EPS or coord > hi + EPS:
+                return None
+            continue
+        ta = (lo - coord) / d
+        tb = (hi - coord) / d
+        if ta > tb:
+            ta, tb = tb, ta
+        t0 = max(t0, ta)
+        t1 = min(t1, tb)
+    if t0 >= t1:
+        return None
+    return ((px + t0 * dx, py + t0 * dy), (px + t1 * dx, py + t1 * dy))

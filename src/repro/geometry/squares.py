@@ -1,0 +1,71 @@
+"""Axis-aligned squares: uncertainty regions for the L-infinity metric.
+
+Remark (ii) after Theorem 3.1: "If we use L1 or L-infinity metric to
+compute the distance between points and use disks in L1 or L-infinity
+metric (i.e., a diamond or a square), then an NN!=0 query can be answered
+in O(log^2 n + t) time using O(n log^2 n) space."
+
+A square *is* the L-infinity ball, so the whole Section 2/3 machinery
+carries over verbatim once distances are Chebyshev: for a square of
+half-extent ``h`` centered at ``c``,
+
+    Delta_i(q) = ||q - c||_inf + h        (max L-inf distance)
+    delta_i(q) = max(||q - c||_inf - h, 0)  (min L-inf distance)
+
+exactly mirroring the disk formulas.  (The L1 case is the same after a
+45-degree rotation of the plane, which maps diamonds to squares.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .disks import nonzero_nn_indices
+from .primitives import EPS, Point
+
+__all__ = ["Square", "linf_dist", "nonzero_nn_bruteforce_linf"]
+
+
+def linf_dist(p: Point, q: Point) -> float:
+    """Chebyshev (L-infinity) distance."""
+    return max(abs(p[0] - q[0]), abs(p[1] - q[1]))
+
+
+@dataclass(frozen=True)
+class Square:
+    """The axis-aligned square ``[cx - h, cx + h] x [cy - h, cy + h]``."""
+
+    cx: float
+    cy: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.h < 0:
+            raise ValueError(f"half-extent must be non-negative, got {self.h}")
+
+    @property
+    def center(self) -> Point:
+        """Center as an ``(x, y)`` tuple."""
+        return (self.cx, self.cy)
+
+    # ------------------------------------------------------------------
+    # The paper's Delta / delta, in the L-infinity metric.
+    # ------------------------------------------------------------------
+    def max_dist(self, q: Point) -> float:
+        """``Delta(q)``: largest L-inf distance from *q* to the square."""
+        return linf_dist(q, self.center) + self.h
+
+    def min_dist(self, q: Point) -> float:
+        """``delta(q)``: smallest L-inf distance from *q* to the square."""
+        return max(linf_dist(q, self.center) - self.h, 0.0)
+
+    def contains_point(self, q: Point, tol: float = EPS) -> bool:
+        """Whether *q* lies in the closed square."""
+        return linf_dist(q, self.center) <= self.h + tol
+
+
+def nonzero_nn_bruteforce_linf(squares: List[Square], q: Point) -> List[int]:
+    """``NN!=0(q)`` under L-infinity, by the Lemma 2.1 predicate."""
+    return nonzero_nn_indices([s.min_dist(q) for s in squares],
+                              [s.max_dist(q) for s in squares])

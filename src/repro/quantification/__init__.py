@@ -1,0 +1,47 @@
+"""Quantification-probability algorithms (Section 4): exact, Monte-Carlo
+and spiral-search estimators plus threshold classification."""
+
+from .exact_continuous import (
+    quantification_continuous,
+    quantification_continuous_vector,
+)
+from .exact_discrete import (
+    quantification_vector,
+    quantification_vector_naive,
+    sweep_quantification,
+    sweep_site_probabilities,
+)
+from .monte_carlo import (
+    MonteCarloQuantifier,
+    continuous_sample_complexity,
+    discretize_continuous,
+    rounds_for_all_queries,
+    rounds_for_single_query,
+)
+from .spiral import (
+    SpiralSearchQuantifier,
+    m_bound,
+    remark_eta_comparison,
+    remark_small_weights_example,
+)
+from .threshold import ThresholdResult, classify_threshold
+
+__all__ = [
+    "MonteCarloQuantifier",
+    "SpiralSearchQuantifier",
+    "ThresholdResult",
+    "classify_threshold",
+    "continuous_sample_complexity",
+    "discretize_continuous",
+    "m_bound",
+    "quantification_continuous",
+    "quantification_continuous_vector",
+    "quantification_vector",
+    "quantification_vector_naive",
+    "remark_eta_comparison",
+    "remark_small_weights_example",
+    "rounds_for_all_queries",
+    "rounds_for_single_query",
+    "sweep_quantification",
+    "sweep_site_probabilities",
+]

@@ -1,0 +1,102 @@
+"""Quantification probabilities for continuous pdfs by quadrature (Eq. 1).
+
+    pi_i(q) = integral over r of  g_{q,i}(r) * prod_{j != i} (1 - G_{q,j}(r))
+
+The paper notes exact values "require complex n-dimensional integration";
+for the *radial* form above, however, one 1-D integral per point suffices
+once the distance cdfs ``G_{q,j}`` are available — and our uncertain-point
+models provide them analytically (uniform disk, histogram) or by quadrature
+(truncated Gaussian).  This module evaluates Eq. (1) with adaptive
+Simpson quadrature, splitting at every ``delta_j(q)`` / ``Delta_j(q)``
+(the kinks of the integrand), and serves as the ground truth for the
+Monte-Carlo benchmarks (E12).
+
+Cost grows with ``n`` per evaluation point, so this is a reference
+implementation, not a query structure — exactly the motivation the paper
+gives for its approximation algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Sequence
+
+from ..geometry.primitives import Point
+from ..uncertain.base import UncertainPoint
+
+__all__ = ["quantification_continuous", "quantification_continuous_vector"]
+
+
+def _adaptive_simpson(f: Callable[[float], float], a: float, b: float,
+                      tol: float, max_depth: int = 18) -> float:
+    """Standard recursive adaptive Simpson on ``[a, b]``."""
+    fa, fb = f(a), f(b)
+    m = 0.5 * (a + b)
+    fm = f(m)
+    whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb)
+
+    def recurse(a: float, fa: float, b: float, fb: float, m: float,
+                fm: float, whole: float, tol: float, depth: int) -> float:
+        lm = 0.5 * (a + m)
+        rm = 0.5 * (m + b)
+        flm, frm = f(lm), f(rm)
+        left = (m - a) / 6.0 * (fa + 4.0 * flm + fm)
+        right = (b - m) / 6.0 * (fm + 4.0 * frm + fb)
+        if depth >= max_depth or abs(left + right - whole) <= 15.0 * tol:
+            return left + right + (left + right - whole) / 15.0
+        return (recurse(a, fa, m, fm, lm, flm, left, tol / 2.0, depth + 1)
+                + recurse(m, fm, b, fb, rm, frm, right, tol / 2.0, depth + 1))
+
+    return recurse(a, fa, b, fb, m, fm, whole, tol, 0)
+
+
+def quantification_continuous(points: Sequence[UncertainPoint], q: Point,
+                              i: int, tol: float = 1e-9) -> float:
+    """``pi_i(q)`` for continuous models, by adaptive quadrature of Eq. (1).
+
+    The integration domain is ``[delta_i(q), Delta_i(q)]`` intersected with
+    ``[0, min_j Delta_j(q)]`` (beyond the smallest max-distance some factor
+    ``1 - G_j`` is identically zero), subdivided at every other point's
+    ``delta_j`` and ``Delta_j`` so each panel is smooth.
+    """
+    target = points[i]
+    lo = target.min_dist(q)
+    hi = min(p.max_dist(q) for p in points)
+    hi = min(hi, target.max_dist(q))
+    if hi <= lo:
+        return 0.0
+
+    others = [p for j, p in enumerate(points) if j != i]
+
+    def integrand(r: float) -> float:
+        g = target.distance_pdf(q, r)
+        if g == 0.0:
+            return 0.0
+        prod = g
+        for p in others:
+            prod *= 1.0 - p.distance_cdf(q, r)
+            if prod == 0.0:
+                return 0.0
+        return prod
+
+    # Panel boundaries at every kink of the integrand.
+    knots = {lo, hi}
+    for p in points:
+        for val in (p.min_dist(q), p.max_dist(q)):
+            if lo < val < hi:
+                knots.add(val)
+    ordered = sorted(knots)
+    total = 0.0
+    for a, b in zip(ordered, ordered[1:]):
+        if b - a > 1e-13:
+            total += _adaptive_simpson(integrand, a, b,
+                                       tol * max(b - a, 1e-6))
+    return min(1.0, max(0.0, total))
+
+
+def quantification_continuous_vector(points: Sequence[UncertainPoint],
+                                     q: Point,
+                                     tol: float = 1e-9) -> List[float]:
+    """The full vector ``(pi_1(q), ..., pi_n(q))`` by repeated quadrature."""
+    return [quantification_continuous(points, q, i, tol)
+            for i in range(len(points))]

@@ -1,0 +1,204 @@
+"""Exact quantification probabilities for discrete distributions (Eq. 2).
+
+For uncertain points with discrete distributions the quantification
+probability is the finite sum
+
+    pi_i(q) = sum_{p_is in P_i} w_is * prod_{j != i} (1 - G_{q,j}(d(p_is, q)))
+
+with ``G_{q,j}(r) = sum of w_jt over sites of P_j within distance r``
+(closed ``<=``).  A single sweep over all ``N = sum k_i`` sites in order of
+distance from ``q`` evaluates the whole vector:
+
+* per parent ``j`` we maintain the survival factor ``f_j = 1 - G_{q,j}``;
+* the running product ``prod_j f_j`` is maintained multiplicatively with an
+  explicit *zero counter* — once every site of a parent has been passed its
+  factor is exactly zero (the weights sum to 1), and tracking this by a
+  site count rather than floating-point subtraction keeps the sweep exact;
+* the contribution of a site then needs ``prod_{j != parent}``, recovered
+  from the running product in O(1) by the zero-count case analysis.
+
+Total ``O(N log N)`` per query.  ``quantification_vector_naive`` is the
+direct ``O(N * n log k)`` transcription of Eq. (2) used to cross-check the
+sweep in tests.
+
+Tie convention: the paper assumes general position.  Sites at exactly equal
+distance from ``q`` are processed as one group — every group member's
+``G`` includes the others' weights (the literal ``<=`` of Eq. (2)) — and on
+such degenerate inputs the vector may sum to less than 1; callers that need
+general position can perturb.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import List, Sequence, Tuple
+
+from ..geometry.primitives import Point, dist
+from ..uncertain.discrete import DiscreteUncertainPoint
+
+__all__ = [
+    "quantification_vector",
+    "quantification_vector_naive",
+    "sweep_quantification",
+    "sweep_site_probabilities",
+]
+
+#: A site prepared for the sweep: (distance-from-query, parent index, weight).
+SweepSite = Tuple[float, int, float]
+
+
+def sweep_site_probabilities(sites: Sequence[SweepSite],
+                             parent_site_totals: Sequence[int],
+                             tie_tol: float = 0.0) -> List[float]:
+    """Per-*site* NN probabilities ``eta(p; q)`` (Eq. 10), aligned with input.
+
+    ``eta(p_is; q) = w_is * prod_{j != i} (1 - G_{q,j}(d(p_is, q)))`` — the
+    probability that the specific location ``p_is`` is the realized nearest
+    neighbor.  ``pi_i(q)`` is the sum of these over ``P_i`` (Eq. 11);
+    the Remark-(i) reproduction (benchmark E14) compares individual
+    ``eta`` values, which is why they are exposed separately.
+    """
+    _, per_site = _sweep(sites, parent_site_totals, tie_tol)
+    return per_site
+
+
+def sweep_quantification(sites: Sequence[SweepSite],
+                         parent_site_totals: Sequence[int],
+                         tie_tol: float = 0.0) -> List[float]:
+    """Evaluate Eq. (2) contributions by a sorted sweep over *sites*.
+
+    Parameters
+    ----------
+    sites:
+        ``(distance, parent, weight)`` triples; need not be sorted, and may
+        be a *subset* of a distribution's sites (the spiral-search
+        estimator of Theorem 4.7 feeds exactly the ``m`` nearest sites).
+    parent_site_totals:
+        For each parent, how many sites its full distribution has.  A
+        parent's survival factor is treated as *exactly zero* only when
+        this many of its sites have been swept — which is what makes the
+        truncated (spiral-search) sweep behave like the paper's
+        ``hat-eta`` quantities.
+    tie_tol:
+        Distances within ``tie_tol`` (absolute) are grouped as ties.
+
+    Returns the per-parent accumulated probabilities.
+    """
+    per_parent, _ = _sweep(sites, parent_site_totals, tie_tol)
+    return per_parent
+
+
+def _sweep(sites: Sequence[SweepSite],
+           parent_site_totals: Sequence[int],
+           tie_tol: float) -> Tuple[List[float], List[float]]:
+    """Shared sweep core: per-parent sums and per-site eta values."""
+    n = len(parent_site_totals)
+    order = sorted(range(len(sites)), key=lambda t: sites[t][0])
+    survival = [1.0] * n            # f_j = 1 - G_j while sites remain
+    seen_counts = [0] * n
+    zero_count = 0
+    prod_nonzero = 1.0              # product of the non-zero f_j
+    result = [0.0] * n
+    per_site = [0.0] * len(sites)
+
+    idx = 0
+    total = len(order)
+    while idx < total:
+        # Collect the tie group.
+        group_end = idx + 1
+        while group_end < total and \
+                sites[order[group_end]][0] - sites[order[idx]][0] <= tie_tol:
+            group_end += 1
+        group = order[idx:group_end]
+        # Phase 1: absorb the whole group into the survival factors.
+        for sid in group:
+            _, parent, weight = sites[sid]
+            old = survival[parent]
+            seen_counts[parent] += 1
+            if seen_counts[parent] >= parent_site_totals[parent]:
+                new = 0.0
+            else:
+                new = old - weight
+                # Guard against float underflow on nearly-exhausted parents:
+                # real arithmetic keeps partial sums strictly below 1, so a
+                # non-positive remainder can only be rounding noise.
+                if new < 1e-15:
+                    new = 0.0
+            survival[parent] = new
+            if old > 0.0 and new == 0.0:
+                zero_count += 1
+                prod_nonzero /= old
+            elif old > 0.0:
+                prod_nonzero *= new / old
+        # Phase 2: contributions with the own-parent factor divided out.
+        for sid in group:
+            _, parent, weight = sites[sid]
+            f_own = survival[parent]
+            if zero_count == 0:
+                others = prod_nonzero / f_own if f_own > 0.0 else 0.0
+            elif zero_count == 1 and f_own == 0.0:
+                others = prod_nonzero
+            else:
+                others = 0.0
+            if others:
+                eta = weight * others
+                per_site[sid] = eta
+                result[parent] += eta
+        if zero_count >= 2:
+            break  # every further contribution is zero
+        idx = group_end
+    return result, per_site
+
+
+def quantification_vector(points: Sequence[DiscreteUncertainPoint],
+                          q: Point, tie_tol: float = 0.0) -> List[float]:
+    """Exact ``(pi_1(q), ..., pi_n(q))`` for discrete uncertain points."""
+    sites: List[SweepSite] = []
+    for i, p in enumerate(points):
+        for site, w in p.sites_with_weights():
+            sites.append((dist(q, site), i, w))
+    totals = [p.k for p in points]
+    return sweep_quantification(sites, totals, tie_tol)
+
+
+def quantification_vector_naive(points: Sequence[DiscreteUncertainPoint],
+                                q: Point) -> List[float]:
+    """Direct transcription of Eq. (2); the test oracle for the sweep.
+
+    Per parent ``j`` the distances are sorted once and ``G_{q,j}(r)`` is a
+    binary search over the prefix-weight table.
+    """
+    n = len(points)
+    # Per-parent sorted distance / cumulative weight tables.
+    tables: List[Tuple[List[float], List[float]]] = []
+    for p in points:
+        pairs = sorted((dist(q, site), w) for site, w in p.sites_with_weights())
+        ds = [d for d, _ in pairs]
+        acc: List[float] = []
+        run = 0.0
+        for _, w in pairs:
+            run += w
+            acc.append(run)
+        tables.append((ds, acc))
+
+    def cdf(j: int, r: float) -> float:
+        ds, acc = tables[j]
+        pos = bisect.bisect_right(ds, r)
+        return acc[pos - 1] if pos else 0.0
+
+    out: List[float] = []
+    for i, p in enumerate(points):
+        total = 0.0
+        for site, w in p.sites_with_weights():
+            r = dist(q, site)
+            prod = 1.0
+            for j in range(n):
+                if j == i:
+                    continue
+                prod *= 1.0 - cdf(j, r)
+                if prod == 0.0:
+                    break
+            total += w * prod
+        out.append(total)
+    return out

@@ -1,0 +1,58 @@
+"""Threshold NN queries on top of ±epsilon estimators.
+
+The paper's conclusion highlights "threshold NN queries" ([DYM+05]-style:
+report the points with ``pi_i(q) > tau``) as a direct application of the
+quantification estimators.  With any estimator guaranteeing
+``|pi_hat - pi| <= eps`` the classification is:
+
+* ``pi_hat >= tau + eps``  ->  certainly above the threshold;
+* ``pi_hat <= tau - eps``  ->  certainly below;
+* otherwise               ->  undecidable at this precision.
+
+Choosing ``eps < tau / 2`` guarantees the candidate set is small: at most
+``1 / (tau - eps)`` points can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+__all__ = ["ThresholdResult", "classify_threshold"]
+
+
+@dataclass
+class ThresholdResult:
+    """Outcome of a threshold query at precision *epsilon*.
+
+    ``certain`` — indices guaranteed to satisfy ``pi_i(q) > tau``;
+    ``candidates`` — indices whose membership cannot be decided at this
+    precision (their true probability lies within ``eps`` of ``tau``).
+    """
+
+    tau: float
+    epsilon: float
+    certain: List[int]
+    candidates: List[int]
+
+    def possible(self) -> List[int]:
+        """All indices that may satisfy the threshold."""
+        return sorted(set(self.certain) | set(self.candidates))
+
+
+def classify_threshold(estimates: Dict[int, float], tau: float,
+                       epsilon: float) -> ThresholdResult:
+    """Classify sparse ±epsilon estimates against threshold *tau*.
+
+    Absent indices are treated as estimate 0 — they can only be certain
+    non-members when ``eps <= tau``, which the caller must ensure (the
+    natural choice ``eps < tau/2`` does).
+    """
+    if not 0 < tau < 1:
+        raise ValueError("tau must lie in (0, 1)")
+    if epsilon >= tau:
+        raise ValueError("epsilon must be below tau for a meaningful query")
+    certain = sorted(i for i, v in estimates.items() if v >= tau + epsilon)
+    candidates = sorted(i for i, v in estimates.items()
+                        if tau - epsilon < v < tau + epsilon)
+    return ThresholdResult(tau, epsilon, certain, candidates)

@@ -1,0 +1,20 @@
+"""Uncertain-point models: the locational-uncertainty distributions of
+Section 1.1 (uniform disk, truncated Gaussian, discrete, histogram)."""
+
+from .annulus import AnnulusUniformPoint
+from .base import UncertainPoint
+from .discrete import DiscreteUncertainPoint
+from .disk_uniform import DiskUniformPoint
+from .gaussian import TruncatedGaussianPoint
+from .histogram import HistogramUncertainPoint
+from .polygon import ConvexPolygonUniformPoint
+
+__all__ = [
+    "UncertainPoint",
+    "AnnulusUniformPoint",
+    "ConvexPolygonUniformPoint",
+    "DiskUniformPoint",
+    "TruncatedGaussianPoint",
+    "DiscreteUncertainPoint",
+    "HistogramUncertainPoint",
+]

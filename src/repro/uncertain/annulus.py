@@ -1,0 +1,66 @@
+"""Uniform distribution on an annulus (ring) — range-only sensing.
+
+A realistic bounded-support model the paper's framework covers: a
+range-only measurement ("the target is between r_inner and r_outer from
+the beacon") induces a uniform distribution over an annulus.  The distance
+cdf is exact via two lens areas; the extreme distances account for the
+hole (a query inside the hole is ``r_inner`` away from the support).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry.areas import lens_area
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point, dist
+from .base import UncertainPoint
+
+__all__ = ["AnnulusUniformPoint"]
+
+
+class AnnulusUniformPoint(UncertainPoint):
+    """Uniformly distributed location on ``{x : r_in <= |x - c| <= r_out}``."""
+
+    def __init__(self, center: Point, r_inner: float, r_outer: float) -> None:
+        if not 0 <= r_inner < r_outer:
+            raise ValueError("need 0 <= r_inner < r_outer")
+        self.center = (float(center[0]), float(center[1]))
+        self.r_inner = float(r_inner)
+        self.r_outer = float(r_outer)
+        self.area = math.pi * (r_outer ** 2 - r_inner ** 2)
+
+    # ------------------------------------------------------------------
+    def support_disk(self) -> Disk:
+        return Disk(self.center[0], self.center[1], self.r_outer)
+
+    def min_dist(self, q: Point) -> float:
+        d = dist(q, self.center)
+        if d < self.r_inner:
+            return self.r_inner - d  # the hole keeps the support away
+        if d > self.r_outer:
+            return d - self.r_outer
+        return 0.0
+
+    def max_dist(self, q: Point) -> float:
+        return dist(q, self.center) + self.r_outer
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Point:
+        # Area-uniform radius on [r_in, r_out]: inverse cdf of r^2.
+        u = rng.random()
+        r = math.sqrt(self.r_inner ** 2
+                      + u * (self.r_outer ** 2 - self.r_inner ** 2))
+        t = 2.0 * math.pi * rng.random()
+        return (self.center[0] + r * math.cos(t),
+                self.center[1] + r * math.sin(t))
+
+    def distance_cdf(self, q: Point, r: float) -> float:
+        """Exact: (outer lens - inner lens) / annulus area."""
+        if r <= 0:
+            return 0.0
+        outer = lens_area(q, r, self.center, self.r_outer)
+        inner = lens_area(q, r, self.center, self.r_inner) \
+            if self.r_inner > 0 else 0.0
+        return min(1.0, max(0.0, (outer - inner) / self.area))

@@ -1,0 +1,91 @@
+"""The uncertain-point abstraction (the paper's locational model).
+
+An uncertain point ``P`` is a probability distribution over locations in
+the plane (Section 1.1).  Everything the paper's algorithms consume is
+captured by this interface:
+
+* ``min_dist(q)`` / ``max_dist(q)`` — the paper's ``delta(q)`` / ``Delta(q)``,
+  the extreme distances from a query to the *support* of the distribution.
+  These alone determine the nonzero-NN structures (Lemma 2.1: ``NN!=0``
+  depends only on the uncertainty regions, not on the pdfs).
+* ``distance_cdf(q, r)`` — ``G_{q,i}(r) = Pr[d(q, P) <= r]``, the distance
+  cdf that enters the quantification-probability formulas (Eq. 1 / Eq. 2).
+* ``distance_pdf(q, r)`` — the density ``g_{q,i}(r)`` (Figure 1 shows one).
+* ``sample(rng)`` — a random instantiation, the primitive of the
+  Monte-Carlo estimator (Section 4.2).
+
+Concrete models: uniform-on-disk, truncated Gaussian, discrete, histogram.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Optional
+
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point
+
+__all__ = ["UncertainPoint"]
+
+
+class UncertainPoint(abc.ABC):
+    """A point whose location is a probability distribution in the plane."""
+
+    # ------------------------------------------------------------------
+    # Support geometry.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def support_disk(self) -> Disk:
+        """A disk containing the support of the distribution.
+
+        For disk-shaped supports this is exact; for other shapes it is the
+        smallest enclosing disk.  The continuous-case structures of
+        Sections 2.1 and 3 operate on these disks.
+        """
+
+    @abc.abstractmethod
+    def min_dist(self, q: Point) -> float:
+        """``delta(q)``: infimum distance from *q* to the support."""
+
+    @abc.abstractmethod
+    def max_dist(self, q: Point) -> float:
+        """``Delta(q)``: supremum distance from *q* to the support."""
+
+    # ------------------------------------------------------------------
+    # Distribution.
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def sample(self, rng: random.Random) -> Point:
+        """Draw one location according to the distribution."""
+
+    @abc.abstractmethod
+    def distance_cdf(self, q: Point, r: float) -> float:
+        """``G_q(r) = Pr[d(q, P) <= r]``."""
+
+    def distance_pdf(self, q: Point, r: float, dr: float = 1e-5) -> float:
+        """``g_q(r)``, by default a central difference of the cdf.
+
+        Models with closed-form densities (uniform disk) override this.
+        """
+        lo = max(r - dr, 0.0)
+        hi = r + dr
+        return (self.distance_cdf(q, hi) - self.distance_cdf(q, lo)) / (hi - lo)
+
+    # ------------------------------------------------------------------
+    # Conveniences shared by models.
+    # ------------------------------------------------------------------
+    def mean_dist(self, q: Point, samples: int = 2048,
+                  seed: Optional[int] = 0) -> float:
+        """Monte-Carlo estimate of the expected distance ``E[d(q, P)]``.
+
+        Not used by the paper's main algorithms (expected-distance NN is
+        the subject of the companion paper [AESZ12]) but handy for the
+        examples that contrast the two NN notions.
+        """
+        rng = random.Random(seed)
+        total = 0.0
+        for _ in range(samples):
+            p = self.sample(rng)
+            total += ((p[0] - q[0]) ** 2 + (p[1] - q[1]) ** 2) ** 0.5
+        return total / samples

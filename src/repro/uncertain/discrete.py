@@ -1,0 +1,104 @@
+"""Discrete uncertain points: finitely many sites with location probabilities.
+
+This is the paper's "discrete distribution of description complexity k"
+(Section 1.1): ``P = {p_1, ..., p_k}`` with weights ``w_j = Pr[P is p_j]``,
+``sum w_j = 1``.  The quantification probability then becomes the finite
+sum of Eq. (2), the distance cdf a weighted counting query, and the spread
+``rho = max w / min w`` (Eq. 9) governs the spiral-search bound
+``m(rho, eps)`` of Theorem 4.7.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..geometry.circles import smallest_enclosing_disk
+from ..geometry.convexhull import FarthestPointOracle
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point, dist
+from .base import UncertainPoint
+
+__all__ = ["DiscreteUncertainPoint"]
+
+
+class DiscreteUncertainPoint(UncertainPoint):
+    """A distribution over finitely many candidate locations.
+
+    Parameters
+    ----------
+    points:
+        The candidate locations ``p_1, ..., p_k`` (distinct).
+    weights:
+        Location probabilities.  Must be positive; normalized to sum to 1
+        when *normalize* is true (the default), otherwise validated to sum
+        to 1 within tolerance.
+    """
+
+    def __init__(self, points: Sequence[Point], weights: Sequence[float],
+                 normalize: bool = True) -> None:
+        if not points:
+            raise ValueError("discrete uncertain point needs at least one site")
+        if len(points) != len(weights):
+            raise ValueError("points and weights must have equal length")
+        if any(w <= 0 for w in weights):
+            raise ValueError("location probabilities must be positive")
+        total = float(sum(weights))
+        if normalize:
+            weights = [w / total for w in weights]
+        elif abs(total - 1.0) > 1e-9:
+            raise ValueError(f"weights sum to {total}, expected 1")
+        self.points: List[Point] = [(float(x), float(y)) for x, y in points]
+        self.weights: List[float] = [float(w) for w in weights]
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in self.weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+        self._farthest = FarthestPointOracle(self.points)
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Description complexity: the number of candidate sites."""
+        return len(self.points)
+
+    @property
+    def spread(self) -> float:
+        """``max w / min w`` for this point (contributes to the global rho)."""
+        return max(self.weights) / min(self.weights)
+
+    def support_disk(self) -> Disk:
+        """Smallest enclosing disk of the sites."""
+        return smallest_enclosing_disk(self.points)
+
+    def min_dist(self, q: Point) -> float:
+        return min(dist(q, p) for p in self.points)
+
+    def max_dist(self, q: Point) -> float:
+        return self._farthest.max_dist(q)
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Point:
+        """Instantiate by inverse-cdf lookup: O(log k) per draw.
+
+        This is the paper's preprocessing for the Monte-Carlo structure
+        ("each r_ji can be selected in O(log k) time", Section 4.2).
+        """
+        u = rng.random()
+        idx = bisect.bisect_left(self._cumulative, u)
+        if idx >= len(self.points):
+            idx = len(self.points) - 1
+        return self.points[idx]
+
+    def distance_cdf(self, q: Point, r: float) -> float:
+        """``G_q(r) = sum of w_j over sites within distance r`` (closed <=)."""
+        return math.fsum(w for p, w in zip(self.points, self.weights)
+                         if dist(q, p) <= r)
+
+    def sites_with_weights(self) -> List[Tuple[Point, float]]:
+        """The ``(location, probability)`` pairs, in input order."""
+        return list(zip(self.points, self.weights))

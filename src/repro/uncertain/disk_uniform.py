@@ -1,0 +1,84 @@
+"""Uniform distribution on a disk — the paper's running example (Figure 1).
+
+For ``P`` uniform on disk ``D = D(c, R)`` and a query ``q`` at distance
+``d = |qc|``:
+
+* the distance cdf is an area ratio,
+  ``G_q(r) = area(B(q, r) ∩ D) / (pi R^2)`` — a circle–circle lens;
+* the distance pdf is the *arc length* of the circle ``∂B(q, r)`` inside
+  ``D`` divided by the disk area:
+  ``g_q(r) = 2 r alpha(r) / (pi R^2)`` where ``2 alpha`` is the subtended
+  angle, ``cos(alpha) = (d^2 + r^2 - R^2) / (2 d r)``.
+
+Figure 1 of the paper plots exactly this ``g_q`` for ``R = 5``,
+``c = (0, 0)``, ``q = (6, 8)`` (so ``d = 10``, support ``[5, 15]``);
+benchmark E1 regenerates the curve and cross-checks it against a sampled
+histogram.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry.areas import lens_area
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point, dist
+from .base import UncertainPoint
+
+__all__ = ["DiskUniformPoint"]
+
+
+class DiskUniformPoint(UncertainPoint):
+    """Uniformly distributed location on a closed disk of positive radius."""
+
+    def __init__(self, center: Point, radius: float) -> None:
+        if radius <= 0:
+            raise ValueError("uniform disk needs positive radius")
+        self.center = (float(center[0]), float(center[1]))
+        self.radius = float(radius)
+
+    # ------------------------------------------------------------------
+    def support_disk(self) -> Disk:
+        return Disk(self.center[0], self.center[1], self.radius)
+
+    def min_dist(self, q: Point) -> float:
+        return max(dist(q, self.center) - self.radius, 0.0)
+
+    def max_dist(self, q: Point) -> float:
+        return dist(q, self.center) + self.radius
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Point:
+        # sqrt-radius trick for area-uniform sampling.
+        t = 2.0 * math.pi * rng.random()
+        r = self.radius * math.sqrt(rng.random())
+        return (self.center[0] + r * math.cos(t),
+                self.center[1] + r * math.sin(t))
+
+    def distance_cdf(self, q: Point, r: float) -> float:
+        if r <= 0:
+            return 0.0
+        area = lens_area(q, r, self.center, self.radius)
+        return area / (math.pi * self.radius * self.radius)
+
+    def distance_pdf(self, q: Point, r: float, dr: float = 1e-5) -> float:
+        """Closed-form density: boundary-arc length over disk area."""
+        if r <= 0:
+            return 0.0
+        d = dist(q, self.center)
+        R = self.radius
+        if d <= 1e-12:
+            # Query at the disk center: the circle of radius r is entirely
+            # inside (r < R) or entirely outside (r > R).
+            if r >= R:
+                return 0.0
+            return 2.0 * r / (R * R)
+        if r <= d - R or r >= d + R:
+            return 0.0
+        if r <= R - d:
+            # Circle around q entirely inside D.
+            return 2.0 * r / (R * R)
+        cos_alpha = (d * d + r * r - R * R) / (2.0 * d * r)
+        alpha = math.acos(min(1.0, max(-1.0, cos_alpha)))
+        return 2.0 * r * alpha / (math.pi * R * R)

@@ -1,0 +1,119 @@
+"""Histogram (piecewise-constant) uncertain points.
+
+Section 1.1 allows non-parametric pdfs "such as a histogram".  We model a
+histogram as a mixture of uniform distributions on the cells of a regular
+grid: cell ``(i, j)`` spans
+``[x0 + j*cw, x0 + (j+1)*cw] x [y0 + i*ch, y0 + (i+1)*ch]`` and carries
+probability ``weights[i][j]``.
+
+The distance cdf is exact: each cell contributes its weight times the
+fraction of its area inside the query ball — a circle–rectangle
+intersection (:func:`repro.geometry.areas.circle_rect_area`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+from ..geometry.areas import circle_rect_area
+from ..geometry.circles import smallest_enclosing_disk
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point
+from .base import UncertainPoint
+
+__all__ = ["HistogramUncertainPoint"]
+
+
+class HistogramUncertainPoint(UncertainPoint):
+    """A piecewise-constant pdf over a regular grid of rectangular cells."""
+
+    def __init__(self, origin: Point, cell_width: float, cell_height: float,
+                 weights: Sequence[Sequence[float]]) -> None:
+        if cell_width <= 0 or cell_height <= 0:
+            raise ValueError("cell dimensions must be positive")
+        rows = len(weights)
+        if rows == 0 or len(weights[0]) == 0:
+            raise ValueError("weights grid must be non-empty")
+        cols = len(weights[0])
+        if any(len(row) != cols for row in weights):
+            raise ValueError("weights grid must be rectangular")
+        self.origin = (float(origin[0]), float(origin[1]))
+        self.cell_width = float(cell_width)
+        self.cell_height = float(cell_height)
+
+        self._cells: List[Tuple[int, int]] = []
+        self._weights: List[float] = []
+        total = 0.0
+        for i in range(rows):
+            for j in range(cols):
+                w = float(weights[i][j])
+                if w < 0:
+                    raise ValueError("cell weights must be non-negative")
+                if w > 0:
+                    self._cells.append((i, j))
+                    self._weights.append(w)
+                    total += w
+        if not self._cells:
+            raise ValueError("histogram needs at least one positive cell")
+        self._weights = [w / total for w in self._weights]
+        self._cumulative: List[float] = []
+        acc = 0.0
+        for w in self._weights:
+            acc += w
+            self._cumulative.append(acc)
+        self._cumulative[-1] = 1.0
+
+    # ------------------------------------------------------------------
+    def _cell_rect(self, cell: Tuple[int, int]) -> Tuple[Point, Point]:
+        i, j = cell
+        x0 = self.origin[0] + j * self.cell_width
+        y0 = self.origin[1] + i * self.cell_height
+        return ((x0, y0), (x0 + self.cell_width, y0 + self.cell_height))
+
+    def _corners(self) -> List[Point]:
+        out: List[Point] = []
+        for cell in self._cells:
+            (x0, y0), (x1, y1) = self._cell_rect(cell)
+            out.extend(((x0, y0), (x1, y0), (x1, y1), (x0, y1)))
+        return out
+
+    # ------------------------------------------------------------------
+    def support_disk(self) -> Disk:
+        """Smallest disk enclosing every positive-weight cell."""
+        return smallest_enclosing_disk(self._corners())
+
+    def min_dist(self, q: Point) -> float:
+        best = math.inf
+        for cell in self._cells:
+            (x0, y0), (x1, y1) = self._cell_rect(cell)
+            dx = max(x0 - q[0], 0.0, q[0] - x1)
+            dy = max(y0 - q[1], 0.0, q[1] - y1)
+            best = min(best, math.hypot(dx, dy))
+        return best
+
+    def max_dist(self, q: Point) -> float:
+        return max(math.hypot(c[0] - q[0], c[1] - q[1])
+                   for c in self._corners())
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Point:
+        u = rng.random()
+        idx = bisect.bisect_left(self._cumulative, u)
+        if idx >= len(self._cells):
+            idx = len(self._cells) - 1
+        (x0, y0), (x1, y1) = self._cell_rect(self._cells[idx])
+        return (x0 + rng.random() * (x1 - x0), y0 + rng.random() * (y1 - y0))
+
+    def distance_cdf(self, q: Point, r: float) -> float:
+        """Exact cdf: weighted covered-area fractions over the cells."""
+        if r <= 0:
+            return 0.0
+        cell_area = self.cell_width * self.cell_height
+        total = 0.0
+        for cell, w in zip(self._cells, self._weights):
+            rect = self._cell_rect(cell)
+            total += w * circle_rect_area(q, r, rect) / cell_area
+        return min(1.0, total)

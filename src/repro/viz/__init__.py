@@ -1,0 +1,5 @@
+"""Dependency-free visualization helpers (SVG output)."""
+
+from .svg import SvgScene
+
+__all__ = ["SvgScene"]

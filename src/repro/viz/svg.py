@@ -1,0 +1,119 @@
+"""Dependency-free SVG rendering of diagrams, disks and curves.
+
+Used by the gallery example to draw uncertainty regions, ``gamma`` curves
+and ``V!=0`` vertices.  Deliberately tiny: a scene collects shapes in data
+coordinates and :meth:`SvgScene.write` maps them into a fixed-size viewBox.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..geometry.primitives import Point
+
+__all__ = ["SvgScene"]
+
+
+class SvgScene:
+    """Accumulates shapes and serializes them to an SVG file."""
+
+    def __init__(self, width: int = 800, height: int = 800,
+                 padding: float = 0.05) -> None:
+        self.width = width
+        self.height = height
+        self.padding = padding
+        self._shapes: List[str] = []
+        self._points: List[Point] = []  # for the bounding box
+
+    # ------------------------------------------------------------------
+    def add_circle(self, center: Point, radius: float,
+                   stroke: str = "#336", fill: str = "none",
+                   stroke_width: float = 1.5, opacity: float = 1.0) -> None:
+        """Add a circle in data coordinates."""
+        self._points.extend([(center[0] - radius, center[1] - radius),
+                             (center[0] + radius, center[1] + radius)])
+        self._shapes.append(("circle", center, radius, stroke, fill,
+                             stroke_width, opacity))  # type: ignore[arg-type]
+
+    def add_polyline(self, points: Sequence[Point], stroke: str = "#c33",
+                     stroke_width: float = 1.0, closed: bool = False) -> None:
+        """Add a polyline (or closed polygon outline)."""
+        pts = list(points)
+        if not pts:
+            return
+        self._points.extend(pts)
+        self._shapes.append(("polyline", pts, stroke, stroke_width, closed))  # type: ignore[arg-type]
+
+    def add_dot(self, p: Point, radius: float = 3.0,
+                fill: str = "#000") -> None:
+        """Add a fixed-pixel-size dot marking a data point."""
+        self._points.append(p)
+        self._shapes.append(("dot", p, radius, fill))  # type: ignore[arg-type]
+
+    def add_label(self, p: Point, text: str, size: int = 12,
+                  fill: str = "#222") -> None:
+        """Add a text label anchored at a data point."""
+        self._points.append(p)
+        self._shapes.append(("label", p, text, size, fill))  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
+    def _transform(self) -> Tuple[float, float, float]:
+        if not self._points:
+            return 1.0, 0.0, 0.0
+        xs = [p[0] for p in self._points]
+        ys = [p[1] for p in self._points]
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        span = max(x1 - x0, y1 - y0, 1e-9)
+        usable = 1.0 - 2.0 * self.padding
+        scale = usable * min(self.width, self.height) / span
+        ox = self.padding * self.width - x0 * scale
+        oy = self.padding * self.height + y1 * scale  # flip y
+        return scale, ox, oy
+
+    def write(self, path: str) -> None:
+        """Serialize the scene to *path* as a standalone SVG file."""
+        scale, ox, oy = self._transform()
+
+        def tx(p: Point) -> Tuple[float, float]:
+            return (p[0] * scale + ox, -p[1] * scale + oy)
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">',
+            f'<rect width="{self.width}" height="{self.height}" fill="#fff"/>',
+        ]
+        for shape in self._shapes:
+            kind = shape[0]
+            if kind == "circle":
+                _, center, radius, stroke, fill, sw, opacity = shape
+                cx, cy = tx(center)
+                parts.append(
+                    f'<circle cx="{cx:.2f}" cy="{cy:.2f}" '
+                    f'r="{radius * scale:.2f}" stroke="{stroke}" '
+                    f'fill="{fill}" stroke-width="{sw}" '
+                    f'opacity="{opacity}"/>')
+            elif kind == "polyline":
+                _, pts, stroke, sw, closed = shape
+                coords = " ".join(f"{x:.2f},{y:.2f}"
+                                  for x, y in (tx(p) for p in pts))
+                tag = "polygon" if closed else "polyline"
+                parts.append(
+                    f'<{tag} points="{coords}" stroke="{stroke}" '
+                    f'fill="none" stroke-width="{sw}"/>')
+            elif kind == "dot":
+                _, p, radius, fill = shape
+                cx, cy = tx(p)
+                parts.append(
+                    f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{radius}" '
+                    f'fill="{fill}"/>')
+            elif kind == "label":
+                _, p, text, size, fill = shape
+                cx, cy = tx(p)
+                parts.append(
+                    f'<text x="{cx:.2f}" y="{cy:.2f}" font-size="{size}" '
+                    f'fill="{fill}" font-family="sans-serif">{text}</text>')
+        parts.append("</svg>")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(parts))

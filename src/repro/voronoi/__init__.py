@@ -1,0 +1,46 @@
+"""Nonzero Voronoi diagrams (continuous and discrete), the paper's
+worst-case constructions, and the exact probabilistic Voronoi diagram."""
+
+from .constructions import (
+    cubic_lower_bound_disks,
+    equal_radius_lower_bound_disks,
+    quadratic_lower_bound_disks,
+    quadratic_lower_bound_predicted_vertices,
+    quartic_vpr_sites,
+)
+from .diagram import DiagramVertex, NonzeroVoronoiDiagram
+from .discrete_diagram import DiscreteNonzeroVoronoi, dominance_polygon
+from .gamma import GammaCurve, build_gamma_curves
+from .guaranteed import GuaranteedVoronoi
+from .labels import LabelFieldStats, persistent_label_field
+from .lifting import LiftedSurfaces, lift, unlift
+from .vpr import ProbabilisticVoronoiDiagram
+from .witness import (
+    crossing_vertices_bruteforce,
+    validate_vertex,
+    witness_candidates,
+)
+
+__all__ = [
+    "DiagramVertex",
+    "DiscreteNonzeroVoronoi",
+    "GammaCurve",
+    "GuaranteedVoronoi",
+    "LabelFieldStats",
+    "LiftedSurfaces",
+    "NonzeroVoronoiDiagram",
+    "ProbabilisticVoronoiDiagram",
+    "build_gamma_curves",
+    "crossing_vertices_bruteforce",
+    "cubic_lower_bound_disks",
+    "dominance_polygon",
+    "persistent_label_field",
+    "lift",
+    "unlift",
+    "equal_radius_lower_bound_disks",
+    "quadratic_lower_bound_disks",
+    "quadratic_lower_bound_predicted_vertices",
+    "quartic_vpr_sites",
+    "validate_vertex",
+    "witness_candidates",
+]

@@ -1,0 +1,161 @@
+"""The paper's explicit worst-case constructions (Theorems 2.7, 2.8, 2.10
+and Lemma 4.1).
+
+Each function reproduces the instance exactly as printed in the paper, with
+the paper's parameter choices; the benchmarks build the corresponding
+diagram and check the predicted vertex counts (or predicted coordinates,
+for Theorem 2.10's fully explicit vertices).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from ..geometry.disks import Disk
+from ..geometry.primitives import Point
+
+__all__ = [
+    "cubic_lower_bound_disks",
+    "equal_radius_lower_bound_disks",
+    "quadratic_lower_bound_disks",
+    "quadratic_lower_bound_predicted_vertices",
+    "quartic_vpr_sites",
+]
+
+
+def cubic_lower_bound_disks(m: int) -> List[Disk]:
+    """Theorem 2.7 / Figure 5: ``Omega(n^3)`` instance with ``n = 4m`` disks.
+
+    Parameters exactly as in the paper: ``R = 8 n^2``, ``omega = 1/n^2``;
+    families ``D-`` and ``D+`` of ``m`` radius-``R`` disks each on the
+    x-axis, and ``D0`` of ``2m`` unit disks on the y-axis.  Every triple
+    ``(i, j, k)`` contributes two crossing vertices of ``V!=0``, for a
+    total of at least ``2 * m * m * 2m = 4 m^3`` vertices.
+
+    Returns the disks ordered ``D-_1..D-_m, D+_1..D+_m, D0_1..D0_{2m}``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    n = 4 * m
+    big_r = 8.0 * n * n
+    omega = 1.0 / (n * n)
+    disks: List[Disk] = []
+    for i in range(1, m + 1):
+        disks.append(Disk(-big_r - 1.5 - (i - 1) * omega, 0.0, big_r))
+    for j in range(1, m + 1):
+        disks.append(Disk(big_r + 1.5 + (j - 1) * omega, 0.0, big_r))
+    for k in range(1, 2 * m + 1):
+        disks.append(Disk(0.0, 4.0 * (k - m) - 2.0, 1.0))
+    return disks
+
+
+def equal_radius_lower_bound_disks(m: int,
+                                   omega: float | None = None) -> List[Disk]:
+    """Theorem 2.8 / Figure 6: ``Omega(n^3)`` with *equal* radii, ``n = 3m``.
+
+    All disks have radius 1; ``theta = (pi/2) / (m + 1)``; ``omega`` must be
+    "sufficiently small" (the paper leaves the constant open — we default
+    to ``theta / (64 m)``, which the benchmark verifies is small enough).
+    Families: ``D-_i`` at ``(-2 - (i-1) omega, 0)``, ``D+_j`` at
+    ``(2 + (j-1) omega, 0)``, ``D0_k`` at ``(2 - 2 cos(k theta),
+    2 sin(k theta))``.  Every triple ``(i, j, k)`` yields at least one
+    vertex, for ``m^3`` total.
+
+    Returns disks ordered ``D-_1..D-_m, D+_1..D+_m, D0_1..D0_m``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    theta = (math.pi / 2.0) / (m + 1)
+    if omega is None:
+        omega = theta / (64.0 * m)
+    disks: List[Disk] = []
+    for i in range(1, m + 1):
+        disks.append(Disk(-2.0 - (i - 1) * omega, 0.0, 1.0))
+    for j in range(1, m + 1):
+        disks.append(Disk(2.0 + (j - 1) * omega, 0.0, 1.0))
+    for k in range(1, m + 1):
+        disks.append(Disk(2.0 - 2.0 * math.cos(k * theta),
+                          2.0 * math.sin(k * theta), 1.0))
+    return disks
+
+
+def quadratic_lower_bound_disks(m: int) -> List[Disk]:
+    """Theorem 2.10: ``Omega(n^2)`` instance of pairwise-disjoint unit disks.
+
+    ``n = 2m`` unit disks centered at ``c_i = (4(i - m) - 2, 0)`` for
+    ``i = 1..2m`` — collinear with gaps of 2, so ``lambda = 1``.
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    return [Disk(4.0 * (i - m) - 2.0, 0.0, 1.0) for i in range(1, 2 * m + 1)]
+
+
+def quadratic_lower_bound_predicted_vertices(m: int) -> List[Point]:
+    """The explicit vertex coordinates claimed in Theorem 2.10's proof.
+
+    For every pair ``(i, j)`` with ``j - i >= 2``:
+
+    * ``i + j`` even: ``v = (2(i + j - 2m - 1), ±((j - i)^2 - 1))``,
+      realized with witness ``k = (i + j)/2``;
+    * ``i + j`` odd:  ``v = (2(i + j - 2m - 1), ±(j - i) sqrt((j-i)^2 - 4))``,
+      realized with ``k = floor/ceil((i + j)/2)``.
+
+    The benchmark checks every predicted point coincides with a computed
+    diagram vertex.  (For odd ``i + j`` the paper's formula requires
+    ``j - i > 2``; at ``j - i = 2`` the two mirrored vertices merge on the
+    x-axis, and we emit the single merged point.)
+    """
+    out: List[Point] = []
+    for i in range(1, 2 * m + 1):
+        for j in range(i + 2, 2 * m + 1):
+            x = 2.0 * (i + j - 2 * m - 1)
+            gap = j - i
+            if (i + j) % 2 == 0:
+                y = float(gap * gap - 1)
+                out.extend([(x, y), (x, -y)])
+            else:
+                y = gap * math.sqrt(gap * gap - 4.0)
+                if y == 0.0:
+                    out.append((x, 0.0))
+                else:
+                    out.extend([(x, y), (x, -y)])
+    return out
+
+
+def quartic_vpr_sites(n: int, far_x: float = 100.0,
+                      jitter: float = 1e-3,
+                      seed: int = 7) -> List[Tuple[List[Point], List[float]]]:
+    """Lemma 4.1: ``Omega(n^4)`` probabilistic-Voronoi instance with ``k = 2``.
+
+    Each uncertain point has two equally likely sites: ``p_i`` inside the
+    unit disk (chosen pseudo-randomly so that bisectors are in general
+    position and intersect near the origin) and a far site near
+    ``(far_x, 0)``.  The paper places all far sites at exactly the same
+    point; we jitter them by ``i * jitter`` to stay in general position
+    (the degenerate coincidence is only a simplification in the paper's
+    proof, which notes the argument "can be generalized to a non-degenerate
+    configuration").
+
+    Returns ``[(sites, weights), ...]`` suitable for
+    :class:`repro.uncertain.DiscreteUncertainPoint`.
+    """
+    import random as _random
+
+    if n < 2:
+        raise ValueError("n must be >= 2")
+    rng = _random.Random(seed)
+    out: List[Tuple[List[Point], List[float]]] = []
+    for i in range(n):
+        # Near sites: radii and angles varied irregularly so that no two
+        # bisectors are parallel and triple points are avoided.
+        radius = 0.35 + 0.3 * rng.random()
+        angle = TWO_PI_FRACTION * (i + rng.random() * 0.35)
+        near = (radius * math.cos(angle), radius * math.sin(angle))
+        far = (far_x + i * jitter, i * jitter * 0.5)
+        out.append(([near, far], [0.5, 0.5]))
+    return out
+
+
+#: Golden-angle style spacing used by :func:`quartic_vpr_sites`.
+TWO_PI_FRACTION = 2.0 * math.pi * 0.381966011250105

@@ -1,0 +1,361 @@
+"""The nonzero Voronoi diagram ``V!=0(P)`` for disk uncertainty regions.
+
+Theorem 2.5: ``V!=0(P)`` — the subdivision of the plane into maximal
+regions with constant ``NN!=0`` — is the arrangement ``A(Gamma)`` of the
+curves ``gamma_i`` and has ``O(n^3)`` complexity, computable in
+``O(n^2 log n + mu)`` time.
+
+Construction here follows the proof's two vertex types:
+
+* **breakpoints** of each ``gamma_i`` (Lemma 2.2): corners where the
+  envelope's minimizing branch ``gamma_ij`` swaps — the witness disk of
+  ``Delta`` changes.  These come directly out of the polar envelopes.
+* **crossings** of ``gamma_i`` with ``gamma_j``: for each witness ``u``,
+  the at-most-two closed-form candidates of
+  :mod:`repro.voronoi.witness`, validated against the global minimality of
+  ``Delta_u``.  The proof of Theorem 2.5 shows every crossing arises this
+  way ("the disk of radius Delta(v) centered at v touches D_i and D_j from
+  the outside and another disk D_k ... from the inside").
+
+The triple enumeration is batched with numpy: ``O(n^3)`` candidate solves
+and an ``O(n)``-wide validation per candidate, all as array operations.
+
+Edges and faces are then counted exactly from the vertex set: the vertices
+incident to each ``gamma_i`` cut its connected components into edges, and
+faces follow from Euler's relation on the one-point compactification (all
+unbounded curve ends meet at a virtual vertex at infinity).  Tests verify
+the counts against hand-computable configurations and against sampled
+cell censuses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.disks import Disk
+from ..geometry.primitives import TWO_PI, Point, angle_of, dist
+from .gamma import GammaCurve, build_gamma_curves
+
+__all__ = ["DiagramVertex", "NonzeroVoronoiDiagram"]
+
+
+@dataclass
+class DiagramVertex:
+    """A vertex of ``V!=0(P)`` with its incidence metadata.
+
+    ``on_curves`` maps a curve index ``i`` to the polar angle of the vertex
+    around ``c_i`` (used to cut ``gamma_i`` into edges).  ``kind`` is
+    ``"breakpoint"`` or ``"crossing"`` (a merged vertex keeps the first
+    kind discovered; degeneracies where the two coincide are tolerated).
+    """
+
+    point: Point
+    kind: str
+    on_curves: Dict[int, float] = field(default_factory=dict)
+
+
+class _VertexRegistry:
+    """Grid-based vertex deduplication that merges incidence metadata."""
+
+    def __init__(self, tol: float) -> None:
+        self.tol = tol
+        self._grid: Dict[Tuple[int, int], List[int]] = {}
+        self.vertices: List[DiagramVertex] = []
+
+    def add(self, p: Point, kind: str, incidences: Dict[int, float]) -> int:
+        inv = 1.0 / self.tol
+        cx = math.floor(p[0] * inv)
+        cy = math.floor(p[1] * inv)
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                for vid in self._grid.get((cx + dx, cy + dy), ()):
+                    v = self.vertices[vid]
+                    if dist(p, v.point) <= self.tol:
+                        v.on_curves.update(incidences)
+                        return vid
+        vid = len(self.vertices)
+        self.vertices.append(DiagramVertex(p, kind, dict(incidences)))
+        self._grid.setdefault((cx, cy), []).append(vid)
+        return vid
+
+
+class NonzeroVoronoiDiagram:
+    """``V!=0`` of a family of disks, built per Theorem 2.5.
+
+    Parameters
+    ----------
+    disks:
+        The uncertainty regions (at least one).
+    tol:
+        Relative validation tolerance: ``Delta``-minimality of a candidate
+        vertex is tested with a ``tol * witness_radius`` band.
+    merge_tol:
+        Absolute distance below which two discovered vertices are
+        considered the same arrangement vertex.  Defaults to
+        ``tol * coordinate_scale``; the huge-coordinate lower-bound
+        constructions (Theorem 2.7 places disks at ``8 n^2``) pass an
+        explicit value because their genuinely distinct vertices are only
+        ``~1/n^2`` apart while coordinates are ``~n^2`` large.
+    """
+
+    def __init__(self, disks: Sequence[Disk], tol: float = 1e-7,
+                 merge_tol: Optional[float] = None) -> None:
+        if not disks:
+            raise ValueError("diagram needs at least one disk")
+        self.disks: List[Disk] = list(disks)
+        self.tol = tol
+        self._centers = np.array([[d.cx, d.cy] for d in self.disks])
+        self._radii = np.array([d.r for d in self.disks])
+        # The merge tolerance scales with the data *spread*, not the raw
+        # coordinate magnitude: a diagram translated far from the origin
+        # has the same geometry and must merge vertices identically.
+        spread = float(np.max(self._centers, axis=0).max()
+                       - np.min(self._centers, axis=0).min()) \
+            + 2.0 * float(np.max(self._radii)) if len(self.disks) else 1.0
+        self._merge_tol = merge_tol if merge_tol is not None \
+            else tol * max(1.0, spread)
+        self.gammas: List[GammaCurve] = build_gamma_curves(self.disks)
+        self._registry = _VertexRegistry(self._merge_tol)
+        self._collect_breakpoints()
+        self._collect_crossings()
+        self.vertices: List[DiagramVertex] = self._registry.vertices
+        self._count_edges_faces()
+
+    # ------------------------------------------------------------------
+    # Vertex collection.
+    # ------------------------------------------------------------------
+    def _collect_breakpoints(self) -> None:
+        for gamma in self.gammas:
+            env = gamma.envelope
+            for theta, left, _right in env.breakpoints():
+                rho = left.radius(theta)
+                if not math.isfinite(rho):
+                    rho = env.radius((theta + 1e-12) % TWO_PI)
+                c = gamma.disk.center
+                p = (c[0] + rho * math.cos(theta), c[1] + rho * math.sin(theta))
+                self._registry.add(p, "breakpoint", {gamma.index: theta})
+
+    def _collect_crossings(self) -> None:
+        n = len(self.disks)
+        if n < 3:
+            return
+        centers = self._centers
+        radii = self._radii
+        # Pairwise quantities for the witness form around pivot u:
+        #   s(theta) = num / (A cos + B sin + C),   A = 2*dx, B = 2*dy,
+        #   C = 2*(r_m + r_u), num = D^2 - (r_m + r_u)^2,
+        # where (dx, dy) = c_m - c_u and D = |c_m - c_u|.
+        dxm = centers[:, 0][:, None] - centers[:, 0][None, :]
+        dym = centers[:, 1][:, None] - centers[:, 1][None, :]
+        dmat = np.hypot(dxm, dym)
+        two_a = radii[:, None] + radii[None, :]
+        exists = dmat > two_a * (1 + 1e-12) + 1e-12
+        a_mat = 2.0 * dxm
+        b_mat = 2.0 * dym
+        c_mat = 2.0 * two_a
+        num_mat = dmat * dmat - two_a * two_a
+
+        # Enumerate triples (i < j, u != i, j) with both branches existing.
+        pair_i, pair_j = np.triu_indices(n, k=1)
+        p_count = len(pair_i)
+        i_idx = np.repeat(pair_i, n)
+        j_idx = np.repeat(pair_j, n)
+        u_idx = np.tile(np.arange(n), p_count)
+        keep = (u_idx != i_idx) & (u_idx != j_idx) \
+            & exists[i_idx, u_idx] & exists[j_idx, u_idx]
+        i_idx, j_idx, u_idx = i_idx[keep], j_idx[keep], u_idx[keep]
+        if len(i_idx) == 0:
+            return
+
+        num_i = num_mat[i_idx, u_idx]
+        num_j = num_mat[j_idx, u_idx]
+        ab = num_i * a_mat[j_idx, u_idx] - num_j * a_mat[i_idx, u_idx]
+        bb = num_i * b_mat[j_idx, u_idx] - num_j * b_mat[i_idx, u_idx]
+        cb = num_i * c_mat[j_idx, u_idx] - num_j * c_mat[i_idx, u_idx]
+        rr = np.hypot(ab, bb)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(rr > 0, -cb / rr, 2.0)
+        solvable = np.abs(ratio) <= 1.0
+        if not np.any(solvable):
+            return
+        i_idx, j_idx, u_idx = i_idx[solvable], j_idx[solvable], u_idx[solvable]
+        alpha = np.arctan2(bb[solvable], ab[solvable])
+        offset = np.arccos(np.clip(ratio[solvable], -1.0, 1.0))
+
+        for sign in (+1.0, -1.0):
+            theta = alpha + sign * offset
+            cos_t = np.cos(theta)
+            sin_t = np.sin(theta)
+            denom = (a_mat[i_idx, u_idx] * cos_t
+                     + b_mat[i_idx, u_idx] * sin_t + c_mat[i_idx, u_idx])
+            ok = denom > 1e-12
+            if not np.any(ok):
+                continue
+            s = num_mat[i_idx, u_idx][ok] / denom[ok]
+            ii, jj, uu = i_idx[ok], j_idx[ok], u_idx[ok]
+            px = centers[uu, 0] + s * cos_t[ok]
+            py = centers[uu, 1] + s * sin_t[ok]
+            # Global validation: Delta_u must attain the minimum.
+            delta_u = s + radii[uu]
+            d_all = np.hypot(px[:, None] - centers[None, :, 0],
+                             py[:, None] - centers[None, :, 1])
+            delta_min = np.min(d_all + radii[None, :], axis=1)
+            band = self.tol * np.maximum(1.0, delta_u)
+            valid = delta_u <= delta_min + band
+            for t in np.nonzero(valid)[0]:
+                p = (float(px[t]), float(py[t]))
+                ci = self.disks[ii[t]].center
+                cj = self.disks[jj[t]].center
+                self._registry.add(
+                    p, "crossing",
+                    {int(ii[t]): angle_of((p[0] - ci[0], p[1] - ci[1])),
+                     int(jj[t]): angle_of((p[0] - cj[0], p[1] - cj[1]))})
+
+    # ------------------------------------------------------------------
+    # Edge and face counting (Euler on the compactified plane).
+    # ------------------------------------------------------------------
+    def _count_edges_faces(self) -> None:
+        n_vertices = len(self.vertices)
+        # Union-find over vertices + virtual infinity node + synthetic nodes.
+        parent: Dict[object, object] = {}
+
+        def find(x: object) -> object:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(x: object, y: object) -> None:
+            rx, ry = find(x), find(y)
+            if rx != ry:
+                parent[rx] = ry
+
+        # Vertices per curve.
+        on_curve: Dict[int, List[Tuple[float, int]]] = {}
+        for vid, v in enumerate(self.vertices):
+            for curve_idx, theta in v.on_curves.items():
+                on_curve.setdefault(curve_idx, []).append((theta, vid))
+
+        edges = 0
+        synthetic = 0
+        uses_infinity = False
+        for gamma in self.gammas:
+            runs = gamma.finite_runs()
+            if not runs:
+                continue
+            angles = sorted(on_curve.get(gamma.index, []))
+            closed = gamma.is_closed()
+            for start, end in runs:
+                members = [vid for theta, vid in angles
+                           if _angle_in_run(theta, start, end)]
+                if closed:
+                    if not members:
+                        # Smooth closed curve with no incident vertex:
+                        # represent as one synthetic degree-2 vertex plus a
+                        # self-loop edge so Euler's relation applies.
+                        synthetic += 1
+                        node = ("synthetic", gamma.index)
+                        find(node)
+                        edges += 1
+                    else:
+                        edges += len(members)
+                        for a, b in zip(members, members[1:]):
+                            union(a, b)
+                else:
+                    edges += len(members) + 1
+                    uses_infinity = True
+                    prev: object = "infinity"
+                    for vid in members:
+                        union(prev, vid)
+                        prev = vid
+                    union(prev, "infinity")
+
+        for vid in range(n_vertices):
+            find(vid)
+        if uses_infinity:
+            find("infinity")
+
+        components = len({find(x) for x in parent})
+        euler_vertices = n_vertices + synthetic + (1 if uses_infinity else 0)
+        if edges == 0:
+            faces = 1
+        else:
+            faces = 1 + components - euler_vertices + edges
+
+        self.num_vertices = n_vertices + synthetic
+        self.num_edges = edges
+        self.num_faces = faces
+
+    # ------------------------------------------------------------------
+    # Queries and reporting.
+    # ------------------------------------------------------------------
+    @property
+    def complexity(self) -> int:
+        """Total complexity ``V + E + F`` (the paper's mu)."""
+        return self.num_vertices + self.num_edges + self.num_faces
+
+    def vertex_points(self) -> List[Point]:
+        """Coordinates of all diagram vertices."""
+        return [v.point for v in self.vertices]
+
+    def crossing_vertices(self) -> List[DiagramVertex]:
+        """Vertices where two distinct curves meet."""
+        return [v for v in self.vertices if v.kind == "crossing"]
+
+    def breakpoint_vertices(self) -> List[DiagramVertex]:
+        """Envelope-corner vertices (Lemma 2.2 breakpoints)."""
+        return [v for v in self.vertices if v.kind == "breakpoint"]
+
+    def delta(self, q: Point) -> float:
+        """``Delta(q) = min_i (d(q, c_i) + r_i)``."""
+        return min(d.max_dist(q) for d in self.disks)
+
+    def nonzero_nn(self, q: Point) -> List[int]:
+        """``NN!=0(q)`` by the Lemma 2.1 predicate (O(n) evaluation)."""
+        from ..geometry.disks import nonzero_nn_indices
+
+        return nonzero_nn_indices([d.min_dist(q) for d in self.disks],
+                                  [d.max_dist(q) for d in self.disks])
+
+    def locate_cell(self, q: Point) -> FrozenSet[int]:
+        """The label set ``P_phi`` of the cell containing *q*."""
+        return frozenset(self.nonzero_nn(q))
+
+    def sample_cell_census(self, samples: int = 2000,
+                           margin: float = 2.0,
+                           seed: int = 0) -> Dict[FrozenSet[int], int]:
+        """Monte-Carlo census of cell label sets over a bounding window.
+
+        Used by tests as a lower bound on the face count and by the
+        persistence demo (E15) to enumerate reachable label sets.
+        """
+        import random as _random
+
+        rng = _random.Random(seed)
+        lo = self._centers.min(axis=0) - margin * (1 + self._radii.max())
+        hi = self._centers.max(axis=0) + margin * (1 + self._radii.max())
+        census: Dict[FrozenSet[int], int] = {}
+        for _ in range(samples):
+            q = (rng.uniform(lo[0], hi[0]), rng.uniform(lo[1], hi[1]))
+            key = self.locate_cell(q)
+            census[key] = census.get(key, 0) + 1
+        return census
+
+
+def _angle_in_run(theta: float, start: float, end: float) -> bool:
+    """Whether angle *theta* falls inside a run ``[start, end]``.
+
+    Runs produced by :meth:`GammaCurve.finite_runs` may extend past
+    ``2*pi`` (wraparound); membership is tested against both ``theta`` and
+    ``theta + 2*pi``.
+    """
+    slack = 1e-9
+    if start - slack <= theta <= end + slack:
+        return True
+    shifted = theta + TWO_PI
+    return start - slack <= shifted <= end + slack

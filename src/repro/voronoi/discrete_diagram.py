@@ -1,0 +1,242 @@
+"""The nonzero Voronoi diagram for *discrete* distributions (Theorem 2.14).
+
+With each ``P_i`` a discrete distribution over at most ``k`` sites, the
+distance extremes ``delta_i`` / ``Delta_i`` are nearest/farthest-site
+distances, so every curve ``gamma_i`` is piecewise linear: locally it is
+the *bisector* of the active nearest site of ``P_i`` and the active
+farthest site of the witness ``P_u`` (Lemma 2.12's lifting makes this a
+difference of linear functions).  Consequently **every vertex of
+``V!=0(P)`` is the circumcenter of three sites** — the third equality
+pinning the vertex comes from one of:
+
+* another curve passing through (crossing: ``delta_j = Delta``),
+* a nearest-site tie within ``P_i`` (corner of the ``delta_i`` surface),
+* a farthest-site tie within the witness ``P_u`` (corner of ``Delta_u``),
+* a witness swap ``Delta_u = Delta_v`` (edge of the envelope ``Delta``).
+
+The builder enumerates all ``C(N, 3)`` site triples with at least two
+distinct parents (numpy-batched), computes circumcenters, and validates
+the envelope conditions — a faithful, exact-up-to-tolerance census of the
+diagram's vertices, which is the quantity Theorem 2.14 bounds by
+``O(k n^3)``.
+
+The module also exposes the dominance polygons
+``K_ij = {x : Delta_j(x) <= delta_i(x)}`` — the convex polygons whose
+boundaries are the paper's ``gamma_ij`` curves; Lemma 2.13 bounds their
+complexity by ``O(k)``, which the tests verify against the ``k^2``
+halfplanes they are cut from.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.halfplanes import Halfplane, halfplane_intersection
+from ..geometry.primitives import Point
+from ..uncertain.discrete import DiscreteUncertainPoint
+
+__all__ = ["DiscreteNonzeroVoronoi", "dominance_polygon"]
+
+
+def dominance_polygon(stronger: DiscreteUncertainPoint,
+                      weaker: DiscreteUncertainPoint,
+                      bound: float = 1e6) -> List[Point]:
+    """``K = {x : Delta_stronger(x) <= delta_weaker(x)}`` as a convex polygon.
+
+    The region of queries from which *every* site of ``stronger`` is at
+    least as close as *every* site of ``weaker`` — the paper's ``K_ij``
+    with ``j = stronger``, ``i = weaker``.  Intersection of the
+    ``k_j * k_i`` site-pair halfplanes, clipped to ``[-bound, bound]^2``.
+    """
+    halfplanes: List[Halfplane] = []
+    for pa, _ in stronger.sites_with_weights():
+        for pb, _ in weaker.sites_with_weights():
+            # d(x, pa) <= d(x, pb)  <=>  2 <x, pb - pa> <= |pb|^2 - |pa|^2
+            a = 2.0 * (pb[0] - pa[0])
+            b = 2.0 * (pb[1] - pa[1])
+            c = (pb[0] ** 2 + pb[1] ** 2) - (pa[0] ** 2 + pa[1] ** 2)
+            if a == 0.0 and b == 0.0:
+                if c < 0.0:
+                    return []  # coincident sites can never dominate strictly
+                continue
+            halfplanes.append(Halfplane(a, b, c))
+    return halfplane_intersection(halfplanes, bound=bound)
+
+
+class DiscreteNonzeroVoronoi:
+    """Vertex census and queries for the discrete-case ``V!=0``.
+
+    Parameters
+    ----------
+    points:
+        The discrete uncertain points.
+    tol:
+        Relative tolerance for the distance-equality validations.
+    """
+
+    def __init__(self, points: Sequence[DiscreteUncertainPoint],
+                 tol: float = 1e-7) -> None:
+        if not points:
+            raise ValueError("need at least one uncertain point")
+        self.points = list(points)
+        self.tol = tol
+        sites: List[Point] = []
+        owners: List[int] = []
+        for i, p in enumerate(self.points):
+            for site, _ in p.sites_with_weights():
+                sites.append(site)
+                owners.append(i)
+        self._sites = np.asarray(sites, dtype=float)
+        self._owners = np.asarray(owners, dtype=int)
+        self.total_sites = len(sites)
+        self.vertices: List[Point] = []
+        self.vertex_kinds: List[str] = []
+        self._enumerate_vertices()
+
+    # ------------------------------------------------------------------
+    def _enumerate_vertices(self) -> None:
+        n_sites = self.total_sites
+        if n_sites < 3:
+            return
+        triples = [t for t in itertools.combinations(range(n_sites), 3)
+                   if len({self._owners[t[0]], self._owners[t[1]],
+                           self._owners[t[2]]}) >= 2]
+        if not triples:
+            return
+        tri = np.asarray(triples, dtype=int)
+        a = self._sites[tri[:, 0]]
+        b = self._sites[tri[:, 1]]
+        c = self._sites[tri[:, 2]]
+        # Batched circumcenters.
+        d = 2.0 * (a[:, 0] * (b[:, 1] - c[:, 1])
+                   + b[:, 0] * (c[:, 1] - a[:, 1])
+                   + c[:, 0] * (a[:, 1] - b[:, 1]))
+        ok = np.abs(d) > 1e-12
+        if not np.any(ok):
+            return
+        a, b, c, d = a[ok], b[ok], c[ok], d[ok]
+        a2 = np.sum(a * a, axis=1)
+        b2 = np.sum(b * b, axis=1)
+        c2 = np.sum(c * c, axis=1)
+        ux = (a2 * (b[:, 1] - c[:, 1]) + b2 * (c[:, 1] - a[:, 1])
+              + c2 * (a[:, 1] - b[:, 1])) / d
+        uy = (a2 * (c[:, 0] - b[:, 0]) + b2 * (a[:, 0] - c[:, 0])
+              + c2 * (b[:, 0] - a[:, 0])) / d
+        centers = np.stack([ux, uy], axis=1)
+        radius = np.hypot(a[:, 0] - ux, a[:, 1] - uy)
+
+        # Validate in chunks to bound the distance-matrix memory.
+        n = len(self.points)
+        accepted: List[Tuple[Point, str]] = []
+        chunk = max(1, 2_000_000 // max(n_sites, 1))
+        for lo in range(0, len(centers), chunk):
+            hi = lo + chunk
+            ctr = centers[lo:hi]
+            rad = radius[lo:hi]
+            dmat = np.hypot(ctr[:, None, 0] - self._sites[None, :, 0],
+                            ctr[:, None, 1] - self._sites[None, :, 1])
+            band = self.tol * np.maximum(1.0, rad)[:, None]
+            # Per-parent delta / Delta at each candidate, plus the number of
+            # the parent's sites lying exactly at the circumradius (used for
+            # both nearest-site and farthest-site tie detection).
+            delta_p = np.full((len(ctr), n), np.inf)
+            big_p = np.zeros((len(ctr), n))
+            at_radius = np.zeros((len(ctr), n), dtype=int)
+            for parent in range(n):
+                cols = dmat[:, self._owners == parent]
+                delta_p[:, parent] = cols.min(axis=1)
+                big_p[:, parent] = cols.max(axis=1)
+                at_radius[:, parent] = np.sum(
+                    np.abs(cols - rad[:, None]) <= band, axis=1)
+            delta_env = big_p.min(axis=1)
+            flat_band = band[:, 0]
+            # Condition A: the circumradius is the envelope value Delta(x).
+            cond_env = np.abs(delta_env - rad) <= flat_band
+            # Curves through x: parents with delta = Delta.
+            on_curves = np.abs(delta_p - rad[:, None]) <= band
+            on_count = on_curves.sum(axis=1)
+            # Witness parents: Delta_u = Delta.
+            witnesses = np.abs(big_p - rad[:, None]) <= band
+            witness_count = witnesses.sum(axis=1)
+            for t in np.nonzero(cond_env & (on_count >= 1))[0]:
+                kind = None
+                if on_count[t] >= 2:
+                    kind = "crossing"
+                else:
+                    parent = int(np.nonzero(on_curves[t])[0][0])
+                    if at_radius[t, parent] >= 2:
+                        kind = "nearest-tie"
+                    elif witness_count[t] >= 2:
+                        kind = "witness-swap"
+                    elif witness_count[t] == 1:
+                        w = int(np.nonzero(witnesses[t])[0][0])
+                        if at_radius[t, w] >= 2:
+                            kind = "farthest-tie"
+                if kind is not None:
+                    accepted.append(((float(ctr[t, 0]), float(ctr[t, 1])),
+                                     kind))
+        self._dedupe(accepted)
+
+    def _dedupe(self, accepted: List[Tuple[Point, str]]) -> None:
+        """Merge repeated discoveries of the same vertex (grid + neighbors).
+
+        The merge tolerance scales with the site spread (translation
+        invariant), not the absolute coordinate magnitude.
+        """
+        spread = float(np.max(self._sites) - np.min(self._sites)) + 1.0
+        merge = self.tol * spread
+        inv = 1.0 / merge
+        grid: Dict[Tuple[int, int], List[int]] = {}
+        for p, kind in accepted:
+            cx = math.floor(p[0] * inv)
+            cy = math.floor(p[1] * inv)
+            duplicate = False
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    for vid in grid.get((cx + dx, cy + dy), ()):
+                        v = self.vertices[vid]
+                        if math.hypot(p[0] - v[0], p[1] - v[1]) <= merge:
+                            duplicate = True
+                            break
+                    if duplicate:
+                        break
+                if duplicate:
+                    break
+            if not duplicate:
+                grid.setdefault((cx, cy), []).append(len(self.vertices))
+                self.vertices.append(p)
+                self.vertex_kinds.append(kind)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count of ``V!=0`` — the Theorem 2.14 quantity."""
+        return len(self.vertices)
+
+    def vertex_census(self) -> Dict[str, int]:
+        """Vertex counts by kind (crossing / nearest-tie / ...)."""
+        out: Dict[str, int] = {}
+        for kind in self.vertex_kinds:
+            out[kind] = out.get(kind, 0) + 1
+        return out
+
+    # ------------------------------------------------------------------
+    def delta(self, q: Point) -> float:
+        """``Delta(q) = min_i max_site d(q, site)``."""
+        return min(p.max_dist(q) for p in self.points)
+
+    def nonzero_nn(self, q: Point) -> List[int]:
+        """``NN!=0(q)`` by the Lemma 2.1 predicate on exact site distances."""
+        from ..geometry.disks import nonzero_nn_indices
+
+        return nonzero_nn_indices([p.min_dist(q) for p in self.points],
+                                  [p.max_dist(q) for p in self.points])
+
+    def dominance_polygon(self, i: int, j: int,
+                          bound: float = 1e6) -> List[Point]:
+        """``K_ij``: where ``P_j`` certainly excludes ``P_i`` (Lemma 2.13)."""
+        return dominance_polygon(self.points[j], self.points[i], bound)

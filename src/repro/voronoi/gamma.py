@@ -1,0 +1,152 @@
+"""The curves ``gamma_i`` bounding the nonzero-NN regions (Lemma 2.2).
+
+``gamma_i = {x : delta_i(x) = Delta(x)}`` separates the region where ``P_i``
+has nonzero probability of being the nearest neighbor (``delta_i < Delta``)
+from the region where it has none.  Lemma 2.2 shows ``gamma_i`` is the lower
+envelope, in polar coordinates around ``c_i``, of the hyperbola branches
+``gamma_ij`` — each pair of which crosses at most twice — so the envelope
+has at most ``2n`` breakpoints and is computable in ``O(n log n)``.
+
+This module assembles exactly that: one :class:`GammaCurve` per uncertain
+point, wrapping the generic polar-envelope machinery with the paper's
+region semantics (star-shapedness of ``R_i`` around ``c_i``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from ..geometry.disks import Disk
+from ..geometry.envelopes import PiecewisePolarCurve, lower_envelope
+from ..geometry.hyperbola import gamma_branch
+from ..geometry.primitives import TWO_PI, Point, angle_of, dist
+
+__all__ = ["GammaCurve", "build_gamma_curves"]
+
+
+class GammaCurve:
+    """The boundary curve of ``R_i = {x : delta_i(x) < Delta(x)}``.
+
+    ``R_i`` is star-shaped around ``c_i`` (each ray crosses each
+    ``gamma_ij`` at most once), so membership is a single envelope lookup:
+    ``x in R_i  iff  |x - c_i| < envelope(angle(x - c_i))``.
+    """
+
+    def __init__(self, index: int, disk: Disk,
+                 envelope: PiecewisePolarCurve) -> None:
+        self.index = index
+        self.disk = disk
+        self.envelope = envelope
+
+    # ------------------------------------------------------------------
+    def radius(self, theta: float) -> float:
+        """Envelope value: distance from ``c_i`` to the curve at *theta*."""
+        return self.envelope.radius(theta)
+
+    def contains(self, q: Point, tol: float = 0.0) -> bool:
+        """Whether *q* lies in the open region ``R_i`` (Lemma 2.1 test)."""
+        c = self.disk.center
+        rho = dist(q, c)
+        theta = angle_of((q[0] - c[0], q[1] - c[1]))
+        return rho < self.envelope.radius(theta) - tol
+
+    def breakpoints(self) -> List[Tuple[float, int, int]]:
+        """``(theta, j_left, j_right)``: the witness swap angles of Lemma 2.2.
+
+        ``j_left`` / ``j_right`` are the indices of the disks whose
+        ``gamma_ij`` attains the envelope before and after the breakpoint.
+        """
+        out = []
+        for theta, left, right in self.envelope.breakpoints():
+            out.append((theta, left.label, right.label))
+        return out
+
+    def breakpoint_count(self) -> int:
+        """Number of breakpoints (Lemma 2.2 bounds this by ``2n``)."""
+        return len(self.envelope.breakpoints())
+
+    def breakpoint_points(self) -> List[Point]:
+        """Cartesian coordinates of the breakpoints."""
+        return self.envelope.breakpoint_points()
+
+    def is_empty(self) -> bool:
+        """Whether ``gamma_i`` is empty (``R_i`` is the whole plane).
+
+        Happens iff no ``gamma_ij`` exists, i.e. ``D_i`` intersects every
+        other disk — then ``delta_i < Delta_j`` everywhere for all ``j``.
+        """
+        return self.envelope.is_everywhere_infinite()
+
+    def is_closed(self) -> bool:
+        """Whether the curve surrounds ``R_i`` completely (no unbounded gap)."""
+        return not self.is_empty() and \
+            all(a.curve is not None for a in self.envelope.arcs)
+
+    # ------------------------------------------------------------------
+    def finite_runs(self) -> List[Tuple[float, float]]:
+        """Maximal angular intervals on which the curve exists.
+
+        Consecutive finite arcs are merged; a run wrapping through
+        ``theta = 0`` is reported as a single interval with
+        ``end = start_raw + width`` possibly exceeding ``2*pi``.  Each run
+        is one connected component of ``gamma_i`` (an unbounded arc, unless
+        the curve is closed — then the single run covers the full circle).
+        """
+        arcs = self.envelope.arcs
+        runs: List[Tuple[float, float]] = []
+        cur_start: Optional[float] = None
+        for arc in arcs:
+            if arc.curve is not None:
+                if cur_start is None:
+                    cur_start = arc.start
+            else:
+                if cur_start is not None:
+                    runs.append((cur_start, arc.start))
+                    cur_start = None
+        if cur_start is not None:
+            runs.append((cur_start, TWO_PI))
+        if not runs:
+            return []
+        # Merge a run ending at 2*pi with one starting at 0 (wraparound).
+        if len(runs) >= 2 and runs[0][0] <= 1e-12 \
+                and abs(runs[-1][1] - TWO_PI) <= 1e-12:
+            first = runs.pop(0)
+            last = runs.pop()
+            runs.append((last[0], TWO_PI + first[1]))
+        return runs
+
+    def sample_points(self, count: int = 256) -> List[Point]:
+        """Points along the curve for visualization/testing (finite only)."""
+        pts: List[Point] = []
+        for start, end in self.finite_runs():
+            steps = max(2, int(count * (end - start) / TWO_PI))
+            for s in range(steps + 1):
+                theta = (start + (end - start) * s / steps) % TWO_PI
+                rho = self.envelope.radius(theta)
+                if math.isfinite(rho):
+                    c = self.disk.center
+                    pts.append((c[0] + rho * math.cos(theta),
+                                c[1] + rho * math.sin(theta)))
+        return pts
+
+
+def build_gamma_curves(disks: Sequence[Disk]) -> List[GammaCurve]:
+    """Construct ``gamma_i`` for every disk: the Lemma 2.2 computation.
+
+    For each ``i``, the branches ``gamma_ij`` for all ``j != i`` (skipping
+    overlapping disks, whose branch is empty) are fed to the generic polar
+    lower-envelope; total work ``O(n^2 log n)`` as in Theorem 2.5.
+    """
+    curves: List[GammaCurve] = []
+    for i, disk in enumerate(disks):
+        branches = []
+        for j, other in enumerate(disks):
+            if j == i:
+                continue
+            branch = gamma_branch(disk, other, label=j)
+            if branch is not None:
+                branches.append(branch)
+        envelope = lower_envelope(disk.center, branches)
+        curves.append(GammaCurve(i, disk, envelope))
+    return curves

@@ -1,0 +1,134 @@
+"""The guaranteed Voronoi diagram of [SE08] (discussed in Section 1.2).
+
+The paper contrasts ``V!=0`` with the *guaranteed* Voronoi diagram: the
+cells where a single uncertain point is certain to be the nearest neighbor
+(``pi_i(q) = 1``).  For disk regions the guaranteed cell of ``P_i`` is
+
+    G_i = {q : Delta_i(q) < delta_j(q)  for all j != i},
+
+i.e. even the farthest possible position of ``P_i`` beats the nearest
+possible position of everyone else.  [SE08] prove the *total* complexity
+of these cells is ``O(n)`` — in sharp contrast to the ``Theta(n^3)`` of
+``V!=0`` — which experiment E17 verifies empirically.
+
+Geometry reuse: the boundary pieces ``{x : Delta_i(x) = delta_j(x)}`` are
+the same hyperbola family as the ``gamma`` curves with the roles of the
+two disks swapped — ``d(x, c_j) - d(x, c_i) = r_i + r_j``, the branch
+closer to ``c_i`` — and a ray from ``c_i`` crosses each at most once, so
+each guaranteed cell is star-shaped around its own center and is computed
+by the very same polar lower-envelope machinery (Lemma 2.2's argument).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..geometry.disks import Disk
+from ..geometry.envelopes import PiecewisePolarCurve, lower_envelope
+from ..geometry.hyperbola import witness_branch
+from ..geometry.primitives import Point, angle_of, dist
+
+__all__ = ["GuaranteedVoronoi"]
+
+
+class GuaranteedVoronoi:
+    """Guaranteed-NN cells of a family of disks ([SE08]).
+
+    ``cell(i)`` is the open region where ``P_i`` is the nearest neighbor
+    with probability exactly 1; ``locate(q)`` returns its index or ``None``
+    (most of the plane belongs to no guaranteed cell).
+    """
+
+    def __init__(self, disks: Sequence[Disk]) -> None:
+        if not disks:
+            raise ValueError("need at least one disk")
+        self.disks: List[Disk] = list(disks)
+        self._envelopes: List[PiecewisePolarCurve] = []
+        for i, disk in enumerate(self.disks):
+            branches = []
+            for j, other in enumerate(self.disks):
+                if j == i:
+                    continue
+                # {x : Delta_i(x) = delta_j(x)}: the hyperbola branch
+                # d(x, c_j) - d(x, c_i) = r_i + r_j, polar around c_i —
+                # exactly witness_branch with (moving=other, pivot=disk).
+                branch = witness_branch(other, disk, label=j)
+                if branch is None:
+                    # Overlapping disks: delta_j(x) <= Delta_i(x) can fail
+                    # everywhere... conservatively the guaranteed cell is
+                    # empty whenever some other region overlaps this one,
+                    # since then delta_j = 0 <= Delta_i at shared points;
+                    # globally: Delta_i >= delta_j has no strict solution
+                    # only if the branch is empty AND the disks overlap.
+                    branches = None
+                    break
+                branches.append(branch)
+            if branches is None:
+                self._envelopes.append(_empty_envelope(disk.center))
+            else:
+                self._envelopes.append(
+                    lower_envelope(disk.center, branches))
+
+    # ------------------------------------------------------------------
+    def contains(self, i: int, q: Point) -> bool:
+        """Whether *q* lies in the guaranteed cell of ``P_i`` (envelope test)."""
+        env = self._envelopes[i]
+        c = self.disks[i].center
+        rho = dist(q, c)
+        theta = angle_of((q[0] - c[0], q[1] - c[1]))
+        return rho < env.radius(theta)
+
+    def contains_bruteforce(self, i: int, q: Point) -> bool:
+        """Direct evaluation of the defining predicate."""
+        big = self.disks[i].max_dist(q)
+        return all(big < d.min_dist(q)
+                   for j, d in enumerate(self.disks) if j != i)
+
+    def locate(self, q: Point) -> Optional[int]:
+        """Index of the guaranteed NN at *q*, or ``None``.
+
+        Cells are disjoint (two points cannot both be certain winners), so
+        at most one index matches.
+        """
+        for i in range(len(self.disks)):
+            if self.contains(i, q):
+                return i
+        return None
+
+    # ------------------------------------------------------------------
+    def cell_complexity(self, i: int) -> int:
+        """Number of arcs of the cell boundary of ``P_i``."""
+        return self._envelopes[i].complexity()
+
+    def total_complexity(self) -> int:
+        """Total boundary arcs over all cells — [SE08]'s ``O(n)`` quantity."""
+        return sum(env.complexity() for env in self._envelopes)
+
+    def nonempty_cells(self) -> List[int]:
+        """Indices whose guaranteed cell has nonempty interior.
+
+        The cell of ``P_i`` always contains points sufficiently deep inside
+        ``D_i``'s "private" zone when one exists; emptiness is detected via
+        the envelope (positive radius in some direction iff nonempty, by
+        star-shapedness).
+        """
+        out = []
+        for i, env in enumerate(self._envelopes):
+            if env.is_everywhere_infinite():
+                # No constraint at all: whole plane (only possible n = 1).
+                out.append(i)
+                continue
+            if any(a.curve is not None and
+                   env.radius(a.midpoint) > 1e-100 for a in env.arcs):
+                out.append(i)
+        return out
+
+
+def _empty_envelope(center: Point) -> PiecewisePolarCurve:
+    """An envelope that is identically zero (empty star-shaped region)."""
+    from ..geometry.envelopes import Arc
+    from ..geometry.hyperbola import PolarHyperbola
+
+    # A degenerate curve with radius ~0 in every direction.
+    tiny = PolarHyperbola(center, 1e-300, 0.0, 0.0, 1.0)
+    return PiecewisePolarCurve(center, [Arc(0.0, 2 * 3.141592653589793, tiny)])

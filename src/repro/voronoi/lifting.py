@@ -1,0 +1,106 @@
+"""The linearization of Section 2.2: distances as envelopes of planes.
+
+Lemma 2.12's lifting replaces squared distances with *linear* functions:
+
+    f(x, p) = d^2(x, p) - |x|^2 = |p|^2 - 2 <x, p>
+
+For a discrete uncertain point ``P_i = {p_i1, ..., p_ik}``:
+
+* ``phi_i(x)   = min_j f(x, p_ij)`` — a piecewise-linear *concave*
+  surface (lower envelope of planes) encoding the nearest-site distance:
+  ``delta_i(q) = r  iff  phi_i(q) = r^2 - |q|^2``;
+* ``Phi_i(x)   = max_j f(x, p_ij)`` — a piecewise-linear *convex* surface
+  (upper envelope) encoding the farthest-site distance the same way.
+
+Theorem 3.2's data structures operate entirely on these surfaces; this
+module provides their exact evaluation, the inverse transform back to
+distances, and the Lemma 2.13 curve ``gamma_ij = {x : phi_i(x) = Phi_j(x)}``
+(via the dominance polygons).  The tests verify both lemmas directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from ..geometry.convexhull import convex_hull
+from ..geometry.primitives import Point
+from ..uncertain.discrete import DiscreteUncertainPoint
+
+__all__ = ["lift", "unlift", "LiftedSurfaces"]
+
+
+def lift(x: Point, p: Point) -> float:
+    """``f(x, p) = |p|^2 - 2 <x, p>`` (Eq. 5 of the paper)."""
+    return (p[0] * p[0] + p[1] * p[1]
+            - 2.0 * (x[0] * p[0] + x[1] * p[1]))
+
+
+def unlift(value: float, x: Point) -> float:
+    """Recover the distance: ``d = sqrt(value + |x|^2)`` (Lemma 2.12).
+
+    Values can dip a hair below ``-|x|^2`` through rounding; clamped.
+    """
+    d2 = value + x[0] * x[0] + x[1] * x[1]
+    return math.sqrt(max(d2, 0.0))
+
+
+class LiftedSurfaces:
+    """The ``phi_i`` / ``Phi_i`` surfaces of a family of discrete points.
+
+    Evaluation uses the structure Theorem 3.2 exploits: ``Phi_i`` is the
+    upper envelope of the planes of ``P_i``'s sites, and the maximizing
+    plane always belongs to a *hull* vertex of the site set, so the
+    evaluation scans hull vertices only (paralleling the farthest-point
+    Voronoi structure of Section 2.2).
+    """
+
+    def __init__(self, points: Sequence[DiscreteUncertainPoint]) -> None:
+        if not points:
+            raise ValueError("need at least one uncertain point")
+        self.points: List[DiscreteUncertainPoint] = list(points)
+        self._hulls: List[List[Point]] = []
+        for p in self.points:
+            hull = convex_hull(p.points)
+            self._hulls.append(hull if hull else list(p.points))
+
+    # ------------------------------------------------------------------
+    def phi(self, i: int, x: Point) -> float:
+        """``phi_i(x) = min_j f(x, p_ij)`` (concave lower envelope)."""
+        return min(lift(x, p) for p in self.points[i].points)
+
+    def big_phi(self, i: int, x: Point) -> float:
+        """``Phi_i(x) = max_j f(x, p_ij)`` via hull vertices only."""
+        return max(lift(x, p) for p in self._hulls[i])
+
+    def big_phi_envelope(self, x: Point) -> Tuple[int, float]:
+        """``Phi(x) = min_i Phi_i(x)`` with its argmin (stage 1 of Thm 3.2)."""
+        best = -1
+        best_val = math.inf
+        for i in range(len(self.points)):
+            v = self.big_phi(i, x)
+            if v < best_val:
+                best_val = v
+                best = i
+        return best, best_val
+
+    # ------------------------------------------------------------------
+    def nonzero_nn(self, q: Point) -> List[int]:
+        """``NN!=0(q)`` evaluated wholly in the lifted space.
+
+        Lemma 2.12 makes ``delta_i(q) < Delta_j(q)`` equivalent to
+        ``phi_i(q) < Phi_j(q)``, so the Lemma 2.1 predicate transfers
+        verbatim (and the zero-extent ``j != i`` subtlety cannot arise for
+        ``k >= 2`` sites in general position; for ``k = 1`` the lifted and
+        unlifted predicates coincide, handled by the second-minimum rule).
+        """
+        from ..geometry.disks import nonzero_nn_indices
+
+        mins = [self.phi(i, q) for i in range(len(self.points))]
+        maxs = [self.big_phi(i, q) for i in range(len(self.points))]
+        return nonzero_nn_indices(mins, maxs)
+
+    def delta_via_lifting(self, q: Point) -> float:
+        """``Delta(q)`` computed as ``unlift(Phi(q))`` — Lemma 2.12 check."""
+        _, val = self.big_phi_envelope(q)
+        return unlift(val, q)

@@ -1,0 +1,161 @@
+"""The exact probabilistic Voronoi diagram ``V_Pr`` (Section 4.1).
+
+Lemma 4.1: the ``O(N^2)`` perpendicular bisectors of all pairs of possible
+site locations subdivide the plane into ``O(N^4)`` convex cells, inside
+each of which the distance order to every site — and therefore every
+quantification probability (Eq. 2) — is constant.  Theorem 4.2 preprocesses
+this refinement for point location, answering exact quantification queries
+in ``O(log N + t)``.
+
+Construction: bisector lines are clipped to a bounding box (chosen to
+contain the query region of interest plus every pairwise midpoint), the
+box boundary is added, and the segment arrangement's bounded faces each get
+their exact probability vector evaluated at an interior point.  Queries go
+through the slab point locator; queries outside the box fall back to the
+direct Eq. (2) sweep, preserving exactness everywhere.
+
+This structure is *meant* to be enormous — its ``Theta(N^4)`` size is the
+paper's motivation for the approximation algorithms of Sections 4.2/4.3 —
+so it is only practical for small instances, which is also all the
+``Omega(n^4)`` lower-bound experiment (E10) needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geometry.primitives import Point
+from ..geometry.seg_arrangement import SegmentArrangement
+from ..geometry.segments import bisector_line, line_box_clip
+from ..quantification.exact_discrete import quantification_vector
+from ..spatial.pointlocation import SlabPointLocator
+from ..uncertain.discrete import DiscreteUncertainPoint
+
+__all__ = ["ProbabilisticVoronoiDiagram"]
+
+
+class ProbabilisticVoronoiDiagram:
+    """Exact quantification-probability queries via the ``V_Pr`` refinement.
+
+    Parameters
+    ----------
+    points:
+        Discrete uncertain points (the exact diagram only exists for
+        discrete distributions; Section 4.1).
+    box:
+        Optional ``((xmin, ymin), (xmax, ymax))`` query window.  Defaults
+        to the bounding box of all sites, inflated by half its diagonal —
+        large enough to contain every bounded cell near the data.  Queries
+        outside the window remain exact via the fallback sweep.
+    """
+
+    def __init__(self, points: Sequence[DiscreteUncertainPoint],
+                 box: Optional[Tuple[Point, Point]] = None) -> None:
+        if not points:
+            raise ValueError("need at least one uncertain point")
+        self.points = list(points)
+        sites: List[Point] = []
+        for p in self.points:
+            sites.extend(site for site, _ in p.sites_with_weights())
+        self.total_sites = len(sites)
+
+        if box is None:
+            xs = [s[0] for s in sites]
+            ys = [s[1] for s in sites]
+            spread = max(xs[0] + 1.0, max(xs) - min(xs), max(ys) - min(ys))
+            pad = 0.75 * max(spread, 1.0)
+            box = ((min(xs) - pad, min(ys) - pad),
+                   (max(xs) + pad, max(ys) + pad))
+        self.box = box
+
+        segments = self._bisector_segments(sites, box)
+        # Add the window boundary so bounded faces tile the whole window.
+        (xmin, ymin), (xmax, ymax) = box
+        segments.extend([
+            ((xmin, ymin), (xmax, ymin)),
+            ((xmax, ymin), (xmax, ymax)),
+            ((xmax, ymax), (xmin, ymax)),
+            ((xmin, ymax), (xmin, ymin)),
+        ])
+        self.arrangement = SegmentArrangement(segments)
+        self.locator = SlabPointLocator(self.arrangement)
+        self._face_vectors: Dict[int, List[float]] = {}
+        self._face_reps: Dict[int, Point] = {}
+        bounded = [idx for idx, area in enumerate(self.arrangement.face_areas)
+                   if area > self.arrangement.tol]
+        interior = self.arrangement.face_interior_points()
+        for loop_idx, rep in zip(bounded, interior):
+            self._face_reps[loop_idx] = rep
+            self._face_vectors[loop_idx] = quantification_vector(
+                self.points, rep)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _bisector_segments(sites: List[Point],
+                           box: Tuple[Point, Point]):
+        """Clipped bisectors of all site pairs, deduplicated."""
+        seen = set()
+        segments = []
+        m = len(sites)
+        for a in range(m):
+            for b in range(a + 1, m):
+                p, r = sites[a], sites[b]
+                if p == r:
+                    continue  # coincident sites never swap distance order
+                la, lb, lc = bisector_line(p, r)
+                # Normalize the line key for deduplication.
+                norm = max(abs(la), abs(lb), abs(lc), 1e-30)
+                key = (round(la / norm, 9), round(lb / norm, 9),
+                       round(lc / norm, 9))
+                key_neg = tuple(-v for v in key)
+                if key in seen or key_neg in seen:
+                    continue
+                seen.add(key)
+                clipped = line_box_clip(la, lb, lc, box)
+                if clipped is not None:
+                    segments.append(clipped)
+        return segments
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Arrangement vertices (grows like ``N^4`` — Lemma 4.1)."""
+        return self.arrangement.num_vertices
+
+    @property
+    def num_faces(self) -> int:
+        """Number of cells in the refinement within the window."""
+        return self.arrangement.bounded_face_count()
+
+    @property
+    def complexity(self) -> int:
+        """Total ``V + E + F`` of the clipped arrangement."""
+        return self.arrangement.complexity
+
+    def distinct_vectors(self, decimals: int = 9) -> int:
+        """Number of distinct probability vectors over the cells.
+
+        Lemma 4.1's lower-bound construction makes ``Omega(n^4)`` cells
+        pairwise distinct; this counter is what experiment E10 reports.
+        """
+        seen = {tuple(round(v, decimals) for v in vec)
+                for vec in self._face_vectors.values()}
+        return len(seen)
+
+    # ------------------------------------------------------------------
+    def query(self, q: Point) -> List[float]:
+        """Exact ``(pi_1(q), ..., pi_n(q))``.
+
+        ``O(log N + n)`` via point location inside the window (the vector
+        is precomputed per cell); exact fallback sweep outside.
+        """
+        loop = self.locator.locate(q)
+        if loop is not None and loop in self._face_vectors:
+            return list(self._face_vectors[loop])
+        return quantification_vector(self.points, q)
+
+    def positive_probabilities(self, q: Point,
+                               tol: float = 0.0) -> Dict[int, float]:
+        """The paper's query output: all ``(P_i, pi_i(q))`` with positive pi."""
+        vec = self.query(q)
+        return {i: v for i, v in enumerate(vec) if v > tol}

@@ -1,0 +1,93 @@
+"""Witness-disk solver: the vertex characterization of Theorem 2.5.
+
+A (crossing) vertex of ``V!=0(P)`` is a point ``v`` where two curves
+``gamma_i`` and ``gamma_j`` meet: the disk ``W = B(v, Delta(v))`` *touches*
+``D_i`` and ``D_j`` from the outside, touches the witness disk ``D_u``
+realizing ``Delta(v)`` from the inside, and properly contains no disk of
+the family (proof of Theorem 2.5, cf. Figure 3 of the paper).
+
+Dropping the global conditions, the candidate points for a fixed triple
+``(i, j, u)`` satisfy::
+
+    d(v, c_i) - d(v, c_u) = r_i + r_u      (delta_i(v) = Delta_u(v))
+    d(v, c_j) - d(v, c_u) = r_j + r_u      (delta_j(v) = Delta_u(v))
+
+— two hyperbola branches sharing the focus ``c_u``.  In polar coordinates
+around ``c_u`` each is rational in ``cos/sin`` and equality reduces to one
+linear trigonometric equation, so the at-most-two candidates (the "at most
+two points v" of the paper's proof) come out in closed form.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..geometry.disks import Disk
+from ..geometry.hyperbola import intersect_same_focus, witness_branch
+from ..geometry.primitives import Point
+
+__all__ = ["witness_candidates", "validate_vertex", "crossing_vertices_bruteforce"]
+
+
+def witness_candidates(disk_i: Disk, disk_j: Disk, pivot: Disk) -> List[Point]:
+    """Points with ``delta_i = delta_j = Delta_pivot`` (at most two).
+
+    Pure local computation — no global minimality check; see
+    :func:`validate_vertex` for the arrangement-level validation.
+    """
+    branch_i = witness_branch(disk_i, pivot)
+    branch_j = witness_branch(disk_j, pivot)
+    if branch_i is None or branch_j is None:
+        return []
+    out: List[Point] = []
+    for theta in intersect_same_focus(branch_i, branch_j):
+        out.append(branch_i.point_at(theta))
+    return out
+
+
+def validate_vertex(disks: Sequence[Disk], v: Point, i: int, j: int,
+                    u: int, tol: float = 1e-7) -> bool:
+    """Whether candidate *v* is a genuine crossing vertex of ``V!=0``.
+
+    Checks the global part of the characterization: ``Delta_u(v)`` must be
+    the minimum over all disks (equivalently, the witness disk
+    ``B(v, Delta_u(v))`` properly contains no disk of the family).  The
+    local tangency conditions hold by construction of the candidate.
+
+    The tolerance scales with the witness radius so that the huge-coordinate
+    lower-bound constructions (Theorem 2.7 uses disks of radius ``8 n^2``)
+    validate as reliably as unit-scale inputs.
+    """
+    radius = disks[u].max_dist(v)
+    band = tol * max(1.0, radius)
+    for w, disk in enumerate(disks):
+        if disk.max_dist(v) < radius - band:
+            return False
+    # Paranoia: check the defining equalities survived the arithmetic.
+    if abs(disks[i].min_dist(v) - radius) > band:
+        return False
+    if abs(disks[j].min_dist(v) - radius) > band:
+        return False
+    return True
+
+
+def crossing_vertices_bruteforce(disks: Sequence[Disk],
+                                 tol: float = 1e-7) -> List[Point]:
+    """All crossing vertices by exhaustive triple enumeration.
+
+    ``O(n^3)`` candidate solves plus ``O(n)`` validation each — the
+    reference implementation used by tests; the diagram builder batches the
+    same computation with numpy (see
+    :meth:`repro.voronoi.diagram.NonzeroVoronoiDiagram`).
+    """
+    out: List[Point] = []
+    n = len(disks)
+    for i in range(n):
+        for j in range(i + 1, n):
+            for u in range(n):
+                if u == i or u == j:
+                    continue
+                for v in witness_candidates(disks[i], disks[j], disks[u]):
+                    if validate_vertex(disks, v, i, j, u, tol):
+                        out.append(v)
+    return out

@@ -1,0 +1,116 @@
+"""Tests for the R-tree substrate and the [CKP04] branch-and-prune baseline."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.baseline import BranchAndPruneIndex
+from repro.core.index import PNNIndex
+from repro.core.workloads import (
+    clustered_sensor_field,
+    mobile_object_tracks,
+    random_discrete_points,
+)
+from repro.spatial.rtree import RTree, rect_max_dist, rect_min_dist
+from repro.uncertain.discrete import DiscreteUncertainPoint
+
+
+class TestRectDistances:
+    def test_min_dist_inside(self):
+        assert rect_min_dist((0, 0, 2, 2), (1, 1)) == 0.0
+
+    def test_min_dist_side(self):
+        assert rect_min_dist((0, 0, 2, 2), (4, 1)) == pytest.approx(2.0)
+
+    def test_min_dist_corner(self):
+        assert rect_min_dist((0, 0, 2, 2), (5, 6)) == pytest.approx(5.0)
+
+    def test_max_dist_inside(self):
+        # Farthest corner from (1.5, 1.5) in [0,2]^2 is (0,0).
+        assert rect_max_dist((0, 0, 2, 2), (1.5, 1.5)) \
+            == pytest.approx(math.hypot(1.5, 1.5))
+
+    def test_max_dist_outside(self):
+        assert rect_max_dist((0, 0, 1, 1), (3, 0)) \
+            == pytest.approx(math.hypot(3, 1))
+
+
+class TestRTree:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_height_logarithmic(self):
+        rng = random.Random(1)
+        rects = []
+        for _ in range(500):
+            x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+            rects.append((x, y, x + 1, y + 1))
+        tree = RTree(rects)
+        assert tree.height <= 4  # fanout 8: 500 -> 63 -> 8 -> 1
+
+    def test_candidates_match_bruteforce(self):
+        rng = random.Random(2)
+        rects = []
+        for _ in range(200):
+            x, y = rng.uniform(0, 50), rng.uniform(0, 50)
+            w, h = rng.uniform(0.5, 2), rng.uniform(0.5, 2)
+            rects.append((x, y, x + w, y + h))
+        tree = RTree(rects)
+        for _ in range(40):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            threshold = rng.uniform(1, 10)
+            got, _ = tree.candidates_within(q, threshold)
+            want = [i for i, r in enumerate(rects)
+                    if rect_min_dist(r, q) < threshold]
+            assert sorted(got) == sorted(want)
+
+    def test_min_max_bound_matches_bruteforce(self):
+        rng = random.Random(3)
+        rects = []
+        for _ in range(150):
+            x, y = rng.uniform(0, 30), rng.uniform(0, 30)
+            rects.append((x, y, x + rng.uniform(0.5, 2), y + rng.uniform(0.5, 2)))
+        tree = RTree(rects)
+        for _ in range(40):
+            q = (rng.uniform(-5, 35), rng.uniform(-5, 35))
+            want = min(rect_max_dist(r, q) for r in rects)
+            assert tree.min_max_dist_bound(q) == pytest.approx(want)
+
+
+class TestBranchAndPrune:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            BranchAndPruneIndex([])
+
+    @pytest.mark.parametrize("workload,extent", [
+        (lambda: clustered_sensor_field(40, seed=1), 100.0),
+        (lambda: mobile_object_tracks(40, seed=2), 50.0),
+        (lambda: random_discrete_points(40, 3, seed=3), 10.0),
+    ])
+    def test_matches_pnnindex(self, workload, extent):
+        pts = workload()
+        baseline = BranchAndPruneIndex(pts)
+        ours = PNNIndex(pts)
+        rng = random.Random(7)
+        for _ in range(80):
+            q = (rng.uniform(0, extent), rng.uniform(0, extent))
+            assert sorted(baseline.nonzero_nn(q)) == ours.nonzero_nn(q)
+
+    def test_certain_points_edge_case(self):
+        rng = random.Random(11)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(25)]
+        pts = [DiscreteUncertainPoint([s], [1.0]) for s in sites]
+        baseline = BranchAndPruneIndex(pts)
+        for _ in range(60):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            nearest = min(range(25), key=lambda i: math.dist(sites[i], q))
+            assert baseline.nonzero_nn(q) == [nearest]
+
+    def test_pruning_stats(self):
+        pts = clustered_sensor_field(60, seed=5)
+        baseline = BranchAndPruneIndex(pts)
+        candidates, visited = baseline.pruning_stats((50, 50))
+        assert 1 <= candidates <= 60
+        assert visited >= 1

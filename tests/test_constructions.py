@@ -1,0 +1,133 @@
+"""Unit tests for the paper's lower-bound constructions."""
+
+import math
+
+import pytest
+
+from repro.geometry.disks import pairwise_disjoint, radius_ratio
+from repro.voronoi.constructions import (
+    cubic_lower_bound_disks,
+    equal_radius_lower_bound_disks,
+    quadratic_lower_bound_disks,
+    quadratic_lower_bound_predicted_vertices,
+    quartic_vpr_sites,
+)
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+
+
+class TestCubicConstruction:
+    def test_parameters_match_paper(self):
+        m = 2
+        disks = cubic_lower_bound_disks(m)
+        n = 4 * m
+        assert len(disks) == n
+        big_r = 8.0 * n * n
+        omega = 1.0 / (n * n)
+        # D-_1 at (-R - 3/2, 0), D-_2 shifted by omega.
+        assert disks[0].cx == pytest.approx(-big_r - 1.5)
+        assert disks[1].cx == pytest.approx(-big_r - 1.5 - omega)
+        assert disks[0].r == big_r
+        # D0_k at (0, 4(k - m) - 2) with radius 1.
+        assert disks[2 * m].center == (0.0, 4 * (1 - m) - 2.0)
+        assert disks[2 * m].r == 1.0
+
+    def test_m_validation(self):
+        with pytest.raises(ValueError):
+            cubic_lower_bound_disks(0)
+
+    def test_realizes_predicted_crossings(self):
+        m = 2
+        disks = cubic_lower_bound_disks(m)
+        diagram = NonzeroVoronoiDiagram(disks, merge_tol=1e-9)
+        paired = 0
+        for v in diagram.crossing_vertices():
+            idxs = sorted(v.on_curves)
+            if any(a < m <= b < 2 * m for a in idxs for b in idxs):
+                paired += 1
+        assert paired >= 4 * m ** 3
+
+
+class TestEqualRadiusConstruction:
+    def test_all_unit_radius(self):
+        disks = equal_radius_lower_bound_disks(3)
+        assert len(disks) == 9
+        assert all(d.r == 1.0 for d in disks)
+
+    def test_d0_touches_dplus1(self):
+        # Every D0_k touches D+_1 (centered (2,0)) externally by design.
+        m = 4
+        disks = equal_radius_lower_bound_disks(m)
+        dplus1 = disks[m]
+        assert dplus1.center == (2.0, 0.0)
+        for k in range(m):
+            d0 = disks[2 * m + k]
+            assert math.dist(d0.center, dplus1.center) == pytest.approx(2.0)
+
+    def test_realizes_predicted_crossings(self):
+        m = 3
+        disks = equal_radius_lower_bound_disks(m)
+        diagram = NonzeroVoronoiDiagram(disks, merge_tol=1e-10)
+        paired = 0
+        for v in diagram.crossing_vertices():
+            idxs = sorted(v.on_curves)
+            if any(a < m <= b < 2 * m for a in idxs for b in idxs):
+                paired += 1
+        assert paired >= m ** 3
+
+
+class TestQuadraticConstruction:
+    def test_disjoint_unit_disks(self):
+        disks = quadratic_lower_bound_disks(4)
+        assert len(disks) == 8
+        assert pairwise_disjoint(disks)
+        assert radius_ratio(disks) == 1.0
+
+    def test_predicted_vertex_count(self):
+        # Pairs with j - i >= 2 contribute 2 vertices (1 when merged).
+        m = 3
+        predicted = quadratic_lower_bound_predicted_vertices(m)
+        pair_count = sum(1 for i in range(1, 2 * m + 1)
+                         for j in range(i + 2, 2 * m + 1))
+        assert len(predicted) >= pair_count  # >= 1 per pair
+        assert len(predicted) <= 2 * pair_count
+
+    @pytest.mark.parametrize("m", [2, 3, 4])
+    def test_predicted_vertices_satisfy_equalities(self, m):
+        disks = quadratic_lower_bound_disks(m)
+        for v in quadratic_lower_bound_predicted_vertices(m):
+            big = min(d.max_dist(v) for d in disks)
+            on = [i for i, d in enumerate(disks)
+                  if abs(d.min_dist(v) - big) < 1e-9]
+            assert len(on) >= 2, f"predicted vertex {v} not on two curves"
+
+    @pytest.mark.parametrize("m", [2, 3])
+    def test_predicted_vertices_found_by_diagram(self, m):
+        disks = quadratic_lower_bound_disks(m)
+        diagram = NonzeroVoronoiDiagram(disks)
+        verts = diagram.vertex_points()
+        for p in quadratic_lower_bound_predicted_vertices(m):
+            assert any(math.dist(p, v) < 1e-5 for v in verts), \
+                f"predicted vertex {p} missing"
+
+
+class TestQuarticSites:
+    def test_shape(self):
+        specs = quartic_vpr_sites(5)
+        assert len(specs) == 5
+        for sites, weights in specs:
+            assert len(sites) == 2
+            assert weights == [0.5, 0.5]
+
+    def test_near_sites_inside_unit_disk(self):
+        for sites, _ in quartic_vpr_sites(8):
+            assert math.hypot(*sites[0]) < 1.0
+            assert sites[1][0] > 50.0
+
+    def test_far_sites_distinct(self):
+        specs = quartic_vpr_sites(6)
+        far = [s[1] for s, _ in specs]
+        assert len(set(far)) == len(far)
+
+    def test_n_validation(self):
+        with pytest.raises(ValueError):
+            quartic_vpr_sites(1)

@@ -1,0 +1,152 @@
+"""Failure-injection and degenerate-configuration tests.
+
+The paper assumes general position throughout; a production library must
+at least not crash (and ideally stay correct) on the degenerate inputs the
+proofs perturb away: coincident centers, concentric disks, collinear
+families, exact ties, duplicated sites.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DiscreteUncertainPoint,
+    Disk,
+    DiskUniformPoint,
+    NonzeroVoronoiDiagram,
+    PNNIndex,
+)
+from repro.quantification.exact_discrete import quantification_vector
+from repro.quantification.monte_carlo import MonteCarloQuantifier
+from repro.quantification.spiral import SpiralSearchQuantifier
+from repro.voronoi.discrete_diagram import DiscreteNonzeroVoronoi
+from repro.voronoi.gamma import build_gamma_curves
+
+
+class TestDegenerateDisks:
+    def test_concentric_disks(self):
+        diagram = NonzeroVoronoiDiagram([Disk(0, 0, 1), Disk(0, 0, 2)])
+        # Inner disk's max distance always beats the outer ring's spread:
+        # both regions overlap, no curves exist.
+        assert diagram.num_vertices == 0
+        assert diagram.nonzero_nn((5, 0)) == [0, 1]
+
+    def test_identical_disks(self):
+        diagram = NonzeroVoronoiDiagram([Disk(1, 1, 1), Disk(1, 1, 1)])
+        assert diagram.nonzero_nn((9, 9)) == [0, 1]
+
+    def test_tangent_disks(self):
+        # Externally tangent: gamma branches are empty (<= condition).
+        diagram = NonzeroVoronoiDiagram([Disk(0, 0, 1), Disk(2, 0, 1)])
+        assert diagram.num_vertices == 0
+        assert diagram.nonzero_nn((1, 5)) == [0, 1]
+
+    def test_collinear_equal_disks(self):
+        disks = [Disk(4.0 * i, 0, 1) for i in range(5)]
+        diagram = NonzeroVoronoiDiagram(disks)
+        assert diagram.num_vertices > 0
+        rng = random.Random(1)
+        for _ in range(50):
+            q = (rng.uniform(-2, 18), rng.uniform(-9, 9))
+            got = set(diagram.nonzero_nn(q))
+            big = min(d.max_dist(q) for d in disks)
+            want = {i for i, d in enumerate(disks) if d.min_dist(q) < big}
+            assert got == want
+
+    def test_zero_radius_mixed_with_disks(self):
+        disks = [Disk(0, 0, 0), Disk(5, 0, 1)]
+        curves = build_gamma_curves(disks)
+        # The point-disk pair still yields a branch (degenerate hyperbola).
+        assert not curves[0].is_empty()
+        assert curves[0].contains((0, 0))
+
+    def test_grid_symmetric_configuration(self):
+        # Fully symmetric 2x2 grid: breakpoints/crossings coincide in pairs.
+        disks = [Disk(0, 0, 0.5), Disk(4, 0, 0.5),
+                 Disk(0, 4, 0.5), Disk(4, 4, 0.5)]
+        diagram = NonzeroVoronoiDiagram(disks)
+        assert diagram.num_vertices > 0
+        center = (2.0, 2.0)
+        assert diagram.nonzero_nn(center) == [0, 1, 2, 3]
+
+
+class TestDegenerateDiscrete:
+    def test_shared_site_between_points(self):
+        pts = [DiscreteUncertainPoint([(0, 0), (1, 0)], [0.5, 0.5]),
+               DiscreteUncertainPoint([(0, 0), (2, 0)], [0.5, 0.5])]
+        vec = quantification_vector(pts, (5.0, 1.0))
+        assert 0.0 <= sum(vec) <= 1.0 + 1e-9
+
+    def test_all_sites_collinear(self):
+        pts = [DiscreteUncertainPoint([(float(i), 0), (float(i) + 0.5, 0)],
+                                      [0.5, 0.5]) for i in range(4)]
+        diagram = DiscreteNonzeroVoronoi(pts)
+        rng = random.Random(2)
+        for _ in range(40):
+            q = (rng.uniform(-1, 5), rng.uniform(-3, 3))
+            got = set(diagram.nonzero_nn(q))
+            threshold = min(p.max_dist(q) for p in pts)
+            naive = {i for i, p in enumerate(pts)
+                     if p.min_dist(q) < threshold}
+            assert naive <= got  # the j != i refinement can only add
+
+    def test_duplicate_weights_spread_one(self):
+        pts = [DiscreteUncertainPoint([(i, 0), (i, 1)], [0.5, 0.5])
+               for i in range(5)]
+        spiral = SpiralSearchQuantifier(pts)
+        assert spiral.rho == 1.0
+        est = spiral.estimate((2.0, 0.5), 0.1)
+        assert sum(est.values()) <= 1.0 + 1e-9
+
+    def test_single_point_single_site(self):
+        pts = [DiscreteUncertainPoint([(3, 3)], [1.0])]
+        assert quantification_vector(pts, (0, 0)) == [1.0]
+        index = PNNIndex(pts)
+        assert index.nonzero_nn((100, 100)) == [0]
+
+
+class TestEstimatorRobustness:
+    def test_monte_carlo_with_identical_points(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((0, 0), 1.0)]
+        mc = MonteCarloQuantifier(pts, rounds=300, seed=1)
+        est = mc.estimate_vector((3.0, 0.0))
+        # Symmetric by construction: each wins about half the time.
+        assert est[0] == pytest.approx(0.5, abs=0.1)
+        assert sum(est) == pytest.approx(1.0)
+
+    def test_spiral_epsilon_extremes(self):
+        pts = [DiscreteUncertainPoint([(0, 0), (1, 1)], [0.5, 0.5]),
+               DiscreteUncertainPoint([(3, 0), (4, 1)], [0.5, 0.5])]
+        spiral = SpiralSearchQuantifier(pts)
+        for eps in (0.9999, 1e-12):
+            if eps >= 1:
+                continue
+            est = spiral.estimate((1.0, 0.5), eps)
+            assert all(0 <= v <= 1 for v in est.values())
+
+    def test_quantify_far_query(self):
+        """A query far from everything still produces a valid vector."""
+        pts = [DiscreteUncertainPoint([(0, 0)], [1.0]),
+               DiscreteUncertainPoint([(1, 0)], [1.0])]
+        vec = quantification_vector(pts, (1e6, 1e6))
+        assert sum(vec) == pytest.approx(1.0)
+
+
+class TestExpectedDistanceRanking:
+    def test_discrete_exact(self):
+        pts = [DiscreteUncertainPoint([(0, 0)], [1.0]),
+               DiscreteUncertainPoint([(3, 0), (5, 0)], [0.5, 0.5])]
+        index = PNNIndex(pts)
+        ranking = index.expected_distance_ranking((0.0, 0.0))
+        assert ranking == [0, 1]
+
+    def test_matches_mean_dist_order(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((5, 0), 1.0),
+               DiskUniformPoint((2, 2), 1.0)]
+        index = PNNIndex(pts)
+        q = (0.5, 0.5)
+        ranking = index.expected_distance_ranking(q, samples=4000)
+        means = [p.mean_dist(q, samples=4000) for p in pts]
+        assert ranking == sorted(range(3), key=lambda i: means[i])

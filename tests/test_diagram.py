@@ -1,0 +1,143 @@
+"""Unit tests for the nonzero Voronoi diagram (Theorem 2.5 construction)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.disks import Disk
+from repro.geometry.primitives import dedupe_points
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+from repro.voronoi.witness import crossing_vertices_bruteforce
+
+
+def random_disks(n, seed, extent=10.0, r_lo=0.2, r_hi=0.8):
+    rng = random.Random(seed)
+    return [Disk(rng.uniform(0, extent), rng.uniform(0, extent),
+                 rng.uniform(r_lo, r_hi)) for _ in range(n)]
+
+
+class TestSmallConfigurations:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            NonzeroVoronoiDiagram([])
+
+    def test_single_disk(self):
+        d = NonzeroVoronoiDiagram([Disk(0, 0, 1)])
+        assert (d.num_vertices, d.num_edges, d.num_faces) == (0, 0, 1)
+        assert d.nonzero_nn((5, 5)) == [0]
+
+    def test_two_disjoint_disks(self):
+        # One hyperbola branch per curve, no vertices, three faces.
+        d = NonzeroVoronoiDiagram([Disk(0, 0, 1), Disk(6, 0, 1)])
+        assert (d.num_vertices, d.num_edges, d.num_faces) == (0, 2, 3)
+
+    def test_two_overlapping_disks(self):
+        # Overlapping disks: both curves empty, single face (both always
+        # possible NNs).
+        d = NonzeroVoronoiDiagram([Disk(0, 0, 2), Disk(1, 0, 2)])
+        assert (d.num_vertices, d.num_edges, d.num_faces) == (0, 0, 1)
+        assert d.nonzero_nn((50, 0)) == [0, 1]
+
+    def test_equilateral_triangle(self):
+        # Symmetric configuration: 3 crossings + 3 breakpoints, 7 faces.
+        disks = [Disk(0, 0, 1), Disk(6, 0, 1), Disk(3, 3 * math.sqrt(3), 1)]
+        d = NonzeroVoronoiDiagram(disks)
+        assert d.num_vertices == 6
+        assert len(d.crossing_vertices()) == 3
+        assert len(d.breakpoint_vertices()) == 3
+        assert d.num_faces == 7
+
+    def test_census_matches_face_count_small(self):
+        disks = [Disk(0, 0, 1), Disk(6, 0, 1), Disk(3, 5, 1)]
+        d = NonzeroVoronoiDiagram(disks)
+        census = d.sample_cell_census(samples=6000, seed=4)
+        assert len(census) == d.num_faces
+
+
+class TestVertexCorrectness:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_crossings_match_bruteforce(self, seed):
+        disks = random_disks(7, seed)
+        diagram = NonzeroVoronoiDiagram(disks)
+        batch = sorted((round(p[0], 5), round(p[1], 5))
+                       for p in (v.point for v in diagram.crossing_vertices()))
+        brute = dedupe_points(crossing_vertices_bruteforce(disks), 1e-6)
+        brute = sorted((round(p[0], 5), round(p[1], 5)) for p in brute)
+        assert batch == brute
+
+    def test_all_vertices_on_two_conditions(self):
+        disks = random_disks(8, seed=6)
+        diagram = NonzeroVoronoiDiagram(disks)
+        for v in diagram.vertices:
+            big = min(d.max_dist(v.point) for d in disks)
+            if v.kind == "crossing":
+                on = [i for i, d in enumerate(disks)
+                      if abs(d.min_dist(v.point) - big) < 1e-5]
+                assert len(on) >= 2
+            else:
+                # Breakpoint: on one curve, with two witnesses tied.
+                i = next(iter(v.on_curves))
+                assert abs(disks[i].min_dist(v.point) - big) < 1e-5
+                ties = [j for j, d in enumerate(disks)
+                        if abs(d.max_dist(v.point) - big) < 1e-5]
+                assert len(ties) >= 2
+
+    def test_vertex_incidence_angles(self):
+        disks = random_disks(6, seed=9)
+        diagram = NonzeroVoronoiDiagram(disks)
+        for v in diagram.vertices:
+            for curve_idx, theta in v.on_curves.items():
+                c = disks[curve_idx].center
+                want = math.atan2(v.point[1] - c[1],
+                                  v.point[0] - c[0]) % (2 * math.pi)
+                assert theta == pytest.approx(want, abs=1e-6) or \
+                    abs(theta - want) == pytest.approx(2 * math.pi, abs=1e-6)
+
+
+class TestCounting:
+    @pytest.mark.parametrize("seed,n", [(1, 6), (2, 10), (3, 14)])
+    def test_euler_consistency(self, seed, n):
+        """V - E + F = 1 + C is built in; check F against a sampled census
+        lower bound and the O(n^3) upper bound."""
+        disks = random_disks(n, seed)
+        diagram = NonzeroVoronoiDiagram(disks)
+        census = diagram.sample_cell_census(samples=4000, seed=seed)
+        assert len(census) <= diagram.num_faces
+        assert diagram.num_vertices <= 2 * n * n + 2 * n ** 3
+        assert diagram.num_faces >= 1
+
+    def test_complexity_property(self):
+        disks = random_disks(8, seed=12)
+        diagram = NonzeroVoronoiDiagram(disks)
+        assert diagram.complexity == (diagram.num_vertices
+                                      + diagram.num_edges + diagram.num_faces)
+
+
+class TestQueries:
+    def test_nonzero_nn_matches_definition(self):
+        disks = random_disks(12, seed=21)
+        diagram = NonzeroVoronoiDiagram(disks)
+        rng = random.Random(0)
+        for _ in range(150):
+            q = (rng.uniform(-2, 12), rng.uniform(-2, 12))
+            got = set(diagram.nonzero_nn(q))
+            big = min(d.max_dist(q) for d in disks)
+            want = {i for i, d in enumerate(disks) if d.min_dist(q) < big}
+            assert got == want
+
+    def test_locate_cell_is_frozenset(self):
+        disks = random_disks(5, seed=2)
+        diagram = NonzeroVoronoiDiagram(disks)
+        cell = diagram.locate_cell((5, 5))
+        assert isinstance(cell, frozenset)
+        assert cell == frozenset(diagram.nonzero_nn((5, 5)))
+
+    def test_delta_matches_brute(self):
+        disks = random_disks(9, seed=17)
+        diagram = NonzeroVoronoiDiagram(disks)
+        rng = random.Random(5)
+        for _ in range(50):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            assert diagram.delta(q) == pytest.approx(
+                min(d.max_dist(q) for d in disks))

@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-case V!=0 (Theorem 2.14) machinery."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.halfplanes import polygon_contains
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.voronoi.discrete_diagram import DiscreteNonzeroVoronoi, dominance_polygon
+
+
+def random_points(n, k, seed, extent=10.0, spread=1.5):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n):
+        cx, cy = rng.uniform(0, extent), rng.uniform(0, extent)
+        sites = [(cx + rng.uniform(-spread, spread),
+                  cy + rng.uniform(-spread, spread)) for _ in range(k)]
+        out.append(DiscreteUncertainPoint(sites, [1.0] * k))
+    return out
+
+
+class TestDominancePolygon:
+    def test_two_certain_points_halfplane(self):
+        a = DiscreteUncertainPoint([(0, 0)], [1.0])
+        b = DiscreteUncertainPoint([(4, 0)], [1.0])
+        # K = {x : Delta_a <= delta_b}: the halfplane x <= 2, clipped.
+        poly = dominance_polygon(a, b, bound=100)
+        assert poly
+        assert polygon_contains(poly, (0, 0))
+        assert polygon_contains(poly, (-50, 20))
+        assert not polygon_contains(poly, (3, 0))
+
+    def test_semantics_inside(self):
+        rng = random.Random(2)
+        stronger = DiscreteUncertainPoint(
+            [(0, 0), (0.5, 0.3), (-0.2, 0.4)], [1, 1, 1])
+        weaker = DiscreteUncertainPoint(
+            [(6, 0), (6.5, 0.5), (5.8, -0.4)], [1, 1, 1])
+        poly = dominance_polygon(stronger, weaker, bound=1000)
+        assert poly
+        # Sample inside the polygon: dominance must hold.
+        cx = sum(p[0] for p in poly) / len(poly)
+        cy = sum(p[1] for p in poly) / len(poly)
+        assert stronger.max_dist((cx, cy)) <= weaker.min_dist((cx, cy)) + 1e-9
+
+    def test_lemma213_complexity(self):
+        """Lemma 2.13: K_ij has O(k) vertices despite k^2 constraints."""
+        rng = random.Random(7)
+        for trial in range(10):
+            k = rng.randint(3, 8)
+            stronger = DiscreteUncertainPoint(
+                [(rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(k)],
+                [1.0] * k)
+            weaker = DiscreteUncertainPoint(
+                [(8 + rng.uniform(0, 1), rng.uniform(0, 1)) for _ in range(k)],
+                [1.0] * k)
+            poly = dominance_polygon(stronger, weaker, bound=1e5)
+            # Generous constant: vertices should scale with k, not k^2.
+            assert len(poly) <= 4 * k + 8
+
+    def test_interleaved_empty(self):
+        # Two interleaved clusters: neither dominates anywhere.
+        a = DiscreteUncertainPoint([(0, 0), (2, 0)], [1, 1])
+        b = DiscreteUncertainPoint([(1, 0), (3, 0)], [1, 1])
+        poly_ab = dominance_polygon(a, b, bound=1e4)
+        # "a dominates b" requires max over {0,2} <= min over {1,3}:
+        # impossible anywhere -> empty or degenerate sliver.
+        if poly_ab:
+            cx = sum(p[0] for p in poly_ab) / len(poly_ab)
+            cy = sum(p[1] for p in poly_ab) / len(poly_ab)
+            assert a.max_dist((cx, cy)) <= b.min_dist((cx, cy)) + 1e-6
+
+
+class TestDiscreteDiagram:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteNonzeroVoronoi([])
+
+    def test_nonzero_nn_matches_definition(self):
+        pts = random_points(8, 3, seed=5)
+        diagram = DiscreteNonzeroVoronoi(pts)
+        rng = random.Random(1)
+        for _ in range(100):
+            q = (rng.uniform(-2, 12), rng.uniform(-2, 12))
+            got = set(diagram.nonzero_nn(q))
+            threshold = min(p.max_dist(q) for p in pts)
+            want = {i for i, p in enumerate(pts) if p.min_dist(q) < threshold}
+            assert got == want
+
+    def test_vertices_satisfy_envelope_condition(self):
+        pts = random_points(6, 3, seed=9)
+        diagram = DiscreteNonzeroVoronoi(pts)
+        assert diagram.num_vertices > 0
+        for v in diagram.vertices:
+            big = min(p.max_dist(v) for p in pts)
+            on = [i for i, p in enumerate(pts)
+                  if abs(p.min_dist(v) - big) < 1e-5]
+            assert on, f"vertex {v} not on any curve"
+
+    def test_vertex_census_kinds(self):
+        pts = random_points(6, 3, seed=11)
+        diagram = DiscreteNonzeroVoronoi(pts)
+        census = diagram.vertex_census()
+        assert sum(census.values()) == diagram.num_vertices
+        assert set(census) <= {"crossing", "nearest-tie",
+                               "witness-swap", "farthest-tie"}
+
+    def test_thm214_bound(self):
+        for n, k in [(5, 2), (6, 3), (7, 2)]:
+            pts = random_points(n, k, seed=n + k)
+            diagram = DiscreteNonzeroVoronoi(pts)
+            assert diagram.num_vertices <= k * n ** 3
+
+    def test_certain_points_reduce_to_voronoi(self):
+        """k = 1 (certain points): V!=0 degenerates to the standard Voronoi
+        diagram; its vertices are classic Voronoi vertices."""
+        rng = random.Random(3)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(6)]
+        pts = [DiscreteUncertainPoint([s], [1.0]) for s in sites]
+        diagram = DiscreteNonzeroVoronoi(pts)
+        for v in diagram.vertices:
+            dists = sorted(math.dist(v, s) for s in sites)
+            # Voronoi vertex: the three nearest sites are equidistant.
+            assert dists[0] == pytest.approx(dists[2], abs=1e-6)
+
+    def test_delta(self):
+        pts = random_points(5, 2, seed=2)
+        diagram = DiscreteNonzeroVoronoi(pts)
+        q = (3.3, 3.3)
+        assert diagram.delta(q) == pytest.approx(
+            min(p.max_dist(q) for p in pts))

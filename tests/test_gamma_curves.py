@@ -1,0 +1,109 @@
+"""Unit tests for the gamma_i curves (Lemma 2.2 semantics)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.disks import Disk, nonzero_nn_bruteforce
+from repro.voronoi.gamma import build_gamma_curves
+
+
+def random_disks(n, seed, extent=10.0):
+    rng = random.Random(seed)
+    return [Disk(rng.uniform(0, extent), rng.uniform(0, extent),
+                 rng.uniform(0.2, 1.0)) for _ in range(n)]
+
+
+class TestGammaMembership:
+    def test_region_membership_matches_lemma21(self):
+        """x in R_i  iff  delta_i(x) < Delta(x): the star-shaped test agrees
+        with the direct predicate everywhere."""
+        disks = random_disks(8, seed=5)
+        gammas = build_gamma_curves(disks)
+        rng = random.Random(1)
+        for _ in range(300):
+            q = (rng.uniform(-3, 13), rng.uniform(-3, 13))
+            direct = set(nonzero_nn_bruteforce(disks, q))
+            via_curves = {g.index for g in gammas if g.contains(q)}
+            assert direct == via_curves
+
+    def test_disk_center_always_inside_own_region(self):
+        disks = random_disks(6, seed=7)
+        gammas = build_gamma_curves(disks)
+        for g, d in zip(gammas, disks):
+            assert g.contains(d.center)
+
+    def test_far_point_outside_distant_region(self):
+        disks = [Disk(0, 0, 1), Disk(100, 0, 1)]
+        gammas = build_gamma_curves(disks)
+        # Near disk 0, disk 1 has zero probability.
+        assert not gammas[1].contains((0.0, 0.0))
+        assert gammas[0].contains((0.0, 0.0))
+
+
+class TestGammaStructure:
+    def test_two_disks_single_branch(self):
+        disks = [Disk(0, 0, 1), Disk(6, 0, 1)]
+        gammas = build_gamma_curves(disks)
+        assert gammas[0].breakpoint_count() == 0
+        assert not gammas[0].is_closed()
+        assert not gammas[0].is_empty()
+
+    def test_overlapping_all_gives_empty_curve(self):
+        # D_0 overlaps both others: gamma_0 is empty, R_0 = whole plane.
+        disks = [Disk(0, 0, 5), Disk(1, 0, 5), Disk(0, 1, 5)]
+        gammas = build_gamma_curves(disks)
+        assert gammas[0].is_empty()
+        assert gammas[0].contains((1000.0, 1000.0))
+
+    def test_surrounded_disk_closed_curve(self):
+        center = Disk(0, 0, 0.5)
+        ring = [Disk(4 * math.cos(t), 4 * math.sin(t), 0.5)
+                for t in [k * math.pi / 3 for k in range(6)]]
+        gammas = build_gamma_curves([center] + ring)
+        assert gammas[0].is_closed()
+        runs = gammas[0].finite_runs()
+        assert len(runs) == 1
+        assert runs[0][1] - runs[0][0] == pytest.approx(2 * math.pi)
+
+    def test_breakpoint_bound_lemma22(self):
+        disks = random_disks(20, seed=9)
+        gammas = build_gamma_curves(disks)
+        for g in gammas:
+            assert g.breakpoint_count() <= 2 * len(disks)
+
+    def test_breakpoints_lie_on_curve(self):
+        disks = random_disks(10, seed=3)
+        gammas = build_gamma_curves(disks)
+        for g in gammas:
+            c = g.disk.center
+            for p in g.breakpoint_points():
+                rho = math.dist(p, c)
+                theta = math.atan2(p[1] - c[1], p[0] - c[0]) % (2 * math.pi)
+                assert rho == pytest.approx(g.radius(theta), rel=1e-6)
+
+    def test_breakpoint_labels_name_witnesses(self):
+        disks = [Disk(0, 0, 1), Disk(5, 0, 1), Disk(0, 5, 1)]
+        gammas = build_gamma_curves(disks)
+        for theta, j_left, j_right in gammas[0].breakpoints():
+            assert {j_left, j_right} <= {1, 2}
+            assert j_left != j_right
+
+    def test_curve_points_satisfy_equation(self):
+        """Points sampled on gamma_i satisfy delta_i = Delta exactly."""
+        disks = random_disks(7, seed=11)
+        gammas = build_gamma_curves(disks)
+        for g in gammas:
+            for p in g.sample_points(64):
+                delta_i = disks[g.index].min_dist(p)
+                big_delta = min(d.max_dist(p) for d in disks)
+                assert delta_i == pytest.approx(big_delta, abs=1e-6)
+
+    def test_finite_runs_cover_finite_arcs(self):
+        disks = random_disks(9, seed=13)
+        gammas = build_gamma_curves(disks)
+        for g in gammas:
+            width = sum(hi - lo for lo, hi in g.finite_runs())
+            arc_width = sum(a.width for a in g.envelope.finite_arcs())
+            assert width == pytest.approx(arc_width, abs=1e-9)

@@ -1,0 +1,127 @@
+"""Unit tests for exact intersection areas (lens, circle-rectangle)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.areas import circle_rect_area, disk_area, lens_area
+
+coords = st.floats(min_value=-10, max_value=10,
+                   allow_nan=False, allow_infinity=False)
+
+
+class TestLensArea:
+    def test_disjoint(self):
+        assert lens_area((0, 0), 1, (5, 0), 1) == 0.0
+
+    def test_tangent(self):
+        assert lens_area((0, 0), 1, (2, 0), 1) == 0.0
+
+    def test_contained(self):
+        assert lens_area((0, 0), 3, (0.5, 0), 1) == pytest.approx(math.pi)
+
+    def test_identical(self):
+        assert lens_area((0, 0), 2, (0, 0), 2) == pytest.approx(4 * math.pi)
+
+    def test_half_overlap_symmetric(self):
+        # Two unit circles at distance 1: known lens area.
+        expect = 2 * math.acos(0.5) - math.sin(2 * math.acos(0.5))
+        assert lens_area((0, 0), 1, (1, 0), 1) == pytest.approx(expect)
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            lens_area((0, 0), -1, (1, 0), 1)
+
+    @given(coords, coords, st.floats(0.1, 5), st.floats(0.1, 5))
+    def test_bounds(self, cx, cy, r1, r2):
+        area = lens_area((0, 0), r1, (cx, cy), r2)
+        assert 0.0 <= area <= min(disk_area(r1), disk_area(r2)) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(0, 4), st.floats(0.5, 2), st.floats(0.5, 2),
+           st.integers(0, 1000))
+    def test_monte_carlo_agreement(self, d, r1, r2, seed):
+        rng = random.Random(seed)
+        samples = 20_000
+        hits = 0
+        for _ in range(samples):
+            # Sample in circle 1, test membership in circle 2.
+            t = rng.uniform(0, 2 * math.pi)
+            rr = r1 * math.sqrt(rng.random())
+            x, y = rr * math.cos(t), rr * math.sin(t)
+            if (x - d) ** 2 + y ** 2 <= r2 * r2:
+                hits += 1
+        mc = hits / samples * disk_area(r1)
+        exact = lens_area((0, 0), r1, (d, 0), r2)
+        assert exact == pytest.approx(mc, abs=4 * disk_area(r1) / math.sqrt(samples))
+
+
+class TestCircleRectArea:
+    def test_rect_contains_circle(self):
+        area = circle_rect_area((0, 0), 1, ((-2, -2), (2, 2)))
+        assert area == pytest.approx(math.pi)
+
+    def test_half_plane_cut(self):
+        area = circle_rect_area((0, 0), 1, ((0, -2), (2, 2)))
+        assert area == pytest.approx(math.pi / 2)
+
+    def test_quadrant(self):
+        area = circle_rect_area((0, 0), 1, ((0, 0), (2, 2)))
+        assert area == pytest.approx(math.pi / 4)
+
+    def test_disjoint(self):
+        assert circle_rect_area((0, 0), 1, ((5, 5), (6, 6))) == pytest.approx(0.0)
+
+    def test_circle_contains_rect(self):
+        area = circle_rect_area((0, 0), 10, ((-1, -1), (1, 1)))
+        assert area == pytest.approx(4.0)
+
+    def test_zero_radius(self):
+        assert circle_rect_area((0, 0), 0, ((-1, -1), (1, 1))) == 0.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            circle_rect_area((0, 0), -1, ((-1, -1), (1, 1)))
+
+    def test_malformed_rect_raises(self):
+        with pytest.raises(ValueError):
+            circle_rect_area((0, 0), 1, ((1, 1), (0, 0)))
+
+    def test_translation_invariance(self):
+        a1 = circle_rect_area((0, 0), 1.3, ((-0.5, -0.7), (0.9, 1.1)))
+        a2 = circle_rect_area((10, -3), 1.3, ((9.5, -3.7), (10.9, -1.9)))
+        assert a1 == pytest.approx(a2)
+
+    @given(coords, coords, st.floats(0.1, 5),
+           coords, coords, st.floats(0.1, 5), st.floats(0.1, 5))
+    def test_bounds(self, cx, cy, r, x0, y0, w, h):
+        rect = ((x0, y0), (x0 + w, y0 + h))
+        area = circle_rect_area((cx, cy), r, rect)
+        assert -1e-9 <= area <= min(disk_area(r), w * h) + 1e-9
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(-2, 2), st.floats(-2, 2), st.floats(0.5, 2),
+           st.integers(0, 1000))
+    def test_monte_carlo_agreement(self, dx, dy, r, seed):
+        rect = ((-1.0, -1.0), (1.5, 0.8))
+        rng = random.Random(seed)
+        samples = 20_000
+        hits = 0
+        for _ in range(samples):
+            x = rng.uniform(-1.0, 1.5)
+            y = rng.uniform(-1.0, 0.8)
+            if (x - dx) ** 2 + (y - dy) ** 2 <= r * r:
+                hits += 1
+        rect_area = 2.5 * 1.8
+        mc = hits / samples * rect_area
+        exact = circle_rect_area((dx, dy), r, rect)
+        assert exact == pytest.approx(mc, abs=4 * rect_area / math.sqrt(samples))
+
+    def test_additivity_split_rect(self):
+        # Splitting the rectangle must preserve total area.
+        whole = circle_rect_area((0.3, -0.2), 1.1, ((-1, -1), (1, 1)))
+        left = circle_rect_area((0.3, -0.2), 1.1, ((-1, -1), (0, 1)))
+        right = circle_rect_area((0.3, -0.2), 1.1, ((0, -1), (1, 1)))
+        assert whole == pytest.approx(left + right)

@@ -1,0 +1,116 @@
+"""Unit tests for the segment arrangement (vertices, edges, faces, Euler)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.seg_arrangement import SegmentArrangement
+
+
+def grid_segments(k):
+    """(k+1) horizontal and (k+1) vertical lines forming a k x k grid."""
+    segs = []
+    for i in range(k + 1):
+        segs.append(((0.0, float(i)), (float(k), float(i))))
+        segs.append(((float(i), 0.0), (float(i), float(k))))
+    return segs
+
+
+class TestBasicCounts:
+    def test_single_segment(self):
+        arr = SegmentArrangement([((0, 0), (1, 0))])
+        assert (arr.num_vertices, arr.num_edges, arr.num_faces) == (2, 1, 1)
+
+    def test_crossing_segments(self):
+        arr = SegmentArrangement([((-1, 0), (1, 0)), ((0, -1), (0, 1))])
+        assert (arr.num_vertices, arr.num_edges, arr.num_faces) == (5, 4, 1)
+
+    def test_triangle(self):
+        arr = SegmentArrangement([((0, 0), (2, 0)), ((2, 0), (1, 2)),
+                                  ((1, 2), (0, 0))])
+        assert (arr.num_vertices, arr.num_edges, arr.num_faces) == (3, 3, 2)
+        assert arr.bounded_face_count() == 1
+
+    def test_square_with_diagonal(self):
+        segs = [((0, 0), (2, 0)), ((2, 0), (2, 2)), ((2, 2), (0, 2)),
+                ((0, 2), (0, 0)), ((0, 0), (2, 2))]
+        arr = SegmentArrangement(segs)
+        assert (arr.num_vertices, arr.num_edges, arr.num_faces) == (4, 5, 3)
+        assert arr.bounded_face_count() == 2
+
+    def test_grid_faces(self):
+        arr = SegmentArrangement(grid_segments(3))
+        # 3x3 grid: 16 vertices, 24 edges, 9 bounded + 1 unbounded faces.
+        assert arr.num_vertices == 16
+        assert arr.num_edges == 24
+        assert arr.num_faces == 10
+        assert arr.bounded_face_count() == 9
+
+    def test_zero_length_segments_ignored(self):
+        arr = SegmentArrangement([((0, 0), (0, 0)), ((0, 0), (1, 0))])
+        assert arr.num_edges == 1
+
+    def test_disconnected_components(self):
+        arr = SegmentArrangement([((0, 0), (1, 0)), ((5, 5), (6, 5))])
+        assert arr.num_components == 2
+        assert arr.num_faces == 1
+
+
+class TestEulerRelation:
+    def test_random_lines_satisfy_euler(self):
+        rng = random.Random(3)
+        segs = []
+        for _ in range(12):
+            angle = rng.uniform(0, math.pi)
+            off = rng.uniform(-2, 2)
+            dx, dy = math.cos(angle), math.sin(angle)
+            mid = (-off * dy, off * dx)
+            segs.append(((mid[0] - 10 * dx, mid[1] - 10 * dy),
+                         (mid[0] + 10 * dx, mid[1] + 10 * dy)))
+        arr = SegmentArrangement(segs)
+        # num_faces is derived from Euler; check against the traversal count:
+        # loops = bounded faces + one outer loop per component.
+        loops = len(arr.face_loops)
+        assert arr.bounded_face_count() == arr.num_faces - 1
+        assert loops == arr.bounded_face_count() + arr.num_components
+
+    def test_generic_lines_quadratic_vertices(self):
+        # k generic lines: C(k, 2) intersections + 2k endpoints.
+        rng = random.Random(11)
+        k = 8
+        segs = []
+        for i in range(k):
+            angle = 0.1 + i * math.pi / k + rng.uniform(-0.01, 0.01)
+            off = rng.uniform(-1, 1)
+            dx, dy = math.cos(angle), math.sin(angle)
+            mid = (-off * dy, off * dx)
+            segs.append(((mid[0] - 20 * dx, mid[1] - 20 * dy),
+                         (mid[0] + 20 * dx, mid[1] + 20 * dy)))
+        arr = SegmentArrangement(segs)
+        assert arr.num_vertices == k * (k - 1) // 2 + 2 * k
+
+
+class TestFaceGeometry:
+    def test_interior_points_inside_faces(self):
+        arr = SegmentArrangement(grid_segments(2))
+        pts = arr.face_interior_points()
+        assert len(pts) == 4
+        for x, y in pts:
+            assert 0 < x < 2 and 0 < y < 2
+            # Not on any grid line.
+            assert abs(x - round(x)) > 1e-9 or abs(y - round(y)) > 1e-9
+
+    def test_triple_concurrence_merges_vertex(self):
+        # Three segments through the origin: one degree-6 vertex.
+        segs = [((-1, 0), (1, 0)), ((0, -1), (0, 1)), ((-1, -1), (1, 1))]
+        arr = SegmentArrangement(segs)
+        assert arr.num_vertices == 7  # 6 endpoints + 1 shared crossing
+        assert arr.num_edges == 6
+
+    def test_loop_of_halfedge_left_face(self):
+        arr = SegmentArrangement([((0, 0), (2, 0)), ((2, 0), (1, 2)),
+                                  ((1, 2), (0, 0))])
+        # Find the triangle's CCW loop: positive area.
+        pos = [i for i, a in enumerate(arr.face_areas) if a > 0]
+        assert len(pos) == 1

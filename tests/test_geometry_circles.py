@@ -1,0 +1,124 @@
+"""Unit tests for circumcenters and smallest enclosing disks."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.circles import (
+    circle_through,
+    circumcenter,
+    smallest_enclosing_disk,
+)
+from repro.geometry.primitives import dist
+
+coords = st.floats(min_value=-50, max_value=50,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestCircumcenter:
+    def test_right_triangle(self):
+        # Hypotenuse midpoint.
+        assert circumcenter((0, 0), (2, 0), (0, 2)) == pytest.approx((1.0, 1.0))
+
+    def test_equilateral(self):
+        c = circumcenter((0, 0), (1, 0), (0.5, math.sqrt(3) / 2))
+        assert c == pytest.approx((0.5, math.sqrt(3) / 6), abs=1e-12)
+
+    def test_collinear_returns_none(self):
+        assert circumcenter((0, 0), (1, 1), (2, 2)) is None
+
+    def test_nearly_collinear_returns_none(self):
+        assert circumcenter((0, 0), (10, 10), (20, 20 + 1e-13)) is None
+
+    @given(points, points, points)
+    def test_equidistance(self, a, b, c):
+        center = circumcenter(a, b, c)
+        if center is None:
+            return
+        ra, rb, rc = dist(center, a), dist(center, b), dist(center, c)
+        scale = max(1.0, ra)
+        assert abs(ra - rb) <= 1e-6 * scale
+        assert abs(ra - rc) <= 1e-6 * scale
+
+
+class TestCircleThrough:
+    def test_empty(self):
+        d = circle_through([])
+        assert d.r == 0.0
+
+    def test_single(self):
+        d = circle_through([(3, 4)])
+        assert d.center == (3, 4)
+        assert d.r == 0.0
+
+    def test_two_points_diametral(self):
+        d = circle_through([(0, 0), (4, 0)])
+        assert d.center == (2.0, 0.0)
+        assert d.r == pytest.approx(2.0)
+
+    def test_three_points(self):
+        d = circle_through([(0, 0), (2, 0), (0, 2)])
+        assert d.center == pytest.approx((1.0, 1.0))
+        assert d.r == pytest.approx(math.sqrt(2))
+
+    def test_too_many_raises(self):
+        with pytest.raises(ValueError):
+            circle_through([(0, 0)] * 4)
+
+
+class TestWelzl:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            smallest_enclosing_disk([])
+
+    def test_single_point(self):
+        d = smallest_enclosing_disk([(1, 2)])
+        assert d.center == (1, 2)
+        assert d.r == 0.0
+
+    def test_two_points(self):
+        d = smallest_enclosing_disk([(0, 0), (2, 0)])
+        assert d.r == pytest.approx(1.0)
+
+    def test_square(self):
+        d = smallest_enclosing_disk([(0, 0), (2, 0), (2, 2), (0, 2)])
+        assert d.center == pytest.approx((1.0, 1.0))
+        assert d.r == pytest.approx(math.sqrt(2))
+
+    def test_interior_points_ignored(self):
+        base = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        with_interior = base + [(1, 1), (0.5, 1.5), (1.5, 0.5)]
+        d1 = smallest_enclosing_disk(base)
+        d2 = smallest_enclosing_disk(with_interior)
+        assert d1.r == pytest.approx(d2.r)
+
+    def test_collinear_points(self):
+        d = smallest_enclosing_disk([(0, 0), (1, 0), (5, 0)])
+        assert d.r == pytest.approx(2.5)
+        assert d.center == pytest.approx((2.5, 0.0))
+
+    @settings(max_examples=80)
+    @given(st.lists(points, min_size=1, max_size=25),
+           st.integers(min_value=0, max_value=5))
+    def test_contains_all_points(self, pts, seed):
+        d = smallest_enclosing_disk(pts, seed=seed)
+        tol = 1e-6 * max(1.0, d.r)
+        for p in pts:
+            assert dist(d.center, p) <= d.r + tol
+
+    @settings(max_examples=40)
+    @given(st.lists(points, min_size=2, max_size=12))
+    def test_minimality_vs_diametral_pairs(self, pts):
+        # The SED radius is at least half the diameter of the point set.
+        d = smallest_enclosing_disk(pts)
+        diameter = max(dist(p, q) for p in pts for q in pts)
+        assert d.r >= diameter / 2 - 1e-7 * max(1.0, diameter)
+
+    @settings(max_examples=30)
+    @given(st.lists(points, min_size=3, max_size=10))
+    def test_seed_invariance(self, pts):
+        r0 = smallest_enclosing_disk(pts, seed=0).r
+        r1 = smallest_enclosing_disk(pts, seed=1).r
+        assert r0 == pytest.approx(r1, rel=1e-9, abs=1e-9)

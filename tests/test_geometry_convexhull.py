@@ -1,0 +1,98 @@
+"""Unit tests for convex hulls and farthest-point oracles."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.convexhull import (
+    FarthestPointOracle,
+    convex_hull,
+    farthest_point_index,
+)
+from repro.geometry.primitives import dist, orient
+
+coords = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        hull = convex_hull([(0, 0), (4, 0), (2, 3)])
+        assert set(hull) == {(0, 0), (4, 0), (2, 3)}
+
+    def test_interior_point_dropped(self):
+        hull = convex_hull([(0, 0), (4, 0), (2, 3), (2, 1)])
+        assert (2, 1) not in hull
+
+    def test_collinear_inputs(self):
+        hull = convex_hull([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert set(hull) == {(0, 0), (3, 0)}
+
+    def test_duplicates_tolerated(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (1, 1), (1, 1)])
+        assert set(hull) == {(0, 0), (1, 0), (1, 1)}
+
+    def test_single_point(self):
+        assert convex_hull([(2, 3)]) == [(2, 3)]
+
+    def test_two_points(self):
+        assert len(convex_hull([(0, 0), (1, 1)])) == 2
+
+    def test_square_ccw(self):
+        hull = convex_hull([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(hull) == 4
+        # Counter-clockwise: every consecutive triple turns left.
+        for i in range(4):
+            assert orient(hull[i], hull[(i + 1) % 4], hull[(i + 2) % 4]) > 0
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_contains_all_points(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        for p in pts:
+            for i in range(len(hull)):
+                a = hull[i]
+                b = hull[(i + 1) % len(hull)]
+                span = max(1.0, dist(a, b), dist(a, p))
+                assert orient(a, b, p) >= -1e-6 * span * span
+
+    @given(st.lists(points, min_size=3, max_size=40))
+    def test_hull_is_convex(self, pts):
+        hull = convex_hull(pts)
+        if len(hull) < 3:
+            return
+        for i in range(len(hull)):
+            assert orient(hull[i], hull[(i + 1) % len(hull)],
+                          hull[(i + 2) % len(hull)]) > 0
+
+
+class TestFarthestPoint:
+    def test_brute_force_index(self):
+        pts = [(0, 0), (5, 0), (2, 2)]
+        assert farthest_point_index(pts, (-1, 0)) == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            farthest_point_index([], (0, 0))
+
+    def test_oracle_matches_brute_force(self):
+        pts = [(0, 0), (5, 0), (2, 2), (1, 4), (3, -1)]
+        oracle = FarthestPointOracle(pts)
+        for q in [(-3, -3), (10, 1), (2, 2), (0.5, 8)]:
+            want = max(dist(p, q) for p in pts)
+            assert oracle.max_dist(q) == pytest.approx(want)
+
+    @given(st.lists(points, min_size=1, max_size=30), points)
+    def test_oracle_property(self, pts, q):
+        oracle = FarthestPointOracle(pts)
+        want = max(dist(p, q) for p in pts)
+        assert oracle.max_dist(q) == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(points, min_size=1, max_size=30), points)
+    def test_farthest_attains_max(self, pts, q):
+        oracle = FarthestPointOracle(pts)
+        far = oracle.farthest(q)
+        assert dist(far, q) == pytest.approx(oracle.max_dist(q))

@@ -1,0 +1,144 @@
+"""Unit tests for repro.geometry.disks."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.disks import (
+    Disk,
+    delta_value,
+    nonzero_nn_bruteforce,
+    pairwise_disjoint,
+    radius_ratio,
+)
+
+finite = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+radii = st.floats(min_value=0.01, max_value=10.0)
+disks = st.builds(Disk, finite, finite, radii)
+points = st.tuples(finite, finite)
+
+
+class TestDiskBasics:
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disk(0, 0, -1)
+
+    def test_center_and_area(self):
+        d = Disk(1, 2, 3)
+        assert d.center == (1, 2)
+        assert d.area == pytest.approx(9 * math.pi)
+
+    def test_boundary_points_count_and_radius(self):
+        d = Disk(0, 0, 2)
+        pts = d.boundary_points(16)
+        assert len(pts) == 16
+        for p in pts:
+            assert math.hypot(*p) == pytest.approx(2.0)
+
+
+class TestDistanceFunctions:
+    def test_max_dist_outside(self):
+        d = Disk(0, 0, 1)
+        assert d.max_dist((3, 4)) == pytest.approx(6.0)
+
+    def test_min_dist_outside(self):
+        d = Disk(0, 0, 1)
+        assert d.min_dist((3, 4)) == pytest.approx(4.0)
+
+    def test_min_dist_inside_is_zero(self):
+        d = Disk(0, 0, 2)
+        assert d.min_dist((0.5, 0.5)) == 0.0
+
+    def test_max_dist_at_center(self):
+        d = Disk(1, 1, 2)
+        assert d.max_dist((1, 1)) == pytest.approx(2.0)
+
+    @given(disks, points)
+    def test_min_le_max(self, d, q):
+        assert d.min_dist(q) <= d.max_dist(q) + 1e-12
+
+    @given(disks, points)
+    def test_extremes_attained_on_boundary(self, d, q):
+        # The extreme distances are attained by boundary points of the disk.
+        samples = d.boundary_points(720)
+        dists = [math.dist(p, q) for p in samples]
+        assert min(min(dists), 0 if d.contains_point(q) else math.inf) \
+            >= d.min_dist(q) - 1e-6 or d.contains_point(q)
+        assert max(dists) <= d.max_dist(q) + 1e-6
+        assert max(dists) >= d.max_dist(q) - d.r * 0.01 - 1e-6
+
+
+class TestContainmentPredicates:
+    def test_contains_point(self):
+        d = Disk(0, 0, 1)
+        assert d.contains_point((0.5, 0.5))
+        assert d.contains_point((1.0, 0.0))  # boundary
+        assert not d.contains_point((1.1, 0.0))
+
+    def test_contains_disk(self):
+        assert Disk(0, 0, 3).contains_disk(Disk(1, 0, 1))
+        assert not Disk(0, 0, 3).contains_disk(Disk(2.5, 0, 1))
+
+    def test_intersects_disk(self):
+        assert Disk(0, 0, 1).intersects_disk(Disk(1.5, 0, 1))
+        assert not Disk(0, 0, 1).intersects_disk(Disk(3, 0, 1))
+
+    def test_interior_disjoint_tangent(self):
+        assert Disk(0, 0, 1).interior_disjoint(Disk(2, 0, 1))
+
+    def test_properly_contains(self):
+        assert Disk(0, 0, 3).properly_contains_disk(Disk(0.5, 0, 1))
+        assert not Disk(0, 0, 3).properly_contains_disk(Disk(2, 0, 1))
+
+
+class TestTangency:
+    def test_external_tangency(self):
+        assert Disk(0, 0, 1).touches_externally(Disk(3, 0, 2))
+        assert not Disk(0, 0, 1).touches_externally(Disk(4, 0, 2))
+
+    def test_internal_tangency(self):
+        # Disk(1,0,1) inside Disk(0,0,2), boundaries touching at (2, 0).
+        assert Disk(0, 0, 2).touches_internally(Disk(1, 0, 1))
+        assert not Disk(0, 0, 2).touches_internally(Disk(0.5, 0, 1))
+
+
+class TestFamilies:
+    def test_pairwise_disjoint_true(self):
+        assert pairwise_disjoint([Disk(0, 0, 1), Disk(3, 0, 1), Disk(0, 3, 1)])
+
+    def test_pairwise_disjoint_false(self):
+        assert not pairwise_disjoint([Disk(0, 0, 1), Disk(1, 0, 1)])
+
+    def test_radius_ratio(self):
+        assert radius_ratio([Disk(0, 0, 1), Disk(5, 0, 4)]) == pytest.approx(4.0)
+
+    def test_radius_ratio_empty_raises(self):
+        with pytest.raises(ValueError):
+            radius_ratio([])
+
+    def test_delta_value(self):
+        ds = [Disk(0, 0, 1), Disk(10, 0, 1)]
+        assert delta_value(ds, (0, 0)) == pytest.approx(1.0)
+
+    def test_nonzero_nn_bruteforce_simple(self):
+        # Query near disk 0: only disk 0 qualifies.
+        ds = [Disk(0, 0, 1), Disk(10, 0, 1)]
+        assert nonzero_nn_bruteforce(ds, (0, 0)) == [0]
+
+    def test_nonzero_nn_bruteforce_midpoint(self):
+        ds = [Disk(0, 0, 1), Disk(10, 0, 1)]
+        assert nonzero_nn_bruteforce(ds, (5, 0)) == [0, 1]
+
+    @given(st.lists(disks, min_size=1, max_size=8), points)
+    def test_nonzero_nn_never_empty(self, ds, q):
+        # The disk attaining Delta always qualifies: delta_i < Delta_i = Delta.
+        assert nonzero_nn_bruteforce(ds, q)
+
+    @given(st.lists(disks, min_size=2, max_size=8), points)
+    def test_nonzero_nn_lemma21_definition(self, ds, q):
+        got = set(nonzero_nn_bruteforce(ds, q))
+        threshold = min(d.max_dist(q) for d in ds)
+        want = {i for i, d in enumerate(ds) if d.min_dist(q) < threshold - 1e-9}
+        assert got == want

@@ -1,0 +1,152 @@
+"""Unit and property tests for the polar lower-envelope machinery."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.disks import Disk
+from repro.geometry.envelopes import Arc, PiecewisePolarCurve, lower_envelope
+from repro.geometry.hyperbola import gamma_branch
+
+TWO_PI = 2 * math.pi
+
+
+def make_branches(center, others):
+    """gamma_ij branches around a unit disk at *center*."""
+    inner = Disk(center[0], center[1], 1.0)
+    out = []
+    for idx, (cx, cy, r) in enumerate(others):
+        b = gamma_branch(inner, Disk(cx, cy, r), label=idx)
+        if b is not None:
+            out.append(b)
+    return inner, out
+
+
+class TestEnvelopeBasics:
+    def test_empty_envelope_is_infinite(self):
+        env = lower_envelope((0, 0), [])
+        assert env.is_everywhere_infinite()
+        assert env.radius(1.0) == math.inf
+
+    def test_single_curve(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1)])
+        env = lower_envelope((0, 0), branches)
+        assert env.radius(0.0) == pytest.approx(3.5)
+        assert env.radius(math.pi) == math.inf
+        assert env.breakpoints() == []
+
+    def test_mismatched_focus_rejected(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1)])
+        with pytest.raises(ValueError):
+            lower_envelope((1, 1), branches)
+
+    def test_two_symmetric_curves_one_breakpoint_at_bisecting_angle(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1), (0, 5, 1)])
+        env = lower_envelope((0, 0), branches)
+        bps = env.breakpoints()
+        assert len(bps) == 1
+        assert bps[0][0] == pytest.approx(math.pi / 4, abs=1e-9)
+
+    def test_breakpoint_radii_agree(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1), (1, 5, 0.5), (-4, 2, 1)])
+        env = lower_envelope((0, 0), branches)
+        for theta, left, right in env.breakpoints():
+            rl = left.radius(theta)
+            rr = right.radius(theta)
+            if math.isfinite(rl) and math.isfinite(rr):
+                assert rl == pytest.approx(rr, rel=1e-6)
+
+    def test_surrounded_disk_closed_envelope(self):
+        # Disk surrounded by 6 neighbors: envelope finite in all directions.
+        others = [(5 * math.cos(t), 5 * math.sin(t), 1.0)
+                  for t in [k * math.pi / 3 for k in range(6)]]
+        _, branches = make_branches((0, 0), others)
+        env = lower_envelope((0, 0), branches)
+        assert all(a.curve is not None for a in env.arcs)
+        assert len(env.breakpoints()) >= 3
+
+
+class TestEnvelopeIsMinimum:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=10), st.integers(0, 10_000))
+    def test_envelope_equals_pointwise_min(self, m, seed):
+        rng = random.Random(seed)
+        others = []
+        for _ in range(m):
+            angle = rng.uniform(0, TWO_PI)
+            d = rng.uniform(3.0, 15.0)
+            others.append((d * math.cos(angle), d * math.sin(angle),
+                           rng.uniform(0.2, 1.5)))
+        _, branches = make_branches((0, 0), others)
+        env = lower_envelope((0, 0), branches)
+        for k in range(100):
+            theta = k * TWO_PI / 100
+            want = min((b.radius(theta) for b in branches), default=math.inf)
+            got = env.radius(theta)
+            if math.isinf(want):
+                assert math.isinf(got)
+            else:
+                assert got == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 10_000))
+    def test_breakpoint_bound_lemma22(self, m, seed):
+        # Lemma 2.2: at most 2n breakpoints.
+        rng = random.Random(seed)
+        others = []
+        for _ in range(m):
+            angle = rng.uniform(0, TWO_PI)
+            d = rng.uniform(3.0, 15.0)
+            others.append((d * math.cos(angle), d * math.sin(angle),
+                           rng.uniform(0.2, 1.5)))
+        _, branches = make_branches((0, 0), others)
+        env = lower_envelope((0, 0), branches)
+        assert len(env.breakpoints()) <= 2 * (m + 1)
+
+
+class TestPiecewiseCurveStructure:
+    def test_arcs_cover_circle(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1), (0, 5, 1), (-5, -5, 1)])
+        env = lower_envelope((0, 0), branches)
+        assert env.arcs[0].start == 0.0
+        assert env.arcs[-1].end == pytest.approx(TWO_PI)
+        for a, b in zip(env.arcs, env.arcs[1:]):
+            assert a.end == pytest.approx(b.start)
+
+    def test_consecutive_arcs_differ(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1), (0, 5, 1), (-5, -5, 1)])
+        env = lower_envelope((0, 0), branches)
+        for a, b in zip(env.arcs, env.arcs[1:]):
+            assert a.curve is not b.curve
+
+    def test_validation_rejects_gap(self):
+        with pytest.raises(ValueError):
+            PiecewisePolarCurve((0, 0), [Arc(0.0, 1.0, None),
+                                         Arc(2.0, TWO_PI, None)])
+
+    def test_validation_rejects_partial_cover(self):
+        with pytest.raises(ValueError):
+            PiecewisePolarCurve((0, 0), [Arc(0.0, 1.0, None)])
+
+    def test_point_at_matches_radius(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1)])
+        env = lower_envelope((0, 0), branches)
+        p = env.point_at(0.1)
+        assert math.hypot(*p) == pytest.approx(env.radius(0.1))
+
+    def test_point_at_infinite_direction_raises(self):
+        _, branches = make_branches((0, 0), [(5, 0, 1)])
+        env = lower_envelope((0, 0), branches)
+        with pytest.raises(ValueError):
+            env.point_at(math.pi)
+
+    def test_breakpoint_points_on_both_curves(self):
+        inner, branches = make_branches((0, 0),
+                                        [(5, 0, 1), (1, 5, 0.5), (-4, 2, 1)])
+        env = lower_envelope((0, 0), branches)
+        for p in env.breakpoint_points():
+            rho = math.hypot(*p)
+            theta = math.atan2(p[1], p[0]) % TWO_PI
+            assert rho == pytest.approx(env.radius(theta), rel=1e-6)

@@ -1,0 +1,107 @@
+"""Unit tests for halfplane clipping and intersection."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.halfplanes import (
+    Halfplane,
+    clip_polygon,
+    halfplane_intersection,
+    polygon_area,
+    polygon_contains,
+)
+
+UNIT_SQUARE = [Halfplane(1, 0, 1), Halfplane(-1, 0, 0),
+               Halfplane(0, 1, 1), Halfplane(0, -1, 0)]
+
+
+class TestHalfplane:
+    def test_contains(self):
+        hp = Halfplane(1, 0, 2)  # x <= 2
+        assert hp.contains((1, 5))
+        assert hp.contains((2, 0))
+        assert not hp.contains((2.1, 0))
+
+    def test_value_sign(self):
+        hp = Halfplane(0, 1, 1)  # y <= 1
+        assert hp.value((0, 0)) < 0
+        assert hp.value((0, 2)) > 0
+
+
+class TestClipPolygon:
+    def test_clip_square_in_half(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        clipped = clip_polygon(square, Halfplane(1, 0, 1))  # x <= 1
+        assert polygon_area(clipped) == pytest.approx(2.0)
+
+    def test_clip_away_everything(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        assert clip_polygon(square, Halfplane(1, 0, -1)) == []
+
+    def test_clip_nothing(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        clipped = clip_polygon(square, Halfplane(1, 0, 5))
+        assert polygon_area(clipped) == pytest.approx(4.0)
+
+    def test_tangent_constraint_keeps_polygon(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        clipped = clip_polygon(square, Halfplane(1, 0, 2))  # x <= 2: boundary
+        assert polygon_area(clipped) == pytest.approx(4.0)
+
+    def test_empty_input(self):
+        assert clip_polygon([], Halfplane(1, 0, 1)) == []
+
+
+class TestHalfplaneIntersection:
+    def test_unit_square(self):
+        poly = halfplane_intersection(UNIT_SQUARE)
+        assert polygon_area(poly) == pytest.approx(1.0)
+
+    def test_empty_intersection(self):
+        hps = [Halfplane(1, 0, 0), Halfplane(-1, 0, -1)]  # x <= 0 and x >= 1
+        assert halfplane_intersection(hps) == []
+
+    def test_triangle(self):
+        hps = [Halfplane(-1, 0, 0), Halfplane(0, -1, 0), Halfplane(1, 1, 1)]
+        poly = halfplane_intersection(hps)
+        assert polygon_area(poly) == pytest.approx(0.5)
+
+    def test_unbounded_clips_to_bound(self):
+        poly = halfplane_intersection([Halfplane(1, 0, 0)], bound=10)
+        assert polygon_area(poly) == pytest.approx(200.0)  # half the box
+
+    def test_no_halfplanes_gives_box(self):
+        poly = halfplane_intersection([], bound=1)
+        assert polygon_area(poly) == pytest.approx(4.0)
+
+    @given(st.lists(
+        st.builds(Halfplane,
+                  st.floats(-1, 1).filter(lambda v: abs(v) > 1e-3),
+                  st.floats(-1, 1).filter(lambda v: abs(v) > 1e-3),
+                  st.floats(-5, 5)),
+        min_size=1, max_size=8))
+    def test_result_satisfies_all_constraints(self, hps):
+        poly = halfplane_intersection(hps, bound=100)
+        for v in poly:
+            for hp in hps:
+                assert hp.contains(v, tol=1e-6)
+
+
+class TestPolygonPredicates:
+    def test_area_ccw_positive(self):
+        assert polygon_area([(0, 0), (1, 0), (1, 1), (0, 1)]) == pytest.approx(1.0)
+
+    def test_area_cw_negative(self):
+        assert polygon_area([(0, 0), (0, 1), (1, 1), (1, 0)]) == pytest.approx(-1.0)
+
+    def test_area_degenerate(self):
+        assert polygon_area([(0, 0), (1, 1)]) == 0.0
+
+    def test_contains_inside(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        assert polygon_contains(square, (1, 1))
+        assert polygon_contains(square, (0, 0))  # vertex
+        assert not polygon_contains(square, (3, 1))
+
+    def test_contains_empty(self):
+        assert not polygon_contains([], (0, 0))

@@ -1,0 +1,198 @@
+"""Unit tests for repro.geometry.hyperbola: the gamma_ij / witness branches."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.disks import Disk
+from repro.geometry.hyperbola import (
+    PolarHyperbola,
+    gamma_branch,
+    intersect_same_focus,
+    witness_branch,
+)
+
+coords = st.floats(min_value=-50, max_value=50)
+radii = st.floats(min_value=0.05, max_value=3.0)
+
+
+def disjoint_disk_pair(draw):
+    """Two strictly interior-disjoint disks."""
+    c1 = (draw(coords), draw(coords))
+    r1 = draw(radii)
+    r2 = draw(radii)
+    angle = draw(st.floats(min_value=0, max_value=2 * math.pi))
+    gap = draw(st.floats(min_value=0.1, max_value=20.0))
+    d = r1 + r2 + gap
+    c2 = (c1[0] + d * math.cos(angle), c1[1] + d * math.sin(angle))
+    return Disk(c1[0], c1[1], r1), Disk(c2[0], c2[1], r2)
+
+
+disk_pairs = st.composite(disjoint_disk_pair)()
+
+
+class TestGammaBranch:
+    def test_overlapping_disks_give_none(self):
+        assert gamma_branch(Disk(0, 0, 1), Disk(1, 0, 1)) is None
+
+    def test_tangent_disks_give_none(self):
+        assert gamma_branch(Disk(0, 0, 1), Disk(2, 0, 1)) is None
+
+    def test_axis_point(self):
+        # delta_1 = Delta_2 on the segment: x - 1 = (5 - x) + 1 -> x = 3.5.
+        g = gamma_branch(Disk(0, 0, 1), Disk(5, 0, 1))
+        assert g.radius(0.0) == pytest.approx(3.5)
+
+    def test_label_kept(self):
+        g = gamma_branch(Disk(0, 0, 1), Disk(5, 0, 1), label="j7")
+        assert g.label == "j7"
+
+    @settings(max_examples=60)
+    @given(disk_pairs, st.floats(min_value=-1.0, max_value=1.0))
+    def test_points_satisfy_defining_equation(self, pair, frac):
+        inner, outer = pair
+        g = gamma_branch(inner, outer)
+        assert g is not None
+        dom = g.domain()
+        assert dom is not None
+        center, half = dom
+        theta = center + frac * half * 0.98
+        rho = g.radius(theta)
+        if not math.isfinite(rho):
+            return
+        p = g.point_at(theta)
+        scale = max(1.0, abs(p[0]) + abs(p[1]))
+        assert abs(inner.min_dist(p) - outer.max_dist(p)) <= 1e-7 * scale
+
+    @settings(max_examples=40)
+    @given(disk_pairs)
+    def test_domain_less_than_half_circle(self, pair):
+        # cos(psi) > 2a/D > 0 restricts gamma_ij to an arc narrower than pi.
+        inner, outer = pair
+        g = gamma_branch(inner, outer)
+        dom = g.domain()
+        assert dom is not None
+        _, half = dom
+        assert half < math.pi / 2 + 1e-9
+
+    def test_zero_radius_degenerates_to_bisector(self):
+        # Two certain points: gamma is the perpendicular bisector.
+        g = gamma_branch(Disk(0, 0, 0), Disk(4, 0, 0))
+        assert g.radius(0.0) == pytest.approx(2.0)
+        p = g.point_at(0.7)
+        assert math.dist(p, (0, 0)) == pytest.approx(math.dist(p, (4, 0)))
+
+
+class TestWitnessBranch:
+    @settings(max_examples=60)
+    @given(disk_pairs, st.floats(min_value=-1.0, max_value=1.0))
+    def test_same_point_set_as_gamma(self, pair, frac):
+        moving, pivot = pair
+        w = witness_branch(moving, pivot)
+        assert w is not None
+        dom = w.domain()
+        assert dom is not None
+        center, half = dom
+        theta = center + frac * half * 0.98
+        rho = w.radius(theta)
+        if not math.isfinite(rho):
+            return
+        p = w.point_at(theta)
+        scale = max(1.0, abs(p[0]) + abs(p[1]))
+        assert abs(moving.min_dist(p) - pivot.max_dist(p)) <= 1e-7 * scale
+
+    def test_overlapping_gives_none(self):
+        assert witness_branch(Disk(0, 0, 2), Disk(1, 0, 2)) is None
+
+    def test_domain_wider_than_half_circle(self):
+        # cos(psi) > -2a/D: the witness arc is wider than pi.
+        w = witness_branch(Disk(5, 0, 1), Disk(0, 0, 1))
+        _, half = w.domain()
+        assert half > math.pi / 2
+
+
+class TestIntersectSameFocus:
+    def test_requires_common_focus(self):
+        h1 = PolarHyperbola((0, 0), 1.0, 1.0, 0.0, 2.0)
+        h2 = PolarHyperbola((1, 0), 1.0, 1.0, 0.0, 2.0)
+        with pytest.raises(ValueError):
+            intersect_same_focus(h1, h2)
+
+    def test_symmetric_crossing(self):
+        # Two witnesses around a central pivot, symmetric about the x-axis.
+        pivot = Disk(0, 0, 0.5)
+        a = Disk(6, 3, 0.5)
+        b = Disk(6, -3, 0.5)
+        ha = witness_branch(a, pivot)
+        hb = witness_branch(b, pivot)
+        thetas = intersect_same_focus(ha, hb)
+        assert len(thetas) >= 1
+        for theta in thetas:
+            p = ha.point_at(theta)
+            assert abs(a.min_dist(p) - pivot.max_dist(p)) < 1e-8
+            assert abs(b.min_dist(p) - pivot.max_dist(p)) < 1e-8
+
+    def test_at_most_two_solutions(self):
+        pivot = Disk(0, 0, 0.4)
+        a = Disk(5, 2, 0.3)
+        b = Disk(-4, 3, 0.6)
+        ha = witness_branch(a, pivot)
+        hb = witness_branch(b, pivot)
+        assert len(intersect_same_focus(ha, hb)) <= 2
+
+    def test_no_intersection_far_apart(self):
+        # Same-side branches that never meet.
+        pivot = Disk(0, 0, 0.1)
+        a = Disk(100, 0, 0.1)
+        b = Disk(101.0, 0.0, 0.1)
+        ha = witness_branch(a, pivot)
+        hb = witness_branch(b, pivot)
+        for theta in intersect_same_focus(ha, hb):
+            # Any returned angle must genuinely solve both equations.
+            p = ha.point_at(theta)
+            assert abs(b.min_dist(p) - pivot.max_dist(p)) < 1e-6
+
+    @settings(max_examples=40)
+    @given(st.floats(0, 2 * math.pi), st.floats(1.0, 10.0), st.floats(1.0, 10.0))
+    def test_solutions_verify(self, angle, d1, d2):
+        pivot = Disk(0, 0, 0.3)
+        a_center = (5 + d1, 0.0)
+        b_center = ((5 + d2) * math.cos(angle), (5 + d2) * math.sin(angle))
+        a = Disk(a_center[0], a_center[1], 0.3)
+        b = Disk(b_center[0], b_center[1], 0.3)
+        if math.dist(a_center, b_center) < 0.7:
+            return
+        ha = witness_branch(a, pivot)
+        hb = witness_branch(b, pivot)
+        if ha is None or hb is None:
+            return
+        for theta in intersect_same_focus(ha, hb):
+            p = ha.point_at(theta)
+            scale = max(1.0, abs(p[0]) + abs(p[1]))
+            assert abs(a.min_dist(p) - pivot.max_dist(p)) <= 1e-6 * scale
+            assert abs(b.min_dist(p) - pivot.max_dist(p)) <= 1e-6 * scale
+
+
+class TestPolarHyperbolaBasics:
+    def test_positive_numerator_required(self):
+        with pytest.raises(ValueError):
+            PolarHyperbola((0, 0), -1.0, 1.0, 0.0, 0.0)
+
+    def test_radius_outside_domain_is_inf(self):
+        g = gamma_branch(Disk(0, 0, 1), Disk(5, 0, 1))
+        assert g.radius(math.pi) == math.inf
+
+    def test_point_at_outside_domain_raises(self):
+        g = gamma_branch(Disk(0, 0, 1), Disk(5, 0, 1))
+        with pytest.raises(ValueError):
+            g.point_at(math.pi)
+
+    def test_domain_intervals_cover_domain(self):
+        g = gamma_branch(Disk(0, 0, 1), Disk(5, 0, 1))
+        ivs = g.domain_intervals()
+        assert ivs
+        for lo, hi in ivs:
+            assert 0 <= lo <= hi <= 2 * math.pi + 1e-12
+        mid = sum(ivs[0]) / 2
+        assert math.isfinite(g.radius(mid))

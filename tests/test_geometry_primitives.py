@@ -1,0 +1,161 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.primitives import (
+    TWO_PI,
+    almost_equal,
+    angle_in_ccw_range,
+    angle_of,
+    bounding_box,
+    centroid,
+    cross,
+    dedupe_points,
+    dist,
+    dist2,
+    dot,
+    midpoint,
+    normalize_angle,
+    orient,
+    orient_sign,
+    polar_point,
+    rel_eps,
+)
+
+coords = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestDistances:
+    def test_dist_pythagorean(self):
+        assert dist((0, 0), (3, 4)) == 5.0
+
+    def test_dist_zero(self):
+        assert dist((1.5, -2.5), (1.5, -2.5)) == 0.0
+
+    def test_dist2_matches_dist(self):
+        p, q = (1.0, 2.0), (-3.0, 5.0)
+        assert dist2(p, q) == pytest.approx(dist(p, q) ** 2)
+
+    @given(points, points)
+    def test_dist_symmetric(self, p, q):
+        assert dist(p, q) == pytest.approx(dist(q, p))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, p, q, r):
+        assert dist(p, r) <= dist(p, q) + dist(q, r) + 1e-6
+
+
+class TestVectorOps:
+    def test_dot_orthogonal(self):
+        assert dot((1, 0), (0, 5)) == 0.0
+
+    def test_cross_right_handed(self):
+        assert cross((1, 0), (0, 1)) == 1.0
+
+    def test_cross_antisymmetric(self):
+        assert cross((2, 3), (5, 7)) == -cross((5, 7), (2, 3))
+
+    def test_midpoint(self):
+        assert midpoint((0, 0), (2, 4)) == (1.0, 2.0)
+
+    def test_centroid(self):
+        assert centroid([(0, 0), (3, 0), (0, 3)]) == (1.0, 1.0)
+
+    def test_centroid_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+
+class TestOrientation:
+    def test_left_turn_positive(self):
+        assert orient((0, 0), (1, 0), (1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert orient((0, 0), (1, 0), (1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert orient((0, 0), (1, 1), (2, 2)) == 0.0
+
+    def test_orient_sign_tolerant_collinear(self):
+        # Nearly collinear large-coordinate triple classifies as 0.
+        assert orient_sign((0, 0), (1e6, 1e6), (2e6, 2e6 + 1e-5)) == 0
+
+    def test_orient_sign_clear_cases(self):
+        assert orient_sign((0, 0), (1, 0), (0, 1)) == 1
+        assert orient_sign((0, 0), (1, 0), (0, -1)) == -1
+
+
+class TestAngles:
+    def test_angle_of_axes(self):
+        assert angle_of((1, 0)) == 0.0
+        assert angle_of((0, 1)) == pytest.approx(math.pi / 2)
+        assert angle_of((-1, 0)) == pytest.approx(math.pi)
+        assert angle_of((0, -1)) == pytest.approx(3 * math.pi / 2)
+
+    @given(st.floats(min_value=-20, max_value=20))
+    def test_normalize_angle_range(self, theta):
+        normalized = normalize_angle(theta)
+        assert 0.0 <= normalized < TWO_PI
+        # Same direction.
+        assert math.cos(normalized) == pytest.approx(math.cos(theta), abs=1e-9)
+        assert math.sin(normalized) == pytest.approx(math.sin(theta), abs=1e-9)
+
+    def test_angle_in_ccw_range_plain(self):
+        assert angle_in_ccw_range(1.0, 0.5, 1.5)
+        assert not angle_in_ccw_range(2.0, 0.5, 1.5)
+
+    def test_angle_in_ccw_range_wrapping(self):
+        assert angle_in_ccw_range(0.1, 6.0, 0.5)
+        assert angle_in_ccw_range(6.2, 6.0, 0.5)
+        assert not angle_in_ccw_range(3.0, 6.0, 0.5)
+
+    def test_polar_point(self):
+        p = polar_point((1, 1), 2.0, math.pi / 2)
+        assert p[0] == pytest.approx(1.0)
+        assert p[1] == pytest.approx(3.0)
+
+
+class TestToleranceModel:
+    def test_almost_equal_absolute(self):
+        assert almost_equal(1.0, 1.0 + 1e-12)
+        assert not almost_equal(1.0, 1.001)
+
+    def test_almost_equal_relative(self):
+        assert almost_equal(1e9, 1e9 + 1.0, tol=1e-8)
+
+    def test_rel_eps_scales(self):
+        assert rel_eps(1e6) == pytest.approx(1e-3)
+        assert rel_eps(0.5) == rel_eps(0.0)  # floor at scale 1
+
+
+class TestBoundingAndDedupe:
+    def test_bounding_box(self):
+        lo, hi = bounding_box([(0, 5), (2, -1), (-3, 3)])
+        assert lo == (-3, -1)
+        assert hi == (2, 5)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_dedupe_points_merges(self):
+        pts = [(0.0, 0.0), (1e-9, -1e-9), (1.0, 1.0)]
+        assert len(dedupe_points(pts, tol=1e-7)) == 2
+
+    def test_dedupe_points_keeps_distinct(self):
+        pts = [(0.0, 0.0), (0.5, 0.0), (1.0, 0.0)]
+        assert len(dedupe_points(pts, tol=1e-7)) == 3
+
+    @given(st.lists(st.tuples(st.floats(-100, 100), st.floats(-100, 100)),
+                    min_size=1, max_size=30))
+    def test_dedupe_pairwise_separated(self, pts):
+        tol = 1e-6
+        out = dedupe_points(pts, tol=tol)
+        for i in range(len(out)):
+            for j in range(i + 1, len(out)):
+                assert dist(out[i], out[j]) > tol * 0.99

@@ -1,0 +1,121 @@
+"""Unit tests for segment/line predicates."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.segments import (
+    bisector_line,
+    line_box_clip,
+    point_on_segment,
+    segment_intersection,
+)
+
+coords = st.floats(min_value=-50, max_value=50,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestSegmentIntersection:
+    def test_plain_crossing(self):
+        p = segment_intersection((-1, 0), (1, 0), (0, -1), (0, 1))
+        assert p == pytest.approx((0.0, 0.0))
+
+    def test_miss(self):
+        assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_parallel(self):
+        assert segment_intersection((0, 0), (1, 0), (0, 1), (1, 1)) is None
+
+    def test_touching_endpoint(self):
+        p = segment_intersection((0, 0), (1, 0), (1, 0), (1, 1))
+        assert p == pytest.approx((1.0, 0.0))
+
+    def test_t_junction(self):
+        p = segment_intersection((0, 0), (2, 0), (1, -1), (1, 0))
+        assert p == pytest.approx((1.0, 0.0))
+
+    def test_near_miss_beyond_endpoint(self):
+        assert segment_intersection((0, 0), (1, 0), (2, -1), (2, 1)) is None
+
+    @given(points, points, points, points)
+    def test_intersection_lies_on_both(self, a, b, c, d):
+        p = segment_intersection(a, b, c, d)
+        if p is None:
+            return
+        assert point_on_segment(p, a, b, tol=1e-5)
+        assert point_on_segment(p, c, d, tol=1e-5)
+
+
+class TestPointOnSegment:
+    def test_midpoint(self):
+        assert point_on_segment((1, 1), (0, 0), (2, 2))
+
+    def test_endpoint(self):
+        assert point_on_segment((0, 0), (0, 0), (2, 2))
+
+    def test_off_line(self):
+        assert not point_on_segment((1, 1.5), (0, 0), (2, 2))
+
+    def test_beyond_end(self):
+        assert not point_on_segment((3, 3), (0, 0), (2, 2))
+
+
+class TestBisectorLine:
+    def test_vertical_bisector(self):
+        a, b, c = bisector_line((0, 0), (2, 0))
+        # Line a*x + b*y = c through (1, y) for all y.
+        assert a * 1 + b * 0 == pytest.approx(c)
+        assert a * 1 + b * 5 == pytest.approx(c)
+
+    def test_identical_points_raise(self):
+        with pytest.raises(ValueError):
+            bisector_line((1, 1), (1, 1))
+
+    @given(points, points)
+    def test_equidistance(self, p, q):
+        if p == q:
+            return
+        a, b, c = bisector_line(p, q)
+        # Solve for a point on the line: the midpoint works.
+        mid = ((p[0] + q[0]) / 2, (p[1] + q[1]) / 2)
+        assert a * mid[0] + b * mid[1] == pytest.approx(c, abs=1e-6)
+        assert math.dist(mid, p) == pytest.approx(math.dist(mid, q))
+
+
+class TestLineBoxClip:
+    BOX = ((-1.0, -1.0), (1.0, 1.0))
+
+    def test_horizontal_line(self):
+        seg = line_box_clip(0, 1, 0.5, self.BOX)  # y = 0.5
+        assert seg is not None
+        (x1, y1), (x2, y2) = seg
+        assert y1 == pytest.approx(0.5) and y2 == pytest.approx(0.5)
+        assert {round(x1), round(x2)} == {-1, 1}
+
+    def test_missing_line(self):
+        assert line_box_clip(0, 1, 5.0, self.BOX) is None  # y = 5
+
+    def test_diagonal(self):
+        seg = line_box_clip(1, -1, 0, self.BOX)  # y = x
+        assert seg is not None
+        (x1, y1), (x2, y2) = seg
+        assert y1 == pytest.approx(x1)
+        assert y2 == pytest.approx(x2)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            line_box_clip(0, 0, 1, self.BOX)
+
+    @given(st.floats(-3, 3), st.floats(-3, 3), st.floats(-3, 3))
+    def test_clip_endpoints_inside_box(self, a, b, c):
+        if abs(a) < 1e-3 and abs(b) < 1e-3:
+            return
+        seg = line_box_clip(a, b, c, self.BOX)
+        if seg is None:
+            return
+        for x, y in seg:
+            assert -1 - 1e-9 <= x <= 1 + 1e-9
+            assert -1 - 1e-9 <= y <= 1 + 1e-9
+            assert a * x + b * y == pytest.approx(c, abs=1e-6)

@@ -1,0 +1,107 @@
+"""Tests for the guaranteed Voronoi diagram ([SE08], Section 1.2)."""
+
+import random
+
+import pytest
+
+from repro.core.workloads import disjoint_disks, random_disks
+from repro.geometry.disks import Disk, nonzero_nn_bruteforce
+from repro.quantification.exact_continuous import quantification_continuous
+from repro.uncertain.disk_uniform import DiskUniformPoint
+from repro.voronoi.guaranteed import GuaranteedVoronoi
+
+
+class TestMembership:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            GuaranteedVoronoi([])
+
+    def test_single_disk_whole_plane(self):
+        gv = GuaranteedVoronoi([Disk(0, 0, 1)])
+        assert gv.locate((100, 100)) == 0
+        assert gv.nonempty_cells() == [0]
+
+    def test_two_far_disks(self):
+        gv = GuaranteedVoronoi([Disk(0, 0, 1), Disk(20, 0, 1)])
+        assert gv.locate((0, 0)) == 0
+        assert gv.locate((20, 0)) == 1
+        assert gv.locate((10, 0)) is None
+
+    def test_center_always_guaranteed_when_disjoint(self):
+        disks = disjoint_disks(12, ratio=2.0, seed=4)
+        gv = GuaranteedVoronoi(disks)
+        for i, d in enumerate(disks):
+            assert gv.contains(i, d.center), \
+                "a disjoint disk's center is always in its guaranteed cell"
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bruteforce(self, seed):
+        disks = random_disks(10, seed=seed, extent=15.0, r_min=0.3, r_max=1.0)
+        gv = GuaranteedVoronoi(disks)
+        rng = random.Random(seed)
+        for _ in range(150):
+            q = (rng.uniform(-2, 17), rng.uniform(-2, 17))
+            for i in range(len(disks)):
+                assert gv.contains(i, q) == gv.contains_bruteforce(i, q)
+
+    def test_overlapping_disks_have_empty_cells(self):
+        gv = GuaranteedVoronoi([Disk(0, 0, 2), Disk(1, 0, 2), Disk(20, 0, 1)])
+        cells = gv.nonempty_cells()
+        assert 0 not in cells and 1 not in cells
+        assert 2 in cells
+
+
+class TestSemantics:
+    def test_guaranteed_iff_singleton_nonzero_nn(self):
+        disks = disjoint_disks(15, ratio=1.5, seed=7)
+        gv = GuaranteedVoronoi(disks)
+        rng = random.Random(2)
+        checked = 0
+        for _ in range(300):
+            q = (rng.uniform(0, 70), rng.uniform(0, 70))
+            winner = gv.locate(q)
+            nn = nonzero_nn_bruteforce(disks, q)
+            if winner is not None:
+                checked += 1
+                assert nn == [winner]
+            else:
+                # No guaranteed winner: more than one possible NN (or a
+                # boundary case).
+                assert len(nn) >= 1
+        assert checked > 10
+
+    def test_probability_one_inside_cell(self):
+        """pi = 1 exactly where the guaranteed diagram says so."""
+        disks = [Disk(0, 0, 1), Disk(8, 0, 1), Disk(4, 7, 1)]
+        pts = [DiskUniformPoint(d.center, d.r) for d in disks]
+        gv = GuaranteedVoronoi(disks)
+        assert gv.locate((0, 0)) == 0
+        assert quantification_continuous(pts, (0, 0), 0) == pytest.approx(1.0)
+
+    def test_cells_disjoint(self):
+        disks = disjoint_disks(8, ratio=2.0, seed=9)
+        gv = GuaranteedVoronoi(disks)
+        rng = random.Random(3)
+        for _ in range(200):
+            q = (rng.uniform(0, 40), rng.uniform(0, 40))
+            members = [i for i in range(len(disks)) if gv.contains(i, q)]
+            assert len(members) <= 1
+
+
+class TestComplexity:
+    def test_linear_total_complexity(self):
+        """[SE08]: total complexity O(n) — arcs per point stay bounded."""
+        per_point = []
+        for n in (10, 20, 40):
+            disks = disjoint_disks(n, ratio=2.0, seed=n)
+            gv = GuaranteedVoronoi(disks)
+            per_point.append(gv.total_complexity() / n)
+        assert max(per_point) <= 10.0
+        # No superlinear blowup: the ratio stays roughly flat.
+        assert per_point[-1] <= 2.0 * per_point[0] + 2.0
+
+    def test_cell_complexity_accessor(self):
+        disks = disjoint_disks(6, ratio=2.0, seed=11)
+        gv = GuaranteedVoronoi(disks)
+        assert sum(gv.cell_complexity(i) for i in range(6)) \
+            == gv.total_complexity()

@@ -1,0 +1,136 @@
+"""End-to-end integration tests across modules.
+
+Each test exercises a pipeline a user of the library would actually run:
+build an index over a realistic workload, query it several ways, and check
+all answers agree with first-principles evaluation.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro import (
+    DiscreteUncertainPoint,
+    PNNIndex,
+    clustered_sensor_field,
+    mobile_object_tracks,
+)
+from repro.quantification.exact_discrete import quantification_vector
+from repro.voronoi.diagram import NonzeroVoronoiDiagram
+from repro.voronoi.discrete_diagram import DiscreteNonzeroVoronoi
+
+
+class TestSensorPipeline:
+    """Continuous-model pipeline: sensors with disk uncertainty."""
+
+    def setup_method(self):
+        self.sensors = clustered_sensor_field(25, clusters=3, seed=42)
+        self.index = PNNIndex(self.sensors)
+
+    def test_nn_consistency_three_ways(self):
+        diagram = self.index.build_nonzero_voronoi()
+        rng = random.Random(1)
+        for _ in range(40):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            fast = self.index.nonzero_nn(q)
+            brute = sorted(self.index.nonzero_nn_bruteforce(q))
+            via_diagram = sorted(diagram.nonzero_nn(q))
+            assert fast == brute == via_diagram
+
+    def test_quantification_sums_to_one(self):
+        rng = random.Random(2)
+        for _ in range(5):
+            q = (rng.uniform(20, 80), rng.uniform(20, 80))
+            est = self.index.quantify(q, "monte_carlo", epsilon=0.1)
+            assert sum(est.values()) == pytest.approx(1.0)
+
+    def test_nonzero_nn_covers_all_positive_probability(self):
+        """Anything with positive estimated probability must be in NN!=0."""
+        rng = random.Random(3)
+        for _ in range(10):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            allowed = set(self.index.nonzero_nn(q))
+            est = self.index.quantify(q, "monte_carlo", epsilon=0.1)
+            assert set(est) <= allowed
+
+
+class TestMobileObjectPipeline:
+    """Discrete-model pipeline: moving objects with stale pings."""
+
+    def setup_method(self):
+        self.objects = mobile_object_tracks(20, pings=4, seed=7)
+        self.index = PNNIndex(self.objects)
+
+    def test_spiral_vs_exact_vs_mc(self):
+        rng = random.Random(4)
+        for _ in range(8):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            exact = quantification_vector(self.objects, q)
+            spiral = self.index.quantify(q, "spiral", epsilon=0.02)
+            for i, v in enumerate(exact):
+                s = spiral.get(i, 0.0)
+                assert s <= v + 1e-9
+                assert v - s <= 0.02 + 1e-9
+            mc = self.index.quantify(q, "monte_carlo", epsilon=0.1, delta=0.05)
+            for i, v in enumerate(exact):
+                assert abs(mc.get(i, 0.0) - v) <= 0.12
+
+    def test_discrete_diagram_agrees_with_index(self):
+        diagram = DiscreteNonzeroVoronoi(self.objects[:10])
+        sub_index = PNNIndex(self.objects[:10])
+        rng = random.Random(5)
+        for _ in range(40):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            assert sorted(diagram.nonzero_nn(q)) == sub_index.nonzero_nn(q)
+
+    def test_threshold_pipeline(self):
+        rng = random.Random(6)
+        for _ in range(5):
+            q = (rng.uniform(10, 40), rng.uniform(10, 40))
+            exact = quantification_vector(self.objects, q)
+            res = self.index.threshold_nn(q, tau=0.3)
+            for i in res.certain:
+                assert exact[i] > 0.3 - 2 * res.epsilon
+            definitely_over = {i for i, v in enumerate(exact)
+                               if v > 0.3 + res.epsilon}
+            assert definitely_over <= set(res.possible())
+
+
+class TestVprPipeline:
+    def test_vpr_matches_all_other_paths(self):
+        rng = random.Random(8)
+        pts = []
+        for _ in range(4):
+            sites = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(2)]
+            pts.append(DiscreteUncertainPoint(sites, [0.5, 0.5]))
+        index = PNNIndex(pts)
+        vpr = index.build_vpr()
+        for _ in range(40):
+            q = (rng.uniform(0, 6), rng.uniform(0, 6))
+            via_vpr = vpr.query(q)
+            direct = quantification_vector(pts, q)
+            assert max(abs(a - b) for a, b in zip(via_vpr, direct)) < 1e-9
+            # NN!=0 is exactly the support of the probability vector for
+            # generic queries (no zero-measure boundary effects expected
+            # at random q).
+            support = {i for i, v in enumerate(direct) if v > 1e-12}
+            assert support <= set(index.nonzero_nn(q))
+
+
+class TestGuaranteedVoronoiProperty:
+    def test_pi_equals_one_iff_sole_nonzero_nn(self):
+        """[SE08]'s guaranteed-Voronoi cells: |NN!=0(q)| = 1 implies the
+        sole member has probability exactly 1."""
+        rng = random.Random(9)
+        pts = mobile_object_tracks(12, pings=3, seed=11)
+        index = PNNIndex(pts)
+        found_singleton = False
+        for _ in range(300):
+            q = (rng.uniform(0, 50), rng.uniform(0, 50))
+            nn = index.nonzero_nn(q)
+            if len(nn) == 1:
+                found_singleton = True
+                exact = quantification_vector(pts, q)
+                assert exact[nn[0]] == pytest.approx(1.0)
+        assert found_singleton, "expected some guaranteed-NN queries"

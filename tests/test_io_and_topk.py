@@ -1,0 +1,128 @@
+"""Tests for workload serialization and top-k queries."""
+
+import io as _io
+import math
+import random
+
+import pytest
+
+from repro import (
+    ConvexPolygonUniformPoint,
+    DiscreteUncertainPoint,
+    DiskUniformPoint,
+    HistogramUncertainPoint,
+    PNNIndex,
+    TruncatedGaussianPoint,
+    load_workload,
+    save_workload,
+)
+from repro.core.io import (
+    dumps_workload,
+    loads_workload,
+    point_from_dict,
+    point_to_dict,
+)
+from repro.quantification.exact_discrete import quantification_vector
+
+from repro.uncertain.annulus import AnnulusUniformPoint
+
+ALL_MODELS = [
+    DiskUniformPoint((1.5, -2.0), 0.75),
+    TruncatedGaussianPoint((0.0, 3.0), 0.5, 1.5),
+    DiscreteUncertainPoint([(0, 0), (1, 2), (3, 1)], [0.2, 0.3, 0.5]),
+    HistogramUncertainPoint((2, 2), 0.5, 0.5, [[1, 0], [2, 1]]),
+    ConvexPolygonUniformPoint([(0, 0), (2, 0), (2, 1), (0, 1)]),
+    AnnulusUniformPoint((1.0, 1.0), 0.5, 1.25),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("point", ALL_MODELS,
+                             ids=[type(p).__name__ for p in ALL_MODELS])
+    def test_point_round_trip_semantics(self, point):
+        clone = point_from_dict(point_to_dict(point))
+        assert type(clone) is type(point)
+        rng = random.Random(1)
+        for _ in range(10):
+            q = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            assert clone.min_dist(q) == pytest.approx(point.min_dist(q))
+            assert clone.max_dist(q) == pytest.approx(point.max_dist(q))
+            r = rng.uniform(0.5, 8.0)
+            assert clone.distance_cdf(q, r) \
+                == pytest.approx(point.distance_cdf(q, r), abs=1e-9)
+
+    def test_workload_string_round_trip(self):
+        text = dumps_workload(ALL_MODELS)
+        loaded = loads_workload(text)
+        assert len(loaded) == len(ALL_MODELS)
+        assert [type(p).__name__ for p in loaded] \
+            == [type(p).__name__ for p in ALL_MODELS]
+
+    def test_workload_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "workload.json")
+        save_workload(ALL_MODELS, path)
+        loaded = load_workload(path)
+        assert len(loaded) == len(ALL_MODELS)
+
+    def test_workload_stream_round_trip(self):
+        buf = _io.StringIO()
+        save_workload(ALL_MODELS, buf)
+        buf.seek(0)
+        assert len(load_workload(buf)) == len(ALL_MODELS)
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(ValueError):
+            loads_workload('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            loads_workload('{"format": "repro-workload", "version": 99}')
+        with pytest.raises(ValueError):
+            point_from_dict({"model": "alien"})
+
+    def test_queries_survive_round_trip(self):
+        pts = [DiscreteUncertainPoint([(i, 0), (i, 1)], [0.5, 0.5])
+               for i in range(5)]
+        loaded = loads_workload(dumps_workload(pts))
+        q = (2.2, 0.4)
+        assert quantification_vector(loaded, q) \
+            == pytest.approx(quantification_vector(pts, q))
+
+
+class TestTopK:
+    def setup_method(self):
+        rng = random.Random(5)
+        self.points = []
+        for _ in range(12):
+            cx, cy = rng.uniform(0, 10), rng.uniform(0, 10)
+            sites = [(cx + rng.uniform(-1, 1), cy + rng.uniform(-1, 1))
+                     for _ in range(3)]
+            self.points.append(DiscreteUncertainPoint(sites, [1, 1, 1]))
+        self.index = PNNIndex(self.points)
+
+    def test_top_k_ordering(self):
+        q = (5.0, 5.0)
+        top = self.index.top_k_nn(q, 4, method="exact")
+        probs = [p for _, p in top]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_top_1_is_argmax(self):
+        q = (5.0, 5.0)
+        exact = quantification_vector(self.points, q)
+        top = self.index.top_k_nn(q, 1, method="exact")
+        assert top[0][0] == max(range(len(exact)), key=lambda i: exact[i])
+
+    def test_k_zero(self):
+        assert self.index.top_k_nn((0, 0), 0) == []
+
+    def test_k_exceeds_support(self):
+        q = (5.0, 5.0)
+        top = self.index.top_k_nn(q, 100, method="exact")
+        assert all(p > 0 for _, p in top)
+        assert sum(p for _, p in top) == pytest.approx(1.0)
+
+    def test_spiral_topk_close_to_exact(self):
+        q = (5.0, 5.0)
+        exact_top = self.index.top_k_nn(q, 3, method="exact")
+        spiral_top = self.index.top_k_nn(q, 3, method="spiral", epsilon=0.01)
+        # Leaders separated by > 2 eps must agree.
+        if exact_top[0][1] - exact_top[1][1] > 0.02:
+            assert spiral_top[0][0] == exact_top[0][0]

@@ -1,0 +1,136 @@
+"""Tests for the L-infinity variant (Remark (ii) after Theorem 3.1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.linf import SquareNNIndex, rotate45
+from repro.geometry.squares import Square, linf_dist, nonzero_nn_bruteforce_linf
+from repro.spatial.kdtree import KDTree
+
+coords = st.floats(min_value=-50, max_value=50,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+class TestSquare:
+    def test_negative_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Square(0, 0, -1)
+
+    def test_max_dist(self):
+        s = Square(0, 0, 1)
+        assert s.max_dist((3, 1)) == pytest.approx(4.0)
+
+    def test_min_dist(self):
+        s = Square(0, 0, 1)
+        assert s.min_dist((3, 1)) == pytest.approx(2.0)
+        assert s.min_dist((0.5, 0.5)) == 0.0
+
+    def test_contains(self):
+        s = Square(1, 1, 1)
+        assert s.contains_point((1.5, 0.5))
+        assert not s.contains_point((2.5, 1.0))
+
+    @given(points, st.floats(0.1, 5), points)
+    def test_min_le_max(self, c, h, q):
+        s = Square(c[0], c[1], h)
+        assert s.min_dist(q) <= s.max_dist(q)
+
+    @given(points, st.floats(0.1, 3), points)
+    def test_extremes_bound_corner_distances(self, c, h, q):
+        s = Square(c[0], c[1], h)
+        corners = [(c[0] + sx * h, c[1] + sy * h)
+                   for sx in (-1, 1) for sy in (-1, 1)]
+        dists = [linf_dist(q, p) for p in corners]
+        assert max(dists) <= s.max_dist(q) + 1e-9
+        assert min(dists) >= s.min_dist(q) - 1e-9
+
+
+class TestLinfKDTree:
+    @given(st.lists(points, min_size=1, max_size=40), points)
+    def test_nearest_matches_brute(self, pts, q):
+        t = KDTree(pts, metric="linf")
+        _, d = t.nearest(q)
+        want = min(linf_dist(p, q) for p in pts)
+        assert d == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(points, min_size=1, max_size=40), points,
+           st.floats(0.5, 20))
+    def test_weighted_report_matches_brute(self, pts, q, threshold):
+        rng = random.Random(3)
+        ws = [rng.uniform(0, 2) for _ in pts]
+        t = KDTree(pts, ws, metric="linf")
+        got = set(t.weighted_report(q, threshold))
+        want = {i for i, (p, w) in enumerate(zip(pts, ws))
+                if linf_dist(p, q) - w < threshold}
+        assert got == want
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)], metric="l7")
+
+
+class TestSquareNNIndex:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            SquareNNIndex([])
+
+    def test_single_square(self):
+        index = SquareNNIndex([Square(0, 0, 1)])
+        assert index.nonzero_nn((10, 10)) == [0]
+
+    def test_two_squares_midline(self):
+        index = SquareNNIndex([Square(0, 0, 1), Square(10, 0, 1)])
+        assert index.nonzero_nn((0, 0)) == [0]
+        assert index.nonzero_nn((5, 0)) == [0, 1]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(seed)
+        squares = [Square(rng.uniform(0, 20), rng.uniform(0, 20),
+                          rng.uniform(0.3, 1.5)) for _ in range(30)]
+        index = SquareNNIndex(squares)
+        for _ in range(120):
+            q = (rng.uniform(-2, 22), rng.uniform(-2, 22))
+            assert index.nonzero_nn(q) \
+                == sorted(index.nonzero_nn_bruteforce(q))
+
+    def test_delta_exact(self):
+        rng = random.Random(5)
+        squares = [Square(rng.uniform(0, 10), rng.uniform(0, 10),
+                          rng.uniform(0.2, 1.0)) for _ in range(15)]
+        index = SquareNNIndex(squares)
+        for _ in range(30):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            want = min(s.max_dist(q) for s in squares)
+            assert index.delta(q) == pytest.approx(want)
+
+    def test_zero_extent_squares(self):
+        """Certain points under L-inf: the unique nearest point qualifies."""
+        rng = random.Random(7)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)]
+        index = SquareNNIndex([Square(x, y, 0.0) for x, y in sites])
+        for _ in range(40):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            nearest = min(range(12), key=lambda i: linf_dist(sites[i], q))
+            assert index.nonzero_nn(q) == [nearest]
+
+
+class TestRotate45:
+    def test_preserves_l2(self):
+        p = (3.0, 4.0)
+        assert math.hypot(*rotate45(p)) == pytest.approx(5.0)
+
+    def test_l1_becomes_scaled_linf(self):
+        """||p - q||_1 = sqrt(2) * ||rot(p) - rot(q)||_inf."""
+        rng = random.Random(1)
+        for _ in range(50):
+            p = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            q = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            l1 = abs(p[0] - q[0]) + abs(p[1] - q[1])
+            rp, rq = rotate45(p), rotate45(q)
+            linf = max(abs(rp[0] - rq[0]), abs(rp[1] - rq[1]))
+            assert l1 == pytest.approx(math.sqrt(2) * linf)

@@ -1,0 +1,160 @@
+"""Tests for convex-polygon uncertainty regions and circle-polygon areas."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.circle_polygon import circle_polygon_area
+from repro.uncertain.polygon import ConvexPolygonUniformPoint
+
+UNIT_SQUARE = [(0, 0), (1, 0), (1, 1), (0, 1)]
+TRIANGLE = [(0, 0), (3, 0), (1, 2)]
+
+
+class TestCirclePolygonArea:
+    def test_polygon_inside_circle(self):
+        assert circle_polygon_area((0.5, 0.5), 10, UNIT_SQUARE) \
+            == pytest.approx(1.0)
+
+    def test_circle_inside_polygon(self):
+        assert circle_polygon_area((0.5, 0.5), 0.2, UNIT_SQUARE) \
+            == pytest.approx(math.pi * 0.04)
+
+    def test_disjoint(self):
+        assert circle_polygon_area((10, 10), 1, UNIT_SQUARE) == 0.0
+
+    def test_half_overlap(self):
+        # Circle centered on the x = 0 edge, small enough to stay within y.
+        assert circle_polygon_area((0, 0.5), 0.3, UNIT_SQUARE) \
+            == pytest.approx(math.pi * 0.09 / 2)
+
+    def test_zero_radius(self):
+        assert circle_polygon_area((0.5, 0.5), 0, UNIT_SQUARE) == 0.0
+
+    def test_negative_radius_raises(self):
+        with pytest.raises(ValueError):
+            circle_polygon_area((0, 0), -1, UNIT_SQUARE)
+
+    def test_degenerate_polygon(self):
+        assert circle_polygon_area((0, 0), 1, [(0, 0), (1, 1)]) == 0.0
+
+    def test_translation_invariance(self):
+        a1 = circle_polygon_area((1, 0.5), 0.8, TRIANGLE)
+        shifted = [(x + 5, y - 3) for x, y in TRIANGLE]
+        a2 = circle_polygon_area((6, -2.5), 0.8, shifted)
+        assert a1 == pytest.approx(a2)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(-1, 4), st.floats(-1, 3), st.floats(0.3, 3),
+           st.integers(0, 100))
+    def test_monte_carlo_agreement(self, cx, cy, r, seed):
+        rng = random.Random(seed)
+        samples = 15_000
+        hits = 0
+        for _ in range(samples):
+            x = rng.uniform(-1, 4)
+            y = rng.uniform(-1, 3)
+            if (x - cx) ** 2 + (y - cy) ** 2 > r * r:
+                continue
+            d1 = 3 * y
+            d2 = -2 * (x - 3) - 2 * y
+            d3 = -(y - 2) + 2 * (x - 1)
+            if d1 >= 0 and d2 >= 0 and d3 >= 0:
+                hits += 1
+        box = 5.0 * 4.0
+        mc = hits / samples * box
+        exact = circle_polygon_area((cx, cy), r, TRIANGLE)
+        assert exact == pytest.approx(mc, abs=4 * box / math.sqrt(samples))
+
+    @given(st.floats(-2, 3), st.floats(-2, 3), st.floats(0.1, 2))
+    def test_bounds(self, cx, cy, r):
+        area = circle_polygon_area((cx, cy), r, UNIT_SQUARE)
+        assert -1e-9 <= area <= min(math.pi * r * r, 1.0) + 1e-9
+
+
+class TestConvexPolygonModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvexPolygonUniformPoint([(0, 0), (1, 0)])
+        with pytest.raises(ValueError):
+            ConvexPolygonUniformPoint([(0, 0), (0, 1), (1, 0)])  # CW
+        with pytest.raises(ValueError):
+            ConvexPolygonUniformPoint([(0, 0), (2, 0), (3, 0.1), (1, 3),
+                                       (2.5, 2.9)])  # non-convex
+
+    def test_area(self):
+        p = ConvexPolygonUniformPoint(UNIT_SQUARE)
+        assert p.area == pytest.approx(1.0)
+
+    def test_min_max_dist(self):
+        p = ConvexPolygonUniformPoint(UNIT_SQUARE)
+        assert p.min_dist((3, 0.5)) == pytest.approx(2.0)
+        assert p.max_dist((3, 0.5)) == pytest.approx(math.hypot(3, 0.5))
+        assert p.min_dist((0.5, 0.5)) == 0.0
+
+    def test_samples_inside(self):
+        p = ConvexPolygonUniformPoint(TRIANGLE)
+        rng = random.Random(1)
+        for _ in range(300):
+            x, y = p.sample(rng)
+            assert 3 * y >= -1e-9
+            assert -2 * (x - 3) - 2 * y >= -1e-9
+            assert -(y - 2) + 2 * (x - 1) >= -1e-9
+
+    def test_cdf_matches_sampling(self):
+        p = ConvexPolygonUniformPoint([(0, 0), (2, 0), (2, 1), (0, 1)])
+        q = (3.0, 0.5)
+        rng = random.Random(2)
+        hits = sum(1 for _ in range(20000)
+                   if math.dist(p.sample(rng), q) <= 1.8)
+        assert hits / 20000 == pytest.approx(p.distance_cdf(q, 1.8), abs=0.02)
+
+    def test_cdf_limits(self):
+        p = ConvexPolygonUniformPoint(TRIANGLE)
+        q = (5, 5)
+        assert p.distance_cdf(q, p.min_dist(q) - 1e-6) == 0.0
+        assert p.distance_cdf(q, p.max_dist(q) + 1e-6) == pytest.approx(1.0)
+
+    def test_fatness_square(self):
+        p = ConvexPolygonUniformPoint(UNIT_SQUARE)
+        assert p.fatness() == pytest.approx(math.sqrt(2))
+
+    def test_fatness_thin_polygon(self):
+        thin = ConvexPolygonUniformPoint([(0, 0), (10, 0), (10, 0.1),
+                                          (0, 0.1)])
+        assert thin.fatness() > 50
+
+    def test_disk_approximation_conservative(self):
+        p = ConvexPolygonUniformPoint(TRIANGLE)
+        disk = p.disk_approximation()
+        rng = random.Random(3)
+        for _ in range(20):
+            q = (rng.uniform(-5, 8), rng.uniform(-5, 8))
+            assert disk.min_dist(q) <= p.min_dist(q) + 1e-9
+            assert p.max_dist(q) <= disk.max_dist(q) + 1e-9
+
+    def test_works_in_pnnindex(self):
+        from repro import PNNIndex
+
+        pts = [ConvexPolygonUniformPoint(UNIT_SQUARE),
+               ConvexPolygonUniformPoint([(4, 0), (6, 0), (6, 2), (4, 2)]),
+               ConvexPolygonUniformPoint([(2, 4), (4, 4), (3, 6)])]
+        index = PNNIndex(pts)
+        rng = random.Random(4)
+        for _ in range(60):
+            q = (rng.uniform(-1, 7), rng.uniform(-1, 7))
+            assert index.nonzero_nn(q) == sorted(index.nonzero_nn_bruteforce(q))
+
+    def test_quantification_continuous(self):
+        """Two symmetric squares: pi = 0.5 each at the midline."""
+        from repro.quantification.exact_continuous import (
+            quantification_continuous_vector,
+        )
+
+        pts = [ConvexPolygonUniformPoint(UNIT_SQUARE),
+               ConvexPolygonUniformPoint([(3, 0), (4, 0), (4, 1), (3, 1)])]
+        vec = quantification_continuous_vector(pts, (2.0, 0.5))
+        assert vec[0] == pytest.approx(0.5, abs=1e-5)
+        assert sum(vec) == pytest.approx(1.0, abs=1e-5)

@@ -1,0 +1,212 @@
+"""Tests for the Monte-Carlo and spiral-search estimators (Theorems 4.3-4.7)."""
+
+import math
+import random
+
+import pytest
+
+from repro.quantification.exact_discrete import quantification_vector
+from repro.quantification.monte_carlo import (
+    MonteCarloQuantifier,
+    continuous_sample_complexity,
+    discretize_continuous,
+    rounds_for_all_queries,
+    rounds_for_single_query,
+)
+from repro.quantification.spiral import (
+    SpiralSearchQuantifier,
+    m_bound,
+    remark_eta_comparison,
+    remark_small_weights_example,
+)
+from repro.quantification.threshold import classify_threshold
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+
+def random_instance(n, k, seed, extent=10.0, wr=2.0):
+    rng = random.Random(seed)
+    pts = []
+    for _ in range(n):
+        sites = [(rng.uniform(0, extent), rng.uniform(0, extent))
+                 for _ in range(k)]
+        weights = [rng.uniform(1.0, wr) for _ in range(k)]
+        pts.append(DiscreteUncertainPoint(sites, weights))
+    return pts
+
+
+class TestRoundBudgets:
+    def test_single_query_budget_formula(self):
+        s = rounds_for_single_query(0.1, 0.05, 10)
+        assert s == math.ceil(math.log(2 * 10 / 0.05) / (2 * 0.01))
+
+    def test_all_queries_budget_larger(self):
+        assert rounds_for_all_queries(0.1, 0.05, 10, 3) \
+            > rounds_for_single_query(0.1, 0.05, 10)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rounds_for_single_query(0.0, 0.05, 10)
+        with pytest.raises(ValueError):
+            rounds_for_single_query(0.1, 1.5, 10)
+
+    def test_continuous_sample_complexity_grows(self):
+        assert continuous_sample_complexity(0.1, 0.05, 20) \
+            > continuous_sample_complexity(0.1, 0.05, 10)
+
+
+class TestMonteCarlo:
+    def test_estimates_sum_to_one(self):
+        pts = random_instance(8, 3, seed=1)
+        mc = MonteCarloQuantifier(pts, epsilon=0.1, delta=0.1, seed=2)
+        est = mc.estimate((5, 5))
+        assert sum(est.values()) == pytest.approx(1.0)
+        assert len(est) <= mc.rounds
+
+    def test_error_within_epsilon(self):
+        pts = random_instance(10, 3, seed=5)
+        eps = 0.1
+        mc = MonteCarloQuantifier(pts, epsilon=eps, delta=0.05, seed=3)
+        rng = random.Random(7)
+        for _ in range(10):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            est = mc.estimate_vector(q)
+            exact = quantification_vector(pts, q)
+            assert max(abs(a - b) for a, b in zip(est, exact)) <= eps + 0.02
+
+    def test_explicit_rounds_override(self):
+        pts = random_instance(4, 2, seed=9)
+        mc = MonteCarloQuantifier(pts, rounds=17, seed=0)
+        assert mc.rounds == 17
+        assert mc.space_cost() == 17 * 4
+
+    def test_deterministic_given_seed(self):
+        pts = random_instance(5, 2, seed=11)
+        a = MonteCarloQuantifier(pts, rounds=50, seed=4).estimate((3, 3))
+        b = MonteCarloQuantifier(pts, rounds=50, seed=4).estimate((3, 3))
+        assert a == b
+
+    def test_works_with_continuous_models(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((3, 0), 1.0)]
+        mc = MonteCarloQuantifier(pts, rounds=400, seed=1)
+        est = mc.estimate_vector((1.5, 0.0))
+        assert est[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_empty_input_raises(self):
+        with pytest.raises(ValueError):
+            MonteCarloQuantifier([])
+
+
+class TestDiscretization:
+    def test_sites_from_support(self):
+        p = DiskUniformPoint((2, 3), 1.0)
+        d = discretize_continuous(p, 64, seed=1)
+        for site in d.points:
+            assert math.dist(site, (2, 3)) <= 1.0 + 1e-9
+
+    def test_weights_uniform(self):
+        p = DiskUniformPoint((0, 0), 1.0)
+        d = discretize_continuous(p, 32, seed=2)
+        assert sum(d.weights) == pytest.approx(1.0)
+        # Continuous sampling: collisions have probability zero.
+        assert d.k == 32
+
+
+class TestSpiralSearch:
+    def test_m_bound_formula(self):
+        assert m_bound(1.0, 3, 0.5) == math.ceil(3 * math.log(2)) + 2
+        with pytest.raises(ValueError):
+            m_bound(1.0, 3, 1.5)
+        with pytest.raises(ValueError):
+            m_bound(0.5, 3, 0.1)
+
+    def test_one_sided_guarantee(self):
+        """Lemma 4.6: pi_hat <= pi <= pi_hat + eps."""
+        pts = random_instance(15, 3, seed=21, wr=3.0)
+        spiral = SpiralSearchQuantifier(pts)
+        rng = random.Random(2)
+        for eps in (0.3, 0.1, 0.02):
+            for _ in range(8):
+                q = (rng.uniform(0, 10), rng.uniform(0, 10))
+                est = spiral.estimate_vector(q, eps)
+                exact = quantification_vector(pts, q)
+                for a, b in zip(est, exact):
+                    assert a <= b + 1e-9, "pi_hat must not exceed pi"
+                    assert b - a <= eps + 1e-9, "error must stay within eps"
+
+    def test_m_capped_at_total_sites(self):
+        pts = random_instance(3, 2, seed=4)
+        spiral = SpiralSearchQuantifier(pts)
+        assert spiral.m_for(1e-9) == spiral.total_sites
+
+    def test_rho_computed_globally(self):
+        pts = [DiscreteUncertainPoint([(0, 0), (1, 0)], [0.2, 0.8]),
+               DiscreteUncertainPoint([(5, 5), (6, 5)], [0.5, 0.5])]
+        spiral = SpiralSearchQuantifier(pts)
+        assert spiral.rho == pytest.approx(0.8 / 0.2)
+
+    def test_full_retrieval_is_exact(self):
+        pts = random_instance(6, 2, seed=8)
+        spiral = SpiralSearchQuantifier(pts)
+        q = (5.0, 5.0)
+        est = spiral.estimate_vector(q, 1e-9)  # m = N: every site retrieved
+        exact = quantification_vector(pts, q)
+        assert max(abs(a - b) for a, b in zip(est, exact)) < 1e-10
+
+
+class TestRemarkExample:
+    def test_instance_shape(self):
+        pts, q = remark_small_weights_example(0.01, n_mid=50)
+        assert q == (0.0, 0.0)
+        assert len(pts) == 52  # p1, p2, 50 middles
+
+    def test_paper_inequalities(self):
+        eps = 0.01
+        vals = remark_eta_comparison(eps)
+        assert vals["eta_p1"] == pytest.approx(3 * eps)
+        assert vals["eta_p2_true"] < 2 * eps
+        assert vals["eta_p2_dropped"] > 4 * eps
+
+    def test_ranking_flip(self):
+        vals = remark_eta_comparison(0.01)
+        assert vals["eta_p1"] > vals["eta_p2_true"]
+        assert vals["eta_p1"] < vals["eta_p2_dropped"]
+
+    def test_spiral_handles_the_instance(self):
+        """Spiral search keeps the small weights and stays within eps."""
+        eps = 0.01
+        pts, q = remark_small_weights_example(eps, n_mid=20)
+        spiral = SpiralSearchQuantifier(pts)
+        est = spiral.estimate_vector(q, eps)
+        exact = quantification_vector(pts, q)
+        for a, b in zip(est, exact):
+            assert a <= b + 1e-9
+            assert b - a <= eps + 1e-9
+
+
+class TestThreshold:
+    def test_classification_bands(self):
+        est = {0: 0.5, 1: 0.21, 2: 0.19, 3: 0.05}
+        res = classify_threshold(est, tau=0.2, epsilon=0.05)
+        assert res.certain == [0]
+        assert set(res.candidates) == {1, 2}
+        assert res.possible() == [0, 1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            classify_threshold({}, tau=1.5, epsilon=0.1)
+        with pytest.raises(ValueError):
+            classify_threshold({}, tau=0.1, epsilon=0.2)
+
+    def test_exact_threshold_report(self):
+        pts = random_instance(10, 2, seed=33)
+        q = (5.0, 5.0)
+        exact = quantification_vector(pts, q)
+        spiral = SpiralSearchQuantifier(pts)
+        tau = 0.25
+        eps = tau / 4
+        res = classify_threshold(spiral.estimate(q, eps), tau, eps)
+        true_over = {i for i, v in enumerate(exact) if v > tau}
+        # Certain members really are over tau; nothing over tau is missed.
+        assert set(res.certain) <= true_over
+        assert true_over <= set(res.possible())

@@ -1,0 +1,168 @@
+"""Unit and property tests for exact quantification (Eq. 1 / Eq. 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.quantification.exact_continuous import (
+    quantification_continuous,
+    quantification_continuous_vector,
+)
+from repro.quantification.exact_discrete import (
+    quantification_vector,
+    quantification_vector_naive,
+    sweep_quantification,
+    sweep_site_probabilities,
+)
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+
+def random_instance(n, k_max, seed, extent=10.0):
+    rng = random.Random(seed)
+    pts = []
+    for _ in range(n):
+        k = rng.randint(1, k_max)
+        sites = [(rng.uniform(0, extent), rng.uniform(0, extent))
+                 for _ in range(k)]
+        weights = [rng.uniform(0.2, 3.0) for _ in range(k)]
+        pts.append(DiscreteUncertainPoint(sites, weights))
+    return pts
+
+
+class TestDiscreteSweep:
+    def test_two_certain_points(self):
+        pts = [DiscreteUncertainPoint([(0, 0)], [1.0]),
+               DiscreteUncertainPoint([(4, 0)], [1.0])]
+        assert quantification_vector(pts, (1, 0)) == [1.0, 0.0]
+        assert quantification_vector(pts, (3, 0)) == [0.0, 1.0]
+
+    def test_coin_flip_instance(self):
+        # P1 at distance 1 (w 0.5 near / 0.5 far), P2 certain in between.
+        pts = [DiscreteUncertainPoint([(1, 0), (10, 0)], [0.5, 0.5]),
+               DiscreteUncertainPoint([(2, 0)], [1.0])]
+        vec = quantification_vector(pts, (0, 0))
+        assert vec[0] == pytest.approx(0.5)  # near site wins iff chosen
+        assert vec[1] == pytest.approx(0.5)
+
+    def test_mirror_symmetry(self):
+        """pi is equivariant under reflection: mirroring the instance and
+        the query swaps the roles of the two points."""
+        pts = [DiscreteUncertainPoint([(1, 0), (2.5, 1)], [0.3, 0.7]),
+               DiscreteUncertainPoint([(-1.5, 0.5), (-2, -1)], [0.6, 0.4])]
+        mirrored = [DiscreteUncertainPoint(
+            [(-x, y) for x, y in p.points], p.weights, normalize=False)
+            for p in pts]
+        q = (0.4, 0.2)
+        vec = quantification_vector(pts, q)
+        vec_m = quantification_vector(mirrored, (-q[0], q[1]))
+        assert vec[0] == pytest.approx(vec_m[0], abs=1e-12)
+        assert vec[1] == pytest.approx(vec_m[1], abs=1e-12)
+        assert sum(vec) == pytest.approx(1.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 4), st.integers(0, 10_000))
+    def test_sweep_matches_naive(self, n, k_max, seed):
+        pts = random_instance(n, k_max, seed)
+        rng = random.Random(seed + 1)
+        q = (rng.uniform(0, 10), rng.uniform(0, 10))
+        fast = quantification_vector(pts, q)
+        slow = quantification_vector_naive(pts, q)
+        assert max(abs(a - b) for a, b in zip(fast, slow)) < 1e-10
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(2, 8), st.integers(1, 4), st.integers(0, 10_000))
+    def test_vector_sums_to_one(self, n, k_max, seed):
+        pts = random_instance(n, k_max, seed)
+        rng = random.Random(seed + 2)
+        q = (rng.uniform(0, 10), rng.uniform(0, 10))
+        vec = quantification_vector(pts, q)
+        assert sum(vec) == pytest.approx(1.0, abs=1e-9)
+        assert all(-1e-12 <= v <= 1.0 + 1e-12 for v in vec)
+
+    def test_nearest_certain_point_takes_all(self):
+        pts = [DiscreteUncertainPoint([(1, 0)], [1.0]),
+               DiscreteUncertainPoint([(5, 0), (6, 0)], [0.5, 0.5])]
+        assert quantification_vector(pts, (0, 0)) == [1.0, 0.0]
+
+    def test_tie_convention_documented(self):
+        # Exact tie between two certain points: the <= convention kills both
+        # (the paper assumes general position; see module docstring).
+        pts = [DiscreteUncertainPoint([(1, 0)], [1.0]),
+               DiscreteUncertainPoint([(-1, 0)], [1.0])]
+        vec = quantification_vector(pts, (0, 0))
+        assert vec == [0.0, 0.0]
+
+    def test_site_probabilities_sum_to_parent(self):
+        pts = random_instance(5, 3, seed=9)
+        q = (5.0, 5.0)
+        sites = []
+        for i, p in enumerate(pts):
+            for site, w in p.sites_with_weights():
+                sites.append((math.dist(site, q), i, w))
+        totals = [p.k for p in pts]
+        per_site = sweep_site_probabilities(sites, totals)
+        per_parent = sweep_quantification(sites, totals)
+        sums = [0.0] * len(pts)
+        for (d, parent, w), eta in zip(sites, per_site):
+            sums[parent] += eta
+        for a, b in zip(sums, per_parent):
+            assert a == pytest.approx(b, abs=1e-12)
+
+    def test_truncated_sweep_is_lower_bound(self):
+        """Feeding only a distance-prefix of sites underestimates pi
+        (Lemma 4.6's pi_hat <= pi)."""
+        pts = random_instance(6, 3, seed=4)
+        q = (5.0, 5.0)
+        sites = []
+        for i, p in enumerate(pts):
+            for site, w in p.sites_with_weights():
+                sites.append((math.dist(site, q), i, w))
+        sites.sort()
+        totals = [p.k for p in pts]
+        full = sweep_quantification(sites, totals)
+        for m in (3, 6, 9, 12):
+            part = sweep_quantification(sites[:m], totals)
+            for a, b in zip(part, full):
+                assert a <= b + 1e-12
+
+
+class TestContinuousQuadrature:
+    def test_two_symmetric_disks(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((4, 0), 1.0)]
+        vec = quantification_continuous_vector(pts, (2.0, 0.0))
+        assert vec[0] == pytest.approx(0.5, abs=1e-6)
+        assert vec[1] == pytest.approx(0.5, abs=1e-6)
+
+    def test_sum_to_one(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((3, 0), 1.2),
+               DiskUniformPoint((1, 2.5), 0.8)]
+        vec = quantification_continuous_vector(pts, (1.2, 0.9))
+        assert sum(vec) == pytest.approx(1.0, abs=1e-6)
+
+    def test_guaranteed_nn_gets_one(self):
+        # Query inside D_0, far from D_1: pi_0 = 1 (guaranteed Voronoi).
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((50, 0), 1.0)]
+        assert quantification_continuous(pts, (0, 0), 0) == pytest.approx(1.0)
+        assert quantification_continuous(pts, (0, 0), 1) == 0.0
+
+    def test_monte_carlo_agreement(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((2.2, 0.5), 1.1),
+               DiskUniformPoint((0.8, 1.9), 0.7)]
+        q = (1.0, 0.8)
+        vec = quantification_continuous_vector(pts, q)
+        rng = random.Random(0)
+        wins = [0, 0, 0]
+        trials = 30_000
+        for _ in range(trials):
+            dists = [math.dist(p.sample(rng), q) for p in pts]
+            wins[dists.index(min(dists))] += 1
+        for i in range(3):
+            assert vec[i] == pytest.approx(wins[i] / trials, abs=0.015)
+
+    def test_zero_for_dominated_point(self):
+        # delta_1 > Delta_0 everywhere near q: pi_1 = 0.
+        pts = [DiskUniformPoint((0, 0), 0.5), DiskUniformPoint((10, 0), 0.5)]
+        assert quantification_continuous(pts, (1, 0), 1) == 0.0

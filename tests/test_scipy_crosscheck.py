@@ -1,0 +1,111 @@
+"""Cross-validation against scipy's independent implementations.
+
+Everything in this library is built from scratch; these tests check the
+substrates against scipy's battle-tested equivalents on shared ground:
+kd-tree queries vs ``scipy.spatial.cKDTree``, Voronoi vertices of the
+k = 1 discrete diagram vs ``scipy.spatial.Voronoi``, and the adaptive
+quadrature vs ``scipy.integrate.quad``.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from scipy import integrate
+from scipy.spatial import Voronoi as ScipyVoronoi
+from scipy.spatial import cKDTree
+
+from repro.spatial.kdtree import KDTree
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.uncertain.disk_uniform import DiskUniformPoint
+from repro.voronoi.discrete_diagram import DiscreteNonzeroVoronoi
+
+
+class TestKDTreeVsScipy:
+    def setup_method(self):
+        rng = random.Random(42)
+        self.pts = [(rng.uniform(0, 100), rng.uniform(0, 100))
+                    for _ in range(2000)]
+        self.ours = KDTree(self.pts)
+        self.scipy_tree = cKDTree(self.pts)
+
+    def test_nearest_agrees(self):
+        rng = random.Random(1)
+        for _ in range(100):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            d_scipy, i_scipy = self.scipy_tree.query(q)
+            i_ours, d_ours = self.ours.nearest(q)
+            assert d_ours == pytest.approx(float(d_scipy))
+            # Indices may differ only on exact ties.
+            if i_ours != int(i_scipy):
+                assert math.dist(self.pts[i_ours], q) \
+                    == pytest.approx(float(d_scipy))
+
+    def test_k_nearest_agrees(self):
+        rng = random.Random(2)
+        for _ in range(40):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            d_scipy, _ = self.scipy_tree.query(q, k=8)
+            ours = self.ours.k_nearest(q, 8)
+            assert len(ours) == 8
+            for (_, d_ours), d_ref in zip(ours, d_scipy):
+                assert d_ours == pytest.approx(float(d_ref))
+
+    def test_radius_query_agrees(self):
+        rng = random.Random(3)
+        for _ in range(40):
+            q = (rng.uniform(0, 100), rng.uniform(0, 100))
+            r = rng.uniform(2, 15)
+            want = sorted(self.scipy_tree.query_ball_point(q, r))
+            got = sorted(self.ours.within_radius(q, r))
+            assert got == want
+
+
+class TestVoronoiVerticesVsScipy:
+    def test_k1_diagram_matches_scipy_voronoi(self):
+        """With k = 1 (certain points), V!=0 degenerates to the standard
+        Voronoi diagram; every scipy Voronoi vertex must appear in our
+        vertex census and vice versa."""
+        rng = random.Random(7)
+        sites = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(12)]
+        ours = DiscreteNonzeroVoronoi(
+            [DiscreteUncertainPoint([s], [1.0]) for s in sites])
+        scipy_vor = ScipyVoronoi(np.array(sites))
+        scipy_verts = [tuple(v) for v in scipy_vor.vertices]
+        # Every scipy vertex appears among ours.
+        for v in scipy_verts:
+            assert any(math.dist(v, u) < 1e-6 for u in ours.vertices), \
+                f"scipy vertex {v} missing from our census"
+        # And ours are all genuine Voronoi vertices (nearest 3 equidistant).
+        for u in ours.vertices:
+            dists = sorted(math.dist(u, s) for s in sites)
+            assert dists[0] == pytest.approx(dists[2], abs=1e-6)
+
+
+class TestQuadratureVsScipy:
+    def test_eq1_integrand_against_scipy_quad(self):
+        pts = [DiskUniformPoint((0, 0), 1.0), DiskUniformPoint((2.4, 0.3), 1.1),
+               DiskUniformPoint((0.9, 2.0), 0.8)]
+        q = (1.1, 0.7)
+        from repro.quantification.exact_continuous import (
+            quantification_continuous,
+        )
+
+        for i in range(3):
+            target = pts[i]
+            others = [p for j, p in enumerate(pts) if j != i]
+
+            def integrand(r):
+                g = target.distance_pdf(q, r)
+                for p in others:
+                    g *= 1.0 - p.distance_cdf(q, r)
+                return g
+
+            lo = target.min_dist(q)
+            hi = min(p.max_dist(q) for p in pts)
+            if hi <= lo:
+                continue
+            scipy_val, _ = integrate.quad(integrand, lo, hi, limit=200)
+            ours = quantification_continuous(pts, q, i)
+            assert ours == pytest.approx(scipy_val, abs=1e-6)

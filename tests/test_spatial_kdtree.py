@@ -1,0 +1,144 @@
+"""Unit and property tests for the augmented kd-tree."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spatial.kdtree import KDTree
+
+coords = st.floats(min_value=-100, max_value=100,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+point_lists = st.lists(points, min_size=1, max_size=60)
+weight = st.floats(min_value=0.0, max_value=5.0)
+
+
+def brute_nearest(pts, q):
+    return min(range(len(pts)), key=lambda i: math.dist(pts[i], q))
+
+
+class TestConstruction:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            KDTree([])
+
+    def test_weight_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            KDTree([(0, 0)], [1.0, 2.0])
+
+    def test_len(self):
+        assert len(KDTree([(0, 0), (1, 1)])) == 2
+
+    def test_duplicate_points_tolerated(self):
+        t = KDTree([(1, 1)] * 20)
+        assert len(t.within_radius((1, 1), 0.1)) == 20
+
+
+class TestNearest:
+    def test_single_point(self):
+        t = KDTree([(3, 4)])
+        idx, d = t.nearest((0, 0))
+        assert idx == 0 and d == pytest.approx(5.0)
+
+    @given(point_lists, points)
+    def test_matches_brute_force(self, pts, q):
+        t = KDTree(pts)
+        idx, d = t.nearest(q)
+        want = min(math.dist(p, q) for p in pts)
+        assert d == pytest.approx(want, rel=1e-9, abs=1e-9)
+
+    @given(point_lists, points, st.integers(min_value=1, max_value=10))
+    def test_k_nearest_sorted_and_correct(self, pts, q, k):
+        t = KDTree(pts)
+        got = t.k_nearest(q, k)
+        assert len(got) == min(k, len(pts))
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+        want = sorted(math.dist(p, q) for p in pts)[:k]
+        for (_, d), w in zip(got, want):
+            assert d == pytest.approx(w, rel=1e-9, abs=1e-9)
+
+    def test_k_nearest_zero(self):
+        assert KDTree([(0, 0)]).k_nearest((0, 0), 0) == []
+
+    def test_iter_nearest_full_ordering(self):
+        rng = random.Random(0)
+        pts = [(rng.random(), rng.random()) for _ in range(100)]
+        t = KDTree(pts)
+        q = (0.5, 0.5)
+        seq = list(t.iter_nearest(q))
+        assert len(seq) == 100
+        dists = [d for _, d in seq]
+        assert dists == sorted(dists)
+        assert set(i for i, _ in seq) == set(range(100))
+
+
+class TestRangeSearch:
+    @given(point_lists, points, st.floats(0.1, 50))
+    def test_within_radius_matches_brute(self, pts, q, r):
+        t = KDTree(pts)
+        got = set(t.within_radius(q, r))
+        want = {i for i, p in enumerate(pts) if math.dist(p, q) <= r}
+        assert got == want
+
+    def test_strict_excludes_boundary(self):
+        t = KDTree([(1, 0), (2, 0)])
+        assert set(t.within_radius((0, 0), 1.0, strict=False)) == {0}
+        assert t.within_radius((0, 0), 1.0, strict=True) == []
+
+
+class TestWeightedQueries:
+    @given(point_lists, points)
+    def test_weighted_min_matches_brute(self, pts, q):
+        rng = random.Random(42)
+        ws = [rng.uniform(0, 3) for _ in pts]
+        t = KDTree(pts, ws)
+        idx, val = t.weighted_min(q)
+        want = min(math.dist(p, q) + w for p, w in zip(pts, ws))
+        assert val == pytest.approx(want, rel=1e-9, abs=1e-9)
+        assert math.dist(pts[idx], q) + ws[idx] == pytest.approx(want)
+
+    @given(point_lists, points, st.floats(0.5, 20))
+    def test_weighted_report_matches_brute(self, pts, q, threshold):
+        rng = random.Random(7)
+        ws = [rng.uniform(0, 3) for _ in pts]
+        t = KDTree(pts, ws)
+        got = set(t.weighted_report(q, threshold))
+        want = {i for i, (p, w) in enumerate(zip(pts, ws))
+                if math.dist(p, q) - w < threshold}
+        assert got == want
+
+    def test_weighted_report_nonstrict(self):
+        t = KDTree([(2, 0)], [1.0])  # d - w = 1 exactly at threshold 1
+        assert t.weighted_report((0, 0), 1.0, strict=True) == []
+        assert t.weighted_report((0, 0), 1.0, strict=False) == [0]
+
+    def test_lemma21_composition(self):
+        """weighted_min + weighted_report implement the NN!=0 predicate."""
+        rng = random.Random(13)
+        pts = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(80)]
+        rs = [rng.uniform(0.1, 1.0) for _ in range(80)]
+        t = KDTree(pts, rs)
+        for _ in range(25):
+            q = (rng.uniform(0, 10), rng.uniform(0, 10))
+            _, big_delta = t.weighted_min(q)
+            got = set(t.weighted_report(q, big_delta))
+            want = {i for i in range(80)
+                    if math.dist(pts[i], q) - rs[i] < big_delta}
+            assert got == want
+            assert got  # the argmin disk always qualifies
+
+
+class TestScale:
+    def test_large_tree_nearest(self):
+        rng = random.Random(5)
+        pts = [(rng.uniform(0, 1000), rng.uniform(0, 1000))
+               for _ in range(5000)]
+        t = KDTree(pts)
+        for _ in range(20):
+            q = (rng.uniform(0, 1000), rng.uniform(0, 1000))
+            idx, d = t.nearest(q)
+            assert idx == brute_nearest(pts, q) or \
+                d == pytest.approx(math.dist(pts[brute_nearest(pts, q)], q))

@@ -1,0 +1,119 @@
+"""Unit tests for the persistent set family ([DSST89] / Theorem 2.11)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.persistence import PersistentSetFamily
+
+
+class TestBasics:
+    def test_root_members(self):
+        f = PersistentSetFamily()
+        v = f.create_root({1, 2, 3})
+        assert f.members(v) == {1, 2, 3}
+        assert f.size(v) == 3
+
+    def test_empty_root(self):
+        f = PersistentSetFamily()
+        v = f.create_root([])
+        assert f.members(v) == set()
+        assert f.size(v) == 0
+
+    def test_derive_add(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1})
+        v1 = f.derive_add(v0, 2)
+        assert f.members(v1) == {1, 2}
+        assert f.members(v0) == {1}  # parent untouched
+
+    def test_derive_remove(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1, 2})
+        v1 = f.derive_remove(v0, 1)
+        assert f.members(v1) == {2}
+        assert f.members(v0) == {1, 2}
+
+    def test_add_present_raises(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1})
+        with pytest.raises(ValueError):
+            f.derive_add(v0, 1)
+
+    def test_remove_absent_raises(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1})
+        with pytest.raises(ValueError):
+            f.derive_remove(v0, 2)
+
+    def test_branching_versions(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1, 2})
+        va = f.derive_add(v0, 3)
+        vb = f.derive_remove(v0, 2)
+        assert f.members(va) == {1, 2, 3}
+        assert f.members(vb) == {1}
+        assert f.members(v0) == {1, 2}
+
+    def test_contains(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1})
+        v1 = f.derive_add(v0, 2)
+        v2 = f.derive_remove(v1, 1)
+        assert f.contains(v2, 2) and not f.contains(v2, 1)
+        assert f.contains(v1, 1) and f.contains(v1, 2)
+
+    def test_space_cost(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1, 2, 3})
+        v = v0
+        for e in range(4, 10):
+            v = f.derive_add(v, e)
+        assert f.space_cost() == 3 + 6  # root 3 elements + 6 deltas
+
+    def test_len_counts_versions(self):
+        f = PersistentSetFamily()
+        v0 = f.create_root({1})
+        f.derive_add(v0, 2)
+        assert len(f) == 2
+
+
+class TestRandomizedConsistency:
+    @given(st.integers(0, 10_000), st.integers(5, 80))
+    def test_against_model(self, seed, steps):
+        """Random chain of single-element updates vs. an explicit model."""
+        rng = random.Random(seed)
+        f = PersistentSetFamily()
+        model = {}
+        v = f.create_root({0})
+        model[v] = {0}
+        versions = [v]
+        for _ in range(steps):
+            parent = rng.choice(versions)
+            cur = model[parent]
+            if cur and rng.random() < 0.4:
+                elem = rng.choice(sorted(cur))
+                child = f.derive_remove(parent, elem)
+                model[child] = cur - {elem}
+            else:
+                elem = rng.randrange(100)
+                if elem in cur:
+                    continue
+                child = f.derive_add(parent, elem)
+                model[child] = cur | {elem}
+            versions.append(child)
+        for vid, want in model.items():
+            assert f.members(vid) == want
+            assert f.size(vid) == len(want)
+
+    def test_space_linear_in_versions(self):
+        """Theorem 2.11's point: total space is O(#versions), not O(sum sizes)."""
+        f = PersistentSetFamily()
+        v = f.create_root(range(100))
+        explicit = 100
+        for i in range(100, 400):
+            v = f.derive_add(v, i)
+            explicit += f.size(v)
+        assert f.space_cost() == 100 + 300
+        assert f.space_cost() < explicit / 50

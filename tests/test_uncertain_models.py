@@ -1,0 +1,279 @@
+"""Unit tests for the uncertain-point models (Section 1.1 distributions)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uncertain import (
+    DiscreteUncertainPoint,
+    DiskUniformPoint,
+    HistogramUncertainPoint,
+    TruncatedGaussianPoint,
+)
+
+coords = st.floats(min_value=-20, max_value=20,
+                   allow_nan=False, allow_infinity=False)
+points = st.tuples(coords, coords)
+
+
+def check_cdf_contract(model, q, r_lo, r_hi, steps=40):
+    """Shared distribution-contract assertions for any model."""
+    prev = -1e-12
+    for s in range(steps + 1):
+        r = r_lo + (r_hi - r_lo) * s / steps
+        val = model.distance_cdf(q, r)
+        assert -1e-9 <= val <= 1.0 + 1e-9
+        assert val >= prev - 1e-7, "cdf must be non-decreasing"
+        prev = val
+    assert model.distance_cdf(q, model.min_dist(q) - 1e-6) <= 1e-9
+    assert model.distance_cdf(q, model.max_dist(q) + 1e-6) \
+        == pytest.approx(1.0, abs=1e-6)
+
+
+def check_sampling_agreement(model, q, r, samples=8000, seed=0, tol=0.03):
+    rng = random.Random(seed)
+    hits = sum(1 for _ in range(samples)
+               if math.dist(model.sample(rng), q) <= r)
+    assert hits / samples == pytest.approx(model.distance_cdf(q, r), abs=tol)
+
+
+class TestDiskUniform:
+    def test_positive_radius_required(self):
+        with pytest.raises(ValueError):
+            DiskUniformPoint((0, 0), 0.0)
+
+    def test_support_disk(self):
+        p = DiskUniformPoint((1, 2), 3)
+        d = p.support_disk()
+        assert (d.cx, d.cy, d.r) == (1, 2, 3)
+
+    def test_min_max_dist(self):
+        p = DiskUniformPoint((0, 0), 2)
+        assert p.min_dist((5, 0)) == pytest.approx(3.0)
+        assert p.max_dist((5, 0)) == pytest.approx(7.0)
+        assert p.min_dist((1, 0)) == 0.0
+
+    def test_cdf_contract(self):
+        p = DiskUniformPoint((0, 0), 5)
+        check_cdf_contract(p, (6, 8), 4.0, 16.0)
+
+    def test_figure1_support(self):
+        # Figure 1's instance: D((0,0), 5), q = (6, 8) -> support [5, 15].
+        p = DiskUniformPoint((0, 0), 5)
+        q = (6, 8)
+        assert p.distance_pdf(q, 4.99) == 0.0
+        assert p.distance_pdf(q, 15.01) == 0.0
+        assert p.distance_pdf(q, 10.0) > 0.0
+
+    def test_pdf_matches_cdf_derivative(self):
+        p = DiskUniformPoint((0, 0), 5)
+        q = (6, 8)
+        for r in (6.0, 9.0, 12.0, 14.5):
+            num = (p.distance_cdf(q, r + 1e-6)
+                   - p.distance_cdf(q, r - 1e-6)) / 2e-6
+            assert p.distance_pdf(q, r) == pytest.approx(num, rel=1e-3)
+
+    def test_pdf_integrates_to_one(self):
+        p = DiskUniformPoint((0, 0), 5)
+        q = (6, 8)
+        steps = 4000
+        total = 0.0
+        for s in range(steps):
+            r = 5 + 10 * (s + 0.5) / steps
+            total += p.distance_pdf(q, r) * 10 / steps
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_query_at_center(self):
+        p = DiskUniformPoint((0, 0), 2)
+        assert p.distance_cdf((0, 0), 1.0) == pytest.approx(0.25)
+        assert p.distance_pdf((0, 0), 1.0) == pytest.approx(0.5)
+
+    def test_sampling_agreement(self):
+        check_sampling_agreement(DiskUniformPoint((0, 0), 5), (6, 8), 9.3)
+
+    @given(points, st.floats(0.5, 5), points, st.floats(0.1, 20))
+    def test_cdf_bounds_property(self, c, r, q, radius):
+        p = DiskUniformPoint(c, r)
+        val = p.distance_cdf(q, radius)
+        assert 0.0 <= val <= 1.0
+
+
+class TestDiscrete:
+    def test_requires_sites(self):
+        with pytest.raises(ValueError):
+            DiscreteUncertainPoint([], [])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DiscreteUncertainPoint([(0, 0)], [0.5, 0.5])
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [1.0, 0.0])
+
+    def test_normalization(self):
+        p = DiscreteUncertainPoint([(0, 0), (1, 1)], [2, 2])
+        assert p.weights == [0.5, 0.5]
+
+    def test_unnormalized_rejected_when_disabled(self):
+        with pytest.raises(ValueError):
+            DiscreteUncertainPoint([(0, 0), (1, 1)], [2, 2], normalize=False)
+
+    def test_k_and_spread(self):
+        p = DiscreteUncertainPoint([(0, 0), (1, 0), (2, 0)], [1, 2, 5])
+        assert p.k == 3
+        assert p.spread == pytest.approx(5.0)
+
+    def test_min_max_dist_exact(self):
+        p = DiscreteUncertainPoint([(0, 0), (4, 0)], [0.5, 0.5])
+        assert p.min_dist((-1, 0)) == pytest.approx(1.0)
+        assert p.max_dist((-1, 0)) == pytest.approx(5.0)
+
+    def test_cdf_steps(self):
+        p = DiscreteUncertainPoint([(1, 0), (3, 0)], [0.3, 0.7])
+        q = (0, 0)
+        assert p.distance_cdf(q, 0.5) == 0.0
+        assert p.distance_cdf(q, 1.0) == pytest.approx(0.3)  # closed <=
+        assert p.distance_cdf(q, 2.9) == pytest.approx(0.3)
+        assert p.distance_cdf(q, 3.0) == pytest.approx(1.0)
+
+    def test_support_disk_covers_sites(self):
+        p = DiscreteUncertainPoint([(0, 0), (4, 0), (2, 3)], [1, 1, 1])
+        d = p.support_disk()
+        for site in p.points:
+            assert math.dist(d.center, site) <= d.r + 1e-9
+
+    def test_sampling_distribution(self):
+        p = DiscreteUncertainPoint([(0, 0), (1, 0)], [0.25, 0.75])
+        rng = random.Random(3)
+        hits = sum(1 for _ in range(8000) if p.sample(rng) == (1.0, 0.0))
+        assert hits / 8000 == pytest.approx(0.75, abs=0.02)
+
+    def test_cdf_contract(self):
+        p = DiscreteUncertainPoint([(0, 0), (3, 1), (-1, 2)], [1, 2, 3])
+        check_cdf_contract(p, (5, 5), 0.0, 12.0)
+
+
+class TestTruncatedGaussian:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianPoint((0, 0), 0.0, 1.0)
+        with pytest.raises(ValueError):
+            TruncatedGaussianPoint((0, 0), 1.0, 0.0)
+
+    def test_samples_inside_support(self):
+        g = TruncatedGaussianPoint((1, 1), 1.0, 2.0)
+        rng = random.Random(0)
+        for _ in range(500):
+            p = g.sample(rng)
+            assert math.dist(p, (1, 1)) <= 2.0 + 1e-12
+
+    def test_cdf_contract(self):
+        g = TruncatedGaussianPoint((0, 0), 1.0, 3.0)
+        check_cdf_contract(g, (1.5, 0.5), 0.0, 7.0)
+
+    def test_cdf_inside_support_matches_sampling(self):
+        g = TruncatedGaussianPoint((0, 0), 1.0, 3.0)
+        check_sampling_agreement(g, (0.8, -0.4), 1.7, seed=5)
+
+    def test_query_far_away(self):
+        g = TruncatedGaussianPoint((0, 0), 1.0, 2.0)
+        assert g.distance_cdf((10, 0), 7.9) == 0.0
+        assert g.distance_cdf((10, 0), 12.1) == 1.0
+
+    def test_min_max_dist(self):
+        g = TruncatedGaussianPoint((0, 0), 1.0, 2.0)
+        assert g.min_dist((5, 0)) == pytest.approx(3.0)
+        assert g.max_dist((5, 0)) == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramUncertainPoint((0, 0), 0.0, 1.0, [[1]])
+        with pytest.raises(ValueError):
+            HistogramUncertainPoint((0, 0), 1.0, 1.0, [])
+        with pytest.raises(ValueError):
+            HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 2], [3]])
+        with pytest.raises(ValueError):
+            HistogramUncertainPoint((0, 0), 1.0, 1.0, [[0, 0], [0, 0]])
+        with pytest.raises(ValueError):
+            HistogramUncertainPoint((0, 0), 1.0, 1.0, [[-1, 2]])
+
+    def test_single_cell_uniform(self):
+        h = HistogramUncertainPoint((0, 0), 2.0, 2.0, [[1]])
+        # Query at the cell center: cdf at r=1 is pi/4 of the cell.
+        assert h.distance_cdf((1, 1), 1.0) == pytest.approx(math.pi / 4 / 1.0,
+                                                            abs=1e-9) \
+            or h.distance_cdf((1, 1), 1.0) == pytest.approx(math.pi / 4)
+
+    def test_zero_cells_skipped(self):
+        h = HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 0], [0, 1]])
+        rng = random.Random(1)
+        for _ in range(200):
+            x, y = h.sample(rng)
+            in_cell_00 = 0 <= x <= 1 and 0 <= y <= 1
+            in_cell_11 = 1 <= x <= 2 and 1 <= y <= 2
+            assert in_cell_00 or in_cell_11
+
+    def test_min_max_dist(self):
+        h = HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 1]])
+        # Support is [0,2] x [0,1].
+        assert h.min_dist((3, 0.5)) == pytest.approx(1.0)
+        assert h.max_dist((3, 0.5)) == pytest.approx(math.hypot(3, 0.5))
+        assert h.min_dist((1, 0.5)) == 0.0
+
+    def test_cdf_contract(self):
+        h = HistogramUncertainPoint((0, 0), 1.0, 1.0,
+                                    [[1, 2, 0], [0, 1, 3], [2, 0, 1]])
+        check_cdf_contract(h, (4, 4), 0.0, 7.0)
+
+    def test_sampling_agreement(self):
+        h = HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 1], [0, 2]])
+        check_sampling_agreement(h, (0.5, 0.5), 1.2, seed=5)
+
+    def test_support_disk_covers_samples(self):
+        h = HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 0], [0, 1]])
+        d = h.support_disk()
+        rng = random.Random(2)
+        for _ in range(200):
+            assert math.dist(h.sample(rng), d.center) <= d.r + 1e-9
+
+
+class TestSharedInterface:
+    @pytest.mark.parametrize("model", [
+        DiskUniformPoint((1, 1), 2.0),
+        DiscreteUncertainPoint([(0, 0), (2, 1)], [0.4, 0.6]),
+        TruncatedGaussianPoint((1, 0), 0.8, 2.0),
+        HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 2], [1, 0]]),
+    ])
+    def test_min_max_consistency(self, model):
+        rng = random.Random(11)
+        for _ in range(10):
+            q = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            lo = model.min_dist(q)
+            hi = model.max_dist(q)
+            assert 0 <= lo <= hi
+            for _ in range(50):
+                d = math.dist(model.sample(rng), q)
+                assert lo - 1e-9 <= d <= hi + 1e-9
+
+    @pytest.mark.parametrize("model", [
+        DiskUniformPoint((1, 1), 2.0),
+        DiscreteUncertainPoint([(0, 0), (2, 1)], [0.4, 0.6]),
+        HistogramUncertainPoint((0, 0), 1.0, 1.0, [[1, 2], [1, 0]]),
+    ])
+    def test_support_disk_bounds_distances(self, model):
+        rng = random.Random(12)
+        disk = model.support_disk()
+        for _ in range(10):
+            q = (rng.uniform(-5, 5), rng.uniform(-5, 5))
+            assert disk.min_dist(q) <= model.min_dist(q) + 1e-9
+            assert model.max_dist(q) <= disk.max_dist(q) + 1e-9
+
+    def test_mean_dist_reasonable(self):
+        p = DiskUniformPoint((0, 0), 1.0)
+        # E[d] from far away ~ distance to center.
+        assert p.mean_dist((100, 0)) == pytest.approx(100.0, abs=0.5)

@@ -1,0 +1,97 @@
+"""Unit tests for the witness-disk vertex solver (Theorem 2.5 machinery)."""
+
+import math
+import random
+
+import pytest
+
+from repro.geometry.disks import Disk
+from repro.voronoi.witness import (
+    crossing_vertices_bruteforce,
+    validate_vertex,
+    witness_candidates,
+)
+
+
+class TestWitnessCandidates:
+    def test_symmetric_triple(self):
+        # Two disks symmetric about the y-axis, pivot at the origin:
+        # candidates must be on the y-axis.
+        di = Disk(-6, 0, 1)
+        dj = Disk(6, 0, 1)
+        du = Disk(0, 0, 1)
+        cands = witness_candidates(di, dj, du)
+        assert len(cands) == 2
+        for x, y in cands:
+            assert x == pytest.approx(0.0, abs=1e-9)
+
+    def test_candidates_satisfy_equalities(self):
+        rng = random.Random(3)
+        for _ in range(30):
+            di = Disk(rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(0.2, 1.0))
+            dj = Disk(rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(0.2, 1.0))
+            du = Disk(rng.uniform(-10, 10), rng.uniform(-10, 10),
+                      rng.uniform(0.2, 1.0))
+            for v in witness_candidates(di, dj, du):
+                r = du.max_dist(v)
+                assert di.min_dist(v) == pytest.approx(r, abs=1e-6)
+                assert dj.min_dist(v) == pytest.approx(r, abs=1e-6)
+
+    def test_overlapping_pivot_gives_nothing(self):
+        di = Disk(0, 0, 2)
+        dj = Disk(10, 0, 1)
+        du = Disk(1, 0, 2)  # overlaps di
+        assert witness_candidates(di, dj, du) == []
+
+    def test_witness_disk_tangency(self):
+        """The candidate's witness disk touches D_i, D_j externally and
+        contains D_u touching from inside (the paper's Figure 3)."""
+        di = Disk(-6, 1, 0.5)
+        dj = Disk(6, -1, 0.8)
+        du = Disk(0, 0, 0.6)
+        for v in witness_candidates(di, dj, du):
+            w = Disk(v[0], v[1], du.max_dist(v))
+            assert w.touches_externally(di)
+            assert w.touches_externally(dj)
+            assert w.touches_internally(du)
+
+
+class TestValidateVertex:
+    def test_accepts_genuine_vertex(self):
+        disks = [Disk(-6, 0, 1), Disk(6, 0, 1), Disk(0, 0, 1)]
+        cands = witness_candidates(disks[0], disks[1], disks[2])
+        assert cands
+        for v in cands:
+            assert validate_vertex(disks, v, 0, 1, 2)
+
+    def test_rejects_when_witness_not_minimal(self):
+        # A fourth disk strictly inside the witness disk invalidates it.
+        disks = [Disk(-6, 0, 1), Disk(6, 0, 1), Disk(0, 0, 1)]
+        cands = witness_candidates(disks[0], disks[1], disks[2])
+        v = cands[0]
+        # Place a small disk near the candidate center: Delta_w < Delta_u.
+        spoiler = Disk(v[0], v[1], 0.1)
+        disks4 = disks + [spoiler]
+        assert not validate_vertex(disks4, v, 0, 1, 2)
+
+
+class TestBruteForceEnumeration:
+    def test_three_far_disks_have_crossings(self):
+        disks = [Disk(0, 0, 1), Disk(10, 0, 1), Disk(5, 8, 1)]
+        verts = crossing_vertices_bruteforce(disks)
+        assert len(verts) >= 2
+
+    def test_two_disks_no_crossings(self):
+        assert crossing_vertices_bruteforce([Disk(0, 0, 1), Disk(5, 0, 1)]) == []
+
+    def test_vertices_satisfy_global_condition(self):
+        rng = random.Random(8)
+        disks = [Disk(rng.uniform(0, 12), rng.uniform(0, 12),
+                      rng.uniform(0.2, 0.8)) for _ in range(6)]
+        for v in crossing_vertices_bruteforce(disks):
+            big = min(d.max_dist(v) for d in disks)
+            on = sum(1 for d in disks
+                     if abs(d.min_dist(v) - big) < 1e-6 * max(1, big))
+            assert on >= 2, "a crossing vertex lies on >= 2 curves"

@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic workload generators."""
+
+import math
+
+import pytest
+
+from repro.core.workloads import (
+    clustered_sensor_field,
+    disjoint_disks,
+    gaussian_sensor_field,
+    mobile_object_tracks,
+    random_discrete_points,
+    random_disks,
+    rfid_histogram_field,
+)
+from repro.geometry.disks import pairwise_disjoint, radius_ratio
+from repro.uncertain import (
+    DiscreteUncertainPoint,
+    DiskUniformPoint,
+    HistogramUncertainPoint,
+    TruncatedGaussianPoint,
+)
+
+
+class TestRandomDisks:
+    def test_count_and_bounds(self):
+        disks = random_disks(20, seed=1, extent=5.0, r_min=0.1, r_max=0.3)
+        assert len(disks) == 20
+        for d in disks:
+            assert 0 <= d.cx <= 5 and 0 <= d.cy <= 5
+            assert 0.1 <= d.r <= 0.3
+
+    def test_deterministic(self):
+        assert random_disks(5, seed=7) == random_disks(5, seed=7)
+        assert random_disks(5, seed=7) != random_disks(5, seed=8)
+
+
+class TestDisjointDisks:
+    @pytest.mark.parametrize("ratio", [1.0, 2.0, 8.0])
+    def test_disjoint_and_ratio(self, ratio):
+        disks = disjoint_disks(15, ratio=ratio, seed=2)
+        assert len(disks) == 15
+        assert pairwise_disjoint(disks)
+        assert radius_ratio(disks) == pytest.approx(ratio)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            disjoint_disks(5, ratio=0.5)
+
+
+class TestDiscreteWorkloads:
+    def test_random_discrete_points(self):
+        pts = random_discrete_points(10, k=4, seed=3, weight_ratio=3.0)
+        assert len(pts) == 10
+        for p in pts:
+            assert isinstance(p, DiscreteUncertainPoint)
+            assert p.k == 4
+            assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_mobile_object_tracks(self):
+        pts = mobile_object_tracks(8, pings=5, seed=4)
+        assert len(pts) == 8
+        for p in pts:
+            assert p.k == 5
+            # Recency decay: last ping has the largest weight.
+            assert p.weights[-1] == max(p.weights)
+
+    def test_track_step_bounded(self):
+        pts = mobile_object_tracks(5, pings=4, seed=5, speed=1.5)
+        for p in pts:
+            for a, b in zip(p.points, p.points[1:]):
+                assert math.dist(a, b) <= 1.5 * 1.5 + 1e-9
+
+
+class TestContinuousWorkloads:
+    def test_clustered_sensor_field(self):
+        pts = clustered_sensor_field(12, clusters=3, seed=6)
+        assert len(pts) == 12
+        assert all(isinstance(p, DiskUniformPoint) for p in pts)
+
+    def test_gaussian_sensor_field(self):
+        pts = gaussian_sensor_field(7, seed=7)
+        assert len(pts) == 7
+        assert all(isinstance(p, TruncatedGaussianPoint) for p in pts)
+
+    def test_rfid_histogram_field(self):
+        pts = rfid_histogram_field(9, grid=3, seed=8)
+        assert len(pts) == 9
+        assert all(isinstance(p, HistogramUncertainPoint) for p in pts)
+
+    def test_determinism(self):
+        a = clustered_sensor_field(5, seed=9)
+        b = clustered_sensor_field(5, seed=9)
+        assert [(p.center, p.radius) for p in a] \
+            == [(p.center, p.radius) for p in b]
