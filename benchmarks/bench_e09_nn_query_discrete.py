@@ -41,3 +41,13 @@ def test_e09_nn_query_discrete(benchmark):
     assert all(a == sorted(b) for a, b in zip(fast, brute))
     assert brute_t > 3.0 * fast_t, \
         f"expected >3x speedup at N={N_POINTS * K}, got {brute_t / fast_t:.1f}x"
+    # Batch engine: identical sets from one vectorized call, faster than
+    # the scalar loop.
+    INDEX.batch_nonzero_nn(QUERIES[:4])
+    start = time.perf_counter()
+    batched = INDEX.batch_nonzero_nn(QUERIES)
+    batch_t = time.perf_counter() - start
+    assert batched == fast
+    assert fast_t > 1.5 * batch_t, \
+        f"expected the batch engine to beat the scalar loop, " \
+        f"got {fast_t / batch_t:.1f}x"

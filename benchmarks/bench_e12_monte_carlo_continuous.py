@@ -37,3 +37,6 @@ def test_e12_monte_carlo_continuous(benchmark):
     est = mc.estimate_vector(QUERY)
     err = max(abs(a - b) for a, b in zip(est, truth))
     assert err <= eps + bias + 0.02, (err, bias)
+    # The batch counting path shares the round tensor with the scalar one.
+    assert mc.estimate_matrix([QUERY])[0].tolist() == est
+    assert mc.estimate_batch([QUERY])[0] == mc.estimate(QUERY)

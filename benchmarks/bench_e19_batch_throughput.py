@@ -1,0 +1,96 @@
+"""E19 — batch-query engine throughput: vectorized vs the scalar loop.
+
+The acceptance workload of the batch subsystem: n = 500 uncertain disks,
+batches of 1000 queries.  The timed kernel is one ``batch_nonzero_nn``
+call; the assertions require identical answer sets to the scalar path and
+a >= 10x throughput advantage over the scalar query loop (best-of-three
+timings on both sides, so a noisy scheduler tick cannot flip the ratio).
+
+A second block covers the bucketed backend (n = 20000) with a softer
+bound, and the Monte-Carlo round tensor's batch counting.
+"""
+
+import math
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_discrete_points, random_disks
+from repro.quantification.monte_carlo import MonteCarloQuantifier
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+N = 500
+M = 1000
+# The acceptance thresholds assume a quiet machine; shared CI runners can
+# relax them (keeping the exact-agreement assertions) via the env knob.
+MIN_SPEEDUP = float(os.environ.get("E19_MIN_SPEEDUP", "10"))
+MIN_BUCKET_SPEEDUP = float(os.environ.get("E19_MIN_BUCKET_SPEEDUP", "2"))
+EXTENT = math.sqrt(N) * 2.0
+_DISKS = random_disks(N, seed=1919, extent=EXTENT, r_min=0.1, r_max=0.4)
+INDEX = PNNIndex([DiskUniformPoint(d.center, d.r) for d in _DISKS])
+RNG = random.Random(19)
+QUERIES = np.array([(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+                    for _ in range(M)])
+
+
+def batch_query():
+    return INDEX.batch_nonzero_nn(QUERIES)
+
+
+def _best_of(fn, reps=3):
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_e19_batch_throughput(benchmark):
+    INDEX.batch_nonzero_nn(QUERIES[:4])  # engine build outside all timers
+    batched = benchmark(batch_query)
+    scalar_t, scalar = _best_of(
+        lambda: [INDEX.nonzero_nn((x, y)) for x, y in QUERIES])
+    batch_t, _ = _best_of(batch_query)
+    assert batched == scalar
+    speedup = scalar_t / batch_t
+    assert speedup >= MIN_SPEEDUP, \
+        f"batch engine speedup {speedup:.1f}x < {MIN_SPEEDUP}x at " \
+        f"n={N}, m={M} " \
+        f"(scalar {M / scalar_t:.0f} q/s, batch {M / batch_t:.0f} q/s)"
+
+
+def test_e19_bucket_backend_throughput():
+    n = 20_000
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=2020, extent=extent, r_min=0.1, r_max=0.4)
+    index = PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks])
+    rng = random.Random(23)
+    qs = np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                   for _ in range(400)])
+    index.batch_nonzero_nn(qs[:4])
+    assert index.batch_engine().backend == "bucket"
+    scalar_t, scalar = _best_of(
+        lambda: [index.nonzero_nn((x, y)) for x, y in qs])
+    batch_t, batched = _best_of(lambda: index.batch_nonzero_nn(qs))
+    assert batched == scalar
+    assert scalar_t / batch_t >= MIN_BUCKET_SPEEDUP, \
+        f"bucketed engine speedup {scalar_t / batch_t:.1f}x " \
+        f"< {MIN_BUCKET_SPEEDUP}x"
+
+
+def test_e19_monte_carlo_batch_counting():
+    pts = random_discrete_points(12, 3, seed=3, spread=2.0)
+    mc = MonteCarloQuantifier(pts, epsilon=0.05, delta=0.05, seed=23)
+    rng = random.Random(29)
+    qs = [(rng.uniform(0, 10), rng.uniform(0, 10)) for _ in range(64)]
+    mat = mc.estimate_matrix(qs)
+    assert mat.shape == (64, len(pts))
+    assert np.allclose(mat.sum(axis=1), 1.0)
+    # Scalar estimates are the single-row special case of the same tensor.
+    for q, row in zip(qs[:8], mat):
+        assert mc.estimate_vector(q) == list(row)

@@ -5,7 +5,8 @@ every query primitive the library offers:
 
 * which points could possibly be the nearest neighbor (``NN!=0``),
 * the probability that each is (exact, Monte-Carlo, spiral-search),
-* which points exceed a probability threshold.
+* which points exceed a probability threshold,
+* the batch API: a whole array of queries answered in one vectorized call.
 
 Run:  python examples/quickstart.py
 """
@@ -52,7 +53,23 @@ def main() -> None:
     print(f"\npi > 0.25 certainly: {result.certain}; "
           f"borderline candidates: {result.candidates}")
 
-    # 4. The heavy artifact: the nonzero Voronoi diagram of the supports.
+    # 4. Batch queries: hand over an (m, 2) array and get every answer in
+    #    a few vectorized passes — identical results to the scalar calls,
+    #    one to two orders of magnitude faster on large workloads.
+    grid = [(0.5 * i, 0.5 * j) for i in range(9) for j in range(9)]
+    answers = index.batch_nonzero_nn(grid)       # list of sorted index lists
+    deltas = index.batch_delta(grid)             # ndarray of Delta(q)
+    estimates = index.batch_quantify(grid, method="monte_carlo",
+                                     epsilon=0.1)
+    regions = {tuple(a) for a in answers}
+    print(f"\nbatch over a 9x9 grid: {len(regions)} distinct NN!=0 sets, "
+          f"Delta range [{deltas.min():.2f}, {deltas.max():.2f}]")
+    favorite = max(range(len(grid)),
+                   key=lambda j: estimates[j].get(2, 0.0))
+    print(f"grid point most favorable to P_2: {grid[favorite]} "
+          f"(pi_2 ~ {estimates[favorite].get(2, 0.0):.2f})")
+
+    # 5. The heavy artifact: the nonzero Voronoi diagram of the supports.
     diagram = index.build_nonzero_voronoi()
     print(f"\nV!=0 of the 3 support disks: {diagram.num_vertices} vertices, "
           f"{diagram.num_edges} edges, {diagram.num_faces} faces")

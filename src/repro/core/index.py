@@ -14,6 +14,16 @@ paper's two query primitives:
   (Section 4), exactly or to additive error ``eps`` via the Monte-Carlo or
   spiral-search estimators.
 
+Every query primitive also has a *batch* front door — :meth:`batch_delta`,
+:meth:`batch_nonzero_nn`, :meth:`batch_quantify`, :meth:`batch_top_k` —
+that accepts an ``(m, 2)`` array of queries and dispatches to the
+NumPy-vectorized :class:`~repro.spatial.batch.BatchQueryEngine` (dense
+matrix kernels for small ``n``, array-kd-tree bucketing for large ``n``).
+The batch paths preserve the exact Lemma 2.1 semantics of the scalar ones
+(including the second-minimum threshold for a unique ``Delta`` argmin) and
+are one to two orders of magnitude faster per query on thousand-query
+workloads — benchmark E19 measures the speedup.
+
 Heavier artifacts (the nonzero Voronoi diagram, the exact probabilistic
 Voronoi diagram) are built on demand via :meth:`build_nonzero_voronoi` and
 :meth:`build_vpr`.
@@ -24,6 +34,8 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..geometry.disks import Disk
 from ..geometry.primitives import Point
 from ..quantification.exact_continuous import quantification_continuous_vector
@@ -31,6 +43,7 @@ from ..quantification.exact_discrete import quantification_vector
 from ..quantification.monte_carlo import MonteCarloQuantifier
 from ..quantification.spiral import SpiralSearchQuantifier
 from ..quantification.threshold import ThresholdResult, classify_threshold
+from ..spatial.batch import BatchQueryEngine
 from ..spatial.kdtree import KDTree
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
@@ -68,6 +81,7 @@ class PNNIndex:
             [d.r for d in self._supports])
         self._mc_cache: Dict[tuple, MonteCarloQuantifier] = {}
         self._spiral: Optional[SpiralSearchQuantifier] = None
+        self._batch: Optional[BatchQueryEngine] = None
 
     # ------------------------------------------------------------------
     @property
@@ -149,6 +163,77 @@ class PNNIndex:
         return nonzero_nn_indices([p.min_dist(q) for p in self.points],
                                   [p.max_dist(q) for p in self.points])
 
+    def _mc_quantifier(self, epsilon: float, delta: float,
+                       seed: int) -> MonteCarloQuantifier:
+        """The cached Monte-Carlo structure shared by scalar and batch paths."""
+        key = ("mc", epsilon, delta, seed)
+        if key not in self._mc_cache:
+            self._mc_cache[key] = MonteCarloQuantifier(
+                self.points, epsilon=epsilon, delta=delta, seed=seed)
+        return self._mc_cache[key]
+
+    # ------------------------------------------------------------------
+    # Batch queries: vectorized over an (m, 2) array of query points.
+    # ------------------------------------------------------------------
+    def batch_engine(self, backend: str = "auto") -> BatchQueryEngine:
+        """The lazily-built vectorized backend (shared by all batch calls).
+
+        ``backend`` other than ``"auto"`` forces a fresh engine with the
+        requested strategy (``"dense"`` or ``"bucket"``) — useful for
+        tests and benchmarks; the auto engine stays cached.
+        """
+        if backend != "auto":
+            return BatchQueryEngine(self.points, backend=backend)
+        if self._batch is None:
+            self._batch = BatchQueryEngine(self.points)
+        return self._batch
+
+    def batch_delta(self, queries) -> np.ndarray:
+        """``Delta(q)`` for every row of *queries*, as a float array.
+
+        Vectorized equivalent of calling :meth:`delta` per row.
+        """
+        return self.batch_engine().delta(queries)
+
+    def batch_nonzero_nn(self, queries) -> List[List[int]]:
+        """``NN!=0(q)`` for every row of *queries* (each list sorted).
+
+        Vectorized equivalent of calling :meth:`nonzero_nn` per row: the
+        same two-stage query with exact per-candidate confirmation, but
+        answered for the whole batch in a few NumPy passes.
+        """
+        return self.batch_engine().nonzero_nn(queries)
+
+    def batch_quantify(self, queries, method: str = "auto",
+                       epsilon: float = 0.05, delta: float = 0.05,
+                       seed: int = 0) -> List[Dict[int, float]]:
+        """:meth:`quantify` for every row of *queries*.
+
+        The Monte-Carlo method is answered by one vectorized counting pass
+        over the shared ``(s, n, 2)`` instantiation tensor (identical
+        estimates to the scalar path, which uses the same structure); the
+        exact and spiral methods fall back to a per-query loop.
+        """
+        q = BatchQueryEngine._as_queries(queries)
+        if method == "auto":
+            method = "spiral" if self.all_discrete() else "monte_carlo"
+        if method == "monte_carlo":
+            return self._mc_quantifier(epsilon, delta, seed).estimate_batch(q)
+        return [self.quantify((float(x), float(y)), method=method,
+                              epsilon=epsilon, delta=delta, seed=seed)
+                for x, y in q]
+
+    def batch_top_k(self, queries, k: int, method: str = "auto",
+                    epsilon: float = 0.05, delta: float = 0.05,
+                    seed: int = 0) -> List[List[tuple]]:
+        """:meth:`top_k_nn` for every row of *queries*."""
+        if k <= 0:
+            return [[] for _ in range(len(BatchQueryEngine._as_queries(queries)))]
+        batches = self.batch_quantify(queries, method=method, epsilon=epsilon,
+                                      delta=delta, seed=seed)
+        return [sorted(est.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+                for est in batches]
+
     # ------------------------------------------------------------------
     # Quantification probabilities.
     # ------------------------------------------------------------------
@@ -177,11 +262,7 @@ class PNNIndex:
                 vec = quantification_continuous_vector(self.points, q)
             return {i: v for i, v in enumerate(vec) if v > 0.0}
         if method == "monte_carlo":
-            key = ("mc", epsilon, delta, seed)
-            if key not in self._mc_cache:
-                self._mc_cache[key] = MonteCarloQuantifier(
-                    self.points, epsilon=epsilon, delta=delta, seed=seed)
-            return self._mc_cache[key].estimate(q)
+            return self._mc_quantifier(epsilon, delta, seed).estimate(q)
         if method == "spiral":
             if not self.all_discrete():
                 raise ValueError("spiral search requires discrete distributions")

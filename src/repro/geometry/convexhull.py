@@ -44,7 +44,31 @@ def convex_hull(points: Sequence[Point]) -> List[Point]:
 
     lower = half(pts)
     upper = half(pts[::-1])
-    return lower[:-1] + upper[:-1]
+    return _drop_cyclic_collinear(lower[:-1] + upper[:-1])
+
+
+def _drop_cyclic_collinear(hull: List[Point]) -> List[Point]:
+    """Remove vertices that are collinear when the closed hull is traversed.
+
+    The chains above pop on ``orient <= 0``, but floating-point ``orient``
+    is not invariant under cyclic rotation: a triple that evaluates
+    strictly positive inside a chain can evaluate to exactly zero once the
+    hull wraps around (e.g. ``(0,0), (1,1), (4.5e-262, 0)`` — the subnormal
+    coordinate is absorbed when subtracted from 1).  Re-test every cyclic
+    triple and drop the middle vertex of any non-left turn until the
+    polygon is strictly convex; each drop moves the hull inward by at most
+    one rounding ulp, so the farthest-point and dominance uses downstream
+    are unaffected.
+    """
+    while len(hull) >= 3:
+        m = len(hull)
+        drop = next((i for i in range(m)
+                     if orient(hull[i - 1], hull[i],
+                               hull[(i + 1) % m]) <= 0.0), None)
+        if drop is None:
+            break
+        hull.pop(drop)
+    return hull
 
 
 def farthest_point_index(points: Sequence[Point], q: Point) -> int:

@@ -46,8 +46,20 @@ def almost_equal(a: float, b: float, tol: float = EPS) -> bool:
 
 
 def dist(p: Point, q: Point) -> float:
-    """Euclidean distance between two points."""
-    return math.hypot(p[0] - q[0], p[1] - q[1])
+    """Euclidean distance between two points.
+
+    Computed as ``sqrt(dx*dx + dy*dy)`` — every step correctly rounded in
+    IEEE-754 — rather than ``math.hypot``: NumPy evaluating the same
+    formula in the batch kernels (``spatial/batch.py``) then agrees
+    *bitwise* with the scalar paths, which is what lets the batch query
+    engine return identical answer sets.  (``math.hypot`` and ``np.hypot``
+    are each faithful but round differently on ~1% of inputs.)  The
+    trade-off is precision loss outside ~1e-150..1e150, far beyond the
+    library's operating range.
+    """
+    dx = p[0] - q[0]
+    dy = p[1] - q[1]
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def dist2(p: Point, q: Point) -> float:

@@ -6,9 +6,13 @@ NN queries.  A query finds, in each round, which instantiated point is the
 nearest neighbor and increments its counter; ``pi_hat_i(q) = c_i / s``.
 
 The paper builds a Voronoi diagram + point location per round; finding the
-NN of ``q`` among ``R_j`` is the same operation our kd-tree performs, so we
-store one kd-tree per round (same asymptotics up to the substitution noted
-in DESIGN.md).
+NN of ``q`` among ``R_j`` is an ``argmin`` over that round's instantiated
+sites.  All rounds are stored as one contiguous ``(s, n, 2)`` tensor and
+the argmin/counting runs vectorized across rounds — and, via
+:meth:`MonteCarloQuantifier.estimate_matrix`, across whole query batches
+at once (rounds x queries in a few NumPy passes).  The scalar
+:meth:`~MonteCarloQuantifier.estimate` is the single-row special case of
+the same code path, so scalar and batch estimates agree exactly.
 
 Round budget (Theorem 4.3): with ``|Q| = O((nk)^4)`` distinct cells,
 
@@ -31,8 +35,9 @@ import math
 import random
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from ..geometry.primitives import Point
-from ..spatial.kdtree import KDTree
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
 
@@ -100,7 +105,7 @@ def discretize_continuous(point: UncertainPoint, k: int,
 
 
 class MonteCarloQuantifier:
-    """The Section 4.2 data structure: ``s`` instantiations + NN indexes.
+    """The Section 4.2 data structure: ``s`` instantiations as one tensor.
 
     Parameters
     ----------
@@ -127,12 +132,50 @@ class MonteCarloQuantifier:
         self.rounds = rounds if rounds is not None else \
             rounds_for_single_query(epsilon, delta, len(points))
         rng = random.Random(seed)
-        self._trees: List[KDTree] = []
-        for _ in range(self.rounds):
-            instantiation = [p.sample(rng) for p in self.points]
-            self._trees.append(KDTree(instantiation))
+        self.instantiations = np.array(
+            [[p.sample(rng) for p in self.points]
+             for _ in range(self.rounds)], dtype=np.float64)  # (s, n, 2)
 
     # ------------------------------------------------------------------
+    def estimate_matrix(self, queries) -> np.ndarray:
+        """Dense ``(m, n)`` estimate matrix for an ``(m, 2)`` query array.
+
+        One vectorized pass per chunk: squared distances from every query
+        to every instantiated site, an argmin across points per (query,
+        round) cell, and a bincount of the winners.  Round winners tie
+        toward the smallest index (the scalar path shares this code, so
+        the tie rule is uniform everywhere).
+        """
+        q = np.asarray(queries, dtype=np.float64)
+        if q.size == 0:
+            q = q.reshape(0, 2)
+        elif q.ndim != 2 or q.shape[1] != 2:
+            raise ValueError("queries must be an (m, 2) array of points")
+        m = len(q)
+        s, n, _ = self.instantiations.shape
+        out = np.empty((m, n), dtype=np.float64)
+        sx = self.instantiations[:, :, 0]
+        sy = self.instantiations[:, :, 1]
+        # Chunk queries so the (chunk, s, n) distance tensor stays
+        # cache-resident — large chunks go memory-bandwidth-bound.
+        step = max(1, (1 << 18) // max(1, s * n))
+        for lo in range(0, m, step):
+            qc = q[lo:lo + step]
+            dx = sx[None, :, :] - qc[:, None, None, 0]
+            dy = sy[None, :, :] - qc[:, None, None, 1]
+            winners = np.argmin(dx * dx + dy * dy, axis=2)  # (chunk, s)
+            mc = len(qc)
+            flat = winners + n * np.arange(mc, dtype=np.intp)[:, None]
+            counts = np.bincount(flat.ravel(), minlength=mc * n)
+            out[lo:lo + step] = counts.reshape(mc, n) / self.rounds
+        return out
+
+    def estimate_batch(self, queries) -> List[Dict[int, float]]:
+        """Sparse ``{i: pi_hat_i}`` dicts (zeros omitted), one per query."""
+        mat = self.estimate_matrix(queries)
+        return [{int(i): float(row[i]) for i in np.flatnonzero(row)}
+                for row in mat]
+
     def estimate(self, q: Point) -> Dict[int, float]:
         """Sparse estimates ``{i: pi_hat_i(q)}`` (zeros omitted).
 
@@ -140,18 +183,11 @@ class MonteCarloQuantifier:
         paper's observation that at most ``1/eps`` points can have
         ``pi_i(q) > eps``.
         """
-        counters: Dict[int, int] = {}
-        for tree in self._trees:
-            winner, _ = tree.nearest(q)
-            counters[winner] = counters.get(winner, 0) + 1
-        return {i: c / self.rounds for i, c in counters.items()}
+        return self.estimate_batch([q])[0]
 
     def estimate_vector(self, q: Point) -> List[float]:
         """Dense estimate vector of length ``n``."""
-        out = [0.0] * len(self.points)
-        for i, v in self.estimate(q).items():
-            out[i] = v
-        return out
+        return self.estimate_matrix([q])[0].tolist()
 
     def space_cost(self) -> int:
         """Stored sites across all rounds (``s * n``, Theorem 4.3 space)."""

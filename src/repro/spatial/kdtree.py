@@ -62,7 +62,7 @@ def _box_dist_l2(lo: Point, hi: Point, q: Point) -> float:
     """L2 distance from *q* to the axis-aligned box ``[lo, hi]`` (0 inside)."""
     dx = max(lo[0] - q[0], 0.0, q[0] - hi[0])
     dy = max(lo[1] - q[1], 0.0, q[1] - hi[1])
-    return math.hypot(dx, dy)
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def _box_dist_linf(lo: Point, hi: Point, q: Point) -> float:
@@ -73,7 +73,11 @@ def _box_dist_linf(lo: Point, hi: Point, q: Point) -> float:
 
 
 def _dist_l2(p: Point, q: Point) -> float:
-    return math.hypot(p[0] - q[0], p[1] - q[1])
+    # sqrt-of-squares, matching geometry.primitives.dist (see its docstring
+    # for why hypot is avoided).
+    dx = p[0] - q[0]
+    dy = p[1] - q[1]
+    return math.sqrt(dx * dx + dy * dy)
 
 
 def _dist_linf(p: Point, q: Point) -> float:

@@ -102,3 +102,12 @@ class DiscreteUncertainPoint(UncertainPoint):
     def sites_with_weights(self) -> List[Tuple[Point, float]]:
         """The ``(location, probability)`` pairs, in input order."""
         return list(zip(self.points, self.weights))
+
+    def hull_sites(self) -> List[Point]:
+        """The convex-hull vertices that ``max_dist`` scans.
+
+        The farthest site from any query lies on the hull, so these
+        vertices alone determine ``Delta_i`` — the batch engine's
+        vectorized kernels consume exactly this list.
+        """
+        return list(self._farthest.hull)

@@ -1,0 +1,154 @@
+"""Property-based equivalence: the batch engine vs the scalar paths.
+
+The batch subsystem (``repro.spatial.batch``) re-implements the paper's
+query primitives as vectorized NumPy kernels.  These tests pin the only
+contract that matters: for *any* index over *any* mix of models and *any*
+query batch, ``batch_delta`` / ``batch_nonzero_nn`` / ``batch_quantify``
+agree with the scalar ``delta`` / ``nonzero_nn`` / ``quantify`` — and with
+the Lemma 2.1 brute-force reference — exactly.
+
+Coordinates are drawn from a quantized grid so that exact ties (equal
+distances, queries on cell boundaries, coincident sites) occur routinely:
+those are the configurations where the second-minimum threshold of the
+unique ``Delta`` argmin decides membership.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.index import PNNIndex
+from repro.spatial.batch import BatchQueryEngine
+from repro.uncertain.annulus import AnnulusUniformPoint
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.uncertain.disk_uniform import DiskUniformPoint
+from repro.uncertain.gaussian import TruncatedGaussianPoint
+from repro.uncertain.histogram import HistogramUncertainPoint
+
+# Quantized coordinates: multiples of 1/4 in [-8, 8] make exact distance
+# ties common instead of measure-zero.
+grid = st.integers(min_value=-32, max_value=32).map(lambda v: v / 4.0)
+coords = st.tuples(grid, grid)
+radii = st.integers(min_value=1, max_value=8).map(lambda v: v / 4.0)
+
+
+@st.composite
+def uncertain_points(draw):
+    kind = draw(st.integers(min_value=0, max_value=4))
+    c = draw(coords)
+    if kind == 0:
+        return DiskUniformPoint(c, draw(radii))
+    if kind == 1:
+        r = draw(radii)
+        return TruncatedGaussianPoint(c, sigma=r / 2.0, support_radius=r)
+    if kind == 2:
+        r_in = draw(st.integers(min_value=0, max_value=4)) / 4.0
+        return AnnulusUniformPoint(c, r_in, r_in + draw(radii))
+    if kind == 3:
+        sites = draw(st.lists(coords, min_size=1, max_size=4, unique=True))
+        weights = [draw(st.integers(min_value=1, max_value=4))
+                   for _ in sites]
+        return DiscreteUncertainPoint(sites, weights)
+    # Histogram exercises the exact-fallback kernel.
+    cells = [[draw(st.integers(min_value=0, max_value=3)) + 1
+              for _ in range(2)] for _ in range(2)]
+    return HistogramUncertainPoint(c, 0.5, 0.5, cells)
+
+
+indexes = st.lists(uncertain_points(), min_size=1, max_size=8)
+query_batches = st.lists(coords, min_size=0, max_size=6)
+
+
+class TestBatchMatchesScalar:
+    @settings(max_examples=120, deadline=None)
+    @given(indexes, query_batches)
+    def test_nonzero_nn_and_delta(self, points, queries):
+        index = PNNIndex(points)
+        batch_nn = index.batch_nonzero_nn(queries)
+        batch_delta = index.batch_delta(queries)
+        assert len(batch_nn) == len(queries)
+        assert batch_delta.shape == (len(queries),)
+        for j, q in enumerate(queries):
+            assert batch_nn[j] == index.nonzero_nn(q)
+            assert batch_nn[j] == sorted(index.nonzero_nn_bruteforce(q))
+            assert batch_delta[j] == index.delta(q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(indexes, st.lists(coords, min_size=1, max_size=4),
+           st.integers(min_value=0, max_value=3))
+    def test_monte_carlo_quantify(self, points, queries, seed):
+        index = PNNIndex(points)
+        batch = index.batch_quantify(queries, method="monte_carlo",
+                                     epsilon=0.3, delta=0.3, seed=seed)
+        scalar = [index.quantify(q, method="monte_carlo",
+                                 epsilon=0.3, delta=0.3, seed=seed)
+                  for q in queries]
+        assert batch == scalar
+        for est in batch:
+            assert abs(sum(est.values()) - 1.0) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(indexes, st.lists(coords, min_size=1, max_size=3))
+    def test_top_k_matches_scalar(self, points, queries):
+        index = PNNIndex(points)
+        k = 3
+        batch = index.batch_top_k(queries, k, method="monte_carlo",
+                                  epsilon=0.3, delta=0.3)
+        scalar = [index.top_k_nn(q, k, method="monte_carlo",
+                                 epsilon=0.3, delta=0.3) for q in queries]
+        assert batch == scalar
+
+    @settings(max_examples=60, deadline=None)
+    @given(indexes, query_batches)
+    def test_dense_and_bucket_backends_agree(self, points, queries):
+        dense = BatchQueryEngine(points, backend="dense")
+        bucket = BatchQueryEngine(points, backend="bucket")
+        assert dense.nonzero_nn(queries) == bucket.nonzero_nn(queries)
+        d1, s1, u1 = dense.delta_info(queries)
+        d2, s2, u2 = bucket.delta_info(queries)
+        assert np.array_equal(d1, d2)
+        assert np.array_equal(s1, s2)
+        assert np.array_equal(u1, u2)
+
+
+class TestRandomizedSweep:
+    """The acceptance sweep: >= 10k randomized (index, query) cases."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ten_thousand_cases(self, seed):
+        rng = random.Random(1000 + seed)
+        cases = 0
+        for _ in range(125):
+            n = rng.randint(1, 20)
+            points = []
+            for _ in range(n):
+                cx = rng.randint(-40, 40) / 4.0
+                cy = rng.randint(-40, 40) / 4.0
+                kind = rng.randint(0, 2)
+                if kind == 0:
+                    points.append(DiskUniformPoint(
+                        (cx, cy), rng.randint(1, 8) / 4.0))
+                elif kind == 1:
+                    k = rng.randint(1, 4)
+                    sites = {(cx + rng.randint(-4, 4) / 4.0,
+                              cy + rng.randint(-4, 4) / 4.0)
+                             for _ in range(k)}
+                    points.append(DiscreteUncertainPoint(
+                        sorted(sites), [1.0] * len(sites)))
+                else:
+                    r_in = rng.randint(0, 3) / 4.0
+                    points.append(AnnulusUniformPoint(
+                        (cx, cy), r_in, r_in + rng.randint(1, 6) / 4.0))
+            index = PNNIndex(points)
+            queries = [(rng.randint(-48, 48) / 4.0,
+                        rng.randint(-48, 48) / 4.0) for _ in range(21)]
+            batch_nn = index.batch_nonzero_nn(queries)
+            batch_delta = index.batch_delta(queries)
+            for j, q in enumerate(queries):
+                assert batch_nn[j] == index.nonzero_nn(q), (q, points)
+                assert batch_nn[j] == sorted(index.nonzero_nn_bruteforce(q))
+                assert batch_delta[j] == index.delta(q)
+                cases += 1
+        assert cases == 125 * 21  # 2625 per seed; 10500 across the matrix
