@@ -1,0 +1,145 @@
+"""E20 — serving-layer throughput: sharding, coalescing, result caching.
+
+The acceptance workload of the serving subsystem: n = 20000 uncertain
+disks, m = 100k queries.  The headline assertion is *bitwise identity* —
+the sharded ``delta`` array equals the single-process ``batch_delta``
+output exactly, and sharded ``quantify`` dictionaries equal the unsharded
+ones — plus an aggregate-throughput bar: with >= 4 workers the sharded
+path must beat the single-process batch path by ``E20_MIN_SPEEDUP``x
+(default 2x on hosts with >= 4 cores; relaxed to correctness-only on
+smaller hosts or via the env knob, same convention as E19).
+
+Companion blocks cover the exact-keyed LRU cache (hit rate and cached
+latency on a repeat-heavy stream) and the micro-batcher (coalesced
+futures agree with the scalar path).
+
+Env knobs: ``E20_N``, ``E20_M``, ``E20_WORKERS``, ``E20_MIN_SPEEDUP``,
+``E20_JSON`` (write a machine-readable summary for CI artifacts).
+"""
+
+import json
+import math
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_disks
+from repro.serving import ServiceConfig, ShardExecutor
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+N = int(os.environ.get("E20_N", "20000"))
+M = int(os.environ.get("E20_M", "100000"))
+WORKERS = int(os.environ.get("E20_WORKERS", "4"))
+_CORES = os.cpu_count() or 1
+# The 2x-at->=4-workers acceptance bar only makes physical sense with
+# cores to shard across; smaller hosts keep every correctness assertion
+# but skip the timing bar (CI can force any bar through the env).
+MIN_SPEEDUP = float(os.environ.get(
+    "E20_MIN_SPEEDUP", "2.0" if _CORES >= 4 and WORKERS >= 4 else "0"))
+JSON_OUT = os.environ.get("E20_JSON", "")
+
+EXTENT = math.sqrt(N) * 2.0
+_DISKS = random_disks(N, seed=2025, extent=EXTENT, r_min=0.1, r_max=0.4)
+INDEX = PNNIndex([DiskUniformPoint(d.center, d.r) for d in _DISKS])
+RNG = random.Random(47)
+QUERIES = np.array([(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+                    for _ in range(M)])
+
+
+def _best_of(fn, reps=2):
+    best = math.inf
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _write_json(payload):
+    if JSON_OUT:
+        with open(JSON_OUT, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+
+
+def test_e20_sharded_bitwise_identity_and_throughput():
+    INDEX.batch_delta(QUERIES[:16])  # engine build outside all timers
+    single_t, base = _best_of(lambda: INDEX.batch_delta(QUERIES))
+    with ShardExecutor(INDEX.points, workers=WORKERS) as executor:
+        executor.run("delta", QUERIES[:16])  # replica build outside timers
+        shard_t, sharded = _best_of(lambda: executor.run("delta", QUERIES))
+        # Bitwise identity of the full 100k-row delta array.
+        assert np.array_equal(base, sharded), \
+            "sharded batch_delta differs from single-process output"
+        # Quantify identity on a subset (the MC tensor is seed-determined,
+        # so every worker replica computes the parent's exact estimates).
+        # eps=0.3 keeps the round tensor small; identity is exact at any
+        # precision, so the cheap setting proves the same property.
+        sub = QUERIES[:500]
+        assert executor.run("quantify", sub, {"epsilon": 0.3}) == \
+            INDEX.batch_quantify(sub, epsilon=0.3), \
+            "sharded batch_quantify differs from single-process output"
+        speedup = single_t / shard_t
+        payload = {
+            "experiment": "E20",
+            "n": N, "m": M,
+            "workers": executor.workers,
+            "mode": executor.mode,
+            "start_method": executor.start_method,
+            "cores": _CORES,
+            "single_qps": int(M / single_t),
+            "sharded_qps": int(M / shard_t),
+            "speedup": round(speedup, 3),
+            "min_speedup": MIN_SPEEDUP,
+            "identical": True,
+        }
+        _write_json(payload)
+        if MIN_SPEEDUP > 0:
+            assert speedup >= MIN_SPEEDUP, \
+                f"sharded speedup {speedup:.2f}x < {MIN_SPEEDUP}x at " \
+                f"n={N}, m={M}, workers={executor.workers} " \
+                f"(single {M / single_t:.0f} q/s, " \
+                f"sharded {M / shard_t:.0f} q/s)"
+
+
+def test_e20_cache_hit_rate_and_latency():
+    config = ServiceConfig(workers=0, cache_capacity=8192, coalesce=False)
+    with INDEX.serve(config) as service:
+        hot = [tuple(QUERIES[RNG.randrange(500)]) for _ in range(5000)]
+        for q in hot:
+            service.nonzero_nn(q)
+        snap = service.stats()
+        cache = snap["cache"]
+        # >= 500 distinct keys of 5000 requests -> hit rate near 90%.
+        assert cache["hit_rate"] >= 0.7, \
+            f"cache hit rate {cache['hit_rate']} below 0.7 on repeat stream"
+        assert cache["entries"] <= 8192
+        method = snap["methods"]["nonzero_nn"]
+        assert method["requests"] == 5000
+        # Every miss is one single-row batch; hits never touch the engine.
+        assert method["batch_calls"] == method["cache_misses"]
+        # Cached answers are the engine's answers.
+        for q in hot[:50]:
+            assert service.nonzero_nn(q) == INDEX.nonzero_nn(q)
+
+
+def test_e20_coalescer_matches_scalar_path(benchmark):
+    config = ServiceConfig(workers=0, cache_capacity=0, max_batch=64,
+                           flush_window=0.2)
+    qs = [tuple(q) for q in QUERIES[:1024]]
+    with INDEX.serve(config) as service:
+        def burst():
+            futures = [service.submit("delta", q) for q in qs]
+            service.flush()
+            return [f.result() for f in futures]
+
+        answers = benchmark.pedantic(burst, rounds=3, iterations=1)
+        expected = INDEX.batch_delta(np.array(qs))
+        assert answers == list(expected), \
+            "coalesced futures disagree with batch_delta"
+        coalescer = service.stats()["coalescer"]
+        assert coalescer["largest_batch"] == 64
+        assert coalescer["full_flushes"] >= 1

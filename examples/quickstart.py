@@ -6,7 +6,9 @@ every query primitive the library offers:
 * which points could possibly be the nearest neighbor (``NN!=0``),
 * the probability that each is (exact, Monte-Carlo, spiral-search),
 * which points exceed a probability threshold,
-* the batch API: a whole array of queries answered in one vectorized call.
+* the batch API: a whole array of queries answered in one vectorized call,
+* the serving layer: the same index behind a cache + coalescer + shard
+  service for bursty multi-client traffic.
 
 Run:  python examples/quickstart.py
 """
@@ -69,7 +71,23 @@ def main() -> None:
     print(f"grid point most favorable to P_2: {grid[favorite]} "
           f"(pi_2 ~ {estimates[favorite].get(2, 0.0):.2f})")
 
-    # 5. The heavy artifact: the nonzero Voronoi diagram of the supports.
+    # 5. Service-shaped traffic: wrap the index in a QueryService.  Scalar
+    #    submits coalesce into vectorized micro-batches, repeat queries hit
+    #    an exact-keyed LRU cache, and large batches shard across worker
+    #    processes (with bitwise-identical answers).  `workers=0` keeps
+    #    this quickstart single-process; try workers=4 on a real machine.
+    with index.serve(workers=0, cache_capacity=1024, max_batch=32) as svc:
+        futures = [svc.submit("quantify", g, epsilon=0.1) for g in grid]
+        svc.flush()                       # or let the flush window expire
+        hottest = max(range(len(grid)),
+                      key=lambda j: futures[j].result().get(2, 0.0))
+        svc.quantify(grid[hottest], epsilon=0.1)   # served from cache
+        snap = svc.stats()
+        print(f"\nserving layer: {snap['total_requests']} requests in "
+              f"{snap['coalescer']['flushes']} coalesced batches, "
+              f"cache hit rate {snap['cache']['hit_rate']:.0%}")
+
+    # 6. The heavy artifact: the nonzero Voronoi diagram of the supports.
     diagram = index.build_nonzero_voronoi()
     print(f"\nV!=0 of the 3 support disks: {diagram.num_vertices} vertices, "
           f"{diagram.num_edges} edges, {diagram.num_faces} faces")

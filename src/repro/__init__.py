@@ -43,6 +43,7 @@ from .geometry.squares import Square
 from .quantification.monte_carlo import MonteCarloQuantifier
 from .quantification.spiral import SpiralSearchQuantifier
 from .quantification.threshold import ThresholdResult
+from .serving import QueryService, ResultCache, ServiceConfig, ShardExecutor
 from .uncertain.annulus import AnnulusUniformPoint
 from .uncertain.base import UncertainPoint
 from .uncertain.discrete import DiscreteUncertainPoint
@@ -70,6 +71,10 @@ __all__ = [
     "MonteCarloQuantifier",
     "NonzeroVoronoiDiagram",
     "PNNIndex",
+    "QueryService",
+    "ResultCache",
+    "ServiceConfig",
+    "ShardExecutor",
     "Square",
     "SquareNNIndex",
     "ProbabilisticVoronoiDiagram",

@@ -5,6 +5,10 @@ Commands
 ``demo``
     Run a compact end-to-end demonstration (index build, NN!=0 queries,
     quantification with all three estimators).
+``serve-demo``
+    Stand up the serving layer (cache + coalescer + shard executor) and
+    drive a bursty synthetic workload through it, printing per-method
+    throughput, hit rates, and latency percentiles.
 ``info``
     Print the library version and the module inventory.
 ``experiments [--quick] [ids...]``
@@ -49,13 +53,81 @@ def _demo() -> int:
     return 0
 
 
+def _serve_demo() -> int:
+    import math
+    import random
+    import time
+
+    import numpy as np
+
+    from .core.index import PNNIndex
+    from .core.workloads import random_disks
+    from .uncertain.disk_uniform import DiskUniformPoint
+
+    n, m = 5000, 20000
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=11, extent=extent, r_min=0.1, r_max=0.4)
+    index = PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks])
+    print(f"serve-demo: QueryService over {n} uncertain disks")
+    with index.serve(workers=2, cache_capacity=4096, max_batch=128,
+                     flush_window=0.002, shard_min_batch=4096) as service:
+        ex = service.executor
+        print(f"shard executor: mode={ex.mode}, workers={ex.workers}, "
+              f"start method={ex.start_method}")
+        rng = random.Random(13)
+
+        # Burst 1: bursty scalar clients, coalesced into micro-batches.
+        hot = [(rng.uniform(0, extent), rng.uniform(0, extent))
+               for _ in range(300)]
+        start = time.perf_counter()
+        futures = [service.submit("nonzero_nn", hot[rng.randrange(len(hot))])
+                   for _ in range(3000)]
+        service.flush()
+        answers = [f.result() for f in futures]
+        elapsed = time.perf_counter() - start
+        print(f"coalesced stream: 3000 scalar requests in "
+              f"{elapsed * 1e3:.0f} ms ({3000 / elapsed:,.0f} req/s), "
+              f"{len({tuple(a) for a in answers})} distinct NN!=0 sets")
+
+        # Burst 2: one large batch, sharded across the worker pool.
+        batch = np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                          for _ in range(m)])
+        service.batch_delta(batch[:16])  # warm engine + replicas
+        start = time.perf_counter()
+        deltas = service.batch_delta(batch)
+        elapsed = time.perf_counter() - start
+        print(f"sharded batch: {m} delta queries in {elapsed * 1e3:.0f} ms "
+              f"({m / elapsed:,.0f} queries/s), "
+              f"Delta range [{deltas.min():.2f}, {deltas.max():.2f}]")
+
+        # Burst 3: repeat traffic against the cache.
+        start = time.perf_counter()
+        for _ in range(3000):
+            service.quantify(hot[rng.randrange(60)], epsilon=0.25)
+        elapsed = time.perf_counter() - start
+        print(f"cached repeats: 3000 quantify requests in "
+              f"{elapsed * 1e3:.0f} ms ({3000 / elapsed:,.0f} req/s)")
+
+        print("\nper-method service stats:")
+        for line in service.stats_registry.format_table():
+            print("  " + line)
+        cache = service.cache.snapshot()
+        print(f"cache: {cache['entries']}/{cache['capacity']} entries, "
+              f"hit rate {cache['hit_rate']:.0%}, "
+              f"{cache['evictions']} evictions")
+        co = service.batcher
+        print(f"coalescer: {co.submitted} submitted in {co.flushes} "
+              f"batches (largest {co.largest_batch})")
+    return 0
+
+
 def _info() -> int:
     from . import __version__
 
     print(f"repro {__version__} — reproduction of "
           "'Nearest-Neighbor Searching Under Uncertainty II' (PODS 2013)")
     print("subpackages: core, geometry, spatial, uncertain, voronoi, "
-          "quantification, experiments, viz")
+          "quantification, serving, experiments, viz")
     print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
     return 0
 
@@ -67,13 +139,16 @@ def main(argv: list) -> int:
     command = argv[0]
     if command == "demo":
         return _demo()
+    if command == "serve-demo":
+        return _serve_demo()
     if command == "info":
         return _info()
     if command == "experiments":
         from .experiments.__main__ import main as experiments_main
 
         return experiments_main(argv[1:])
-    print(f"unknown command {command!r}; try: demo, info, experiments")
+    print(f"unknown command {command!r}; try: demo, serve-demo, info, "
+          "experiments")
     return 2
 
 

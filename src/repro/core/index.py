@@ -15,7 +15,8 @@ paper's two query primitives:
   spiral-search estimators.
 
 Every query primitive also has a *batch* front door — :meth:`batch_delta`,
-:meth:`batch_nonzero_nn`, :meth:`batch_quantify`, :meth:`batch_top_k` —
+:meth:`batch_nonzero_nn`, :meth:`batch_quantify`, :meth:`batch_top_k`,
+:meth:`batch_threshold_nn` —
 that accepts an ``(m, 2)`` array of queries and dispatches to the
 NumPy-vectorized :class:`~repro.spatial.batch.BatchQueryEngine` (dense
 matrix kernels for small ``n``, array-kd-tree bucketing for large ``n``).
@@ -23,6 +24,11 @@ The batch paths preserve the exact Lemma 2.1 semantics of the scalar ones
 (including the second-minimum threshold for a unique ``Delta`` argmin) and
 are one to two orders of magnitude faster per query on thousand-query
 workloads — benchmark E19 measures the speedup.
+
+For service-shaped traffic (many clients, bursty scalar streams, very
+large batches) :meth:`serve` wraps the index in a
+:class:`~repro.serving.service.QueryService` adding request coalescing,
+multi-core sharding, and result caching on top of the same primitives.
 
 Heavier artifacts (the nonzero Voronoi diagram, the exact probabilistic
 Voronoi diagram) are built on demand via :meth:`build_nonzero_voronoi` and
@@ -233,6 +239,42 @@ class PNNIndex:
                                       delta=delta, seed=seed)
         return [sorted(est.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
                 for est in batches]
+
+    def batch_threshold_nn(self, queries, tau: float,
+                           epsilon: Optional[float] = None,
+                           method: str = "auto", delta: float = 0.05,
+                           seed: int = 0) -> List[ThresholdResult]:
+        """:meth:`threshold_nn` for every row of *queries*.
+
+        One vectorized quantification pass feeds the per-row ±epsilon
+        classification, so the results (including the default
+        ``epsilon = tau / 4`` margin) match the scalar calls exactly.
+        """
+        if epsilon is None:
+            epsilon = tau / 4.0
+        estimates = self.batch_quantify(queries, method=method,
+                                        epsilon=epsilon, delta=delta,
+                                        seed=seed)
+        return [classify_threshold(est, tau, epsilon) for est in estimates]
+
+    def serve(self, config: Optional["ServiceConfig"] = None,
+              **overrides) -> "QueryService":
+        """A :class:`~repro.serving.service.QueryService` over this index.
+
+        Keyword overrides populate a fresh
+        :class:`~repro.serving.service.ServiceConfig` — e.g.
+        ``index.serve(workers=4, cache_capacity=8192)``.  The service
+        layers request coalescing, multi-core sharding, and exact-keyed
+        result caching over the batch engine; close it (or use it as a
+        context manager) to stop its worker pool and flusher thread.
+        """
+        from ..serving.service import QueryService, ServiceConfig
+
+        if config is not None and overrides:
+            raise TypeError("pass either a ServiceConfig or overrides, "
+                            "not both")
+        cfg = config if config is not None else ServiceConfig(**overrides)
+        return QueryService(self, cfg)
 
     # ------------------------------------------------------------------
     # Quantification probabilities.

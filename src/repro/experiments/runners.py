@@ -848,12 +848,93 @@ def run_e19(quick: bool = False) -> ExperimentResult:
         + ", ".join(f"{s:.1f}x" for s in speedups), passed)
 
 
+# ----------------------------------------------------------------------
+# E20 — the serving subsystem: sharded throughput and cache hit rate.
+# ----------------------------------------------------------------------
+
+def run_e20(quick: bool = False) -> ExperimentResult:
+    """Serving subsystem: multi-core sharding and result caching.
+
+    Not a paper artifact — the ROADMAP's next scaling step after the
+    batch engine.  Measures ``batch_delta`` throughput of the
+    single-process engine against :class:`~repro.serving.shard.
+    ShardExecutor` fan-out at several worker counts (asserting bitwise-
+    identical answers), then drives a repeat-heavy scalar workload
+    through a cached :class:`~repro.serving.service.QueryService` and
+    reports the hit rate.  Speedups are hardware-dependent (a 1-core
+    container cannot beat itself), so exact agreement is the pass/fail
+    criterion and throughput is the reported measurement.
+    """
+    import os
+
+    from ..serving.service import ServiceConfig
+    from ..serving.shard import ShardExecutor
+
+    n, m = (2000, 4000) if quick else (20000, 100000)
+    shard_counts = [2] if quick else [2, 4]
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=n + 31, extent=extent, r_min=0.1, r_max=0.4)
+    index = PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks])
+    rng = random.Random(41)
+    qs = np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                   for _ in range(m)])
+    index.batch_delta(qs[:16])  # build the engine outside the timers
+    single_t = math.inf
+    for _ in range(2):
+        start = time.perf_counter()
+        base = index.batch_delta(qs)
+        single_t = min(single_t, time.perf_counter() - start)
+    rows = [{"configuration": "single process", "workers": 1,
+             "mode": "-", "queries/s": int(m / single_t),
+             "speedup": 1.0, "identical": True}]
+    agree = True
+    for w in shard_counts:
+        with ShardExecutor(index.points, workers=w) as executor:
+            executor.run("delta", qs[:16])  # replicas warm
+            shard_t = math.inf
+            for _ in range(2):
+                start = time.perf_counter()
+                sharded = executor.run("delta", qs)
+                shard_t = min(shard_t, time.perf_counter() - start)
+            identical = bool(np.array_equal(base, sharded))
+            agree &= identical
+            rows.append({"configuration": f"{w} shards", "workers": w,
+                         "mode": executor.mode,
+                         "queries/s": int(m / shard_t),
+                         "speedup": round(single_t / shard_t, 2),
+                         "identical": identical})
+    # Cache experiment: bursty traffic revisiting a small hot set of
+    # locations (pi(q) is piecewise-constant, so real clients repeat).
+    hot = [tuple(qs[rng.randrange(200)]) for _ in range(2000)]
+    config = ServiceConfig(workers=0, cache_capacity=4096, coalesce=False)
+    with index.serve(config) as service:
+        for q in hot:
+            service.delta(q)
+        cache_snap = service.cache.snapshot()
+    rows.append({"configuration": "cached scalar stream", "workers": 1,
+                 "mode": "cache", "queries/s": "-",
+                 "speedup": f"hit rate {cache_snap['hit_rate']:.0%}",
+                 "identical": True})
+    cores = os.cpu_count() or 1
+    passed = agree and cache_snap["hit_rate"] >= 0.5
+    return ExperimentResult(
+        "E20", "Serving-layer throughput (sharding + caching)",
+        "sharding the batch engine across worker replicas multiplies "
+        "throughput by the core count while answers stay bitwise "
+        "identical; exact-keyed caching absorbs repeat traffic",
+        rows,
+        f"bitwise-identical sharded answers: {agree}; cache hit rate "
+        f"{cache_snap['hit_rate']:.0%} on the repeat workload "
+        f"(host has {cores} core(s) — speedups are hardware-bound)",
+        passed)
+
+
 REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {
     "E1": run_e01, "E2": run_e02, "E3": run_e03, "E4": run_e04,
     "E5": run_e05, "E6": run_e06, "E7": run_e07, "E8": run_e08,
     "E9": run_e09, "E10": run_e10, "E11": run_e11, "E12": run_e12,
     "E13": run_e13, "E14": run_e14, "E15": run_e15, "E16": run_e16,
-    "E17": run_e17, "E18": run_e18, "E19": run_e19,
+    "E17": run_e17, "E18": run_e18, "E19": run_e19, "E20": run_e20,
 }
 
 

@@ -1,0 +1,39 @@
+"""``repro.serving`` — the service layer over the batch-query engine.
+
+Turns the library's batch primitives into a query *service* able to
+sustain bursty multi-client traffic against one shared
+:class:`~repro.core.index.PNNIndex`:
+
+* :class:`QueryService` — the front door (scalar, coalesced-async, and
+  batch calls for all five query kinds), built via ``PNNIndex.serve()``;
+* :class:`MicroBatcher` — request coalescing into vectorized batches;
+* :class:`ShardExecutor` / :class:`IndexReplica` — multi-core sharding
+  over read-only worker replicas with ordered, bitwise-identical
+  reassembly (inline fallback where process pools are unavailable);
+* :class:`ResultCache` — exact-keyed LRU over the piecewise-stable
+  answer fields, with hit/miss/eviction accounting;
+* :class:`ServiceStats` — per-method request counts and latency
+  percentiles.
+
+Benchmark E20 measures throughput against shard count and cache hit
+rate; ``python -m repro serve-demo`` exercises the full stack.
+"""
+
+from .cache import ResultCache
+from .coalesce import MicroBatcher
+from .service import QueryService, ServiceConfig
+from .shard import SHARD_METHODS, IndexReplica, ShardExecutor
+from .stats import LatencyRecorder, MethodStats, ServiceStats
+
+__all__ = [
+    "IndexReplica",
+    "LatencyRecorder",
+    "MethodStats",
+    "MicroBatcher",
+    "QueryService",
+    "ResultCache",
+    "SHARD_METHODS",
+    "ServiceConfig",
+    "ServiceStats",
+    "ShardExecutor",
+]

@@ -1,0 +1,402 @@
+"""The query service: one front door for service-shaped PNN traffic.
+
+:class:`QueryService` wraps a :class:`~repro.core.index.PNNIndex` behind
+the three mechanisms bursty multi-client traffic needs:
+
+* an exact-keyed LRU :class:`~repro.serving.cache.ResultCache` answering
+  repeat queries without touching the engine (``pi(q)`` and ``NN!=0(q)``
+  are piecewise-constant across Voronoi cells, so real workloads repeat);
+* a :class:`~repro.serving.coalesce.MicroBatcher` that coalesces
+  concurrent scalar :meth:`submit` calls into vectorized batches;
+* a :class:`~repro.serving.shard.ShardExecutor` that fans large batches
+  out over worker processes holding read-only index replicas, with
+  ordered reassembly and bitwise-identical answers.
+
+Five query kinds share one dispatch spine: ``delta``, ``nonzero_nn``,
+``quantify``, ``top_k``, ``threshold_nn`` — each available as a scalar
+call (cache -> engine), an async :meth:`submit` (cache -> coalescer),
+and a :meth:`batch` (row-wise cache for small batches, sharding for
+large ones).  Per-method hit/miss/latency statistics accumulate in
+:class:`~repro.serving.stats.ServiceStats`; :meth:`stats` snapshots them.
+
+Construct via :meth:`PNNIndex.serve`::
+
+    service = index.serve(workers=4, cache_capacity=8192)
+    with service:
+        fut = service.submit("quantify", (1.0, 2.0))
+        deltas = service.batch("delta", queries)   # sharded when large
+        print(service.stats())
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..spatial.batch import BatchQueryEngine
+from .cache import ResultCache
+from .coalesce import MicroBatcher
+from .shard import SHARD_METHODS, ShardExecutor
+from .stats import ServiceStats
+
+__all__ = ["ServiceConfig", "QueryService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one :class:`QueryService` instance.
+
+    Attributes
+    ----------
+    workers:
+        Shard worker processes.  ``0``/``1`` disables sharding entirely
+        (every batch runs in-process); ``>= 2`` starts a
+        :class:`~repro.serving.shard.ShardExecutor` (which itself falls
+        back to inline mode where process pools are unavailable).
+    start_method:
+        Preferred multiprocessing start method (``None`` = auto).
+    shard_min_batch:
+        Smallest batch worth paying dispatch overhead for; smaller
+        batches run in-process even when workers are available.
+    shard_chunk:
+        Fixed rows per shard task (``None`` = auto-sized).
+    max_batch / flush_window / coalesce:
+        Micro-batcher knobs; ``coalesce=False`` makes :meth:`submit`
+        answer synchronously (still through the cache).
+    cache_capacity:
+        LRU entries (``0`` disables caching).
+    cache_batch_limit:
+        Largest batch that consults the cache row by row; bigger batches
+        bypass it (a 100k-row python key loop would dominate the numpy
+        work it fronts).
+    latency_window:
+        Per-method latency reservoir size for percentile stats.
+    """
+
+    workers: int = 0
+    start_method: Optional[str] = None
+    shard_min_batch: int = 4096
+    shard_chunk: Optional[int] = None
+    max_batch: int = 256
+    flush_window: float = 0.005
+    coalesce: bool = True
+    cache_capacity: int = 4096
+    cache_batch_limit: int = 1024
+    latency_window: int = 4096
+
+
+class QueryService:
+    """Serve scalar / coalesced / sharded queries over one shared index."""
+
+    def __init__(self, index, config: Optional[ServiceConfig] = None) -> None:
+        self.index = index
+        self.config = config or ServiceConfig()
+        cfg = self.config
+        self.stats_registry = ServiceStats(cfg.latency_window)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cfg.cache_capacity) if cfg.cache_capacity > 0
+            else None)
+        self.executor: Optional[ShardExecutor] = None
+        if cfg.workers >= 2:
+            self.executor = ShardExecutor(
+                index.points, workers=cfg.workers,
+                start_method=cfg.start_method, chunk_size=cfg.shard_chunk)
+        self.batcher: Optional[MicroBatcher] = None
+        if cfg.coalesce:
+            self.batcher = MicroBatcher(
+                self._flush_group, max_batch=cfg.max_batch,
+                flush_window=cfg.flush_window)
+        self._lock = threading.RLock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Parameter canonicalization — one stable signature per method, so
+    # cache keys and coalescing groups agree on equality.
+    # ------------------------------------------------------------------
+    def _canonical(self, method: str, overrides: Dict) -> Dict:
+        if method not in SHARD_METHODS:
+            raise ValueError(f"unknown query method {method!r}; "
+                             f"expected one of {SHARD_METHODS}")
+        if method in ("delta", "nonzero_nn"):
+            if overrides:
+                raise TypeError(f"{method} takes no parameters, "
+                                f"got {sorted(overrides)}")
+            return {}
+        params = {"method": "auto", "epsilon": 0.05, "delta": 0.05,
+                  "seed": 0}
+        if method == "top_k":
+            params["k"] = 1
+        if method == "threshold_nn":
+            params["tau"] = 0.5
+            params["epsilon"] = None
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise TypeError(f"{method} got unknown parameters "
+                            f"{sorted(unknown)}")
+        params.update(overrides)
+        if method == "threshold_nn" and params["epsilon"] is None:
+            params["epsilon"] = params["tau"] / 4.0
+        # Resolve "auto" once: the choice depends only on the index, and a
+        # resolved name keeps cache keys stable across call styles.
+        if params["method"] == "auto":
+            params["method"] = ("spiral" if self.index.all_discrete()
+                                else "monte_carlo")
+        return params
+
+    @staticmethod
+    def _params_key(params: Dict) -> Tuple:
+        return tuple(sorted(params.items()))
+
+    # ------------------------------------------------------------------
+    # The execution spine (shared by scalar, coalesced, and batch paths).
+    # ------------------------------------------------------------------
+    def _run_batch(self, method: str, q: np.ndarray, params: Dict) -> object:
+        """One engine/executor invocation over a validated query array."""
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+        cfg = self.config
+        mstats = self.stats_registry.method(method)
+        sharded = (self.executor is not None
+                   and self.executor.mode == "process"
+                   and len(q) >= cfg.shard_min_batch)
+        start = time.perf_counter()
+        if sharded:
+            result = self.executor.run(method, q, params)
+        elif method == "delta":
+            result = self.index.batch_delta(q)
+        elif method == "nonzero_nn":
+            result = self.index.batch_nonzero_nn(q)
+        elif method == "quantify":
+            result = self.index.batch_quantify(q, **params)
+        elif method == "top_k":
+            result = self.index.batch_top_k(q, **params)
+        else:
+            result = self.index.batch_threshold_nn(q, **params)
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            mstats.batch_calls += 1
+            mstats.requests += len(q)
+            if sharded:
+                mstats.sharded_calls += 1
+            mstats.latency.record(elapsed)
+        return result
+
+    @staticmethod
+    def _rows(method: str, result: object) -> List[object]:
+        """The per-row view of a method-native batch result."""
+        if method == "delta":
+            return list(result)  # type: ignore[call-overload]
+        return result  # type: ignore[return-value]
+
+    def _compute_rows(self, method: str, queries: Sequence[Tuple[float,
+                                                                 float]],
+                      params: Dict) -> List[object]:
+        """Answer rows for a list of scalar queries, filling the cache."""
+        q = np.asarray(queries, dtype=np.float64).reshape(len(queries), 2)
+        rows = self._rows(method, self._run_batch(method, q, params))
+        if self.cache is not None:
+            pkey = self._params_key(params)
+            for point, row in zip(queries, rows):
+                self.cache.put(ResultCache.key(method, point, pkey), row)
+        return rows
+
+    def _flush_group(self, method: str,
+                     queries: List[Tuple[float, float]],
+                     params_key: Tuple) -> List[object]:
+        """MicroBatcher callback: answer one coalesced group."""
+        return self._compute_rows(method, queries, dict(params_key))
+
+    # ------------------------------------------------------------------
+    # Scalar front doors.
+    # ------------------------------------------------------------------
+    def query(self, method: str, q: Tuple[float, float], /, **overrides
+              ) -> object:
+        """Answer one query synchronously (cache first, then a 1-batch).
+
+        ``method`` and ``q`` are positional-only so estimator overrides
+        (which also use the name ``method``) pass through ``overrides``.
+        """
+        params = self._canonical(method, overrides)
+        mstats = self.stats_registry.method(method)
+        if self.cache is not None:
+            hit, value = self.cache.get(
+                ResultCache.key(method, q, self._params_key(params)))
+            with self._lock:
+                if hit:
+                    mstats.cache_hits += 1
+                    mstats.requests += 1
+                else:
+                    mstats.cache_misses += 1
+            if hit:
+                return value
+        return self._compute_rows(method, [q], params)[0]
+
+    def delta(self, q: Tuple[float, float]) -> float:
+        return float(self.query("delta", q))
+
+    def nonzero_nn(self, q: Tuple[float, float]) -> List[int]:
+        return self.query("nonzero_nn", q)
+
+    def quantify(self, q: Tuple[float, float], **overrides) -> Dict[int,
+                                                                    float]:
+        return self.query("quantify", q, **overrides)
+
+    def top_k(self, q: Tuple[float, float], k: int, **overrides
+              ) -> List[tuple]:
+        return self.query("top_k", q, k=k, **overrides)
+
+    def threshold_nn(self, q: Tuple[float, float], tau: float, **overrides):
+        return self.query("threshold_nn", q, tau=tau, **overrides)
+
+    # ------------------------------------------------------------------
+    # Asynchronous (coalesced) front door.
+    # ------------------------------------------------------------------
+    def submit(self, method: str, q: Tuple[float, float], /, **overrides
+               ) -> Future:
+        """Enqueue one query; the future resolves when its batch flushes.
+
+        A cache hit resolves immediately.  Without a coalescer
+        (``coalesce=False``) the call computes synchronously and returns
+        an already-resolved future.
+        """
+        params = self._canonical(method, overrides)
+        mstats = self.stats_registry.method(method)
+        if self.cache is not None:
+            hit, value = self.cache.get(
+                ResultCache.key(method, q, self._params_key(params)))
+            with self._lock:
+                if hit:
+                    mstats.cache_hits += 1
+                    mstats.requests += 1
+                else:
+                    mstats.cache_misses += 1
+            if hit:
+                fut: Future = Future()
+                fut.set_result(value)
+                return fut
+        if self.batcher is None:
+            fut = Future()
+            try:
+                fut.set_result(self._compute_rows(method, [q], params)[0])
+            except BaseException as exc:  # noqa: BLE001 — same as a batch
+                fut.set_exception(exc)
+            return fut
+        return self.batcher.submit(method, q, self._params_key(params))
+
+    def flush(self) -> int:
+        """Force pending coalesced requests through; returns how many."""
+        return self.batcher.flush() if self.batcher is not None else 0
+
+    # ------------------------------------------------------------------
+    # Batch front door.
+    # ------------------------------------------------------------------
+    def batch(self, method: str, queries, /, **overrides) -> object:
+        """Answer an ``(m, 2)`` array of queries.
+
+        Small batches (``<= cache_batch_limit``) consult the cache row by
+        row and compute only the misses; large batches bypass the cache
+        and shard across workers when available.  ``delta`` returns a
+        float array, the other methods lists — exactly the containers the
+        underlying ``PNNIndex.batch_*`` calls produce.
+        """
+        params = self._canonical(method, overrides)
+        q = BatchQueryEngine._as_queries(queries)
+        m = len(q)
+        if m == 0:
+            return (np.empty(0, dtype=np.float64) if method == "delta"
+                    else [])
+        cfg = self.config
+        use_cache = (self.cache is not None
+                     and 0 < m <= cfg.cache_batch_limit)
+        if not use_cache:
+            return self._run_batch(method, q, params)
+        pkey = self._params_key(params)
+        points = [(float(x), float(y)) for x, y in q]
+        keys = [ResultCache.key(method, p, pkey) for p in points]
+        rows: List[object] = [None] * m
+        miss_at: List[int] = []
+        mstats = self.stats_registry.method(method)
+        hits = 0
+        for j, key in enumerate(keys):
+            hit, value = self.cache.get(key)
+            if hit:
+                rows[j] = value
+                hits += 1
+            else:
+                miss_at.append(j)
+        with self._lock:
+            mstats.cache_hits += hits
+            mstats.cache_misses += len(miss_at)
+            mstats.requests += hits
+        if miss_at:
+            computed = self._compute_rows(
+                method, [points[j] for j in miss_at], params)
+            for j, row in zip(miss_at, computed):
+                rows[j] = row
+        if method == "delta":
+            return np.array(rows, dtype=np.float64)
+        return rows
+
+    def batch_delta(self, queries) -> np.ndarray:
+        return self.batch("delta", queries)
+
+    def batch_nonzero_nn(self, queries) -> List[List[int]]:
+        return self.batch("nonzero_nn", queries)
+
+    def batch_quantify(self, queries, **overrides) -> List[Dict[int, float]]:
+        return self.batch("quantify", queries, **overrides)
+
+    def batch_top_k(self, queries, k: int, **overrides) -> List[List[tuple]]:
+        return self.batch("top_k", queries, k=k, **overrides)
+
+    def batch_threshold_nn(self, queries, tau: float, **overrides) -> List:
+        return self.batch("threshold_nn", queries, tau=tau, **overrides)
+
+    # ------------------------------------------------------------------
+    # Introspection and lifecycle.
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        """A point-in-time snapshot of every counter the service keeps."""
+        snap: Dict[str, object] = {
+            "methods": self.stats_registry.snapshot(),
+            "total_requests": self.stats_registry.total_requests,
+        }
+        if self.cache is not None:
+            snap["cache"] = self.cache.snapshot()
+        if self.executor is not None:
+            snap["executor"] = {
+                "mode": self.executor.mode,
+                "workers": self.executor.workers,
+                "start_method": self.executor.start_method,
+            }
+        if self.batcher is not None:
+            snap["coalescer"] = {
+                "submitted": self.batcher.submitted,
+                "flushes": self.batcher.flushes,
+                "full_flushes": self.batcher.full_flushes,
+                "timer_flushes": self.batcher.timer_flushes,
+                "largest_batch": self.batcher.largest_batch,
+                "pending": self.batcher.pending,
+            }
+        return snap
+
+    def close(self) -> None:
+        """Drain the coalescer and stop the worker pool (idempotent)."""
+        if self._closed:
+            return
+        if self.batcher is not None:
+            self.batcher.close()   # drains pending groups first
+        self._closed = True
+        if self.executor is not None:
+            self.executor.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,225 @@
+"""Multi-core sharding of batch queries across read-only index replicas.
+
+The batch engine is single-threaded NumPy; one process tops out at one
+core.  :class:`ShardExecutor` scales the same work across a
+:mod:`multiprocessing` pool: each worker builds its **own read-only
+replica** of the index once (at pool start, from the pickled uncertain
+points), large ``(m, 2)`` query arrays are split into shard-sized chunks,
+chunks are dispatched with ``Pool.map`` (which preserves submission
+order), and the per-chunk answers are reassembled in query order.
+
+Determinism is structural, not coincidental: every reduction in the batch
+engine is per query row, so chunk boundaries never change an answer, and
+replicas are built from the same points with the same seeds, so every
+worker computes exactly the parent's numbers.  Sharded output is
+therefore **bitwise identical** to the unsharded batch call — the
+property benchmark E20 asserts.
+
+When process pools are unavailable — sandboxed CI without ``/dev/shm``,
+restricted seccomp profiles, interpreters built without ``fork``/
+``spawn`` — the executor degrades to *inline* mode: the same chunked
+code path runs serially in the calling process against a local replica.
+Same answers, no parallelism, no crash.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..uncertain.base import UncertainPoint
+
+__all__ = ["IndexReplica", "ShardExecutor", "SHARD_METHODS"]
+
+SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "top_k", "threshold_nn")
+
+# Worker-process global: the replica built once by _init_worker.
+_REPLICA: Optional["IndexReplica"] = None
+
+
+class IndexReplica:
+    """A worker's read-only copy of the index, answering by chunk.
+
+    Wraps a private :class:`~repro.core.index.PNNIndex` so every sharded
+    method runs the *same* code path as the unsharded batch call — the
+    bitwise-identity guarantee falls out of reusing the implementation
+    rather than re-deriving it.
+    """
+
+    def __init__(self, points: Sequence[UncertainPoint]) -> None:
+        from ..core.index import PNNIndex
+
+        self.index = PNNIndex(points)
+
+    def run(self, method: str, chunk: np.ndarray, params: Dict) -> object:
+        """Answer one query chunk; the result type is method-native."""
+        if method == "delta":
+            return self.index.batch_delta(chunk)
+        if method == "nonzero_nn":
+            return self.index.batch_nonzero_nn(chunk)
+        if method == "quantify":
+            return self.index.batch_quantify(chunk, **params)
+        if method == "top_k":
+            return self.index.batch_top_k(chunk, **params)
+        if method == "threshold_nn":
+            return self.index.batch_threshold_nn(chunk, **params)
+        raise ValueError(f"unknown shardable method {method!r}")
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's replica from pickled points."""
+    global _REPLICA
+    _REPLICA = IndexReplica(pickle.loads(payload))
+
+
+def _run_chunk(task: Tuple[str, np.ndarray, Dict]) -> object:
+    """Top-level (picklable) worker entry: answer one chunk."""
+    method, chunk, params = task
+    assert _REPLICA is not None, "worker initializer did not run"
+    return _REPLICA.run(method, chunk, params)
+
+
+def _reassemble(method: str, parts: List[object]) -> object:
+    """Concatenate per-chunk results back into query order."""
+    if method == "delta":
+        arrays = [p for p in parts if len(p)]  # type: ignore[arg-type]
+        if not arrays:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(arrays)
+    out: List[object] = []
+    for part in parts:
+        out.extend(part)  # type: ignore[arg-type]
+    return out
+
+
+class ShardExecutor:
+    """Dispatch batch queries over worker processes, in query order.
+
+    Parameters
+    ----------
+    points:
+        The uncertain points; each worker rebuilds its replica from them.
+    workers:
+        Worker process count.  Defaults to ``min(4, cpu_count)``; any
+        value below 2 (or a failed pool start) selects inline mode.
+    start_method:
+        Preferred :mod:`multiprocessing` start method.  ``None`` tries
+        ``fork`` (cheapest), then ``forkserver``, then ``spawn``; an
+        unavailable or failing method falls through to the next, and a
+        total failure falls back to inline execution instead of raising.
+    chunk_size:
+        Query rows per dispatched task.  ``None`` sizes chunks so each
+        worker receives about :data:`_TASKS_PER_WORKER` tasks — small
+        enough to balance load, large enough to amortize pickling.
+    """
+
+    _TASKS_PER_WORKER = 4
+    _MIN_CHUNK = 256
+
+    def __init__(self, points: Sequence[UncertainPoint],
+                 workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 chunk_size: Optional[int] = None) -> None:
+        if not points:
+            raise ValueError("ShardExecutor needs at least one uncertain point")
+        self.points = list(points)
+        cpus = os.cpu_count() or 1
+        self.workers = min(4, cpus) if workers is None else int(workers)
+        self.chunk_size = chunk_size
+        self.mode = "inline"
+        self.start_method: Optional[str] = None
+        self._pool = None
+        self._closed = False
+        # Inline fallback (and single-worker) replica, built lazily on
+        # first use: a service that only ever routes large batches to a
+        # live pool should not pay for a duplicate in-process index.
+        self._local: Optional[IndexReplica] = None
+        if self.workers >= 2:
+            self._start_pool(start_method)
+        if self._pool is None:
+            self.workers = 1
+
+    # ------------------------------------------------------------------
+    def _start_pool(self, preferred: Optional[str]) -> None:
+        tried = [preferred] if preferred else []
+        tried += [m for m in ("fork", "forkserver", "spawn")
+                  if m not in tried]
+        available = multiprocessing.get_all_start_methods()
+        payload = pickle.dumps(self.points)
+        for method in tried:
+            if method not in available:
+                continue
+            try:
+                ctx = multiprocessing.get_context(method)
+                pool = ctx.Pool(self.workers, initializer=_init_worker,
+                                initargs=(payload,))
+            except (OSError, ValueError, ImportError, RuntimeError):
+                continue
+            self._pool = pool
+            self.mode = "process"
+            self.start_method = method
+            return
+
+    # ------------------------------------------------------------------
+    def _chunks(self, q: np.ndarray) -> List[np.ndarray]:
+        m = len(q)
+        if self.chunk_size:
+            step = max(1, int(self.chunk_size))
+        else:
+            step = max(self._MIN_CHUNK,
+                       math.ceil(m / (self.workers * self._TASKS_PER_WORKER)))
+        return [q[s:s + step] for s in range(0, m, step)]
+
+    def run(self, method: str, queries, params: Optional[Dict] = None
+            ) -> object:
+        """Answer *queries* for *method*; results in query order.
+
+        ``delta`` returns a float array; the other methods return lists
+        (of index lists, estimate dicts, ranked pairs, or
+        :class:`~repro.quantification.threshold.ThresholdResult`).
+        """
+        from ..spatial.batch import BatchQueryEngine
+
+        if self._closed:
+            raise RuntimeError("ShardExecutor is closed")
+        if method not in SHARD_METHODS:
+            raise ValueError(f"unknown shardable method {method!r}")
+        params = dict(params or {})
+        q = BatchQueryEngine._as_queries(queries)
+        if len(q) == 0:
+            return _reassemble(method, [])
+        chunks = self._chunks(q)
+        tasks = [(method, chunk, params) for chunk in chunks]
+        if self._pool is not None:
+            parts = self._pool.map(_run_chunk, tasks)
+        else:
+            if self._local is None:
+                self._local = IndexReplica(self.points)
+            parts = [self._local.run(*task) for task in tasks]
+        return _reassemble(method, parts)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self.mode = "inline"
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter-shutdown noise
+            pass

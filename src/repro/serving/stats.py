@@ -1,0 +1,121 @@
+"""Per-method serving statistics: counters and latency percentiles.
+
+Every front-door call of :class:`~repro.serving.service.QueryService`
+records into one :class:`MethodStats` (requests, batch calls, cache
+hits/misses, sharded batches) plus a bounded latency reservoir from which
+the snapshot derives p50/p90/p99.  The reservoir keeps the most recent
+``window`` samples — a moving picture of the service, not a full history,
+so memory stays O(window) per method under sustained traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Dict, List
+
+__all__ = ["LatencyRecorder", "MethodStats", "ServiceStats"]
+
+
+class LatencyRecorder:
+    """Bounded reservoir of recent latencies with percentile readout."""
+
+    def __init__(self, window: int = 4096) -> None:
+        if window <= 0:
+            raise ValueError("latency window must be positive")
+        self._samples: Deque[float] = deque(maxlen=window)
+        self.total = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.total += seconds
+        self.count += 1
+
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100) of the retained window, seconds.
+
+        Nearest-rank on the sorted window; 0.0 when nothing was recorded.
+        """
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1,
+                   max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
+        return ordered[rank]
+
+    def snapshot(self) -> Dict[str, float]:
+        mean = self.total / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "mean_ms": mean * 1e3,
+            "p50_ms": self.percentile(50) * 1e3,
+            "p90_ms": self.percentile(90) * 1e3,
+            "p99_ms": self.percentile(99) * 1e3,
+        }
+
+
+class MethodStats:
+    """Counters for one query method (``delta``, ``quantify``, ...)."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self.requests = 0          # individual query rows answered
+        self.batch_calls = 0       # underlying engine/executor invocations
+        self.sharded_calls = 0     # batch calls routed through the executor
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.latency = LatencyRecorder(window)
+
+    @property
+    def hit_rate(self) -> float:
+        seen = self.cache_hits + self.cache_misses
+        return self.cache_hits / seen if seen else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "requests": self.requests,
+            "batch_calls": self.batch_calls,
+            "sharded_calls": self.sharded_calls,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+        out.update(self.latency.snapshot())
+        return out
+
+
+class ServiceStats:
+    """The service-wide stats registry, one :class:`MethodStats` each."""
+
+    def __init__(self, window: int = 4096) -> None:
+        self._window = window
+        self._lock = threading.Lock()
+        self.methods: Dict[str, MethodStats] = {}
+
+    def method(self, name: str) -> MethodStats:
+        # Locked check-then-insert: first touches of one method can race
+        # between a submitter and the micro-batch flusher thread, and a
+        # lost MethodStats object would silently drop its counts.
+        with self._lock:
+            if name not in self.methods:
+                self.methods[name] = MethodStats(self._window)
+            return self.methods[name]
+
+    @property
+    def total_requests(self) -> int:
+        return sum(m.requests for m in self.methods.values())
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: m.snapshot() for name, m in sorted(self.methods.items())}
+
+    def format_table(self) -> List[str]:
+        """Human-readable lines for the demo CLI."""
+        lines = []
+        for name, snap in self.snapshot().items():
+            lines.append(
+                f"{name:>13}: {snap['requests']:>7} req in "
+                f"{snap['batch_calls']} batches "
+                f"({snap['sharded_calls']} sharded), hit rate "
+                f"{snap['hit_rate']:.0%}, p50 {snap['p50_ms']:.2f} ms, "
+                f"p99 {snap['p99_ms']:.2f} ms")
+        return lines

@@ -43,17 +43,18 @@ then decide), never drop one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
+from ..geometry.disks import Disk
 from ..uncertain.annulus import AnnulusUniformPoint
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
 from ..uncertain.disk_uniform import DiskUniformPoint
 from ..uncertain.gaussian import TruncatedGaussianPoint
 
-__all__ = ["BatchQueryEngine"]
+__all__ = ["BatchQueryEngine", "SupportDiskPoint"]
 
 # Below this many points the dense matrix kernels win outright.
 _DENSE_MAX_POINTS = 1024
@@ -68,6 +69,36 @@ _LEAF_SIZE = 64
 # Relative pruning slack (a few ulps): absorbs box-distance rounding so
 # bucket pruning can only over-include, never drop a candidate.
 _SLACK = 4e-15
+
+
+class SupportDiskPoint(UncertainPoint):
+    """A bare support disk viewed as an uncertain point (bounds only).
+
+    Adapter for callers that hold plain :class:`~repro.geometry.disks.Disk`
+    regions (the Voronoi rasterisers, ``NN!=0`` sweeps) and only need the
+    Lemma 2.1 min/max distances — there is no distribution to sample or
+    integrate, so the pdf-side interface raises.  Unlike
+    :class:`~repro.uncertain.disk_uniform.DiskUniformPoint` a zero radius
+    (a certain point) is allowed, matching ``Disk`` semantics.
+    """
+
+    def __init__(self, disk: Disk) -> None:
+        self.disk = disk
+
+    def support_disk(self) -> Disk:
+        return self.disk
+
+    def min_dist(self, q) -> float:
+        return self.disk.min_dist(q)
+
+    def max_dist(self, q) -> float:
+        return self.disk.max_dist(q)
+
+    def sample(self, rng):
+        raise TypeError("SupportDiskPoint carries no distribution")
+
+    def distance_cdf(self, q, r: float) -> float:
+        raise TypeError("SupportDiskPoint carries no distribution")
 
 
 def _xy_dist(dx: np.ndarray, dy: np.ndarray) -> np.ndarray:
@@ -270,6 +301,17 @@ class BatchQueryEngine:
         if self.backend == "bucket":
             self._build_buckets()
 
+    @classmethod
+    def from_disks(cls, disks: Sequence[Disk],
+                   backend: str = "auto") -> "BatchQueryEngine":
+        """An engine over bare disks (Lemma 2.1 bounds only).
+
+        Wraps each disk in :class:`SupportDiskPoint`, so the whole set runs
+        on the closed-form disk kernel — the batch counterpart of
+        ``NonzeroVoronoiDiagram.nonzero_nn`` / ``locate_cell``.
+        """
+        return cls([SupportDiskPoint(d) for d in disks], backend=backend)
+
     @property
     def n(self) -> int:
         return len(self.points)
@@ -283,7 +325,8 @@ class BatchQueryEngine:
         for i, p in enumerate(self.points):
             # Exact type checks: a subclass may override min/max_dist, in
             # which case only the fallback kernel is guaranteed exact.
-            if type(p) in (DiskUniformPoint, TruncatedGaussianPoint):
+            if type(p) in (DiskUniformPoint, TruncatedGaussianPoint,
+                           SupportDiskPoint):
                 groups["disk"].append(i)
             elif type(p) is AnnulusUniformPoint:
                 groups["annulus"].append(i)
@@ -610,10 +653,77 @@ class BatchQueryEngine:
             raise ValueError("queries must be an (m, 2) array of points")
         return q
 
-    def _chunk_step(self) -> int:
+    def chunk_size(self) -> int:
+        """Query rows per cache-resident work chunk (backend dependent).
+
+        The granularity at which :meth:`delta_info` / :meth:`nonzero_nn`
+        internally release work, and the natural unit for callers that
+        stream a large batch through the chunk entry points below.
+        """
         per_query = self.n if self.backend == "dense" \
             else max(1, len(self._leaf_size))
         return max(16, _CHUNK_ELEMENTS // per_query)
+
+    def query_chunks(self, queries, chunk_size: int = 0
+                     ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(offset, chunk)`` pieces of a validated query array.
+
+        ``chunk_size`` defaults to :meth:`chunk_size`.  Empty inputs yield
+        nothing.  Every reduction in the engine is per query row, so
+        results computed piece by piece concatenate bitwise-equal to the
+        whole-array call at *any* chunking — the invariance the serving
+        layer's shard executor depends on when it splits batches across
+        worker replicas (each worker answers its slice through these
+        whole-batch entry points).
+        """
+        q = self._as_queries(queries)
+        step = chunk_size if chunk_size > 0 else self.chunk_size()
+        for s in range(0, len(q), step):
+            yield s, q[s:s + step]
+
+    def delta_info_chunk(self, chunk) -> Tuple[np.ndarray, np.ndarray,
+                                               np.ndarray]:
+        """:meth:`delta_info` over one (already validated or raw) chunk."""
+        qc = self._as_queries(chunk)
+        mc = len(qc)
+        if self.n == 1:
+            min1 = np.empty(mc, dtype=np.float64)
+            if mc:
+                min1[:] = self._exact_pairs(
+                    qc, np.zeros(mc, dtype=np.intp), want_max=True)
+            return min1, np.full(mc, np.inf), np.zeros(mc, dtype=np.intp)
+        if mc == 0:
+            return (np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.float64),
+                    np.empty(0, dtype=np.intp))
+        chunk_fn = self._chunk_dense if self.backend == "dense" \
+            else self._chunk_bucket
+        min1, second, unique, _ = chunk_fn(qc, report=False)
+        return min1, second, unique
+
+    def nonzero_nn_chunk(self, chunk) -> List[List[int]]:
+        """:meth:`nonzero_nn` over one (already validated or raw) chunk."""
+        qc = self._as_queries(chunk)
+        if self.n == 1:
+            return [[0] for _ in range(len(qc))]
+        if len(qc) == 0:
+            return []
+        chunk_fn = self._chunk_dense if self.backend == "dense" \
+            else self._chunk_bucket
+        q2, p2 = chunk_fn(qc, report=True)[3]
+        if self.backend == "bucket":
+            order = np.lexsort((p2, q2))
+            q2 = q2[order]
+            p2 = p2[order]
+        # q2 is now query-major with ascending point ids per query.
+        counts = np.bincount(q2, minlength=len(qc))
+        flat = p2.tolist()
+        out: List[List[int]] = []
+        pos = 0
+        for c in counts.tolist():
+            out.append(flat[pos:pos + c])
+            pos += c
+        return out
 
     def delta_info(self, queries) -> Tuple[np.ndarray, np.ndarray,
                                            np.ndarray]:
@@ -626,19 +736,10 @@ class BatchQueryEngine:
         min1 = np.empty(m, dtype=np.float64)
         second = np.empty(m, dtype=np.float64)
         unique = np.empty(m, dtype=np.intp)
-        if self.n == 1:
-            if m:
-                min1[:] = self._exact_pairs(
-                    q, np.zeros(m, dtype=np.intp), want_max=True)
-            second[:] = np.inf
-            unique[:] = 0
-            return min1, second, unique
-        chunk_fn = self._chunk_dense if self.backend == "dense" \
-            else self._chunk_bucket
-        step = self._chunk_step()
-        for s in range(0, m, step):
-            res = chunk_fn(q[s:s + step], report=False)
-            min1[s:s + step], second[s:s + step], unique[s:s + step] = res[:3]
+        for s, qc in self.query_chunks(q):
+            res = self.delta_info_chunk(qc)
+            min1[s:s + len(qc)], second[s:s + len(qc)], \
+                unique[s:s + len(qc)] = res
         return min1, second, unique
 
     def delta(self, queries) -> np.ndarray:
@@ -648,25 +749,7 @@ class BatchQueryEngine:
     def nonzero_nn(self, queries) -> List[List[int]]:
         """``NN!=0(q)`` index lists (each sorted) for every query row."""
         q = self._as_queries(queries)
-        m = len(q)
-        if self.n == 1:
-            return [[0] for _ in range(m)]
-        chunk_fn = self._chunk_dense if self.backend == "dense" \
-            else self._chunk_bucket
         out: List[List[int]] = []
-        step = self._chunk_step()
-        for s in range(0, m, step):
-            qc = q[s:s + step]
-            q2, p2 = chunk_fn(qc, report=True)[3]
-            if self.backend == "bucket":
-                order = np.lexsort((p2, q2))
-                q2 = q2[order]
-                p2 = p2[order]
-            # q2 is now query-major with ascending point ids per query.
-            counts = np.bincount(q2, minlength=len(qc))
-            flat = p2.tolist()
-            pos = 0
-            for c in counts.tolist():
-                out.append(flat[pos:pos + c])
-                pos += c
+        for _, qc in self.query_chunks(q):
+            out.extend(self.nonzero_nn_chunk(qc))
         return out

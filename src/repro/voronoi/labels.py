@@ -13,6 +13,14 @@ difference is a single label (crossing one edge of ``V!=0``), falling back
 to a fresh root otherwise (e.g. when one grid step crosses several edges).
 Experiment E15 compares the resulting space cost against explicit
 per-cell storage.
+
+The grid's label sets are computed by the vectorized
+:class:`~repro.spatial.batch.BatchQueryEngine` over the support disks —
+one batched ``NN!=0`` pass for the whole ``resolution x resolution``
+raster instead of ``resolution^2`` scalar ``locate_cell`` calls.  The
+engine's disk kernel evaluates the same Lemma 2.1 predicate with the same
+``sqrt(dx^2+dy^2)`` distance form, so the rasterized sets are identical
+to the scalar path's.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, FrozenSet, List, Tuple
 
+from ..spatial.batch import BatchQueryEngine
 from ..spatial.persistence import PersistentSetFamily
 from .diagram import NonzeroVoronoiDiagram
 
@@ -82,10 +91,11 @@ def persistent_label_field(diagram: NonzeroVoronoiDiagram,
         return (x0 + (i + 0.5) * (x1 - x0) / resolution,
                 y0 + (j + 0.5) * (y1 - y0) / resolution)
 
-    labels: Dict[Tuple[int, int], FrozenSet[int]] = {}
-    for i in range(resolution):
-        for j in range(resolution):
-            labels[(i, j)] = diagram.locate_cell(cell_point(i, j))
+    cells = [(i, j) for i in range(resolution) for j in range(resolution)]
+    engine = BatchQueryEngine.from_disks(disks)
+    answers = engine.nonzero_nn([cell_point(i, j) for i, j in cells])
+    labels: Dict[Tuple[int, int], FrozenSet[int]] = {
+        cell: frozenset(ans) for cell, ans in zip(cells, answers)}
 
     family = PersistentSetFamily()
     version: Dict[Tuple[int, int], int] = {}

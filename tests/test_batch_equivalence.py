@@ -100,6 +100,49 @@ class TestBatchMatchesScalar:
                                  epsilon=0.3, delta=0.3) for q in queries]
         assert batch == scalar
 
+    @settings(max_examples=40, deadline=None)
+    @given(indexes, st.lists(coords, min_size=1, max_size=3),
+           st.sampled_from([0.15, 0.3, 0.5]))
+    def test_threshold_nn_matches_scalar(self, points, queries, tau):
+        index = PNNIndex(points)
+        batch = index.batch_threshold_nn(queries, tau,
+                                         method="monte_carlo",
+                                         epsilon=tau / 4.0, delta=0.3)
+        scalar = [index.threshold_nn(q, tau, method="monte_carlo",
+                                     delta=0.3) for q in queries]
+        assert batch == scalar
+        # Default-epsilon path matches too (scalar defaults to tau / 4).
+        defaulted = index.batch_threshold_nn(queries, tau,
+                                             method="monte_carlo",
+                                             delta=0.3)
+        assert defaulted == scalar
+
+    @settings(max_examples=40, deadline=None)
+    @given(indexes, query_batches, st.integers(min_value=1, max_value=7))
+    def test_chunked_consumption_is_chunk_invariant(self, points, queries,
+                                                    chunk):
+        """The public chunk API reassembles bitwise-equal at any chunking.
+
+        This is the invariance the serving layer's sharded execution
+        rests on: slicing a batch at arbitrary boundaries and
+        concatenating the per-piece answers changes nothing.
+        """
+        engine = BatchQueryEngine(points)
+        whole_d, whole_s, whole_u = engine.delta_info(queries)
+        whole_nn = engine.nonzero_nn(queries)
+        parts = list(engine.query_chunks(queries, chunk_size=chunk))
+        assert [s for s, _ in parts] == list(range(0, len(queries), chunk))
+        if not parts:
+            assert len(whole_d) == 0 and whole_nn == []
+            return
+        d = [engine.delta_info_chunk(qc) for _, qc in parts]
+        nn = [nnc for _, qc in parts
+              for nnc in engine.nonzero_nn_chunk(qc)]
+        assert np.array_equal(np.concatenate([x[0] for x in d]), whole_d)
+        assert np.array_equal(np.concatenate([x[1] for x in d]), whole_s)
+        assert np.array_equal(np.concatenate([x[2] for x in d]), whole_u)
+        assert nn == whole_nn
+
     @settings(max_examples=60, deadline=None)
     @given(indexes, query_batches)
     def test_dense_and_bucket_backends_agree(self, points, queries):

@@ -29,6 +29,25 @@ class TestPersistentLabelField:
         _, fine = persistent_label_field(self.diagram, resolution=48)
         assert fine.compression > coarse.compression
 
+    def test_batch_raster_matches_scalar_locate_cell(self):
+        """The batched grid labels equal per-cell scalar locate_cell."""
+        from repro.spatial.batch import BatchQueryEngine
+
+        disks = self.diagram.disks
+        xs = [d.cx for d in disks]
+        ys = [d.cy for d in disks]
+        pad = 1.5 * (1.0 + max(d.r for d in disks))
+        x0, x1 = min(xs) - pad, max(xs) + pad
+        y0, y1 = min(ys) - pad, max(ys) + pad
+        res = 14
+        points = [(x0 + (i + 0.5) * (x1 - x0) / res,
+                   y0 + (j + 0.5) * (y1 - y0) / res)
+                  for i in range(res) for j in range(res)]
+        engine = BatchQueryEngine.from_disks(disks)
+        batched = engine.nonzero_nn(points)
+        for q, ans in zip(points, batched):
+            assert frozenset(ans) == self.diagram.locate_cell(q)
+
     def test_label_sets_correct(self):
         """Every stored version equals the direct NN!=0 evaluation."""
         family, stats = persistent_label_field(self.diagram, resolution=12)

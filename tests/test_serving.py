@@ -1,0 +1,441 @@
+"""Tests for ``repro.serving``: cache, coalescer, sharding, service.
+
+The serving layer's one inviolable contract is that every routing
+decision — cache hit, coalesced micro-batch, sharded chunk, inline
+fallback — returns exactly what the plain ``PNNIndex`` call would have.
+These tests pin that contract plus the subsystem's own mechanics
+(LRU eviction, flush triggers, ordered reassembly, worker lifecycle,
+stats accounting) and the edge cases the issue calls out: empty batches,
+a single worker, cache eviction at capacity, and bitwise-equal results
+across shard counts.
+"""
+
+import math
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_discrete_points, random_disks
+from repro.serving import (
+    MicroBatcher,
+    QueryService,
+    ResultCache,
+    ServiceConfig,
+    ShardExecutor,
+)
+from repro.serving import shard as shard_module
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+
+def _disk_index(n, seed=3):
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=seed, extent=extent, r_min=0.1, r_max=0.4)
+    return PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks]), extent
+
+
+def _queries(m, extent, seed=17):
+    rng = random.Random(seed)
+    return np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                     for _ in range(m)])
+
+
+class TestResultCache:
+    def test_hit_miss_and_recency(self):
+        cache = ResultCache(capacity=8)
+        key = ResultCache.key("delta", (1.0, 2.0), ())
+        hit, _ = cache.get(key)
+        assert not hit and cache.misses == 1
+        cache.put(key, 0.25)
+        hit, value = cache.get(key)
+        assert hit and value == 0.25 and cache.hits == 1
+
+    def test_eviction_at_capacity_is_lru(self):
+        cache = ResultCache(capacity=4)
+        keys = [ResultCache.key("delta", (float(i), 0.0), ())
+                for i in range(6)]
+        for i, key in enumerate(keys[:4]):
+            cache.put(key, i)
+        # Refresh key 0 so key 1 is now the least recently used.
+        assert cache.get(keys[0])[0]
+        cache.put(keys[4], 4)   # evicts key 1
+        cache.put(keys[5], 5)   # evicts key 2
+        assert len(cache) == 4
+        assert cache.evictions == 2
+        assert cache.peek(keys[0])[0]
+        assert not cache.peek(keys[1])[0]
+        assert not cache.peek(keys[2])[0]
+        assert cache.peek(keys[3])[0]
+
+    def test_exact_keys_do_not_blur(self):
+        cache = ResultCache(capacity=8)
+        cache.put(ResultCache.key("delta", (1.0, 2.0), ()), 1.0)
+        assert not cache.get(
+            ResultCache.key("delta", (1.0 + 1e-12, 2.0), ()))[0]
+        assert not cache.get(
+            ResultCache.key("nonzero_nn", (1.0, 2.0), ()))[0]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_mutating_served_answers_cannot_corrupt_entries(self):
+        cache = ResultCache(capacity=8)
+        key = ResultCache.key("nonzero_nn", (1.0, 2.0), ())
+        original = [0, 2]
+        cache.put(key, original)
+        original.append(99)            # caller keeps mutating its object
+        _, served = cache.get(key)
+        assert served == [0, 2]
+        served.append(7)               # ... or mutates a served hit
+        assert cache.get(key)[1] == [0, 2]
+
+
+class TestMicroBatcher:
+    def _echo_batcher(self, calls, **kwargs):
+        def flush_fn(method, queries, params):
+            calls.append((method, list(queries), params))
+            return [q[0] + q[1] for q in queries]
+        kwargs.setdefault("auto_flush", False)
+        return MicroBatcher(flush_fn, **kwargs)
+
+    def test_max_batch_triggers_inline_flush(self):
+        calls = []
+        batcher = self._echo_batcher(calls, max_batch=4)
+        futures = [batcher.submit("delta", (float(i), 1.0), ())
+                   for i in range(4)]
+        assert len(calls) == 1 and len(calls[0][1]) == 4
+        assert [f.result(timeout=0) for f in futures] == [1, 2, 3, 4]
+        assert batcher.full_flushes == 1
+        assert batcher.pending == 0
+
+    def test_explicit_flush_and_grouping(self):
+        calls = []
+        batcher = self._echo_batcher(calls, max_batch=100)
+        batcher.submit("delta", (1.0, 1.0), ())
+        batcher.submit("quantify", (2.0, 2.0), (("epsilon", 0.1),))
+        batcher.submit("delta", (3.0, 3.0), ())
+        assert batcher.pending == 3
+        released = batcher.flush()
+        assert released == 3
+        # Two groups: (delta, ()) coalesced, quantify separate.
+        assert sorted(len(c[1]) for c in calls) == [1, 2]
+
+    def test_flush_window_background_thread(self):
+        calls = []
+        def flush_fn(method, queries, params):
+            calls.append(len(queries))
+            return [0.0] * len(queries)
+        batcher = MicroBatcher(flush_fn, max_batch=100, flush_window=0.01)
+        fut = batcher.submit("delta", (1.0, 1.0), ())
+        assert fut.result(timeout=2.0) == 0.0
+        assert batcher.timer_flushes >= 1
+        batcher.close()
+
+    def test_flush_fn_error_propagates_to_futures(self):
+        def flush_fn(method, queries, params):
+            raise RuntimeError("engine exploded")
+        batcher = MicroBatcher(flush_fn, max_batch=100, auto_flush=False)
+        fut = batcher.submit("delta", (1.0, 1.0), ())
+        batcher.flush()
+        with pytest.raises(RuntimeError, match="engine exploded"):
+            fut.result(timeout=0)
+
+    def test_cancelled_future_does_not_poison_its_group(self):
+        calls = []
+        batcher = self._echo_batcher(calls, max_batch=100)
+        kept = batcher.submit("delta", (1.0, 1.0), ())
+        doomed = batcher.submit("delta", (2.0, 2.0), ())
+        assert doomed.cancel()
+        batcher.flush()
+        # The cancelled future is skipped; its neighbors still resolve.
+        assert kept.result(timeout=0) == 2.0
+        assert doomed.cancelled()
+
+    def test_cancelled_future_does_not_kill_flusher_thread(self):
+        def flush_fn(method, queries, params):
+            return [0.0] * len(queries)
+        batcher = MicroBatcher(flush_fn, max_batch=100, flush_window=0.01)
+        doomed = batcher.submit("delta", (1.0, 1.0), ())
+        assert doomed.cancel()
+        time.sleep(0.05)                       # let the timer flush fire
+        assert batcher._thread.is_alive()      # flusher survived
+        healthy = batcher.submit("delta", (2.0, 2.0), ())
+        assert healthy.result(timeout=2.0) == 0.0
+        batcher.close()
+
+    def test_submit_after_close_raises(self):
+        batcher = self._echo_batcher([], max_batch=4)
+        batcher.close()
+        with pytest.raises(RuntimeError):
+            batcher.submit("delta", (0.0, 0.0), ())
+
+
+class TestShardExecutor:
+    def test_deterministic_across_shard_counts(self):
+        """Sharded output is bitwise-equal to unsharded, any worker count."""
+        index, extent = _disk_index(300)
+        qs = _queries(700, extent)
+        base_delta = index.batch_delta(qs)
+        base_nn = index.batch_nonzero_nn(qs)
+        base_quant = index.batch_quantify(qs[:60], epsilon=0.25)
+        for workers in (1, 2, 3):
+            with ShardExecutor(index.points, workers=workers,
+                               chunk_size=64) as executor:
+                assert np.array_equal(executor.run("delta", qs), base_delta)
+                assert executor.run("nonzero_nn", qs) == base_nn
+                assert executor.run("quantify", qs[:60],
+                                    {"epsilon": 0.25}) == base_quant
+
+    def test_all_methods_covered(self):
+        pts = random_discrete_points(10, 3, seed=5, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(40, 10.0)
+        with ShardExecutor(pts, workers=2, chunk_size=8) as executor:
+            assert executor.run("top_k", qs, {"k": 2}) == \
+                index.batch_top_k(qs, k=2)
+            assert executor.run("threshold_nn", qs, {"tau": 0.4}) == \
+                index.batch_threshold_nn(qs, tau=0.4)
+
+    def test_empty_batch(self):
+        index, extent = _disk_index(20)
+        with ShardExecutor(index.points, workers=2) as executor:
+            result = executor.run("delta", np.empty((0, 2)))
+            assert isinstance(result, np.ndarray) and result.shape == (0,)
+            assert executor.run("nonzero_nn", []) == []
+
+    def test_single_worker_is_inline(self):
+        index, extent = _disk_index(20)
+        with ShardExecutor(index.points, workers=1) as executor:
+            assert executor.mode == "inline"
+            qs = _queries(30, extent)
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))
+
+    def test_unknown_method_rejected(self):
+        index, _ = _disk_index(5)
+        with ShardExecutor(index.points, workers=1) as executor:
+            with pytest.raises(ValueError, match="unknown shardable"):
+                executor.run("voronoi", np.zeros((1, 2)))
+
+    def test_run_after_close_raises_cleanly(self):
+        index, extent = _disk_index(20)
+        executor = ShardExecutor(index.points, workers=2)
+        executor.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run("delta", _queries(5, extent))
+
+    def test_fallback_when_multiprocessing_unavailable(self, monkeypatch):
+        """Sandboxes without process pools degrade to inline execution."""
+        def broken_get_context(method=None):
+            raise ValueError(f"start method {method!r} unavailable")
+
+        monkeypatch.setattr(shard_module.multiprocessing, "get_context",
+                            broken_get_context)
+        index, extent = _disk_index(40)
+        with ShardExecutor(index.points, workers=4) as executor:
+            assert executor.mode == "inline"
+            assert executor.workers == 1
+            qs = _queries(50, extent)
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))
+
+    def test_fallback_when_pool_start_fails(self, monkeypatch):
+        real_get_context = shard_module.multiprocessing.get_context
+
+        class _BrokenContext:
+            def __init__(self, method):
+                self._method = method
+
+            def Pool(self, *args, **kwargs):  # noqa: N802 — mp API name
+                raise OSError("no /dev/shm in this sandbox")
+
+        monkeypatch.setattr(
+            shard_module.multiprocessing, "get_context",
+            lambda method=None: _BrokenContext(method or "fork"))
+        index, extent = _disk_index(40)
+        with ShardExecutor(index.points, workers=2) as executor:
+            assert executor.mode == "inline"
+            qs = _queries(20, extent)
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))
+        assert callable(real_get_context)
+
+
+class TestQueryService:
+    def test_scalar_paths_match_index(self):
+        index, extent = _disk_index(60)
+        rng = random.Random(9)
+        with index.serve(workers=0, coalesce=False) as service:
+            for _ in range(25):
+                q = (rng.uniform(0, extent), rng.uniform(0, extent))
+                assert service.delta(q) == index.delta(q)
+                assert service.nonzero_nn(q) == index.nonzero_nn(q)
+                assert service.quantify(q, epsilon=0.25) == \
+                    index.quantify(q, epsilon=0.25)
+                assert service.top_k(q, 2, epsilon=0.25) == \
+                    index.top_k_nn(q, 2, epsilon=0.25)
+                assert service.threshold_nn(q, 0.4) == \
+                    index.threshold_nn(q, 0.4)
+
+    def test_cache_hits_skip_engine(self):
+        index, extent = _disk_index(30)
+        with index.serve(workers=0, coalesce=False,
+                         cache_capacity=64) as service:
+            q = (1.5, 2.5)
+            first = service.delta(q)
+            calls = service.stats_registry.method("delta").batch_calls
+            assert service.delta(q) == first
+            assert service.stats_registry.method("delta").batch_calls == calls
+            assert service.cache.hits == 1
+
+    def test_batch_empty(self):
+        index, _ = _disk_index(10)
+        with index.serve(workers=0, coalesce=False) as service:
+            deltas = service.batch("delta", [])
+            assert isinstance(deltas, np.ndarray) and deltas.shape == (0,)
+            assert service.batch("nonzero_nn", np.empty((0, 2))) == []
+
+    def test_batch_partial_cache_merge(self):
+        index, extent = _disk_index(40)
+        qs = _queries(20, extent)
+        expected = index.batch_delta(qs)
+        with index.serve(workers=0, coalesce=False, cache_capacity=128,
+                         cache_batch_limit=64) as service:
+            # Pre-warm half the rows as scalar queries.
+            for x, y in qs[:10]:
+                service.delta((float(x), float(y)))
+            merged = service.batch_delta(qs)
+            assert np.array_equal(merged, expected)
+            mstats = service.stats_registry.method("delta")
+            assert mstats.cache_hits == 10
+
+    def test_large_batch_bypasses_cache_and_matches(self):
+        index, extent = _disk_index(50)
+        qs = _queries(300, extent)
+        with index.serve(workers=0, coalesce=False, cache_capacity=16,
+                         cache_batch_limit=100) as service:
+            assert np.array_equal(service.batch_delta(qs),
+                                  index.batch_delta(qs))
+            assert len(service.cache) == 0  # bypassed, nothing inserted
+
+    def test_sharded_batch_bitwise_equal(self):
+        index, extent = _disk_index(200)
+        qs = _queries(900, extent)
+        cfg = ServiceConfig(workers=2, shard_min_batch=100,
+                            cache_batch_limit=10, coalesce=False)
+        with QueryService(index, cfg) as service:
+            result = service.batch_delta(qs)
+            assert np.array_equal(result, index.batch_delta(qs))
+            mstats = service.stats_registry.method("delta")
+            if service.executor.mode == "process":
+                assert mstats.sharded_calls == 1
+
+    def test_submit_coalesces_and_agrees(self):
+        index, extent = _disk_index(80)
+        qs = [tuple(map(float, q)) for q in _queries(40, extent)]
+        with index.serve(workers=0, max_batch=16, flush_window=10.0,
+                         cache_capacity=0) as service:
+            futures = [service.submit("nonzero_nn", q) for q in qs]
+            service.flush()
+            results = [f.result(timeout=5.0) for f in futures]
+            assert results == index.batch_nonzero_nn(np.array(qs))
+            assert service.batcher.full_flushes >= 2  # 40 req / max 16
+
+    def test_submit_cache_hit_resolves_immediately(self):
+        index, extent = _disk_index(20)
+        with index.serve(workers=0, max_batch=8, flush_window=10.0,
+                         cache_capacity=32) as service:
+            q = (2.0, 3.0)
+            service.delta(q)
+            fut = service.submit("delta", q)
+            assert fut.done()
+            assert fut.result(timeout=0) == index.delta(q)
+
+    def test_params_canonicalized_for_cache(self):
+        """auto resolves to a concrete method, so spellings share entries."""
+        pts = random_discrete_points(6, 2, seed=11, spread=2.0)
+        index = PNNIndex(pts)
+        with index.serve(workers=0, coalesce=False,
+                         cache_capacity=32) as service:
+            q = (1.0, 1.0)
+            a = service.quantify(q, method="auto", epsilon=0.25)
+            b = service.quantify(q, method="spiral", epsilon=0.25)
+            assert a == b
+            assert service.cache.hits == 1
+
+    def test_unknown_method_and_params_rejected(self):
+        index, _ = _disk_index(5)
+        with index.serve(workers=0, coalesce=False) as service:
+            with pytest.raises(ValueError, match="unknown query method"):
+                service.query("nearest", (0.0, 0.0))
+            with pytest.raises(TypeError, match="no parameters"):
+                service.query("delta", (0.0, 0.0), epsilon=0.1)
+            with pytest.raises(TypeError, match="unknown parameters"):
+                service.quantify((0.0, 0.0), tau=0.5)
+
+    def test_stats_snapshot_shape(self):
+        index, extent = _disk_index(25)
+        with index.serve(workers=0, cache_capacity=16,
+                         max_batch=4, flush_window=10.0) as service:
+            service.delta((1.0, 1.0))
+            service.delta((1.0, 1.0))
+            snap = service.stats()
+            assert snap["total_requests"] == 2
+            method = snap["methods"]["delta"]
+            assert method["cache_hits"] == 1
+            assert method["p99_ms"] >= method["p50_ms"] >= 0.0
+            assert snap["cache"]["entries"] == 1
+            assert snap["coalescer"]["pending"] == 0
+
+    def test_close_is_idempotent_and_drains(self):
+        index, extent = _disk_index(15)
+        service = index.serve(workers=0, max_batch=64, flush_window=10.0,
+                              cache_capacity=0)
+        fut = service.submit("delta", (1.0, 2.0))
+        service.close()
+        assert fut.result(timeout=1.0) == index.delta((1.0, 2.0))
+        service.close()  # second close is a no-op
+
+    def test_serve_rejects_config_plus_overrides(self):
+        index, _ = _disk_index(5)
+        with pytest.raises(TypeError):
+            index.serve(ServiceConfig(), workers=2)
+
+
+class TestBatchThresholdNN:
+    def test_matches_scalar_on_disks(self):
+        index, extent = _disk_index(40)
+        qs = _queries(25, extent)
+        batch = index.batch_threshold_nn(qs, tau=0.3)
+        assert len(batch) == 25
+        for q, res in zip(qs, batch):
+            assert res == index.threshold_nn((float(q[0]), float(q[1])), 0.3)
+
+    def test_matches_scalar_on_discrete_spiral(self):
+        pts = random_discrete_points(8, 3, seed=7, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(15, 8.0)
+        batch = index.batch_threshold_nn(qs, tau=0.25, method="spiral")
+        for q, res in zip(qs, batch):
+            assert res == index.threshold_nn((float(q[0]), float(q[1])),
+                                             0.25, method="spiral")
+
+    def test_empty_queries(self):
+        index, _ = _disk_index(5)
+        assert index.batch_threshold_nn(np.empty((0, 2)), tau=0.5) == []
+
+
+def test_flush_window_latency_bound():
+    """A submitted request is answered within a few flush windows."""
+    index, extent = _disk_index(30)
+    with index.serve(workers=0, max_batch=10_000,
+                     flush_window=0.01, cache_capacity=0) as service:
+        start = time.perf_counter()
+        fut = service.submit("delta", (1.0, 1.0))
+        value = fut.result(timeout=2.0)
+        elapsed = time.perf_counter() - start
+        assert value == index.delta((1.0, 1.0))
+        assert elapsed < 2.0
