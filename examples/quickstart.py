@@ -87,6 +87,36 @@ def main() -> None:
               f"{snap['coalescer']['flushes']} coalesced batches, "
               f"cache hit rate {snap['cache']['hit_rate']:.0%}")
 
+    # 5b. Exact quantification in batch: for all-discrete indexes,
+    #     batch_quantify_exact runs the paper's Eq. (2) sweep vectorized
+    #     across the whole query array — bitwise-identical dicts to
+    #     quantify(method="exact"), at 5-10x the scalar throughput.
+    tracked = PNNIndex([
+        DiscreteUncertainPoint([(0.0, 0.0), (1.0, 0.5)], [0.6, 0.4]),
+        DiscreteUncertainPoint([(2.0, 2.0), (3.0, 1.0), (2.5, 0.0)],
+                               [0.5, 0.3, 0.2]),
+        DiscreteUncertainPoint([(4.0, 1.0)], [1.0]),
+    ])
+    exact = tracked.batch_quantify_exact(grid)
+    assert exact[0] == tracked.quantify(grid[0], method="exact")
+    certain = sum(1 for est in exact if max(est.values()) > 0.999)
+    print(f"\nexact batch: {len(grid)} Eq. (2) vectors, "
+          f"{certain} grid points with a certain nearest neighbor")
+
+    # 5c. Region-keyed caching: with cache_cell_size > 0 the service
+    #     quantizes coordinates to a grid, so jittered repeat traffic
+    #     (GPS noise around fixed beacons) shares entries instead of
+    #     missing on every distinct float.  pi(q) is piecewise-constant,
+    #     so cells below the Voronoi feature scale stay faithful.
+    with tracked.serve(workers=0, cache_capacity=512, coalesce=False,
+                       cache_cell_size=0.25) as svc:
+        for j in range(200):
+            jitter = 0.01 * ((j % 7) - 3)
+            svc.quantify_exact((1.0 + jitter, 1.0 - jitter))
+        region = svc.stats()["cache"]
+        print(f"region-keyed cache: mode={region['mode']}, "
+              f"hit rate {region['hit_rate']:.0%} on jittered repeats")
+
     # 6. The heavy artifact: the nonzero Voronoi diagram of the supports.
     diagram = index.build_nonzero_voronoi()
     print(f"\nV!=0 of the 3 support disks: {diagram.num_vertices} vertices, "

@@ -40,6 +40,7 @@ from .core.workloads import (
 )
 from .geometry.disks import Disk
 from .geometry.squares import Square
+from .quantification.batch_exact import BatchExactQuantifier
 from .quantification.monte_carlo import MonteCarloQuantifier
 from .quantification.spiral import SpiralSearchQuantifier
 from .quantification.threshold import ThresholdResult
@@ -68,6 +69,7 @@ __all__ = [
     "DiskUniformPoint",
     "GuaranteedVoronoi",
     "HistogramUncertainPoint",
+    "BatchExactQuantifier",
     "MonteCarloQuantifier",
     "NonzeroVoronoiDiagram",
     "PNNIndex",

@@ -1,6 +1,7 @@
 """Quantification-probability algorithms (Section 4): exact, Monte-Carlo
 and spiral-search estimators plus threshold classification."""
 
+from .batch_exact import BatchExactQuantifier
 from .exact_continuous import (
     quantification_continuous,
     quantification_continuous_vector,
@@ -27,6 +28,7 @@ from .spiral import (
 from .threshold import ThresholdResult, classify_threshold
 
 __all__ = [
+    "BatchExactQuantifier",
     "MonteCarloQuantifier",
     "SpiralSearchQuantifier",
     "ThresholdResult",

@@ -1,0 +1,303 @@
+"""Vectorized exact quantification: the Eq. (2) sweep for query batches.
+
+:mod:`.exact_discrete` answers one query with an ``O(N log N)`` sweep over
+all ``N = sum k_i`` sites in pure Python.  This module answers an
+``(m, 2)`` array of queries through the *same* sweep, vectorized across
+queries: one ``(mc, N)`` distance matrix per chunk (chunks sized to bound
+memory), a stable per-row argsort, and then a loop over sorted *positions*
+where every step performs a handful of NumPy passes over all still-active
+query rows.
+
+The step loop reproduces the scalar sweep's arithmetic operation for
+operation, which is what makes the results **bitwise identical** to
+``quantification_vector``:
+
+* distances use the library's shared ``sqrt(dx*dx + dy*dy)`` form, and the
+  stable argsort orders exact-equal distances by flattened site index —
+  the same order the scalar code's stable ``sorted`` produces;
+* per-parent survival factors update by the same sequential subtraction
+  (``new = old - w``), with the same count-based *exact zero* once a
+  parent's sites are exhausted and the same ``1e-15`` underflow clamp;
+* the running product of non-zero factors updates through the same
+  ``prod /= old`` / ``prod *= new / old`` expressions, with the explicit
+  zero counter deciding the ``prod_{j != parent}`` recovery;
+* tie groups are anchored at their first member (``d - d_anchor <=
+  tie_tol``) and fully absorbed before any member contributes, matching
+  the documented tie-group convention on degenerate inputs.
+
+Rows retire as soon as their zero counter reaches two (every further
+contribution is exactly zero — the scalar sweep breaks at the same
+moment), and the active set is compacted periodically, so the loop length
+tracks how quickly the two nearest parents exhaust rather than ``N``.
+
+Because of that early exit, the full per-row sort is usually wasted work:
+the sweep consults only a short sorted prefix.  The engine therefore
+partitions each row to its ``K`` nearest sites (``argpartition``), orders
+just that prefix — ``lexsort`` on (distance, flattened site index), which
+reproduces the stable full sort exactly — and sweeps it without flushing
+the final tie group.  A row that retires inside the prefix provably
+computed the full sweep's answer (every complete group it flushed is
+identical, and the truncated final group would have contributed exactly
+zero); the rare rows still live at the prefix end are re-swept with a
+``4x`` wider prefix, falling back to the full sort at ``K >= N``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..uncertain.discrete import DiscreteUncertainPoint
+
+__all__ = ["BatchExactQuantifier"]
+
+# Target element count of the per-chunk (mc, N) distance matrix.  Larger
+# than the batch engine's work-matrix budget: the step loop's Python-level
+# overhead amortizes over the chunk's rows, and an 8 MB matrix is still a
+# single pass of streaming reductions.
+_CHUNK_ELEMENTS = 1 << 20
+# The scalar sweep's underflow clamp for nearly-exhausted parents.
+_UNDERFLOW = 1e-15
+# Compaction policy: rewrite the active-row state once at least this many
+# rows are done *and* they are at least half the active set.
+_COMPACT_MIN = 32
+# First sorted-prefix width tried per chunk; widened 4x for rows whose
+# sweep is still live at the prefix end, up to the full site count.
+_PREFIX_START = 256
+
+
+class BatchExactQuantifier:
+    """Exact ``(pi_1(q), ..., pi_n(q))`` for whole query batches.
+
+    Parameters
+    ----------
+    points:
+        Discrete uncertain points (the exact sweep is defined for finite
+        site sets; continuous models go through quadrature or estimators).
+    tie_tol:
+        Distances within ``tie_tol`` of a group's first member are
+        processed as one tie group, exactly as in
+        :func:`~repro.quantification.exact_discrete.sweep_quantification`.
+    """
+
+    def __init__(self, points: Sequence[DiscreteUncertainPoint],
+                 tie_tol: float = 0.0) -> None:
+        if not points:
+            raise ValueError("batch quantifier needs at least one point")
+        for p in points:
+            if not isinstance(p, DiscreteUncertainPoint):
+                raise TypeError(
+                    "exact batch quantification requires discrete "
+                    f"distributions, got {type(p).__name__}")
+        self.n = len(points)
+        self.tie_tol = float(tie_tol)
+        xs: List[float] = []
+        ys: List[float] = []
+        parents: List[int] = []
+        weights: List[float] = []
+        # Flattened parent-major, site-order-within-parent — the order the
+        # scalar sweep builds its site list in, which the stable argsort
+        # below preserves inside tie groups.
+        for i, p in enumerate(points):
+            for (x, y), w in p.sites_with_weights():
+                xs.append(x)
+                ys.append(y)
+                parents.append(i)
+                weights.append(w)
+        self._sx = np.array(xs, dtype=np.float64)
+        self._sy = np.array(ys, dtype=np.float64)
+        self._parent = np.array(parents, dtype=np.intp)
+        self._weight = np.array(weights, dtype=np.float64)
+        self._totals = np.array([p.k for p in points], dtype=np.int64)
+        self.total_sites = len(parents)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _as_queries(queries) -> np.ndarray:
+        from ..spatial.batch import as_query_array
+
+        return as_query_array(queries)
+
+    def chunk_size(self) -> int:
+        """Query rows per memory-bounded work chunk."""
+        return max(16, _CHUNK_ELEMENTS // max(1, self.total_sites))
+
+    def matrix(self, queries) -> np.ndarray:
+        """Dense ``(m, n)`` matrix of exact quantification vectors.
+
+        Row ``j`` equals ``quantification_vector(points, queries[j],
+        tie_tol)`` bitwise.  Chunk boundaries never change a row (every
+        reduction is per query), so any chunking concatenates identically.
+        """
+        q = self._as_queries(queries)
+        m = len(q)
+        out = np.empty((m, self.n), dtype=np.float64)
+        step = self.chunk_size()
+        for lo in range(0, m, step):
+            out[lo:lo + step] = self._chunk_matrix(q[lo:lo + step])
+        return out
+
+    def batch(self, queries) -> List[Dict[int, float]]:
+        """Sparse ``{i: pi_i(q)}`` dicts (zeros omitted), one per query.
+
+        The same container :meth:`PNNIndex.quantify(method="exact")
+        <repro.core.index.PNNIndex.quantify>` returns.
+        """
+        mat = self.matrix(queries)
+        return [{int(i): float(row[i]) for i in np.flatnonzero(row > 0.0)}
+                for row in mat]
+
+    # ------------------------------------------------------------------
+    # The vectorized sweep core.
+    # ------------------------------------------------------------------
+    def _chunk_matrix(self, qc: np.ndarray) -> np.ndarray:
+        mc = len(qc)
+        result = np.zeros((mc, self.n), dtype=np.float64)
+        if mc == 0:
+            return result
+        big_n = self.total_sites
+        # (mc, N) distances in the shared sqrt(dx*dx + dy*dy) form.
+        dx = qc[:, 0:1] - self._sx[None, :]
+        np.multiply(dx, dx, out=dx)
+        dy = qc[:, 1:2] - self._sy[None, :]
+        np.multiply(dy, dy, out=dy)
+        dx += dy
+        d = np.sqrt(dx, out=dx)
+        pending = np.arange(mc, dtype=np.intp)
+        width = min(big_n, _PREFIX_START)
+        while pending.size:
+            dsub = d[pending] if len(pending) < mc else d
+            if width >= big_n:
+                order = np.argsort(dsub, axis=1, kind="stable")
+                ds = np.take_along_axis(dsub, order, axis=1)
+            else:
+                part = np.argpartition(dsub, width - 1, axis=1)[:, :width]
+                dpref = np.take_along_axis(dsub, part, axis=1)
+                # Primary key distance, secondary flattened site index:
+                # exactly the stable full sort, restricted to the prefix.
+                rank = np.lexsort((part, dpref), axis=-1)
+                order = np.take_along_axis(part, rank, axis=1)
+                ds = np.take_along_axis(dpref, rank, axis=1)
+            res, done = self._sweep(ds, self._parent[order],
+                                    self._weight[order],
+                                    final=width >= big_n)
+            finished = np.flatnonzero(done)
+            result[pending[finished]] = res[finished]
+            pending = pending[~done]
+            width = min(big_n, width * 4)
+        return result
+
+    def _sweep(self, ds: np.ndarray, pp: np.ndarray, pw: np.ndarray,
+               final: bool):
+        """Run the vectorized sweep over prefix-ordered site columns.
+
+        ``ds`` / ``pp`` / ``pw`` are ``(r, K)`` sorted distance / parent /
+        weight arrays.  Returns ``(result_rows, done)`` — ``done[j]`` is
+        true when row ``j``'s answer is complete (its zero counter reached
+        two inside the prefix, or ``final`` allowed the last tie group to
+        flush because the prefix is the whole site set).
+        """
+        r, width = ds.shape
+        n = self.n
+        result = np.zeros((r, n), dtype=np.float64)
+        rows = np.arange(r, dtype=np.intp)        # original row ids
+        ar = np.arange(r, dtype=np.intp)          # active-row iota
+        survival = np.ones((r, n), dtype=np.float64)
+        seen = np.zeros((r, n), dtype=np.int64)
+        zero_count = np.zeros(r, dtype=np.int64)
+        prod = np.ones(r, dtype=np.float64)
+        anchor = np.empty(r, dtype=np.float64)    # first distance of group
+        glen = np.zeros(r, dtype=np.int64)        # members absorbed so far
+        finished = np.zeros(r, dtype=bool)
+
+        def contribute(sel: np.ndarray, pos: int) -> None:
+            """One phase-2 contribution per selected row, from *pos*."""
+            ps = pp[sel, pos]
+            f_own = survival[sel, ps]
+            zc = zero_count[sel]
+            pr = prod[sel]
+            f_safe = np.where(f_own > 0.0, f_own, 1.0)
+            others = np.where(
+                zc == 0,
+                np.where(f_own > 0.0, pr / f_safe, 0.0),
+                np.where((zc == 1) & (f_own == 0.0), pr, 0.0))
+            # eta = 0 rows scatter +0.0, a float no-op, so no filter.
+            result[rows[sel], ps] += pw[sel, pos] * others
+
+        def flush(mask: np.ndarray, end: int) -> None:
+            """Phase 2 for groups spanning positions [end - glen, end)."""
+            idx = np.flatnonzero(mask)
+            if not idx.size:
+                return
+            g = glen[idx]
+            gmax = int(g.max())
+            if gmax == 1:                          # general position
+                contribute(idx, end - 1)
+                return
+            # Offsets descend so positions ascend — the scalar phase-2
+            # iteration (and thus the result accumulation) order.
+            for o in range(gmax, 0, -1):
+                contribute(idx[g >= o], end - o)
+
+        act = r
+        for t in range(width):
+            dt = ds[:, t]
+            if t == 0:
+                start = np.ones(act, dtype=bool)
+            else:
+                start = dt - anchor > self.tie_tol
+                if start.any():
+                    flush(start, t)
+            anchor[start] = dt[start]
+            glen[start] = 0
+            # Phase 1: absorb every row's t-th nearest site.
+            p_t = pp[:, t]
+            old = survival[ar, p_t]
+            cnt = seen[ar, p_t] + 1
+            seen[ar, p_t] = cnt
+            new = old - pw[:, t]
+            new[new < _UNDERFLOW] = 0.0
+            new[cnt >= self._totals[p_t]] = 0.0
+            survival[ar, p_t] = new
+            # The scalar case analysis, as in-place masked updates (the
+            # same expressions — prod / old and prod * (new / old) — on
+            # exactly the affected lanes).
+            shrunk = np.flatnonzero((old > 0.0) & (new > 0.0))
+            prod[shrunk] *= new[shrunk] / old[shrunk]
+            zeroed = np.flatnonzero((old > 0.0) & (new == 0.0))
+            if zeroed.size:
+                prod[zeroed] /= old[zeroed]
+                zero_count[zeroed] += 1
+            glen += 1
+            # Retire finished rows: with two exhausted parents every
+            # further contribution is exactly zero (including the pending
+            # group's — its phase 2 would run with zero_count >= 2).
+            done = zero_count >= 2
+            nd = int(done.sum())
+            if nd == act:
+                finished[rows] = True
+                act = 0
+                break
+            if nd >= _COMPACT_MIN and 2 * nd >= act:
+                keep = ~done
+                finished[rows[done]] = True
+                rows = rows[keep]
+                ds = ds[keep]
+                pp = pp[keep]
+                pw = pw[keep]
+                survival = survival[keep]
+                seen = seen[keep]
+                zero_count = zero_count[keep]
+                prod = prod[keep]
+                anchor = anchor[keep]
+                glen = glen[keep]
+                act = len(rows)
+                ar = ar[:act]
+        if act:
+            live = zero_count < 2
+            finished[rows[~live]] = True
+            if final:
+                flush(live, width)
+                finished[rows] = True
+        return result, finished

@@ -154,17 +154,29 @@ class MonteCarloQuantifier:
         m = len(q)
         s, n, _ = self.instantiations.shape
         out = np.empty((m, n), dtype=np.float64)
+        if m == 0:
+            return out
         sx = self.instantiations[:, :, 0]
         sy = self.instantiations[:, :, 1]
         # Chunk queries so the (chunk, s, n) distance tensor stays
         # cache-resident — large chunks go memory-bandwidth-bound.
         step = max(1, (1 << 18) // max(1, s * n))
+        # One scratch pair for every chunk: the round tensor's work slices
+        # are the hot allocation of a large batch, so reuse them instead
+        # of paying an allocator round-trip (and page faults) per chunk.
+        dx_buf = np.empty((min(step, m), s, n), dtype=np.float64)
+        dy_buf = np.empty_like(dx_buf)
         for lo in range(0, m, step):
             qc = q[lo:lo + step]
-            dx = sx[None, :, :] - qc[:, None, None, 0]
-            dy = sy[None, :, :] - qc[:, None, None, 1]
-            winners = np.argmin(dx * dx + dy * dy, axis=2)  # (chunk, s)
             mc = len(qc)
+            dx = np.subtract(sx[None, :, :], qc[:, None, None, 0],
+                             out=dx_buf[:mc])
+            dy = np.subtract(sy[None, :, :], qc[:, None, None, 1],
+                             out=dy_buf[:mc])
+            np.multiply(dx, dx, out=dx)
+            np.multiply(dy, dy, out=dy)
+            dx += dy
+            winners = np.argmin(dx, axis=2)  # (chunk, s)
             flat = winners + n * np.arange(mc, dtype=np.intp)[:, None]
             counts = np.bincount(flat.ravel(), minlength=mc * n)
             out[lo:lo + step] = counts.reshape(mc, n) / self.rounds

@@ -12,8 +12,9 @@ the three mechanisms bursty multi-client traffic needs:
   out over worker processes holding read-only index replicas, with
   ordered reassembly and bitwise-identical answers.
 
-Five query kinds share one dispatch spine: ``delta``, ``nonzero_nn``,
-``quantify``, ``top_k``, ``threshold_nn`` — each available as a scalar
+Six query kinds share one dispatch spine: ``delta``, ``nonzero_nn``,
+``quantify``, ``quantify_exact``, ``top_k``, ``threshold_nn`` — each
+available as a scalar
 call (cache -> engine), an async :meth:`submit` (cache -> coalescer),
 and a :meth:`batch` (row-wise cache for small batches, sharding for
 large ones).  Per-method hit/miss/latency statistics accumulate in
@@ -38,7 +39,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..spatial.batch import BatchQueryEngine
+from ..spatial.batch import as_query_array
 from .cache import ResultCache
 from .coalesce import MicroBatcher
 from .shard import SHARD_METHODS, ShardExecutor
@@ -70,6 +71,15 @@ class ServiceConfig:
         answer synchronously (still through the cache).
     cache_capacity:
         LRU entries (``0`` disables caching).
+    cache_cell_size:
+        ``0`` (default) keys the cache by exact coordinates — hits are
+        bit-for-bit the engine's answers.  A positive grid pitch switches
+        the cache to region mode (:class:`~repro.serving.cache.
+        ResultCache` quantizes coordinates to cells of this size), so
+        nearby queries share entries at the cost of cell-boundary
+        approximation for the piecewise-constant kinds; the
+        continuous-valued ``delta`` always keeps exact keys (see
+        :data:`~repro.serving.cache.CONTINUOUS_METHODS`).
     cache_batch_limit:
         Largest batch that consults the cache row by row; bigger batches
         bypass it (a 100k-row python key loop would dominate the numpy
@@ -86,6 +96,7 @@ class ServiceConfig:
     flush_window: float = 0.005
     coalesce: bool = True
     cache_capacity: int = 4096
+    cache_cell_size: float = 0.0
     cache_batch_limit: int = 1024
     latency_window: int = 4096
 
@@ -99,8 +110,8 @@ class QueryService:
         cfg = self.config
         self.stats_registry = ServiceStats(cfg.latency_window)
         self.cache: Optional[ResultCache] = (
-            ResultCache(cfg.cache_capacity) if cfg.cache_capacity > 0
-            else None)
+            ResultCache(cfg.cache_capacity, cell_size=cfg.cache_cell_size)
+            if cfg.cache_capacity > 0 else None)
         self.executor: Optional[ShardExecutor] = None
         if cfg.workers >= 2:
             self.executor = ShardExecutor(
@@ -127,6 +138,14 @@ class QueryService:
                 raise TypeError(f"{method} takes no parameters, "
                                 f"got {sorted(overrides)}")
             return {}
+        if method == "quantify_exact":
+            params = {"tie_tol": 0.0}
+            unknown = set(overrides) - set(params)
+            if unknown:
+                raise TypeError(f"{method} got unknown parameters "
+                                f"{sorted(unknown)}")
+            params.update(overrides)
+            return params
         params = {"method": "auto", "epsilon": 0.05, "delta": 0.05,
                   "seed": 0}
         if method == "top_k":
@@ -167,16 +186,10 @@ class QueryService:
         start = time.perf_counter()
         if sharded:
             result = self.executor.run(method, q, params)
-        elif method == "delta":
-            result = self.index.batch_delta(q)
-        elif method == "nonzero_nn":
-            result = self.index.batch_nonzero_nn(q)
-        elif method == "quantify":
-            result = self.index.batch_quantify(q, **params)
-        elif method == "top_k":
-            result = self.index.batch_top_k(q, **params)
         else:
-            result = self.index.batch_threshold_nn(q, **params)
+            # Same mapping the shard replicas use: every query kind is an
+            # index batch_<method> front door (method already validated).
+            result = getattr(self.index, f"batch_{method}")(q, **params)
         elapsed = time.perf_counter() - start
         with self._lock:
             mstats.batch_calls += 1
@@ -202,7 +215,7 @@ class QueryService:
         if self.cache is not None:
             pkey = self._params_key(params)
             for point, row in zip(queries, rows):
-                self.cache.put(ResultCache.key(method, point, pkey), row)
+                self.cache.put(self.cache.key(method, point, pkey), row)
         return rows
 
     def _flush_group(self, method: str,
@@ -225,7 +238,7 @@ class QueryService:
         mstats = self.stats_registry.method(method)
         if self.cache is not None:
             hit, value = self.cache.get(
-                ResultCache.key(method, q, self._params_key(params)))
+                self.cache.key(method, q, self._params_key(params)))
             with self._lock:
                 if hit:
                     mstats.cache_hits += 1
@@ -245,6 +258,10 @@ class QueryService:
     def quantify(self, q: Tuple[float, float], **overrides) -> Dict[int,
                                                                     float]:
         return self.query("quantify", q, **overrides)
+
+    def quantify_exact(self, q: Tuple[float, float], **overrides
+                       ) -> Dict[int, float]:
+        return self.query("quantify_exact", q, **overrides)
 
     def top_k(self, q: Tuple[float, float], k: int, **overrides
               ) -> List[tuple]:
@@ -268,7 +285,7 @@ class QueryService:
         mstats = self.stats_registry.method(method)
         if self.cache is not None:
             hit, value = self.cache.get(
-                ResultCache.key(method, q, self._params_key(params)))
+                self.cache.key(method, q, self._params_key(params)))
             with self._lock:
                 if hit:
                     mstats.cache_hits += 1
@@ -305,7 +322,7 @@ class QueryService:
         underlying ``PNNIndex.batch_*`` calls produce.
         """
         params = self._canonical(method, overrides)
-        q = BatchQueryEngine._as_queries(queries)
+        q = as_query_array(queries)
         m = len(q)
         if m == 0:
             return (np.empty(0, dtype=np.float64) if method == "delta"
@@ -317,7 +334,7 @@ class QueryService:
             return self._run_batch(method, q, params)
         pkey = self._params_key(params)
         points = [(float(x), float(y)) for x, y in q]
-        keys = [ResultCache.key(method, p, pkey) for p in points]
+        keys = [self.cache.key(method, p, pkey) for p in points]
         rows: List[object] = [None] * m
         miss_at: List[int] = []
         mstats = self.stats_registry.method(method)
@@ -350,6 +367,10 @@ class QueryService:
 
     def batch_quantify(self, queries, **overrides) -> List[Dict[int, float]]:
         return self.batch("quantify", queries, **overrides)
+
+    def batch_quantify_exact(self, queries, **overrides
+                             ) -> List[Dict[int, float]]:
+        return self.batch("quantify_exact", queries, **overrides)
 
     def batch_top_k(self, queries, k: int, **overrides) -> List[List[tuple]]:
         return self.batch("top_k", queries, k=k, **overrides)

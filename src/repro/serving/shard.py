@@ -36,7 +36,8 @@ from ..uncertain.base import UncertainPoint
 
 __all__ = ["IndexReplica", "ShardExecutor", "SHARD_METHODS"]
 
-SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "top_k", "threshold_nn")
+SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "quantify_exact",
+                 "top_k", "threshold_nn")
 
 # Worker-process global: the replica built once by _init_worker.
 _REPLICA: Optional["IndexReplica"] = None
@@ -57,18 +58,15 @@ class IndexReplica:
         self.index = PNNIndex(points)
 
     def run(self, method: str, chunk: np.ndarray, params: Dict) -> object:
-        """Answer one query chunk; the result type is method-native."""
-        if method == "delta":
-            return self.index.batch_delta(chunk)
-        if method == "nonzero_nn":
-            return self.index.batch_nonzero_nn(chunk)
-        if method == "quantify":
-            return self.index.batch_quantify(chunk, **params)
-        if method == "top_k":
-            return self.index.batch_top_k(chunk, **params)
-        if method == "threshold_nn":
-            return self.index.batch_threshold_nn(chunk, **params)
-        raise ValueError(f"unknown shardable method {method!r}")
+        """Answer one query chunk; the result type is method-native.
+
+        Every shardable kind maps onto the index's ``batch_<method>``
+        front door, so growing :data:`SHARD_METHODS` automatically routes
+        here — no per-method dispatch chain to keep in sync.
+        """
+        if method not in SHARD_METHODS:
+            raise ValueError(f"unknown shardable method {method!r}")
+        return getattr(self.index, f"batch_{method}")(chunk, **params)
 
 
 def _init_worker(payload: bytes) -> None:
@@ -183,14 +181,14 @@ class ShardExecutor:
         (of index lists, estimate dicts, ranked pairs, or
         :class:`~repro.quantification.threshold.ThresholdResult`).
         """
-        from ..spatial.batch import BatchQueryEngine
+        from ..spatial.batch import as_query_array
 
         if self._closed:
             raise RuntimeError("ShardExecutor is closed")
         if method not in SHARD_METHODS:
             raise ValueError(f"unknown shardable method {method!r}")
         params = dict(params or {})
-        q = BatchQueryEngine._as_queries(queries)
+        q = as_query_array(queries)
         if len(q) == 0:
             return _reassemble(method, [])
         chunks = self._chunks(q)

@@ -30,6 +30,10 @@ by distribution family so the whole batch needs only a few passes:
 * discrete site sets: padded ``(g, k_max, 2)`` site tensors (minimum over
   sites, maximum over convex-hull vertices — the same site lists the
   scalar oracles scan);
+* histograms: padded cell-rectangle tensors (minimum of point-to-rect
+  distances over the positive cells, maximum over their corners);
+* convex polygons: padded edge tensors (containment test plus minimum of
+  point-to-segment distances; maximum over the vertices);
 * anything else falls back to the model's scalar ``min_dist`` /
   ``max_dist`` per entry, so exactness is never sacrificed for speed.
 
@@ -48,13 +52,32 @@ from typing import Dict, Iterator, List, Sequence, Tuple
 import numpy as np
 
 from ..geometry.disks import Disk
+from ..geometry.primitives import EPS
 from ..uncertain.annulus import AnnulusUniformPoint
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
 from ..uncertain.disk_uniform import DiskUniformPoint
 from ..uncertain.gaussian import TruncatedGaussianPoint
+from ..uncertain.histogram import HistogramUncertainPoint
+from ..uncertain.polygon import ConvexPolygonUniformPoint
 
-__all__ = ["BatchQueryEngine", "SupportDiskPoint"]
+__all__ = ["BatchQueryEngine", "SupportDiskPoint", "as_query_array"]
+
+
+def as_query_array(queries) -> np.ndarray:
+    """Validate *queries* into the library's ``(m, 2)`` float64 form.
+
+    The shared input contract of every batch front door —
+    :class:`BatchQueryEngine`, the serving layer, and the exact
+    quantification engine all funnel through this one validator, so the
+    error message (and empty-input behaviour) stays uniform.
+    """
+    q = np.asarray(queries, dtype=np.float64)
+    if q.size == 0:
+        return q.reshape(0, 2)
+    if q.ndim != 2 or q.shape[1] != 2:
+        raise ValueError("queries must be an (m, 2) array of points")
+    return q
 
 # Below this many points the dense matrix kernels win outright.
 _DENSE_MAX_POINTS = 1024
@@ -195,14 +218,22 @@ class _SitesKernel:
         self.hulls = self._padded([p.hull_sites() for p in points])
 
     @staticmethod
-    def _padded(site_lists: Sequence[Sequence[Tuple[float, float]]]
+    def _padded(row_lists: Sequence[Sequence[Sequence[float]]]
                 ) -> np.ndarray:
-        kmax = max(len(s) for s in site_lists)
-        out = np.empty((len(site_lists), kmax, 2), dtype=np.float64)
-        for g, sites in enumerate(site_lists):
-            arr = np.asarray(sites, dtype=np.float64)
-            out[g, :len(sites)] = arr
-            out[g, len(sites):] = arr[0]
+        """Ragged lists of fixed-width rows to a ``(g, k_max, w)`` tensor.
+
+        Padding repeats each group's first row — neutral for the min/max
+        reductions (a duplicate never changes an extremum) and for the
+        polygon kernel's all-edges conjunction (a repeated halfplane
+        test).  Shared by the sites, histogram, and polygon kernels.
+        """
+        kmax = max(len(rows) for rows in row_lists)
+        width = len(row_lists[0][0])
+        out = np.empty((len(row_lists), kmax, width), dtype=np.float64)
+        for g, rows in enumerate(row_lists):
+            arr = np.asarray(rows, dtype=np.float64)
+            out[g, :len(rows)] = arr
+            out[g, len(rows):] = arr[0]
         return out
 
     def matrices(self, qc: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -225,11 +256,115 @@ class _SitesKernel:
         return self._pair_site_dists(q, self.hulls[local]).max(axis=1)
 
 
+class _HistogramKernel:
+    """Histogram models: min over positive cells, max over their corners.
+
+    Cells are stored as one padded ``(g, c_max, 4)`` rectangle tensor
+    (``x0, y0, x1, y1``; padding repeats the first cell, neutral for the
+    min), corners as a padded ``(g, 4*c_max, 2)`` point tensor — exactly
+    the rectangles and corners the scalar ``min_dist`` / ``max_dist``
+    loops scan, in the same ``sqrt(dx*dx + dy*dy)`` distance form.
+    """
+
+    def __init__(self, points: Sequence[HistogramUncertainPoint]) -> None:
+        self.rects = _SitesKernel._padded(
+            [[(a[0], a[1], b[0], b[1]) for a, b in p.cell_rects()]
+             for p in points])
+        self.corners = _SitesKernel._padded([p.corners() for p in points])
+
+    @staticmethod
+    def _rect_min(px: np.ndarray, py: np.ndarray,
+                  rects: np.ndarray) -> np.ndarray:
+        """Min distance to any rectangle; reduces the second-to-last axis."""
+        dx = np.maximum(np.maximum(rects[..., 0] - px, px - rects[..., 2]),
+                        0.0)
+        dy = np.maximum(np.maximum(rects[..., 1] - py, py - rects[..., 3]),
+                        0.0)
+        return _xy_dist(dx, dy).min(axis=-1)
+
+    def matrices(self, qc: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        min_m = self._rect_min(qc[:, None, None, 0], qc[:, None, None, 1],
+                               self.rects[None])
+        d = _xy_dist(self.corners[None, :, :, 0] - qc[:, None, None, 0],
+                     self.corners[None, :, :, 1] - qc[:, None, None, 1])
+        return min_m, d.max(axis=2)
+
+    def min_pairs(self, q: np.ndarray, local: np.ndarray) -> np.ndarray:
+        return self._rect_min(q[:, None, 0], q[:, None, 1],
+                              self.rects[local])
+
+    def max_pairs(self, q: np.ndarray, local: np.ndarray) -> np.ndarray:
+        return _SitesKernel._pair_site_dists(
+            q, self.corners[local]).max(axis=1)
+
+
+class _PolygonKernel:
+    """Convex-polygon models: containment + edge distances, vertex maxima.
+
+    Edges are stored as one padded ``(g, e_max, 4)`` tensor (``ax, ay,
+    bx, by``; padding repeats the first edge, which duplicates one
+    halfplane test and one segment distance — neutral for both the
+    all-edges containment conjunction and the min reduction).  The
+    containment predicate and the clamped-projection segment distance
+    reproduce the scalar ``polygon_contains`` / ``_segment_dist``
+    arithmetic exactly, tolerance bands included.
+    """
+
+    def __init__(self, points: Sequence[ConvexPolygonUniformPoint]) -> None:
+        self.verts = _SitesKernel._padded([p.vertices for p in points])
+        self.edges = _SitesKernel._padded(
+            [[(a[0], a[1], b[0], b[1]) for a, b in p.edges()]
+             for p in points])
+
+    @staticmethod
+    def _poly_min(px: np.ndarray, py: np.ndarray,
+                  edges: np.ndarray) -> np.ndarray:
+        """Exact polygon min distance; reduces the second-to-last axis."""
+        ax = edges[..., 0]
+        ay = edges[..., 1]
+        abx = edges[..., 2] - ax
+        aby = edges[..., 3] - ay
+        dqax = px - ax
+        dqay = py - ay
+        # Containment: no edge may see the query strictly right of it
+        # (the scalar polygon_contains scale-aware tolerance band).
+        cross = abx * dqay - aby * dqax
+        span = np.maximum(1.0, np.maximum(np.abs(abx) + np.abs(aby),
+                                          np.abs(dqax) + np.abs(dqay)))
+        inside = ~(cross < -EPS * span * span).any(axis=-1)
+        # Segment distances via the clamped projection (scalar
+        # _segment_dist), degenerate edges collapsing to the endpoint.
+        denom = abx * abx + aby * aby
+        degenerate = denom <= 1e-30
+        t = (dqax * abx + dqay * aby) / np.where(degenerate, 1.0, denom)
+        t = np.minimum(1.0, np.maximum(0.0, t))
+        seg = _xy_dist(px - (ax + t * abx), py - (ay + t * aby))
+        end = _xy_dist(dqax, dqay)
+        best = np.where(degenerate, end, seg).min(axis=-1)
+        return np.where(inside, 0.0, best)
+
+    def matrices(self, qc: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        min_m = self._poly_min(qc[:, None, None, 0], qc[:, None, None, 1],
+                               self.edges[None])
+        d = _xy_dist(self.verts[None, :, :, 0] - qc[:, None, None, 0],
+                     self.verts[None, :, :, 1] - qc[:, None, None, 1])
+        return min_m, d.max(axis=2)
+
+    def min_pairs(self, q: np.ndarray, local: np.ndarray) -> np.ndarray:
+        return self._poly_min(q[:, None, 0], q[:, None, 1],
+                              self.edges[local])
+
+    def max_pairs(self, q: np.ndarray, local: np.ndarray) -> np.ndarray:
+        return _SitesKernel._pair_site_dists(
+            q, self.verts[local]).max(axis=1)
+
+
 class _FallbackKernel:
     """Any other model: the scalar min_dist/max_dist, entry by entry.
 
-    Exactness over speed — histogram/polygon models (and user-defined
-    subclasses) keep their scalar semantics bit for bit.
+    Exactness over speed — user-defined models (and subclasses of the
+    built-ins, which may override the extreme distances) keep their
+    scalar semantics bit for bit.
     """
 
     def __init__(self, points: Sequence[UncertainPoint]) -> None:
@@ -321,7 +456,8 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------
     def _build_kernels(self) -> None:
         groups: Dict[str, List[int]] = {
-            "disk": [], "annulus": [], "sites": [], "fallback": []}
+            "disk": [], "annulus": [], "sites": [], "histogram": [],
+            "polygon": [], "fallback": []}
         for i, p in enumerate(self.points):
             # Exact type checks: a subclass may override min/max_dist, in
             # which case only the fallback kernel is guaranteed exact.
@@ -332,9 +468,14 @@ class BatchQueryEngine:
                 groups["annulus"].append(i)
             elif type(p) is DiscreteUncertainPoint:
                 groups["sites"].append(i)
+            elif type(p) is HistogramUncertainPoint:
+                groups["histogram"].append(i)
+            elif type(p) is ConvexPolygonUniformPoint:
+                groups["polygon"].append(i)
             else:
                 groups["fallback"].append(i)
         self._kernels: List[object] = []
+        self._kernel_names: List[str] = []
         self._kernel_cols: List[np.ndarray] = []
         self._kernel_of = np.empty(self.n, dtype=np.intp)
         self._local_of = np.empty(self.n, dtype=np.intp)
@@ -349,14 +490,27 @@ class BatchQueryEngine:
                 kernel = _AnnulusKernel(members)  # type: ignore[arg-type]
             elif name == "sites":
                 kernel = _SitesKernel(members)  # type: ignore[arg-type]
+            elif name == "histogram":
+                kernel = _HistogramKernel(members)  # type: ignore[arg-type]
+            elif name == "polygon":
+                kernel = _PolygonKernel(members)  # type: ignore[arg-type]
             else:
                 kernel = _FallbackKernel(members)
             kid = len(self._kernels)
             self._kernels.append(kernel)
+            self._kernel_names.append(name)
             self._kernel_cols.append(np.array(idxs, dtype=np.intp))
             for local, i in enumerate(idxs):
                 self._kernel_of[i] = kid
                 self._local_of[i] = local
+
+    def kernel_groups(self) -> List[str]:
+        """Active kernel-group names, e.g. ``["disk", "histogram"]``.
+
+        Introspection for tests and benchmarks: a mixed-model index is at
+        full vectorized speed exactly when ``"fallback"`` is absent.
+        """
+        return list(self._kernel_names)
 
     def _exact_matrices(self, qc: np.ndarray
                         ) -> Tuple[np.ndarray, np.ndarray]:
@@ -644,14 +798,9 @@ class BatchQueryEngine:
     # ------------------------------------------------------------------
     # Public queries.
     # ------------------------------------------------------------------
-    @staticmethod
-    def _as_queries(queries) -> np.ndarray:
-        q = np.asarray(queries, dtype=np.float64)
-        if q.size == 0:
-            return q.reshape(0, 2)
-        if q.ndim != 2 or q.shape[1] != 2:
-            raise ValueError("queries must be an (m, 2) array of points")
-        return q
+    # Kept as a method alias for callers holding an engine; the public
+    # module-level validator is the named dependency.
+    _as_queries = staticmethod(as_query_array)
 
     def chunk_size(self) -> int:
         """Query rows per cache-resident work chunk (backend dependent).

@@ -80,23 +80,46 @@ class HistogramUncertainPoint(UncertainPoint):
             out.extend(((x0, y0), (x1, y0), (x1, y1), (x0, y1)))
         return out
 
+    def cell_rects(self) -> List[Tuple[Point, Point]]:
+        """``((x0, y0), (x1, y1))`` rectangles of the positive cells.
+
+        The exact geometry behind :meth:`min_dist` — the batch engine's
+        vectorized histogram kernel consumes exactly this list.
+        """
+        return [self._cell_rect(cell) for cell in self._cells]
+
+    def corners(self) -> List[Point]:
+        """Corner points of every positive cell (4 per cell, in order).
+
+        The candidate set :meth:`max_dist` maximizes over; also feeds the
+        batch engine's vectorized kernel.
+        """
+        return self._corners()
+
     # ------------------------------------------------------------------
     def support_disk(self) -> Disk:
         """Smallest disk enclosing every positive-weight cell."""
         return smallest_enclosing_disk(self._corners())
 
     def min_dist(self, q: Point) -> float:
+        # sqrt(dx*dx + dy*dy) rather than math.hypot: the library's shared
+        # distance form (see geometry.primitives.dist), which the batch
+        # kernels reproduce in NumPy for bitwise scalar/batch agreement.
         best = math.inf
         for cell in self._cells:
             (x0, y0), (x1, y1) = self._cell_rect(cell)
             dx = max(x0 - q[0], 0.0, q[0] - x1)
             dy = max(y0 - q[1], 0.0, q[1] - y1)
-            best = min(best, math.hypot(dx, dy))
+            best = min(best, math.sqrt(dx * dx + dy * dy))
         return best
 
     def max_dist(self, q: Point) -> float:
-        return max(math.hypot(c[0] - q[0], c[1] - q[1])
-                   for c in self._corners())
+        best = 0.0
+        for c in self._corners():
+            dx = c[0] - q[0]
+            dy = c[1] - q[1]
+            best = max(best, math.sqrt(dx * dx + dy * dy))
+        return best
 
     # ------------------------------------------------------------------
     def sample(self, rng: random.Random) -> Point:

@@ -59,6 +59,17 @@ class ConvexPolygonUniformPoint(UncertainPoint):
             self._tri_cum.append(acc)
 
     # ------------------------------------------------------------------
+    def edges(self) -> List[Tuple[Point, Point]]:
+        """The boundary segments ``(v_i, v_{i+1})``, in CCW order.
+
+        The exact geometry behind :meth:`min_dist` (containment test plus
+        segment distances) — the batch engine's vectorized polygon kernel
+        consumes exactly this list.
+        """
+        n = len(self.vertices)
+        return [(self.vertices[i], self.vertices[(i + 1) % n])
+                for i in range(n)]
+
     def support_disk(self) -> Disk:
         return smallest_enclosing_disk(self.vertices)
 

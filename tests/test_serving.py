@@ -45,7 +45,7 @@ def _queries(m, extent, seed=17):
 class TestResultCache:
     def test_hit_miss_and_recency(self):
         cache = ResultCache(capacity=8)
-        key = ResultCache.key("delta", (1.0, 2.0), ())
+        key = cache.key("delta", (1.0, 2.0), ())
         hit, _ = cache.get(key)
         assert not hit and cache.misses == 1
         cache.put(key, 0.25)
@@ -54,7 +54,7 @@ class TestResultCache:
 
     def test_eviction_at_capacity_is_lru(self):
         cache = ResultCache(capacity=4)
-        keys = [ResultCache.key("delta", (float(i), 0.0), ())
+        keys = [cache.key("delta", (float(i), 0.0), ())
                 for i in range(6)]
         for i, key in enumerate(keys[:4]):
             cache.put(key, i)
@@ -71,19 +71,52 @@ class TestResultCache:
 
     def test_exact_keys_do_not_blur(self):
         cache = ResultCache(capacity=8)
-        cache.put(ResultCache.key("delta", (1.0, 2.0), ()), 1.0)
+        cache.put(cache.key("delta", (1.0, 2.0), ()), 1.0)
         assert not cache.get(
-            ResultCache.key("delta", (1.0 + 1e-12, 2.0), ()))[0]
+            cache.key("delta", (1.0 + 1e-12, 2.0), ()))[0]
         assert not cache.get(
-            ResultCache.key("nonzero_nn", (1.0, 2.0), ()))[0]
+            cache.key("nonzero_nn", (1.0, 2.0), ()))[0]
 
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
+        with pytest.raises(ValueError):
+            ResultCache(capacity=8, cell_size=-1.0)
+
+    def test_region_mode_shares_cells(self):
+        cache = ResultCache(capacity=8, cell_size=0.5)
+        assert cache.mode == "region"
+        cache.put(cache.key("nonzero_nn", (1.01, 2.02), ()), [0])
+        # Same 0.5-pitch grid cell -> same entry; next cell -> miss.
+        assert cache.get(
+            cache.key("nonzero_nn", (1.24, 2.24), ())) == (True, [0])
+        assert not cache.get(cache.key("nonzero_nn", (1.51, 2.02), ()))[0]
+        assert not cache.get(cache.key("nonzero_nn", (1.01, 2.51), ()))[0]
+        # Params and method still separate entries inside one cell.
+        assert not cache.get(cache.key("quantify", (1.01, 2.02), ()))[0]
+        assert not cache.get(
+            cache.key("nonzero_nn", (1.01, 2.02), (("seed", 1),)))[0]
+
+    def test_region_mode_keeps_delta_exact(self):
+        # delta is a continuous function of q — piecewise-constant region
+        # sharing would be wrong everywhere in a cell, so even a
+        # region-mode cache keys it exactly.
+        cache = ResultCache(capacity=8, cell_size=0.5)
+        cache.put(cache.key("delta", (1.01, 2.02), ()), 7.0)
+        assert not cache.get(cache.key("delta", (1.24, 2.24), ()))[0]
+        assert cache.get(cache.key("delta", (1.01, 2.02), ())) == (True, 7.0)
+
+    def test_snapshot_reports_mode(self):
+        exact = ResultCache(capacity=4)
+        region = ResultCache(capacity=4, cell_size=2.0)
+        assert exact.snapshot()["mode"] == "exact"
+        assert exact.snapshot()["cell_size"] == 0.0
+        snap = region.snapshot()
+        assert snap["mode"] == "region" and snap["cell_size"] == 2.0
 
     def test_mutating_served_answers_cannot_corrupt_entries(self):
         cache = ResultCache(capacity=8)
-        key = ResultCache.key("nonzero_nn", (1.0, 2.0), ())
+        key = cache.key("nonzero_nn", (1.0, 2.0), ())
         original = [0, 2]
         cache.put(key, original)
         original.append(99)            # caller keeps mutating its object
@@ -189,6 +222,25 @@ class TestShardExecutor:
                 assert executor.run("quantify", qs[:60],
                                     {"epsilon": 0.25}) == base_quant
 
+    def test_deterministic_quantify_exact_across_shard_counts(self):
+        """The sixth kind: sharded exact quantification is bitwise-equal
+        to the unsharded vectorized sweep (and hence to the scalar sweep)
+        at every worker count, inline fallback included."""
+        pts = random_discrete_points(40, 4, seed=13, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(250, 14.0, seed=23)
+        base = index.batch_quantify_exact(qs)
+        assert base == [index.quantify(tuple(q), method="exact")
+                        for q in qs.tolist()]
+        for workers in (1, 2, 3):
+            with ShardExecutor(pts, workers=workers,
+                               chunk_size=32) as executor:
+                assert executor.run("quantify_exact", qs) == base
+        # The inline fallback (no pool at all) walks the same chunks.
+        with ShardExecutor(pts, workers=1, chunk_size=32) as executor:
+            assert executor.mode == "inline"
+            assert executor.run("quantify_exact", qs) == base
+
     def test_all_methods_covered(self):
         pts = random_discrete_points(10, 3, seed=5, spread=2.0)
         index = PNNIndex(pts)
@@ -279,6 +331,54 @@ class TestQueryService:
                     index.top_k_nn(q, 2, epsilon=0.25)
                 assert service.threshold_nn(q, 0.4) == \
                     index.threshold_nn(q, 0.4)
+
+    def test_quantify_exact_front_doors_match_index(self):
+        pts = random_discrete_points(25, 3, seed=19, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(40, 10.0, seed=29)
+        base = index.batch_quantify_exact(qs)
+        with index.serve(workers=0, coalesce=False,
+                         cache_capacity=64) as service:
+            q0 = tuple(qs[0])
+            assert service.quantify_exact(q0) == \
+                index.quantify(q0, method="exact")
+            assert service.quantify_exact(q0) == base[0]  # cached hit
+            assert service.batch_quantify_exact(qs) == base
+            with pytest.raises(TypeError, match="unknown parameters"):
+                service.quantify_exact(q0, epsilon=0.1)
+        # Coalesced submits agree too.
+        with index.serve(workers=0, cache_capacity=0, max_batch=8,
+                         flush_window=10.0) as service:
+            futures = [service.submit("quantify_exact", tuple(q))
+                       for q in qs[:8]]
+            assert [f.result(timeout=2.0) for f in futures] == base[:8]
+
+    def test_region_keyed_service_cache(self):
+        index, extent = _disk_index(40)
+        rng = random.Random(31)
+        beacons = [(rng.uniform(0, extent), rng.uniform(0, extent))
+                   for _ in range(20)]
+        with index.serve(workers=0, coalesce=False, cache_capacity=256,
+                         cache_cell_size=0.25) as service:
+            # Jittered repeat traffic around fixed beacons: exact keys
+            # would never hit; region keys collapse each beacon's jitter
+            # cloud (±0.05 around a point stays within a 0.25 cell most
+            # of the time) into a handful of entries.
+            for _ in range(400):
+                bx, by = beacons[rng.randrange(len(beacons))]
+                q = (bx + rng.uniform(-0.05, 0.05),
+                     by + rng.uniform(-0.05, 0.05))
+                service.nonzero_nn(q)
+            snap = service.stats()["cache"]
+            assert snap["mode"] == "region"
+            assert snap["hit_rate"] >= 0.5
+            assert snap["entries"] <= 4 * len(beacons)
+            # Continuous-valued delta bypasses region sharing: distinct
+            # jittered coordinates never hit each other's entries.
+            before = service.cache.hits
+            service.delta((beacons[0][0] + 0.011, beacons[0][1]))
+            service.delta((beacons[0][0] + 0.012, beacons[0][1]))
+            assert service.cache.hits == before
 
     def test_cache_hits_skip_engine(self):
         index, extent = _disk_index(30)
