@@ -411,8 +411,25 @@ class PNNIndex:
         """
         return NonzeroVoronoiDiagram(self._supports, tol=tol)
 
-    def build_vpr(self) -> ProbabilisticVoronoiDiagram:
-        """Construct the exact probabilistic Voronoi diagram (Theorem 4.2)."""
+    def build_vpr(self, box=None,
+                  build_mode: str = "vector") -> ProbabilisticVoronoiDiagram:
+        """Construct the exact probabilistic Voronoi diagram (Theorem 4.2).
+
+        ``build_mode="vector"`` (default) routes the whole construction —
+        bisector generation, arrangement build, and face labeling — through
+        the batched NumPy pipeline, reusing this index's cached
+        :class:`~repro.quantification.batch_exact.BatchExactQuantifier`
+        for the ``O(N^4)`` face vectors; ``"scalar"`` forces the
+        pure-Python reference build.  Both produce bitwise-identical
+        diagrams (benchmark E22 measures the speedup).
+        """
         if not self.all_discrete():
             raise ValueError("V_Pr requires discrete distributions")
-        return ProbabilisticVoronoiDiagram(self.points)  # type: ignore[arg-type]
+        quantifier = None
+        if build_mode == "vector":
+            if self._batch_exact is None:
+                self._batch_exact = BatchExactQuantifier(self.points)  # type: ignore[arg-type]
+            quantifier = self._batch_exact
+        return ProbabilisticVoronoiDiagram(
+            self.points, box=box, build_mode=build_mode,  # type: ignore[arg-type]
+            quantifier=quantifier)

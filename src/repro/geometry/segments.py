@@ -1,20 +1,33 @@
-"""Segment and line intersection predicates.
+"""Segment and line intersection predicates — scalar and batched.
 
 Substrate for the segment-arrangement module (used by the probabilistic
 Voronoi diagram ``V_Pr`` of Theorem 4.2, whose edges are pieces of bisector
 lines clipped to a bounding box).
+
+The batched kernels (:func:`segment_intersections_batch`,
+:func:`line_box_clip_batch`) evaluate the *same* IEEE-754 expression
+sequences as their scalar counterparts, element-wise over NumPy arrays, with
+identical tolerance comparisons.  That makes their outputs **bitwise
+identical** to a scalar loop — the property the vectorized arrangement
+build relies on to reproduce the scalar arrangement's combinatorics
+exactly (same convention as the batch query engines; see
+``repro.geometry.primitives.dist``).
 """
 
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from .primitives import EPS, Point, cross, sub
 
 __all__ = [
     "segment_intersection",
+    "segment_intersections_batch",
     "line_box_clip",
+    "line_box_clip_batch",
     "bisector_line",
     "point_on_segment",
 ]
@@ -55,6 +68,37 @@ def segment_intersection(a: Point, b: Point, c: Point, d: Point,
     return None
 
 
+def segment_intersections_batch(ax, ay, bx, by, I, J, tol: float = EPS):
+    """Batched :func:`segment_intersection` for segment pairs ``(I[p], J[p])``.
+
+    ``ax/ay/bx/by`` are the ``(S,)`` endpoint coordinate arrays of a segment
+    set; ``I``/``J`` index the pairs to intersect.  Returns ``(px, py, hit)``
+    where ``hit[p]`` is true exactly when the scalar call would return a
+    point, and ``(px[p], py[p])`` is that point bit-for-bit (the expressions
+    and the tolerance comparisons below mirror the scalar code line by
+    line; entries with ``hit == False`` are unspecified).
+    """
+    rx = bx[I] - ax[I]
+    ry = by[I] - ay[I]
+    sx = bx[J] - ax[J]
+    sy = by[J] - ay[J]
+    denom = rx * sy - ry * sx
+    span = np.maximum(np.maximum(1.0, np.abs(rx) + np.abs(ry)),
+                      np.abs(sx) + np.abs(sy))
+    ok = np.abs(denom) > tol * span * span
+    qpx = ax[J] - ax[I]
+    qpy = ay[J] - ay[I]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        t = (qpx * sy - qpy * sx) / denom
+        u = (qpx * ry - qpy * rx) / denom
+        slack = 1e-12
+        hit = ok & (-slack <= t) & (t <= 1.0 + slack) \
+            & (-slack <= u) & (u <= 1.0 + slack)
+        px = ax[I] + t * rx
+        py = ay[I] + t * ry
+    return px, py, hit
+
+
 def bisector_line(p: Point, q: Point) -> Tuple[float, float, float]:
     """Coefficients ``(a, b, c)`` of the perpendicular bisector ``ax+by=c``.
 
@@ -67,7 +111,10 @@ def bisector_line(p: Point, q: Point) -> Tuple[float, float, float]:
         raise ValueError("bisector of identical points is undefined")
     a = 2.0 * (q[0] - p[0])
     b = 2.0 * (q[1] - p[1])
-    c = (q[0] ** 2 + q[1] ** 2) - (p[0] ** 2 + p[1] ** 2)
+    # x*x rather than x**2: one correctly-rounded multiply, which the
+    # batched bisector construction reproduces bitwise (C pow(x, 2.0) is
+    # not guaranteed to equal x*x on every libm).
+    c = (q[0] * q[0] + q[1] * q[1]) - (p[0] * p[0] + p[1] * p[1])
     return (a, b, c)
 
 
@@ -80,7 +127,10 @@ def line_box_clip(a: float, b: float, c: float,
     aligned with the line direction.
     """
     (xmin, ymin), (xmax, ymax) = box
-    norm = math.hypot(a, b)
+    # sqrt(a*a + b*b) rather than math.hypot: the batched clip kernel
+    # evaluates the same correctly-rounded form, which keeps the two paths
+    # bitwise identical (hypot rounds differently on ~1% of inputs).
+    norm = math.sqrt(a * a + b * b)
     if norm <= EPS:
         raise ValueError("degenerate line coefficients")
     # Point on the line closest to the box center, and the line direction.
@@ -108,3 +158,50 @@ def line_box_clip(a: float, b: float, c: float,
     if t0 >= t1:
         return None
     return ((px + t0 * dx, py + t0 * dy), (px + t1 * dx, py + t1 * dy))
+
+
+def line_box_clip_batch(A, B, C, box: Tuple[Point, Point]):
+    """Batched :func:`line_box_clip` over coefficient arrays ``A, B, C``.
+
+    Returns ``(segs, valid)`` where ``segs`` is a ``(k, 4)`` array of
+    ``(x1, y1, x2, y2)`` rows and ``valid[i]`` is true exactly when the
+    scalar clip would return a segment; valid rows are bit-for-bit the
+    scalar endpoints (same expression sequence, same wall order, same
+    comparison tolerances).  Raises on degenerate coefficient rows, as the
+    scalar kernel does.
+    """
+    (xmin, ymin), (xmax, ymax) = box
+    A = np.asarray(A, dtype=np.float64)
+    B = np.asarray(B, dtype=np.float64)
+    C = np.asarray(C, dtype=np.float64)
+    norm = np.sqrt(A * A + B * B)
+    if np.any(norm <= EPS):
+        raise ValueError("degenerate line coefficients")
+    cx = 0.5 * (xmin + xmax)
+    cy = 0.5 * (ymin + ymax)
+    offset = (A * cx + B * cy - C) / (norm * norm)
+    px = cx - offset * A
+    py = cy - offset * B
+    dx = -B / norm
+    dy = A / norm
+    t0 = np.full(A.shape, -np.inf)
+    t1 = np.full(A.shape, np.inf)
+    valid = np.ones(A.shape, dtype=bool)
+    for coord, d, lo, hi in ((px, dx, xmin, xmax), (py, dy, ymin, ymax)):
+        small = np.abs(d) <= EPS
+        valid &= ~(small & ((coord < lo - EPS) | (coord > hi + EPS)))
+        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
+            ta = (lo - coord) / d
+            tb = (hi - coord) / d
+        swap = ta > tb
+        lo_t = np.where(swap, tb, ta)
+        hi_t = np.where(swap, ta, tb)
+        t0 = np.where(small, t0, np.maximum(t0, lo_t))
+        t1 = np.where(small, t1, np.minimum(t1, hi_t))
+    valid &= ~(t0 >= t1)
+    segs = np.empty(A.shape + (4,), dtype=np.float64)
+    segs[..., 0] = px + t0 * dx
+    segs[..., 1] = py + t0 * dy
+    segs[..., 2] = px + t1 * dx
+    segs[..., 3] = py + t1 * dy
+    return segs, valid

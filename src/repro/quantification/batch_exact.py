@@ -138,6 +138,17 @@ class BatchExactQuantifier:
             out[lo:lo + step] = self._chunk_matrix(q[lo:lo + step])
         return out
 
+    def quantification_vectors(self, queries) -> List[List[float]]:
+        """Full probability vectors, one list per query row.
+
+        Row ``j`` equals ``quantification_vector(points, queries[j],
+        tie_tol)`` bitwise — the dense-list twin of :meth:`batch` for
+        callers that want scalar-typed rows.  The ``V_Pr`` builder labels
+        its ``O(N^4)`` arrangement faces through the same :meth:`matrix`
+        machinery (one chunked pass instead of per-face scalar sweeps).
+        """
+        return self.matrix(queries).tolist()
+
     def batch(self, queries) -> List[Dict[int, float]]:
         """Sparse ``{i: pi_i(q)}`` dicts (zeros omitted), one per query.
 

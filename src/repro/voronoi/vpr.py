@@ -14,6 +14,23 @@ their exact probability vector evaluated at an interior point.  Queries go
 through the slab point locator; queries outside the box fall back to the
 direct Eq. (2) sweep, preserving exactness everywhere.
 
+Two construction pipelines produce **bitwise-identical** diagrams:
+
+* ``build_mode="vector"`` (default) — pairwise bisector coefficients in one
+  NumPy broadcast, normalized-key dedup via a stable ``unique``, the
+  batched line-vs-box clip kernel, the vectorized arrangement build, and
+  one :meth:`~repro.quantification.batch_exact.BatchExactQuantifier.
+  quantification_vectors` call labeling every bounded face at once;
+* ``build_mode="scalar"`` — the original pure-Python pair loops and
+  per-face sweeps, retained as the reference oracle (and for duck-typed
+  site models outside :class:`~repro.uncertain.discrete.
+  DiscreteUncertainPoint`).
+
+Benchmark E22 measures the build speedup (~an order of magnitude on one
+core at tier-1-feasible sizes); ``tests/test_vectorized_kernels.py``
+asserts identical V/E/F counts and bitwise-equal face vectors between the
+two modes.
+
 This structure is *meant* to be enormous — its ``Theta(N^4)`` size is the
 paper's motivation for the approximation algorithms of Sections 4.2/4.3 —
 so it is only practical for small instances, which is also all the
@@ -24,9 +41,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..geometry.primitives import Point
 from ..geometry.seg_arrangement import SegmentArrangement
-from ..geometry.segments import bisector_line, line_box_clip
+from ..geometry.segments import bisector_line, line_box_clip, \
+    line_box_clip_batch
+from ..quantification.batch_exact import BatchExactQuantifier
 from ..quantification.exact_discrete import quantification_vector
 from ..spatial.pointlocation import SlabPointLocator
 from ..uncertain.discrete import DiscreteUncertainPoint
@@ -44,16 +65,34 @@ class ProbabilisticVoronoiDiagram:
         discrete distributions; Section 4.1).
     box:
         Optional ``((xmin, ymin), (xmax, ymax))`` query window.  Defaults
-        to the bounding box of all sites, inflated by half its diagonal —
-        large enough to contain every bounded cell near the data.  Queries
-        outside the window remain exact via the fallback sweep.
+        to the bounding box of all sites, inflated by three quarters of the
+        larger side of the cloud's extent (floored at 1 for degenerate
+        clouds) — large enough to contain every bounded cell near the
+        data, and *translation invariant*: a cloud far from the origin
+        gets the same window shape as the same cloud at the origin.
+        Queries outside the window remain exact via the fallback sweep.
+    build_mode:
+        ``"vector"`` (default) builds through the batched NumPy pipeline;
+        ``"scalar"`` forces the pure-Python reference construction.  Both
+        produce bitwise-identical face vectors and identical V/E/F counts.
+    quantifier:
+        Optional prebuilt :class:`~repro.quantification.batch_exact.
+        BatchExactQuantifier` over *points*, reused for face labeling and
+        batch queries (:meth:`PNNIndex.build_vpr
+        <repro.core.index.PNNIndex.build_vpr>` passes its cached one).
     """
 
     def __init__(self, points: Sequence[DiscreteUncertainPoint],
-                 box: Optional[Tuple[Point, Point]] = None) -> None:
+                 box: Optional[Tuple[Point, Point]] = None,
+                 build_mode: str = "vector",
+                 quantifier: Optional[BatchExactQuantifier] = None) -> None:
         if not points:
             raise ValueError("need at least one uncertain point")
+        if build_mode not in ("vector", "scalar"):
+            raise ValueError(f"unknown build mode {build_mode!r}")
         self.points = list(points)
+        self.build_mode = build_mode
+        self._quantifier = quantifier
         sites: List[Point] = []
         for p in self.points:
             sites.extend(site for site, _ in p.sites_with_weights())
@@ -62,38 +101,112 @@ class ProbabilisticVoronoiDiagram:
         if box is None:
             xs = [s[0] for s in sites]
             ys = [s[1] for s in sites]
-            spread = max(xs[0] + 1.0, max(xs) - min(xs), max(ys) - min(ys))
-            pad = 0.75 * max(spread, 1.0)
+            # Pad by the cloud's spread (max side of its bounding box),
+            # floored at 1.0 for near-degenerate clouds.  The previous
+            # heuristic mixed the raw coordinate ``xs[0]`` into the spread,
+            # which blew the window up to the *distance from the origin*
+            # for far-away clouds (a ~1000x larger arrangement for a cloud
+            # at x = 1000) — see the far-cloud regression test.
+            spread = max(1.0, max(xs) - min(xs), max(ys) - min(ys))
+            pad = 0.75 * spread
             box = ((min(xs) - pad, min(ys) - pad),
                    (max(xs) + pad, max(ys) + pad))
         self.box = box
 
-        segments = self._bisector_segments(sites, box)
-        # Add the window boundary so bounded faces tile the whole window.
         (xmin, ymin), (xmax, ymax) = box
-        segments.extend([
+        boundary = [
             ((xmin, ymin), (xmax, ymin)),
             ((xmax, ymin), (xmax, ymax)),
             ((xmax, ymax), (xmin, ymax)),
             ((xmin, ymax), (xmin, ymin)),
-        ])
-        self.arrangement = SegmentArrangement(segments)
-        self.locator = SlabPointLocator(self.arrangement)
-        self._face_vectors: Dict[int, List[float]] = {}
-        self._face_reps: Dict[int, Point] = {}
-        bounded = [idx for idx, area in enumerate(self.arrangement.face_areas)
-                   if area > self.arrangement.tol]
-        interior = self.arrangement.face_interior_points()
-        for loop_idx, rep in zip(bounded, interior):
-            self._face_reps[loop_idx] = rep
-            self._face_vectors[loop_idx] = quantification_vector(
-                self.points, rep)
+        ]
+        if build_mode == "scalar":
+            segments = self._bisector_segments(sites, box)
+            segments.extend(boundary)
+            self.arrangement = SegmentArrangement(segments, mode="scalar")
+        else:
+            sx = np.array([s[0] for s in sites], dtype=np.float64)
+            sy = np.array([s[1] for s in sites], dtype=np.float64)
+            segs = self._bisector_segments_batch(sx, sy, box)
+            rows = np.vstack([segs,
+                              np.array([(a[0], a[1], b[0], b[1])
+                                        for a, b in boundary])])
+            self.arrangement = SegmentArrangement(rows, mode="vector")
+        # The slab locator's size is Theta(V * S) — asymptotically the
+        # heaviest part of the structure, and only query workloads need it
+        # — so it is built lazily on first point location (the complexity
+        # experiments E10/E17 never pay for it).
+        self._locator: Optional[SlabPointLocator] = None
+
+        areas = np.asarray(self.arrangement.face_areas)
+        bounded = np.flatnonzero(areas > self.arrangement.tol)
+        self._bounded_loops: List[int] = bounded.tolist()
+        n = len(self.points)
+        self._interior = self.arrangement.face_interior_array()
+        # Batched face labeling needs the discrete batch engine; scalar
+        # mode — and duck-typed site models outside DiscreteUncertainPoint
+        # — label through the per-face scalar sweep (bitwise-identical
+        # rows either way, per the PR-3 engine guarantee).
+        if build_mode == "vector" and self._all_discrete() \
+                and len(self._interior):
+            self._face_matrix = self._exact_quantifier().matrix(
+                self._interior)
+        else:
+            vectors = [quantification_vector(self.points, (x, y))
+                       for x, y in self._interior.tolist()]
+            self._face_matrix = np.asarray(vectors,
+                                           dtype=np.float64).reshape(-1, n)
+        # loop-id -> matrix-row map; the per-face dict views are lazy.
+        self._loop_row = np.full(max(len(areas), 1), -1, dtype=np.intp)
+        if len(bounded):
+            self._loop_row[bounded] = np.arange(len(bounded))
+        self._face_vectors_cache: Optional[Dict[int, List[float]]] = None
+
+    @property
+    def _face_vectors(self) -> Dict[int, List[float]]:
+        """Per-face probability vectors (materialized from the matrix)."""
+        if self._face_vectors_cache is None:
+            self._face_vectors_cache = dict(
+                zip(self._bounded_loops, self._face_matrix.tolist()))
+        return self._face_vectors_cache
+
+    @property
+    def _face_reps(self) -> Dict[int, Point]:
+        """One interior representative point per bounded face."""
+        return dict(zip(self._bounded_loops,
+                        map(tuple, self._interior.tolist())))
+
+    # ------------------------------------------------------------------
+    @property
+    def locator(self) -> SlabPointLocator:
+        """The Theorem 4.2 point-location structure (built on first use)."""
+        if self._locator is None:
+            self._locator = SlabPointLocator(self.arrangement)
+        return self._locator
+
+    def _all_discrete(self) -> bool:
+        return all(isinstance(p, DiscreteUncertainPoint)
+                   for p in self.points)
+
+    def _exact_quantifier(self) -> BatchExactQuantifier:
+        """The (lazily built, shareable) vectorized Eq. (2) engine."""
+        if self._quantifier is None:
+            self._quantifier = BatchExactQuantifier(self.points)
+        return self._quantifier
 
     # ------------------------------------------------------------------
     @staticmethod
     def _bisector_segments(sites: List[Point],
                            box: Tuple[Point, Point]):
-        """Clipped bisectors of all site pairs, deduplicated."""
+        """Clipped bisectors of all site pairs, deduplicated (scalar).
+
+        The dedup key is the line's coefficient triple normalized by its
+        max-abs component, rounded to 9 decimals via the shared
+        ``round(v * 1e9) / 1e9`` form, and sign-canonicalized so that the
+        first nonzero component is positive (two opposite-orientation
+        triples describe the same line).  The batched path reproduces
+        every step bitwise.
+        """
         seen = set()
         segments = []
         m = len(sites)
@@ -103,18 +216,58 @@ class ProbabilisticVoronoiDiagram:
                 if p == r:
                     continue  # coincident sites never swap distance order
                 la, lb, lc = bisector_line(p, r)
-                # Normalize the line key for deduplication.
                 norm = max(abs(la), abs(lb), abs(lc), 1e-30)
-                key = (round(la / norm, 9), round(lb / norm, 9),
-                       round(lc / norm, 9))
-                key_neg = tuple(-v for v in key)
-                if key in seen or key_neg in seen:
+                ka = round((la / norm) * 1e9) / 1e9 + 0.0
+                kb = round((lb / norm) * 1e9) / 1e9 + 0.0
+                kc = round((lc / norm) * 1e9) / 1e9 + 0.0
+                if ka < 0 or (ka == 0 and
+                              (kb < 0 or (kb == 0 and kc < 0))):
+                    ka, kb, kc = -ka + 0.0, -kb + 0.0, -kc + 0.0
+                key = (ka, kb, kc)
+                if key in seen:
                     continue
                 seen.add(key)
                 clipped = line_box_clip(la, lb, lc, box)
                 if clipped is not None:
                     segments.append(clipped)
         return segments
+
+    @staticmethod
+    def _bisector_segments_batch(sx: np.ndarray, sy: np.ndarray,
+                                 box: Tuple[Point, Point]) -> np.ndarray:
+        """Clipped bisectors of all site pairs, deduplicated (batched).
+
+        One broadcast computes every pair's coefficients, a stable
+        ``unique`` over the sign-canonicalized normalized keys keeps each
+        line's first pair (the scalar scan order), and the batched clip
+        kernel cuts the survivors to the box — returning an ``(S, 4)``
+        segment array bit-for-bit equal to the scalar list.
+        """
+        pi, pj = np.triu_indices(len(sx), 1)
+        px, py = sx[pi], sy[pi]
+        rx, ry = sx[pj], sy[pj]
+        distinct = (px != rx) | (py != ry)
+        px, py, rx, ry = px[distinct], py[distinct], rx[distinct], ry[distinct]
+        la = 2.0 * (rx - px)
+        lb = 2.0 * (ry - py)
+        lc = (rx * rx + ry * ry) - (px * px + py * py)
+        norm = np.maximum(np.maximum(np.abs(la), np.abs(lb)),
+                          np.maximum(np.abs(lc), 1e-30))
+        ka = np.rint((la / norm) * 1e9) / 1e9 + 0.0
+        kb = np.rint((lb / norm) * 1e9) / 1e9 + 0.0
+        kc = np.rint((lc / norm) * 1e9) / 1e9 + 0.0
+        flip = (ka < 0) | ((ka == 0) & ((kb < 0) | ((kb == 0) & (kc < 0))))
+        sign = np.where(flip, -1.0, 1.0)
+        ka = ka * sign + 0.0
+        kb = kb * sign + 0.0
+        kc = kc * sign + 0.0
+        trip = np.ascontiguousarray(np.stack((ka, kb, kc), axis=1))
+        keys = trip.view(np.dtype((np.void, trip.dtype.itemsize * 3)))
+        _, first = np.unique(keys.ravel(), return_index=True)
+        first.sort()
+        segs, valid = line_box_clip_batch(la[first], lb[first], lc[first],
+                                          box)
+        return segs[valid]
 
     # ------------------------------------------------------------------
     @property
@@ -137,10 +290,16 @@ class ProbabilisticVoronoiDiagram:
 
         Lemma 4.1's lower-bound construction makes ``Omega(n^4)`` cells
         pairwise distinct; this counter is what experiment E10 reports.
+        Counted in one vectorized pass: round the ``(F, n)`` face matrix,
+        then count unique rows.
         """
-        seen = {tuple(round(v, decimals) for v in vec)
-                for vec in self._face_vectors.values()}
-        return len(seen)
+        if not len(self._face_matrix):
+            return 0
+        scale = 10.0 ** decimals
+        r = np.rint(self._face_matrix * scale) / scale + 0.0
+        r = np.ascontiguousarray(r)
+        rows = r.view(np.dtype((np.void, r.dtype.itemsize * r.shape[1])))
+        return len(np.unique(rows.ravel()))
 
     # ------------------------------------------------------------------
     def query(self, q: Point) -> List[float]:
@@ -150,9 +309,42 @@ class ProbabilisticVoronoiDiagram:
         is precomputed per cell); exact fallback sweep outside.
         """
         loop = self.locator.locate(q)
-        if loop is not None and loop in self._face_vectors:
-            return list(self._face_vectors[loop])
+        if loop is not None:
+            row = self._loop_row[loop]
+            if row >= 0:
+                return self._face_matrix[row].tolist()
         return quantification_vector(self.points, q)
+
+    def query_batch(self, queries) -> np.ndarray:
+        """:meth:`query` for an ``(m, 2)`` array, as an ``(m, n)`` matrix.
+
+        One vectorized point-location pass gathers the precomputed face
+        vectors; rows outside the window (or on unbounded slivers) are
+        answered by the batched Eq. (2) sweep.  Row ``j`` equals
+        ``query(queries[j])`` bitwise.
+        """
+        from ..spatial.batch import as_query_array
+
+        q = as_query_array(queries)
+        m = len(q)
+        out = np.empty((m, len(self.points)), dtype=np.float64)
+        locs = self.locator.locate_batch(q)
+        safe = np.maximum(locs, 0)
+        rows = np.where(locs >= 0, self._loop_row[safe], -1)
+        known = rows >= 0
+        if known.any():
+            out[known] = self._face_matrix[rows[known]]
+        missing = ~known
+        if missing.any():
+            if self._all_discrete():
+                out[missing] = self._exact_quantifier().matrix(q[missing])
+            else:
+                # Duck-typed site models (scalar build mode): same exact
+                # fallback the scalar query() uses, row by row.
+                for j in np.flatnonzero(missing):
+                    out[j] = quantification_vector(
+                        self.points, (float(q[j, 0]), float(q[j, 1])))
+        return out
 
     def positive_probabilities(self, q: Point,
                                tol: float = 0.0) -> Dict[int, float]:

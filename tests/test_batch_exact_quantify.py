@@ -173,6 +173,17 @@ class TestBatchExactSweep:
         # method="exact" routing through batch_quantify hits the same path
         assert index.batch_quantify(qs, method="exact") == dicts
 
+    def test_quantification_vectors_full_list_form(self):
+        """The dense-list entry the V_Pr face labeler consumes: row j is
+        the scalar quantification_vector, bitwise, zeros included."""
+        pts = random_instance(6, 3, seed=77)
+        bq = BatchExactQuantifier(pts)
+        qs = queries_for(24, 13)
+        rows = bq.quantification_vectors(qs)
+        assert isinstance(rows, list) and isinstance(rows[0], list)
+        for j, q in enumerate(qs):
+            assert rows[j] == quantification_vector(pts, tuple(q))
+
     def test_rejects_non_discrete(self):
         with pytest.raises(TypeError):
             BatchExactQuantifier([DiskUniformPoint((0, 0), 1.0)])
