@@ -1,0 +1,78 @@
+"""Shared plumbing for the acceptance benchmarks (E19 and later).
+
+Every systems benchmark in this family repeats the same three rituals:
+env-var knobs with host-aware defaults, best-of-N wall timing, and an
+optional machine-readable JSON summary for CI artifacts.  They were
+copy-pasted per file until E23; this module is the single copy.
+
+Conventions (established by E19/E20, enforced here):
+
+* **Correctness assertions hold everywhere** — they are never gated.
+* **Speedup bars are host-aware**: multi-worker scaling bars default to
+  ``0`` (disabled) unless the host has enough cores
+  (:func:`gated_speedup`), because a 1-core container cannot beat
+  itself; single-core vectorization bars stay on everywhere.  CI can
+  force any bar through its env knob.
+* **JSON summaries** are written only when the benchmark's ``*_JSON``
+  env var names a path (:func:`write_json`).
+"""
+
+import json
+import math
+import os
+import time
+
+__all__ = ["best_of", "cores", "env_float", "env_int", "gated_speedup",
+           "write_json"]
+
+
+def cores() -> int:
+    """The host's visible core count (1 when undetectable)."""
+    return os.cpu_count() or 1
+
+
+def env_int(name: str, default: int) -> int:
+    """An integer knob from the environment."""
+    return int(os.environ.get(name, str(default)))
+
+
+def env_float(name: str, default: float) -> float:
+    """A float knob from the environment."""
+    return float(os.environ.get(name, str(default)))
+
+
+def gated_speedup(name: str, default: float, min_cores: int = 4,
+                  workers: int = 4, min_workers: int = 4) -> float:
+    """A multi-worker speedup bar, self-disabling on small hosts.
+
+    Returns the env override when set; otherwise *default* on hosts with
+    at least *min_cores* cores and at least *min_workers* configured
+    *workers* (independent floors), else ``0`` — the established E20/E22
+    convention: parity always, scaling bars only where the hardware can
+    express them.
+    """
+    fallback = default if cores() >= min_cores \
+        and workers >= min_workers else 0.0
+    return float(os.environ.get(name, str(fallback)))
+
+
+def best_of(fn, reps: int = 2):
+    """``(best wall time, last result)`` over *reps* runs of *fn*.
+
+    Best-of timing so a noisy scheduler tick cannot flip a ratio.
+    """
+    best = math.inf
+    result = None
+    for _ in range(max(1, reps)):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def write_json(env_name: str, payload: dict) -> None:
+    """Dump *payload* to the path named by ``$env_name`` (if set)."""
+    path = os.environ.get(env_name, "")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)

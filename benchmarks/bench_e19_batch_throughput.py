@@ -11,12 +11,11 @@ bound, and the Monte-Carlo round tensor's batch counting.
 """
 
 import math
-import os
 import random
-import time
 
 import numpy as np
 
+from _common import best_of, env_float
 from repro.core.index import PNNIndex
 from repro.core.workloads import random_discrete_points, random_disks
 from repro.quantification.monte_carlo import MonteCarloQuantifier
@@ -26,8 +25,8 @@ N = 500
 M = 1000
 # The acceptance thresholds assume a quiet machine; shared CI runners can
 # relax them (keeping the exact-agreement assertions) via the env knob.
-MIN_SPEEDUP = float(os.environ.get("E19_MIN_SPEEDUP", "10"))
-MIN_BUCKET_SPEEDUP = float(os.environ.get("E19_MIN_BUCKET_SPEEDUP", "2"))
+MIN_SPEEDUP = env_float("E19_MIN_SPEEDUP", 10)
+MIN_BUCKET_SPEEDUP = env_float("E19_MIN_BUCKET_SPEEDUP", 2)
 EXTENT = math.sqrt(N) * 2.0
 _DISKS = random_disks(N, seed=1919, extent=EXTENT, r_min=0.1, r_max=0.4)
 INDEX = PNNIndex([DiskUniformPoint(d.center, d.r) for d in _DISKS])
@@ -40,22 +39,12 @@ def batch_query():
     return INDEX.batch_nonzero_nn(QUERIES)
 
 
-def _best_of(fn, reps=3):
-    best = math.inf
-    result = None
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
 def test_e19_batch_throughput(benchmark):
     INDEX.batch_nonzero_nn(QUERIES[:4])  # engine build outside all timers
     batched = benchmark(batch_query)
-    scalar_t, scalar = _best_of(
-        lambda: [INDEX.nonzero_nn((x, y)) for x, y in QUERIES])
-    batch_t, _ = _best_of(batch_query)
+    scalar_t, scalar = best_of(
+        lambda: [INDEX.nonzero_nn((x, y)) for x, y in QUERIES], reps=3)
+    batch_t, _ = best_of(batch_query, reps=3)
     assert batched == scalar
     speedup = scalar_t / batch_t
     assert speedup >= MIN_SPEEDUP, \
@@ -74,9 +63,9 @@ def test_e19_bucket_backend_throughput():
                    for _ in range(400)])
     index.batch_nonzero_nn(qs[:4])
     assert index.batch_engine().backend == "bucket"
-    scalar_t, scalar = _best_of(
-        lambda: [index.nonzero_nn((x, y)) for x, y in qs])
-    batch_t, batched = _best_of(lambda: index.batch_nonzero_nn(qs))
+    scalar_t, scalar = best_of(
+        lambda: [index.nonzero_nn((x, y)) for x, y in qs], reps=3)
+    batch_t, batched = best_of(lambda: index.batch_nonzero_nn(qs), reps=3)
     assert batched == scalar
     assert scalar_t / batch_t >= MIN_BUCKET_SPEEDUP, \
         f"bucketed engine speedup {scalar_t / batch_t:.1f}x " \

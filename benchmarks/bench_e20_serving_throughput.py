@@ -17,29 +17,25 @@ Env knobs: ``E20_N``, ``E20_M``, ``E20_WORKERS``, ``E20_MIN_SPEEDUP``,
 ``E20_JSON`` (write a machine-readable summary for CI artifacts).
 """
 
-import json
 import math
-import os
 import random
-import time
 
 import numpy as np
 
+from _common import best_of, cores, env_int, gated_speedup, write_json
 from repro.core.index import PNNIndex
 from repro.core.workloads import random_disks
 from repro.serving import ServiceConfig, ShardExecutor
 from repro.uncertain.disk_uniform import DiskUniformPoint
 
-N = int(os.environ.get("E20_N", "20000"))
-M = int(os.environ.get("E20_M", "100000"))
-WORKERS = int(os.environ.get("E20_WORKERS", "4"))
-_CORES = os.cpu_count() or 1
+N = env_int("E20_N", 20000)
+M = env_int("E20_M", 100000)
+WORKERS = env_int("E20_WORKERS", 4)
+_CORES = cores()
 # The 2x-at->=4-workers acceptance bar only makes physical sense with
 # cores to shard across; smaller hosts keep every correctness assertion
 # but skip the timing bar (CI can force any bar through the env).
-MIN_SPEEDUP = float(os.environ.get(
-    "E20_MIN_SPEEDUP", "2.0" if _CORES >= 4 and WORKERS >= 4 else "0"))
-JSON_OUT = os.environ.get("E20_JSON", "")
+MIN_SPEEDUP = gated_speedup("E20_MIN_SPEEDUP", 2.0, workers=WORKERS)
 
 EXTENT = math.sqrt(N) * 2.0
 _DISKS = random_disks(N, seed=2025, extent=EXTENT, r_min=0.1, r_max=0.4)
@@ -49,28 +45,12 @@ QUERIES = np.array([(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
                     for _ in range(M)])
 
 
-def _best_of(fn, reps=2):
-    best = math.inf
-    result = None
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
-def _write_json(payload):
-    if JSON_OUT:
-        with open(JSON_OUT, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-
-
 def test_e20_sharded_bitwise_identity_and_throughput():
     INDEX.batch_delta(QUERIES[:16])  # engine build outside all timers
-    single_t, base = _best_of(lambda: INDEX.batch_delta(QUERIES))
+    single_t, base = best_of(lambda: INDEX.batch_delta(QUERIES))
     with ShardExecutor(INDEX.points, workers=WORKERS) as executor:
         executor.run("delta", QUERIES[:16])  # replica build outside timers
-        shard_t, sharded = _best_of(lambda: executor.run("delta", QUERIES))
+        shard_t, sharded = best_of(lambda: executor.run("delta", QUERIES))
         # Bitwise identity of the full 100k-row delta array.
         assert np.array_equal(base, sharded), \
             "sharded batch_delta differs from single-process output"
@@ -96,7 +76,7 @@ def test_e20_sharded_bitwise_identity_and_throughput():
             "min_speedup": MIN_SPEEDUP,
             "identical": True,
         }
-        _write_json(payload)
+        write_json("E20_JSON", payload)
         if MIN_SPEEDUP > 0:
             assert speedup >= MIN_SPEEDUP, \
                 f"sharded speedup {speedup:.2f}x < {MIN_SPEEDUP}x at " \

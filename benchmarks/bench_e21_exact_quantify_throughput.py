@@ -21,31 +21,28 @@ Env knobs: ``E21_N``, ``E21_K``, ``E21_M``, ``E21_MIN_SPEEDUP``,
 machine-readable summary for CI artifacts).
 """
 
-import json
 import math
-import os
 import random
-import time
 
 import numpy as np
 
+from _common import best_of, cores, env_float, env_int, gated_speedup, write_json
 from repro.core.index import PNNIndex
 from repro.core.workloads import random_discrete_points, rfid_histogram_field
 from repro.serving import ShardExecutor
 from repro.uncertain.polygon import ConvexPolygonUniformPoint
 
-N = int(os.environ.get("E21_N", "200"))
-K = int(os.environ.get("E21_K", "5"))
-M = int(os.environ.get("E21_M", "1000"))
-WORKERS = int(os.environ.get("E21_WORKERS", "4"))
-_CORES = os.cpu_count() or 1
+N = env_int("E21_N", 200)
+K = env_int("E21_K", 5)
+M = env_int("E21_M", 1000)
+WORKERS = env_int("E21_WORKERS", 4)
+_CORES = cores()
 # The vectorization bar is single-core physics and defaults on everywhere;
 # CI can still relax it through the env on pathologically noisy runners.
-MIN_SPEEDUP = float(os.environ.get("E21_MIN_SPEEDUP", "5.0"))
+MIN_SPEEDUP = env_float("E21_MIN_SPEEDUP", 5.0)
 # The sharded-scaling bar (like E20) needs cores to mean anything.
-SHARD_MIN_SPEEDUP = float(os.environ.get(
-    "E21_SHARD_MIN_SPEEDUP", "1.5" if _CORES >= 4 and WORKERS >= 4 else "0"))
-JSON_OUT = os.environ.get("E21_JSON", "")
+SHARD_MIN_SPEEDUP = gated_speedup("E21_SHARD_MIN_SPEEDUP", 1.5,
+                                  workers=WORKERS)
 
 EXTENT = math.sqrt(N) * 2.2
 POINTS = random_discrete_points(N, K, seed=2026, spread=2.0)
@@ -55,28 +52,12 @@ QUERIES = np.array([(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
                     for _ in range(M)])
 
 
-def _best_of(fn, reps=2):
-    best = math.inf
-    result = None
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
-def _write_json(payload):
-    if JSON_OUT:
-        with open(JSON_OUT, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-
-
 def test_e21_vectorized_sweep_bitwise_identity_and_throughput():
     INDEX.batch_quantify_exact(QUERIES[:4])  # engine build outside timers
-    scalar_t, scalar = _best_of(
+    scalar_t, scalar = best_of(
         lambda: [INDEX.quantify((x, y), method="exact")
                  for x, y in QUERIES.tolist()])
-    batch_t, batched = _best_of(
+    batch_t, batched = best_of(
         lambda: INDEX.batch_quantify_exact(QUERIES))
     assert batched == scalar, \
         "batch_quantify_exact differs from the scalar Eq. (2) sweep"
@@ -91,7 +72,7 @@ def test_e21_vectorized_sweep_bitwise_identity_and_throughput():
         "min_speedup": MIN_SPEEDUP,
         "identical": True,
     }
-    _write_json(payload)
+    write_json("E21_JSON", payload)
     if MIN_SPEEDUP > 0:
         assert speedup >= MIN_SPEEDUP, \
             f"vectorized exact sweep {speedup:.2f}x < {MIN_SPEEDUP}x at " \
@@ -103,12 +84,12 @@ def test_e21_sharded_quantify_exact_identity():
     base = INDEX.batch_quantify_exact(QUERIES)
     with ShardExecutor(INDEX.points, workers=WORKERS) as executor:
         executor.run("quantify_exact", QUERIES[:8])  # replicas warm
-        shard_t, sharded = _best_of(
+        shard_t, sharded = best_of(
             lambda: executor.run("quantify_exact", QUERIES))
         assert sharded == base, \
             "sharded quantify_exact differs from single-process output"
         if SHARD_MIN_SPEEDUP > 0:
-            single_t, _ = _best_of(
+            single_t, _ = best_of(
                 lambda: INDEX.batch_quantify_exact(QUERIES))
             speedup = single_t / shard_t
             assert speedup >= SHARD_MIN_SPEEDUP, \

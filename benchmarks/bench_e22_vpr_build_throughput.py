@@ -26,39 +26,20 @@ each), ``E22_MIN_SPEEDUP``, ``E22_REPS``, ``E22_JSON`` (write a
 machine-readable summary for CI artifacts).
 """
 
-import json
-import math
 import os
 import random
-import time
 
 import numpy as np
 
+from _common import best_of, cores, env_float, env_int, write_json
 from repro.core.index import PNNIndex
 from repro.core.workloads import random_discrete_points
 from repro.quantification.exact_discrete import quantification_vector
 
 SIZES = [int(s) for s in os.environ.get("E22_SIZES", "8,12,18").split(",")]
-MIN_SPEEDUP = float(os.environ.get("E22_MIN_SPEEDUP", "5.0"))
-REPS = int(os.environ.get("E22_REPS", "2"))
-JSON_OUT = os.environ.get("E22_JSON", "")
-_CORES = os.cpu_count() or 1
-
-
-def _best_of(fn, reps=REPS):
-    best = math.inf
-    result = None
-    for _ in range(reps):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
-
-
-def _write_json(payload):
-    if JSON_OUT:
-        with open(JSON_OUT, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
+MIN_SPEEDUP = env_float("E22_MIN_SPEEDUP", 5.0)
+REPS = env_int("E22_REPS", 2)
+_CORES = cores()
 
 
 def test_e22_vectorized_build_parity_and_speedup():
@@ -67,10 +48,10 @@ def test_e22_vectorized_build_parity_and_speedup():
     for n in SIZES:
         pts = random_discrete_points(n, 2, seed=31, spread=2.0)
         index = PNNIndex(pts)
-        scalar_t, scalar = _best_of(
-            lambda: index.build_vpr(build_mode="scalar"))
-        vector_t, vector = _best_of(
-            lambda: index.build_vpr(build_mode="vector"))
+        scalar_t, scalar = best_of(
+            lambda: index.build_vpr(build_mode="scalar"), reps=REPS)
+        vector_t, vector = best_of(
+            lambda: index.build_vpr(build_mode="vector"), reps=REPS)
         # Parity must hold everywhere: identical combinatorics, bitwise
         # face vectors (dict compare is elementwise float equality).
         assert (scalar.num_vertices, scalar.arrangement.num_edges,
@@ -96,7 +77,7 @@ def test_e22_vectorized_build_parity_and_speedup():
         "min_speedup": MIN_SPEEDUP,
         "identical": True,
     }
-    _write_json(payload)
+    write_json("E22_JSON", payload)
     if MIN_SPEEDUP > 0:
         assert speedups[-1] >= MIN_SPEEDUP, \
             f"vectorized V_Pr build {speedups[-1]:.2f}x < {MIN_SPEEDUP}x " \
@@ -110,11 +91,11 @@ def test_e22_lazy_locator_and_batch_queries():
     pts = random_discrete_points(n, 2, seed=31, spread=2.0)
     vpr = PNNIndex(pts).build_vpr()
     assert vpr._locator is None, "locator must not be built eagerly"
-    loc_t, _ = _best_of(lambda: vpr.locator, reps=1)
+    loc_t, _ = best_of(lambda: vpr.locator, reps=1)
     rng = random.Random(17)
     qs = np.array([(rng.uniform(-1, 5), rng.uniform(-1, 5))
                    for _ in range(500)])
-    batch_t, mat = _best_of(lambda: vpr.query_batch(qs))
+    batch_t, mat = best_of(lambda: vpr.query_batch(qs), reps=REPS)
     for j in (0, 250, 499):
         q = (float(qs[j][0]), float(qs[j][1]))
         assert list(mat[j]) == vpr.query(q)

@@ -73,9 +73,12 @@ def main() -> None:
 
     # 5. Service-shaped traffic: wrap the index in a QueryService.  Scalar
     #    submits coalesce into vectorized micro-batches, repeat queries hit
-    #    an exact-keyed LRU cache, and large batches shard across worker
-    #    processes (with bitwise-identical answers).  `workers=0` keeps
-    #    this quickstart single-process; try workers=4 on a real machine.
+    #    an exact-keyed LRU cache, and large batches shard across a
+    #    pluggable executor backend (with bitwise-identical answers):
+    #    backend="auto" picks shared-memory worker replicas where
+    #    possible, backend="thread"/"process"/"shm" forces one.
+    #    `workers=0` keeps this quickstart single-process; try
+    #    index.serve(workers=4, backend="thread") on a real machine.
     with index.serve(workers=0, cache_capacity=1024, max_batch=32) as svc:
         futures = [svc.submit("quantify", g, epsilon=0.1) for g in grid]
         svc.flush()                       # or let the flush window expire
@@ -137,6 +140,26 @@ def main() -> None:
           f"cells, {vpr.distinct_vectors()} distinct probability vectors")
     print(f"pi at {grid[40]}: "
           f"{ {i: round(v, 3) for i, v in enumerate(grid_vecs[40].tolist()) if v} }")
+
+    # 8. Serve the diagram: the quantify_vpr query kind answers exact
+    #    quantification by point location into V_Pr's precomputed face
+    #    vectors (cache-friendly, no per-query sweep), falling back to
+    #    the Eq. (2) sweep outside the window — row-for-row equal to
+    #    batch_quantify_exact on generic queries.  (The half-integer
+    #    grid above is *degenerate*: many of its points sit exactly on
+    #    bisectors, where the sweep's tie convention and a cell's
+    #    interior vector legitimately differ — so this example jitters
+    #    off the boundaries.)  A prebuilt diagram is adopted via
+    #    serve(vpr=...); otherwise the first query builds it lazily.
+    jittered = [(x + 0.013, y + 0.007) for x, y in grid]
+    with tracked.serve(vpr=vpr, workers=0, coalesce=False,
+                       cache_capacity=512) as svc:
+        served = svc.batch_quantify_vpr(jittered)
+        assert served == tracked.batch_quantify_exact(jittered)
+        one = svc.quantify_vpr(jittered[40])
+        print(f"\nquantify_vpr serves {len(served)} exact vectors from "
+              f"{vpr.num_faces} precomputed cells; pi near {grid[40]}: "
+              f"{ {i: round(v, 3) for i, v in sorted(one.items())} }")
 
 
 if __name__ == "__main__":

@@ -69,11 +69,15 @@ def _serve_demo() -> int:
     disks = random_disks(n, seed=11, extent=extent, r_min=0.1, r_max=0.4)
     index = PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks])
     print(f"serve-demo: QueryService over {n} uncertain disks")
-    with index.serve(workers=2, cache_capacity=4096, max_batch=128,
-                     flush_window=0.002, shard_min_batch=4096) as service:
+    # backend= picks the executor: "auto" resolves to shared-memory
+    # worker replicas when the models are codec-encodable, and degrades
+    # through process -> thread -> inline where the host lacks support.
+    with index.serve(workers=2, backend="auto", cache_capacity=4096,
+                     max_batch=128, flush_window=0.002,
+                     shard_min_batch=4096) as service:
         ex = service.executor
-        print(f"shard executor: mode={ex.mode}, workers={ex.workers}, "
-              f"start method={ex.start_method}")
+        print(f"shard executor: backend={ex.backend} -> mode={ex.mode}, "
+              f"workers={ex.workers}, start method={ex.start_method}")
         rng = random.Random(13)
 
         # Burst 1: bursty scalar clients, coalesced into micro-batches.
@@ -156,6 +160,28 @@ def _serve_demo() -> int:
               f"({2000 / elapsed:,.0f} req/s), hit rate "
               f"{cache['hit_rate']:.0%} with {cache['mode']} keys "
               f"(cell {cache['cell_size']})")
+
+    # Burst 5: the seventh query kind — exact quantification served out
+    # of the probabilistic Voronoi diagram (point location into
+    # precomputed face vectors; the Eq. (2) sweep only outside the box).
+    small = PNNIndex(random_discrete_points(10, 2, seed=23, spread=2.0))
+    with small.serve(workers=0, coalesce=False,
+                     cache_capacity=2048) as service:
+        vqs = np.array([(rng.uniform(-1, 8), rng.uniform(-1, 8))
+                        for _ in range(4000)])
+        service.batch_quantify_vpr(vqs[:4])  # build V_Pr + locator
+        vpr = small.cached_vpr()
+        start = time.perf_counter()
+        answers = service.batch_quantify_vpr(vqs)
+        elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        sweep = small.batch_quantify_exact(vqs)
+        sweep_t = time.perf_counter() - start
+        print(f"\nquantify_vpr: {len(vqs)} exact vectors via point "
+              f"location over {vpr.num_faces} V_Pr cells in "
+              f"{elapsed * 1e3:.0f} ms ({len(vqs) / elapsed:,.0f} "
+              f"queries/s, sweep {len(vqs) / sweep_t:,.0f}); "
+              f"row-for-row equal: {answers == sweep}")
     return 0
 
 

@@ -16,8 +16,8 @@ paper's two query primitives:
 
 Every query primitive also has a *batch* front door — :meth:`batch_delta`,
 :meth:`batch_nonzero_nn`, :meth:`batch_quantify`,
-:meth:`batch_quantify_exact`, :meth:`batch_top_k`,
-:meth:`batch_threshold_nn` —
+:meth:`batch_quantify_exact`, :meth:`batch_quantify_vpr`,
+:meth:`batch_top_k`, :meth:`batch_threshold_nn` —
 that accepts an ``(m, 2)`` array of queries and dispatches to the
 NumPy-vectorized :class:`~repro.spatial.batch.BatchQueryEngine` (dense
 matrix kernels for small ``n``, array-kd-tree bucketing for large ``n``)
@@ -41,6 +41,7 @@ Voronoi diagram) are built on demand via :meth:`build_nonzero_voronoi` and
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -93,6 +94,10 @@ class PNNIndex:
         self._spiral: Optional[SpiralSearchQuantifier] = None
         self._batch: Optional[BatchQueryEngine] = None
         self._batch_exact: Optional[BatchExactQuantifier] = None
+        self._vpr: Optional[ProbabilisticVoronoiDiagram] = None
+        # V_Pr is the one lazy artifact expensive enough that a benign
+        # double-build (two threads racing first use) is worth a lock.
+        self._vpr_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -286,16 +291,98 @@ class PNNIndex:
                                         seed=seed)
         return [classify_threshold(est, tau, epsilon) for est in estimates]
 
+    def cached_vpr(self) -> ProbabilisticVoronoiDiagram:
+        """The lazily-built, shared ``V_Pr`` over the default window.
+
+        Built once (vectorized pipeline, default box) on first use and
+        reused by every subsequent :meth:`quantify_vpr` /
+        :meth:`batch_quantify_vpr` call; thread-safe so the serving
+        layer's thread backend shares one diagram instead of racing
+        duplicate builds.  :meth:`use_vpr` installs a prebuilt diagram
+        (e.g. with a custom window) instead.
+        """
+        if self._vpr is None:
+            with self._vpr_lock:
+                if self._vpr is None:
+                    self._vpr = self.build_vpr()
+        return self._vpr
+
+    def use_vpr(self, vpr: ProbabilisticVoronoiDiagram) -> None:
+        """Adopt *vpr* as the diagram behind the ``quantify_vpr`` kind.
+
+        The diagram must be over this index's points (same objects or an
+        equal-length, equal-order set — answers are only meaningful when
+        the point sets agree).
+        """
+        if len(vpr.points) != self.n:
+            raise ValueError(
+                f"prebuilt V_Pr covers {len(vpr.points)} points, "
+                f"index has {self.n}")
+        with self._vpr_lock:
+            self._vpr = vpr
+
+    def quantify_vpr(self, q: Point) -> Dict[int, float]:
+        """Exact ``{i: pi_i(q)}`` via ``V_Pr`` point location.
+
+        The Theorem 4.2 query path: locate the cell of *q* and return its
+        precomputed probability vector (``O(log N + t)``), falling back
+        to the direct Eq. (2) sweep outside the diagram's window — exact
+        everywhere.  Discrete distributions only.
+        """
+        return self.batch_quantify_vpr([q])[0]
+
+    def batch_quantify_vpr(self, queries) -> List[Dict[int, float]]:
+        """:meth:`quantify_vpr` for every row of *queries*.
+
+        One vectorized point-location pass
+        (:meth:`~repro.spatial.pointlocation.SlabPointLocator.
+        locate_batch`) gathers precomputed face vectors; out-of-window
+        rows are answered by the batched Eq. (2) sweep.  Rows use the
+        same sparse-dict container as :meth:`batch_quantify_exact` and
+        agree with it row for row (bitwise on generic queries — inside a
+        cell the sweep's comparisons replay identically at the cell's
+        representative).
+        """
+        return self.cached_vpr().quantify_batch(queries)
+
+    # ------------------------------------------------------------------
+    # The flat-array codec (shared-memory serving, compact persistence).
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Encode the point set into flat NumPy arrays.
+
+        The :mod:`repro.spatial.codec` wire format the shared-memory
+        executor backend maps into worker processes; decoding
+        (:meth:`from_arrays`) is bitwise-faithful, so a decoded replica
+        answers every query with identical bits.  Raises
+        :class:`~repro.spatial.codec.CodecUnsupported` when the set
+        contains a model outside the built-in classes.
+        """
+        from ..spatial.codec import points_to_arrays
+
+        return points_to_arrays(self.points)
+
+    @classmethod
+    def from_arrays(cls, arrays: Dict[str, np.ndarray]) -> "PNNIndex":
+        """Rebuild an index from :meth:`to_arrays` output (bitwise)."""
+        from ..spatial.codec import points_from_arrays
+
+        return cls(points_from_arrays(arrays))
+
     def serve(self, config: Optional["ServiceConfig"] = None,
+              vpr: Optional[ProbabilisticVoronoiDiagram] = None,
               **overrides) -> "QueryService":
         """A :class:`~repro.serving.service.QueryService` over this index.
 
         Keyword overrides populate a fresh
         :class:`~repro.serving.service.ServiceConfig` — e.g.
-        ``index.serve(workers=4, cache_capacity=8192)``.  The service
-        layers request coalescing, multi-core sharding, and exact-keyed
-        result caching over the batch engine; close it (or use it as a
-        context manager) to stop its worker pool and flusher thread.
+        ``index.serve(workers=4, backend="thread", cache_capacity=8192)``.
+        The service layers request coalescing, multi-core sharding over a
+        pluggable executor backend, and exact-keyed result caching over
+        the batch engine; close it (or use it as a context manager) to
+        stop its worker pool and flusher thread.  A prebuilt *vpr* is
+        adopted (:meth:`use_vpr`) for the ``quantify_vpr`` query kind;
+        otherwise the first such query builds the diagram lazily.
         """
         from ..serving.service import QueryService, ServiceConfig
 
@@ -303,7 +390,7 @@ class PNNIndex:
             raise TypeError("pass either a ServiceConfig or overrides, "
                             "not both")
         cfg = config if config is not None else ServiceConfig(**overrides)
-        return QueryService(self, cfg)
+        return QueryService(self, cfg, vpr=vpr)
 
     # ------------------------------------------------------------------
     # Quantification probabilities.

@@ -1064,13 +1064,102 @@ def run_e22(quick: bool = False) -> ExperimentResult:
         passed)
 
 
+# ----------------------------------------------------------------------
+# E23 — pluggable executor backends: process vs thread vs shm vs V_Pr.
+# ----------------------------------------------------------------------
+
+def run_e23(quick: bool = False) -> ExperimentResult:
+    """Executor-backend throughput and the V_Pr-backed serving kind.
+
+    Not a paper artifact — the systems follow-up to E20: the sharding
+    layer's execution engine is now pluggable
+    (:mod:`repro.serving.executors`), so this runner races the same
+    ``batch_delta`` workload across the ``process``, ``thread``, and
+    ``shm`` backends (asserting bitwise-identical answers), then serves
+    exact quantification through the new ``quantify_vpr`` kind (point
+    location into precomputed face vectors) and checks it row for row
+    against the direct Eq. (2) sweep.  Speedups are hardware-dependent
+    (a 1-core container cannot beat itself), so exact agreement is the
+    pass/fail criterion and throughput is the reported measurement.
+    """
+    import os
+
+    from ..serving.shard import ShardExecutor
+
+    n, m = (2000, 4000) if quick else (20000, 60000)
+    workers = 2 if quick else 4
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=n + 37, extent=extent, r_min=0.1,
+                         r_max=0.4)
+    index = PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks])
+    rng = random.Random(53)
+    qs = np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                   for _ in range(m)])
+    index.batch_delta(qs[:16])  # build the engine outside the timers
+    single_t = math.inf
+    for _ in range(2):
+        start = time.perf_counter()
+        base = index.batch_delta(qs)
+        single_t = min(single_t, time.perf_counter() - start)
+    rows = [{"backend": "single", "mode": "-", "queries/s": int(m / single_t),
+             "speedup": 1.0, "identical": True}]
+    agree = True
+    for backend in ("process", "thread", "shm"):
+        with ShardExecutor(index.points, workers=workers, backend=backend,
+                           index=index) as executor:
+            executor.run("delta", qs[:16])  # replicas/pools warm
+            shard_t = math.inf
+            for _ in range(2):
+                start = time.perf_counter()
+                sharded = executor.run("delta", qs)
+                shard_t = min(shard_t, time.perf_counter() - start)
+            identical = bool(np.array_equal(base, sharded))
+            agree &= identical
+            rows.append({"backend": backend, "mode": executor.mode,
+                         "queries/s": int(m / shard_t),
+                         "speedup": round(single_t / shard_t, 2),
+                         "identical": identical})
+    # The seventh kind: V_Pr-backed exact quantification vs the sweep.
+    vn = 6 if quick else 10
+    pts = random_discrete_points(vn, 2, seed=71, spread=2.0)
+    vindex = PNNIndex(pts)
+    vqs = np.array([(rng.uniform(-1, math.sqrt(vn) * 2.2 + 1),
+                     rng.uniform(-1, math.sqrt(vn) * 2.2 + 1))
+                    for _ in range(500 if quick else 3000)])
+    start = time.perf_counter()
+    sweep = vindex.batch_quantify_exact(vqs)
+    sweep_t = time.perf_counter() - start
+    vindex.batch_quantify_vpr(vqs[:4])  # diagram + locator warm
+    start = time.perf_counter()
+    served = vindex.batch_quantify_vpr(vqs)
+    vpr_t = time.perf_counter() - start
+    vpr_identical = served == sweep
+    agree &= vpr_identical
+    rows.append({"backend": "quantify_vpr", "mode": "locator",
+                 "queries/s": int(len(vqs) / vpr_t),
+                 "speedup": round(sweep_t / vpr_t, 2),
+                 "identical": vpr_identical})
+    cores = os.cpu_count() or 1
+    return ExperimentResult(
+        "E23", "Executor-backend throughput (process/thread/shm + V_Pr)",
+        "the sharding layer's execution engine is pluggable — worker "
+        "replicas over pickle or shared memory, or threads over one "
+        "index — with bitwise-identical answers everywhere; V_Pr point "
+        "location serves exact quantification without re-sweeping",
+        rows,
+        f"bitwise-identical answers across all backends and the V_Pr "
+        f"path: {agree} (host has {cores} core(s) — speedups are "
+        f"hardware-bound)",
+        agree)
+
+
 REGISTRY: Dict[str, Callable[[bool], ExperimentResult]] = {
     "E1": run_e01, "E2": run_e02, "E3": run_e03, "E4": run_e04,
     "E5": run_e05, "E6": run_e06, "E7": run_e07, "E8": run_e08,
     "E9": run_e09, "E10": run_e10, "E11": run_e11, "E12": run_e12,
     "E13": run_e13, "E14": run_e14, "E15": run_e15, "E16": run_e16,
     "E17": run_e17, "E18": run_e18, "E19": run_e19, "E20": run_e20,
-    "E21": run_e21, "E22": run_e22,
+    "E21": run_e21, "E22": run_e22, "E23": run_e23,
 }
 
 

@@ -5,35 +5,58 @@ sustain bursty multi-client traffic against one shared
 :class:`~repro.core.index.PNNIndex`:
 
 * :class:`QueryService` — the front door (scalar, coalesced-async, and
-  batch calls for all five query kinds), built via ``PNNIndex.serve()``;
+  batch calls for all seven query kinds, ``quantify_vpr`` included),
+  built via ``PNNIndex.serve()``;
 * :class:`MicroBatcher` — request coalescing into vectorized batches;
-* :class:`ShardExecutor` / :class:`IndexReplica` — multi-core sharding
-  over read-only worker replicas with ordered, bitwise-identical
-  reassembly (inline fallback where process pools are unavailable);
-* :class:`ResultCache` — exact-keyed LRU over the piecewise-stable
-  answer fields, with hit/miss/eviction accounting;
+* :class:`ShardExecutor` — the dispatch/reassembly plan over a pluggable
+  :class:`ExecutorBackend` (:mod:`repro.serving.executors`): ``process``
+  worker replicas, a ``thread`` pool over the shared index, ``shm``
+  workers mapping one shared-memory replica segment, or ``inline``
+  serial execution — all with ordered, bitwise-identical reassembly;
+* :class:`ResultCache` — exact- or region-keyed LRU over the
+  piecewise-stable answer fields, with hit/miss/eviction accounting;
 * :class:`ServiceStats` — per-method request counts and latency
   percentiles.
 
-Benchmark E20 measures throughput against shard count and cache hit
-rate; ``python -m repro serve-demo`` exercises the full stack.
+Benchmarks E20/E23 measure throughput against shard count, backend, and
+cache hit rate; ``python -m repro serve-demo`` exercises the full stack.
 """
 
 from .cache import ResultCache
 from .coalesce import MicroBatcher
+from .executors import (
+    BACKENDS,
+    BackendUnavailable,
+    ExecutorBackend,
+    IndexReplica,
+    InlineBackend,
+    ProcessBackend,
+    SHARD_METHODS,
+    SharedMemoryBackend,
+    ThreadBackend,
+    create_backend,
+)
 from .service import QueryService, ServiceConfig
-from .shard import SHARD_METHODS, IndexReplica, ShardExecutor
+from .shard import ShardExecutor
 from .stats import LatencyRecorder, MethodStats, ServiceStats
 
 __all__ = [
+    "BACKENDS",
+    "BackendUnavailable",
+    "ExecutorBackend",
     "IndexReplica",
+    "InlineBackend",
     "LatencyRecorder",
     "MethodStats",
     "MicroBatcher",
+    "ProcessBackend",
     "QueryService",
     "ResultCache",
     "SHARD_METHODS",
     "ServiceConfig",
     "ServiceStats",
+    "SharedMemoryBackend",
     "ShardExecutor",
+    "ThreadBackend",
+    "create_backend",
 ]

@@ -44,10 +44,11 @@ from ..quantification.threshold import ThresholdResult
 __all__ = ["ResultCache", "CONTINUOUS_METHODS"]
 
 #: Query kinds whose answers vary continuously with the query point.
-#: Every other kind (``nonzero_nn``, ``quantify``/``quantify_exact`` and
-#: the quantify-derived ``top_k``/``threshold_nn``) is piecewise-constant
-#: over a Voronoi subdivision, which is what makes region keys faithful
-#: away from cell boundaries; these are not, so they always key exactly.
+#: Every other kind (``nonzero_nn``, ``quantify``/``quantify_exact``/
+#: ``quantify_vpr`` and the quantify-derived ``top_k``/``threshold_nn``)
+#: is piecewise-constant over a Voronoi subdivision, which is what makes
+#: region keys faithful away from cell boundaries; these are not, so
+#: they always key exactly.
 CONTINUOUS_METHODS = frozenset({"delta"})
 
 _MISS = object()

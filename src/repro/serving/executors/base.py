@@ -1,0 +1,157 @@
+"""The executor-backend protocol: how sharded query chunks get executed.
+
+:class:`~repro.serving.shard.ShardExecutor` owns the *dispatch plan* —
+validating the method, splitting an ``(m, 2)`` query array into chunks,
+and reassembling per-chunk answers in query order.  *How* a list of chunk
+tasks is executed is the backend's job, behind one small protocol:
+
+* :class:`ProcessBackend <repro.serving.executors.process.ProcessBackend>`
+  — a :mod:`multiprocessing` pool; each worker unpickles the uncertain
+  points once and holds a private :class:`IndexReplica`;
+* :class:`ThreadBackend <repro.serving.executors.thread.ThreadBackend>`
+  — a :class:`~concurrent.futures.ThreadPoolExecutor` over **one shared
+  index**: the batch engines release the GIL inside their NumPy kernels,
+  so chunks genuinely overlap without any replica build at all;
+* :class:`SharedMemoryBackend <repro.serving.executors.shm.
+  SharedMemoryBackend>` — worker processes map the point data out of one
+  :mod:`multiprocessing.shared_memory` segment (the flat-array codec of
+  :mod:`repro.spatial.codec`) instead of each receiving a pickled stream;
+* :class:`InlineBackend <repro.serving.executors.inline.InlineBackend>`
+  — the degraded mode: the same chunk walk, serially, in-process.
+
+Every backend answers every chunk through the index's own
+``batch_<method>`` front doors (via :class:`IndexReplica`), and every
+reduction in those engines is per query row — so any backend, at any
+worker count and any chunking, returns **bitwise-identical** results to
+the unsharded call.  That is the refactor's inviolable contract, pinned
+by ``tests/test_executors.py`` across the full method × backend × worker
+grid.
+
+A backend that cannot start on this host raises
+:class:`BackendUnavailable` from its constructor; the factory
+(:func:`repro.serving.executors.create_backend`) falls through the
+documented degradation chain instead of crashing the service.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...uncertain.base import UncertainPoint
+
+__all__ = ["SHARD_METHODS", "BackendUnavailable", "ExecutorBackend",
+           "IndexReplica", "Task", "reassemble"]
+
+#: Every query kind the sharding layer can route — each one is an index
+#: ``batch_<method>`` front door, so growing this tuple automatically
+#: routes through every backend with no per-method dispatch to maintain.
+SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "quantify_exact",
+                 "quantify_vpr", "top_k", "threshold_nn")
+
+#: One unit of backend work: ``(method, query_chunk, params)``.
+Task = Tuple[str, np.ndarray, Dict]
+
+
+class BackendUnavailable(RuntimeError):
+    """This backend cannot run on this host (no pools, no shm, ...)."""
+
+
+class IndexReplica:
+    """A read-only copy of the index, answering by chunk.
+
+    Wraps a :class:`~repro.core.index.PNNIndex` so every sharded method
+    runs the *same* code path as the unsharded batch call — the
+    bitwise-identity guarantee falls out of reusing the implementation
+    rather than re-deriving it.  Process backends build one per worker
+    from transferred point data; the thread backend wraps the caller's
+    own index (:meth:`of_index`) so nothing is rebuilt at all.
+    """
+
+    def __init__(self, points: Sequence[UncertainPoint]) -> None:
+        from ...core.index import PNNIndex
+
+        self.index = PNNIndex(points)
+
+    @classmethod
+    def of_index(cls, index) -> "IndexReplica":
+        """A replica *view* over an existing index (no copy, no build)."""
+        replica = cls.__new__(cls)
+        replica.index = index
+        return replica
+
+    def run(self, method: str, chunk: np.ndarray, params: Dict) -> object:
+        """Answer one query chunk; the result type is method-native."""
+        if method not in SHARD_METHODS:
+            raise ValueError(f"unknown shardable method {method!r}")
+        return getattr(self.index, f"batch_{method}")(chunk, **params)
+
+
+def reassemble(method: str, parts: List[object]) -> object:
+    """Concatenate per-chunk results back into query order."""
+    if method == "delta":
+        arrays = [p for p in parts if len(p)]  # type: ignore[arg-type]
+        if not arrays:
+            return np.empty(0, dtype=np.float64)
+        return np.concatenate(arrays)
+    out: List[object] = []
+    for part in parts:
+        out.extend(part)  # type: ignore[arg-type]
+    return out
+
+
+class ExecutorBackend(abc.ABC):
+    """The execution half of the sharding layer (see module docstring).
+
+    Concrete backends set :attr:`mode` (the resolved execution mode, one
+    of ``"process"``, ``"thread"``, ``"shm"``, ``"inline"``),
+    :attr:`workers` (parallel lanes actually available), and
+    :attr:`start_method` (the :mod:`multiprocessing` start method for
+    process-based modes, ``None`` otherwise).
+    """
+
+    mode: str = "inline"
+    workers: int = 1
+    start_method: Optional[str] = None
+    #: Whether this backend answers through the *caller's* index object
+    #: (thread/inline sharing) rather than per-worker replicas.  Routing
+    #: policy for kinds whose replica state is expensive to duplicate
+    #: (``quantify_vpr``'s Theta(N^4) diagram) keys off this.
+    shares_index: bool = False
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def map(self, tasks: List[Task]) -> List[object]:
+        """Execute *tasks*, returning per-chunk results in task order."""
+
+    def _close_impl(self) -> None:
+        """Release backend resources (pools, segments); default no-op."""
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear down worker pools and shared resources (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._close_impl()
+
+    def __enter__(self) -> "ExecutorBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter-shutdown noise
+            pass

@@ -1,0 +1,50 @@
+"""The inline (serial, in-process) executor backend.
+
+The degradation floor of every backend chain — sandboxes without process
+pools, single-worker configurations, hosts where shared memory cannot be
+created — and also the *correctness oracle*: it walks exactly the chunk
+list any parallel backend would, through the same
+:class:`~repro.serving.executors.base.IndexReplica` code path, so "inline
+answers == pool answers" is chunking invariance alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ...uncertain.base import UncertainPoint
+from .base import ExecutorBackend, IndexReplica, Task
+
+__all__ = ["InlineBackend"]
+
+
+class InlineBackend(ExecutorBackend):
+    """Serial execution against a local replica (or a shared index).
+
+    The replica is built lazily on first use: a service that only ever
+    routes large batches to a live pool should not pay for a duplicate
+    in-process index.  When *index* is given the caller's index is shared
+    instead and nothing is built at all.
+    """
+
+    mode = "inline"
+
+    def __init__(self, points: Sequence[UncertainPoint],
+                 index=None) -> None:
+        super().__init__()
+        self.points = list(points)
+        self.workers = 1
+        self._index = index
+        self.shares_index = index is not None
+        self._local: Optional[IndexReplica] = None
+
+    def _replica(self) -> IndexReplica:
+        if self._local is None:
+            self._local = (IndexReplica.of_index(self._index)
+                           if self._index is not None
+                           else IndexReplica(self.points))
+        return self._local
+
+    def map(self, tasks: List[Task]) -> List[object]:
+        replica = self._replica()
+        return [replica.run(*task) for task in tasks]

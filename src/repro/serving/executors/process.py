@@ -1,0 +1,104 @@
+"""The multiprocessing-pool executor backend (pickled worker replicas).
+
+The original ``ShardExecutor`` execution engine, refactored onto the
+:class:`~repro.serving.executors.base.ExecutorBackend` protocol: a
+:mod:`multiprocessing` pool whose initializer builds, once per worker,
+a private :class:`~repro.serving.executors.base.IndexReplica` from the
+pickled uncertain points.  ``Pool.map`` preserves submission order, so
+per-chunk answers come back already in query order.
+
+Replicas are built from the same points with the same seeds, so every
+worker computes exactly the parent's numbers — sharded output is bitwise
+identical to the unsharded batch call.
+
+The worker-process globals here (:data:`_REPLICA`, :func:`_run_chunk`,
+:func:`_set_replica`) are shared with the shared-memory backend, which
+swaps only the *transport* (a mapped segment instead of a pickle stream)
+and reuses the same execution entry point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...uncertain.base import UncertainPoint
+from .base import BackendUnavailable, ExecutorBackend, IndexReplica, Task
+
+__all__ = ["ProcessBackend"]
+
+# Worker-process global: the replica built once by the pool initializer.
+_REPLICA: Optional[IndexReplica] = None
+
+
+def _set_replica(replica: IndexReplica) -> None:
+    """Install this worker process's replica (shared with the shm backend)."""
+    global _REPLICA
+    _REPLICA = replica
+
+
+def _init_worker(payload: bytes) -> None:
+    """Pool initializer: build this worker's replica from pickled points."""
+    _set_replica(IndexReplica(pickle.loads(payload)))
+
+
+def _run_chunk(task: Tuple[str, np.ndarray, Dict]) -> object:
+    """Top-level (picklable) worker entry: answer one chunk."""
+    method, chunk, params = task
+    assert _REPLICA is not None, "worker initializer did not run"
+    return _REPLICA.run(method, chunk, params)
+
+
+def start_pool(workers: int, preferred: Optional[str],
+               initializer, initargs) -> Tuple[object, str]:
+    """Start a worker pool, trying start methods in preference order.
+
+    ``preferred=None`` tries ``fork`` (cheapest), then ``forkserver``,
+    then ``spawn``; an unavailable or failing method falls through to the
+    next.  Raises :class:`BackendUnavailable` when none starts — shared
+    by the process and shared-memory backends.
+    """
+    tried = [preferred] if preferred else []
+    tried += [m for m in ("fork", "forkserver", "spawn") if m not in tried]
+    available = multiprocessing.get_all_start_methods()
+    errors: List[str] = []
+    for method in tried:
+        if method not in available:
+            continue
+        try:
+            ctx = multiprocessing.get_context(method)
+            pool = ctx.Pool(workers, initializer=initializer,
+                            initargs=initargs)
+        except (OSError, ValueError, ImportError, RuntimeError) as exc:
+            errors.append(f"{method}: {exc}")
+            continue
+        return pool, method
+    raise BackendUnavailable(
+        "no multiprocessing start method could start a pool"
+        + (f" ({'; '.join(errors)})" if errors else ""))
+
+
+class ProcessBackend(ExecutorBackend):
+    """Execute chunk tasks on a pool of pickled-replica worker processes."""
+
+    mode = "process"
+
+    def __init__(self, points: Sequence[UncertainPoint],
+                 workers: int,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__()
+        self.workers = int(workers)
+        self._pool, self.start_method = start_pool(
+            self.workers, start_method,
+            _init_worker, (pickle.dumps(list(points)),))
+
+    def map(self, tasks: List[Task]) -> List[object]:
+        return self._pool.map(_run_chunk, tasks)
+
+    def _close_impl(self) -> None:
+        self._pool.close()
+        self._pool.join()
+        self._pool = None

@@ -1,0 +1,158 @@
+"""The shared-memory executor backend (workers map one replica segment).
+
+The process backend ships every worker its own pickled copy of the point
+set through a pipe — at ``n`` points and ``w`` workers that is ``w``
+serializations, ``w`` pipe transfers, and ``w`` private heap copies of
+the same read-only data.  This backend moves the data once: the point set
+is flattened by the array codec (:mod:`repro.spatial.codec`) into a few
+contiguous NumPy arrays, the arrays are packed into **one**
+:mod:`multiprocessing.shared_memory` segment, and each worker process
+maps that segment zero-copy (the only thing pickled per worker is the
+segment name plus a tiny array manifest) and decodes its replica from
+the mapped views.
+
+Execution is byte-for-byte the process backend's: the same worker entry
+point answers the same chunk tasks against an
+:class:`~repro.serving.executors.base.IndexReplica`, so results stay
+bitwise identical to every other backend.  Only the *transport* of the
+replica data differs.
+
+The codec carries exactly the built-in model classes; an index holding a
+user-defined model raises
+:class:`~repro.serving.executors.base.BackendUnavailable` here and the
+factory falls back to the pickled process backend.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...spatial.codec import CodecUnsupported, points_from_arrays, \
+    points_to_arrays
+from ...uncertain.base import UncertainPoint
+from .base import BackendUnavailable, ExecutorBackend, IndexReplica, Task
+from .process import _run_chunk, _set_replica, start_pool
+
+__all__ = ["SharedMemoryBackend"]
+
+#: ``(key, dtype str, shape, byte offset)`` per array in the segment.
+Manifest = Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
+
+_ALIGN = 16
+
+
+def pack_arrays(arrays: Dict[str, np.ndarray]
+                ) -> Tuple[shared_memory.SharedMemory, Manifest]:
+    """Copy *arrays* into one new shared-memory segment; return a manifest."""
+    entries = []
+    offset = 0
+    for key, arr in arrays.items():
+        offset = -(-offset // _ALIGN) * _ALIGN  # round up to alignment
+        entries.append((key, arr.dtype.str, arr.shape, offset))
+        offset += arr.nbytes
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    except (OSError, ValueError) as exc:
+        raise BackendUnavailable(f"cannot create shared memory: {exc}")
+    for (key, dtype, shape, off), arr in zip(entries, arrays.values()):
+        view = np.ndarray(shape, dtype=dtype, buffer=shm.buf, offset=off)
+        view[...] = arr
+        del view  # release the buffer reference before any close()
+    return shm, tuple(entries)
+
+
+def unpack_arrays(buf, manifest: Manifest) -> Dict[str, np.ndarray]:
+    """Rebuild the array dict as zero-copy views over a mapped segment."""
+    return {key: np.ndarray(shape, dtype=dtype, buffer=buf, offset=off)
+            for key, dtype, shape, off in manifest}
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without claiming ownership of it.
+
+    The parent owns the segment's lifetime; an attaching worker must not
+    let *its* resource tracker register the segment — a forked worker
+    shares the parent's tracker (so a later unregister would steal the
+    parent's registration), and a spawned worker's private tracker would
+    unlink the segment when the worker exits.  Python 3.13+ has
+    ``track=False`` for exactly this; earlier versions get the bpo-38119
+    workaround of suppressing registration around the attach.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+
+        def _skip_shared_memory(res_name, rtype):
+            if rtype != "shared_memory":
+                original(res_name, rtype)
+
+        resource_tracker.register = _skip_shared_memory
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def _init_shm_worker(name: str, manifest: Manifest) -> None:
+    """Pool initializer: decode this worker's replica from the segment.
+
+    The decoded models own their data (the codec materializes Python
+    lists and fresh arrays), so the mapping is released again right after
+    decoding — workers keep no handle on the segment.
+    """
+    shm = _attach(name)
+    try:
+        points = points_from_arrays(unpack_arrays(shm.buf, manifest))
+    finally:
+        shm.close()
+    _set_replica(IndexReplica(points))
+
+
+class SharedMemoryBackend(ExecutorBackend):
+    """Worker processes decoding replicas from one shared segment."""
+
+    mode = "shm"
+
+    def __init__(self, points: Sequence[UncertainPoint],
+                 workers: int,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__()
+        self.workers = int(workers)
+        try:
+            arrays = points_to_arrays(points)
+        except CodecUnsupported as exc:
+            raise BackendUnavailable(str(exc))
+        self._shm, manifest = pack_arrays(arrays)
+        self.segment_bytes = self._shm.size
+        try:
+            self._pool, self.start_method = start_pool(
+                self.workers, start_method,
+                _init_shm_worker, (self._shm.name, manifest))
+        except BackendUnavailable:
+            self._release_segment()
+            raise
+
+    def _release_segment(self) -> None:
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # pragma: no cover
+            pass
+        self._shm = None
+
+    def map(self, tasks: List[Task]) -> List[object]:
+        return self._pool.map(_run_chunk, tasks)
+
+    def _close_impl(self) -> None:
+        self._pool.close()
+        self._pool.join()
+        self._pool = None
+        self._release_segment()

@@ -9,20 +9,31 @@ the three mechanisms bursty multi-client traffic needs:
 * a :class:`~repro.serving.coalesce.MicroBatcher` that coalesces
   concurrent scalar :meth:`submit` calls into vectorized batches;
 * a :class:`~repro.serving.shard.ShardExecutor` that fans large batches
-  out over worker processes holding read-only index replicas, with
-  ordered reassembly and bitwise-identical answers.
+  out over a pluggable executor backend
+  (:mod:`repro.serving.executors`: ``process`` worker replicas,
+  ``thread`` pool over the shared index, ``shm`` workers mapping one
+  shared-memory segment — selected by ``ServiceConfig(backend=...)``,
+  ``"auto"`` by default) with ordered reassembly and bitwise-identical
+  answers.
 
-Six query kinds share one dispatch spine: ``delta``, ``nonzero_nn``,
-``quantify``, ``quantify_exact``, ``top_k``, ``threshold_nn`` — each
-available as a scalar
+Seven query kinds share one dispatch spine: ``delta``, ``nonzero_nn``,
+``quantify``, ``quantify_exact``, ``quantify_vpr``, ``top_k``,
+``threshold_nn`` — each available as a scalar
 call (cache -> engine), an async :meth:`submit` (cache -> coalescer),
 and a :meth:`batch` (row-wise cache for small batches, sharding for
 large ones).  Per-method hit/miss/latency statistics accumulate in
 :class:`~repro.serving.stats.ServiceStats`; :meth:`stats` snapshots them.
 
+``quantify_vpr`` serves exact quantification out of the probabilistic
+Voronoi diagram (Theorem 4.2): batches point-locate into precomputed
+face vectors (:meth:`~repro.spatial.pointlocation.SlabPointLocator.
+locate_batch`) behind the same result cache, falling back to the direct
+Eq. (2) sweep outside the diagram's window.  The diagram builds lazily
+on first use, or pass a prebuilt one via ``index.serve(vpr=...)``.
+
 Construct via :meth:`PNNIndex.serve`::
 
-    service = index.serve(workers=4, cache_capacity=8192)
+    service = index.serve(workers=4, backend="thread", cache_capacity=8192)
     with service:
         fut = service.submit("quantify", (1.0, 2.0))
         deltas = service.batch("delta", queries)   # sharded when large
@@ -42,6 +53,7 @@ import numpy as np
 from ..spatial.batch import as_query_array
 from .cache import ResultCache
 from .coalesce import MicroBatcher
+from .executors import BACKENDS
 from .shard import SHARD_METHODS, ShardExecutor
 from .stats import ServiceStats
 
@@ -52,13 +64,22 @@ __all__ = ["ServiceConfig", "QueryService"]
 class ServiceConfig:
     """Tunables of one :class:`QueryService` instance.
 
+    Validated eagerly: unknown backends and non-positive sizes raise
+    :class:`ValueError` at construction, not at first use.
+
     Attributes
     ----------
     workers:
-        Shard worker processes.  ``0``/``1`` disables sharding entirely
-        (every batch runs in-process); ``>= 2`` starts a
+        Shard workers.  ``0``/``1`` disables sharding entirely (every
+        batch runs in-process); ``>= 2`` starts a
         :class:`~repro.serving.shard.ShardExecutor` (which itself falls
-        back to inline mode where process pools are unavailable).
+        back to inline mode where its backend cannot start).
+    backend:
+        Executor backend: ``"auto"`` (default), ``"shm"``, ``"process"``,
+        ``"thread"``, or ``"inline"`` — see
+        :func:`repro.serving.executors.create_backend` for the auto
+        policy and degradation chain.  All backends return
+        bitwise-identical answers; the choice is operational.
     start_method:
         Preferred multiprocessing start method (``None`` = auto).
     shard_min_batch:
@@ -89,6 +110,7 @@ class ServiceConfig:
     """
 
     workers: int = 0
+    backend: str = "auto"
     start_method: Optional[str] = None
     shard_min_batch: int = 4096
     shard_chunk: Optional[int] = None
@@ -100,14 +122,43 @@ class ServiceConfig:
     cache_batch_limit: int = 1024
     latency_window: int = 4096
 
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown executor backend {self.backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        for field, floor in (("shard_min_batch", 1), ("max_batch", 1),
+                             ("latency_window", 1)):
+            value = getattr(self, field)
+            if value < floor:
+                raise ValueError(f"{field} must be >= {floor}, got {value}")
+        if self.shard_chunk is not None and self.shard_chunk < 1:
+            raise ValueError(
+                f"shard_chunk must be >= 1 (or None), got {self.shard_chunk}")
+        if self.flush_window <= 0:
+            raise ValueError(
+                f"flush_window must be positive, got {self.flush_window}")
+        for field in ("cache_capacity", "cache_batch_limit"):
+            value = getattr(self, field)
+            if value < 0:
+                raise ValueError(
+                    f"{field} must be >= 0 (0 disables), got {value}")
+        if self.cache_cell_size < 0:
+            raise ValueError(f"cache_cell_size must be >= 0, "
+                             f"got {self.cache_cell_size}")
+
 
 class QueryService:
     """Serve scalar / coalesced / sharded queries over one shared index."""
 
-    def __init__(self, index, config: Optional[ServiceConfig] = None) -> None:
+    def __init__(self, index, config: Optional[ServiceConfig] = None,
+                 vpr=None) -> None:
         self.index = index
         self.config = config or ServiceConfig()
         cfg = self.config
+        if vpr is not None:
+            index.use_vpr(vpr)
         self.stats_registry = ServiceStats(cfg.latency_window)
         self.cache: Optional[ResultCache] = (
             ResultCache(cfg.cache_capacity, cell_size=cfg.cache_cell_size)
@@ -116,7 +167,8 @@ class QueryService:
         if cfg.workers >= 2:
             self.executor = ShardExecutor(
                 index.points, workers=cfg.workers,
-                start_method=cfg.start_method, chunk_size=cfg.shard_chunk)
+                start_method=cfg.start_method, chunk_size=cfg.shard_chunk,
+                backend=cfg.backend, index=index)
         self.batcher: Optional[MicroBatcher] = None
         if cfg.coalesce:
             self.batcher = MicroBatcher(
@@ -133,7 +185,7 @@ class QueryService:
         if method not in SHARD_METHODS:
             raise ValueError(f"unknown query method {method!r}; "
                              f"expected one of {SHARD_METHODS}")
-        if method in ("delta", "nonzero_nn"):
+        if method in ("delta", "nonzero_nn", "quantify_vpr"):
             if overrides:
                 raise TypeError(f"{method} takes no parameters, "
                                 f"got {sorted(overrides)}")
@@ -180,8 +232,16 @@ class QueryService:
             raise RuntimeError("QueryService is closed")
         cfg = self.config
         mstats = self.stats_registry.method(method)
+        # quantify_vpr only fans out over backends that share this
+        # service's index: a process/shm worker replica would lazily
+        # rebuild its own Theta(N^4) diagram (once per worker, default
+        # window) and silently ignore an adopted prebuilt V_Pr.
+        fan_out = (method != "quantify_vpr"
+                   or (self.executor is not None
+                       and self.executor.impl.shares_index))
         sharded = (self.executor is not None
-                   and self.executor.mode == "process"
+                   and self.executor.mode != "inline"
+                   and fan_out
                    and len(q) >= cfg.shard_min_batch)
         start = time.perf_counter()
         if sharded:
@@ -262,6 +322,9 @@ class QueryService:
     def quantify_exact(self, q: Tuple[float, float], **overrides
                        ) -> Dict[int, float]:
         return self.query("quantify_exact", q, **overrides)
+
+    def quantify_vpr(self, q: Tuple[float, float]) -> Dict[int, float]:
+        return self.query("quantify_vpr", q)
 
     def top_k(self, q: Tuple[float, float], k: int, **overrides
               ) -> List[tuple]:
@@ -372,6 +435,9 @@ class QueryService:
                              ) -> List[Dict[int, float]]:
         return self.batch("quantify_exact", queries, **overrides)
 
+    def batch_quantify_vpr(self, queries) -> List[Dict[int, float]]:
+        return self.batch("quantify_vpr", queries)
+
     def batch_top_k(self, queries, k: int, **overrides) -> List[List[tuple]]:
         return self.batch("top_k", queries, k=k, **overrides)
 
@@ -391,6 +457,7 @@ class QueryService:
             snap["cache"] = self.cache.snapshot()
         if self.executor is not None:
             snap["executor"] = {
+                "backend": self.executor.backend,
                 "mode": self.executor.mode,
                 "workers": self.executor.workers,
                 "start_method": self.executor.start_method,
@@ -421,3 +488,12 @@ class QueryService:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def __del__(self) -> None:
+        # A service dropped without a context manager must still tear
+        # down its worker pool and flusher thread — no leaked processes,
+        # semaphores, or shared-memory segments.
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 — interpreter-shutdown noise
+            pass

@@ -1,119 +1,77 @@
-"""Multi-core sharding of batch queries across read-only index replicas.
+"""Multi-core sharding of batch queries: the dispatch/reassembly plan.
 
 The batch engine is single-threaded NumPy; one process tops out at one
-core.  :class:`ShardExecutor` scales the same work across a
-:mod:`multiprocessing` pool: each worker builds its **own read-only
-replica** of the index once (at pool start, from the pickled uncertain
-points), large ``(m, 2)`` query arrays are split into shard-sized chunks,
-chunks are dispatched with ``Pool.map`` (which preserves submission
-order), and the per-chunk answers are reassembled in query order.
+core.  :class:`ShardExecutor` scales the same work across parallel
+workers: large ``(m, 2)`` query arrays are split into shard-sized
+chunks, chunks are dispatched to a pluggable **executor backend**
+(:mod:`repro.serving.executors` — a multiprocessing pool of pickled
+replicas, a thread pool over one shared index, worker processes mapping
+a shared-memory replica segment, or serial inline execution), and the
+per-chunk answers are reassembled in query order.
 
-Determinism is structural, not coincidental: every reduction in the batch
-engine is per query row, so chunk boundaries never change an answer, and
-replicas are built from the same points with the same seeds, so every
-worker computes exactly the parent's numbers.  Sharded output is
-therefore **bitwise identical** to the unsharded batch call — the
-property benchmark E20 asserts.
+Determinism is structural, not coincidental: every reduction in the
+batch engines is per query row, so chunk boundaries never change an
+answer, and every backend answers chunks through the index's own
+``batch_<method>`` front doors over identical point data.  Sharded
+output is therefore **bitwise identical** to the unsharded batch call on
+every backend at every worker count — the property
+``tests/test_executors.py`` and benchmarks E20/E23 assert.
 
-When process pools are unavailable — sandboxed CI without ``/dev/shm``,
-restricted seccomp profiles, interpreters built without ``fork``/
-``spawn`` — the executor degrades to *inline* mode: the same chunked
-code path runs serially in the calling process against a local replica.
-Same answers, no parallelism, no crash.
+When a parallel backend cannot start on this host — sandboxed CI without
+``/dev/shm``, restricted seccomp profiles, interpreters without
+``fork``/``spawn`` — the factory degrades along the documented chain
+down to *inline* mode: the same chunked code path, serially, in the
+calling process.  Same answers, no parallelism, no crash.
 """
 
 from __future__ import annotations
 
 import math
-import multiprocessing
 import os
-import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..uncertain.base import UncertainPoint
+from .executors import (
+    SHARD_METHODS,
+    ExecutorBackend,
+    IndexReplica,
+    create_backend,
+    reassemble,
+)
 
 __all__ = ["IndexReplica", "ShardExecutor", "SHARD_METHODS"]
 
-SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "quantify_exact",
-                 "top_k", "threshold_nn")
-
-# Worker-process global: the replica built once by _init_worker.
-_REPLICA: Optional["IndexReplica"] = None
-
-
-class IndexReplica:
-    """A worker's read-only copy of the index, answering by chunk.
-
-    Wraps a private :class:`~repro.core.index.PNNIndex` so every sharded
-    method runs the *same* code path as the unsharded batch call — the
-    bitwise-identity guarantee falls out of reusing the implementation
-    rather than re-deriving it.
-    """
-
-    def __init__(self, points: Sequence[UncertainPoint]) -> None:
-        from ..core.index import PNNIndex
-
-        self.index = PNNIndex(points)
-
-    def run(self, method: str, chunk: np.ndarray, params: Dict) -> object:
-        """Answer one query chunk; the result type is method-native.
-
-        Every shardable kind maps onto the index's ``batch_<method>``
-        front door, so growing :data:`SHARD_METHODS` automatically routes
-        here — no per-method dispatch chain to keep in sync.
-        """
-        if method not in SHARD_METHODS:
-            raise ValueError(f"unknown shardable method {method!r}")
-        return getattr(self.index, f"batch_{method}")(chunk, **params)
-
-
-def _init_worker(payload: bytes) -> None:
-    """Pool initializer: build this worker's replica from pickled points."""
-    global _REPLICA
-    _REPLICA = IndexReplica(pickle.loads(payload))
-
-
-def _run_chunk(task: Tuple[str, np.ndarray, Dict]) -> object:
-    """Top-level (picklable) worker entry: answer one chunk."""
-    method, chunk, params = task
-    assert _REPLICA is not None, "worker initializer did not run"
-    return _REPLICA.run(method, chunk, params)
-
-
-def _reassemble(method: str, parts: List[object]) -> object:
-    """Concatenate per-chunk results back into query order."""
-    if method == "delta":
-        arrays = [p for p in parts if len(p)]  # type: ignore[arg-type]
-        if not arrays:
-            return np.empty(0, dtype=np.float64)
-        return np.concatenate(arrays)
-    out: List[object] = []
-    for part in parts:
-        out.extend(part)  # type: ignore[arg-type]
-    return out
-
 
 class ShardExecutor:
-    """Dispatch batch queries over worker processes, in query order.
+    """Dispatch batch queries over an executor backend, in query order.
 
     Parameters
     ----------
     points:
-        The uncertain points; each worker rebuilds its replica from them.
+        The uncertain points; process-based backends rebuild worker
+        replicas from them.
     workers:
-        Worker process count.  Defaults to ``min(4, cpu_count)``; any
-        value below 2 (or a failed pool start) selects inline mode.
+        Parallel worker count.  Defaults to ``min(4, cpu_count)``; any
+        value below 2 (or a backend that cannot start) selects inline
+        mode.
     start_method:
-        Preferred :mod:`multiprocessing` start method.  ``None`` tries
-        ``fork`` (cheapest), then ``forkserver``, then ``spawn``; an
-        unavailable or failing method falls through to the next, and a
-        total failure falls back to inline execution instead of raising.
+        Preferred :mod:`multiprocessing` start method for process-based
+        backends (``None`` tries ``fork``, then ``forkserver``, then
+        ``spawn``).
     chunk_size:
         Query rows per dispatched task.  ``None`` sizes chunks so each
         worker receives about :data:`_TASKS_PER_WORKER` tasks — small
-        enough to balance load, large enough to amortize pickling.
+        enough to balance load, large enough to amortize dispatch.
+    backend:
+        ``"auto"`` (default), ``"shm"``, ``"process"``, ``"thread"``, or
+        ``"inline"`` — see :func:`repro.serving.executors.create_backend`
+        for the auto policy and degradation chain.
+    index:
+        Optional already-built index over *points*; backends that share
+        the caller's index (thread, inline) then skip the replica build
+        entirely — and share its lazy artifacts (engines, ``V_Pr``).
     """
 
     _TASKS_PER_WORKER = 4
@@ -122,46 +80,33 @@ class ShardExecutor:
     def __init__(self, points: Sequence[UncertainPoint],
                  workers: Optional[int] = None,
                  start_method: Optional[str] = None,
-                 chunk_size: Optional[int] = None) -> None:
+                 chunk_size: Optional[int] = None,
+                 backend: str = "auto",
+                 index=None) -> None:
         if not points:
             raise ValueError("ShardExecutor needs at least one uncertain point")
         self.points = list(points)
         cpus = os.cpu_count() or 1
         self.workers = min(4, cpus) if workers is None else int(workers)
         self.chunk_size = chunk_size
-        self.mode = "inline"
-        self.start_method: Optional[str] = None
-        self._pool = None
+        self.backend = backend
         self._closed = False
-        # Inline fallback (and single-worker) replica, built lazily on
-        # first use: a service that only ever routes large batches to a
-        # live pool should not pay for a duplicate in-process index.
-        self._local: Optional[IndexReplica] = None
-        if self.workers >= 2:
-            self._start_pool(start_method)
-        if self._pool is None:
-            self.workers = 1
+        self.impl: ExecutorBackend = create_backend(
+            backend, self.points, self.workers,
+            start_method=start_method, index=index)
+        self.workers = self.impl.workers
 
     # ------------------------------------------------------------------
-    def _start_pool(self, preferred: Optional[str]) -> None:
-        tried = [preferred] if preferred else []
-        tried += [m for m in ("fork", "forkserver", "spawn")
-                  if m not in tried]
-        available = multiprocessing.get_all_start_methods()
-        payload = pickle.dumps(self.points)
-        for method in tried:
-            if method not in available:
-                continue
-            try:
-                ctx = multiprocessing.get_context(method)
-                pool = ctx.Pool(self.workers, initializer=_init_worker,
-                                initargs=(payload,))
-            except (OSError, ValueError, ImportError, RuntimeError):
-                continue
-            self._pool = pool
-            self.mode = "process"
-            self.start_method = method
-            return
+    @property
+    def mode(self) -> str:
+        """The resolved execution mode (``process``/``thread``/``shm``/
+        ``inline``) — may differ from the requested :attr:`backend` when
+        the host forced a degradation."""
+        return self.impl.mode
+
+    @property
+    def start_method(self) -> Optional[str]:
+        return self.impl.start_method
 
     # ------------------------------------------------------------------
     def _chunks(self, q: np.ndarray) -> List[np.ndarray]:
@@ -190,25 +135,22 @@ class ShardExecutor:
         params = dict(params or {})
         q = as_query_array(queries)
         if len(q) == 0:
-            return _reassemble(method, [])
-        chunks = self._chunks(q)
-        tasks = [(method, chunk, params) for chunk in chunks]
-        if self._pool is not None:
-            parts = self._pool.map(_run_chunk, tasks)
-        else:
-            if self._local is None:
-                self._local = IndexReplica(self.points)
-            parts = [self._local.run(*task) for task in tasks]
-        return _reassemble(method, parts)
+            return reassemble(method, [])
+        tasks = [(method, chunk, params) for chunk in self._chunks(q)]
+        return reassemble(method, self.impl.map(tasks))
 
     # ------------------------------------------------------------------
     def close(self) -> None:
+        """Stop the backend's workers and release its resources.
+
+        Idempotent, and also invoked from ``__del__`` so an executor
+        dropped without a context manager still tears its pool down (no
+        leaked processes or semaphores).
+        """
+        if self._closed:
+            return
         self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-            self.mode = "inline"
+        self.impl.close()
 
     def __enter__(self) -> "ShardExecutor":
         return self

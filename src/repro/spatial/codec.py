@@ -1,0 +1,172 @@
+"""Flat-array codec for uncertain-point sets (the shared-memory wire format).
+
+The serving layer's process backends ship every worker its own read-only
+replica of the index.  Pickling the model objects works, but each worker
+then receives its own copy of the whole object graph through a pipe.  This
+module flattens a point set into a handful of **plain float64/int64 NumPy
+arrays** — a representation that can live in one
+:mod:`multiprocessing.shared_memory` segment which every worker maps
+instead of receiving a private pickled stream
+(:class:`~repro.serving.executors.shm.SharedMemoryBackend`), and that also
+makes a compact persistence format.
+
+Round-tripping is **bitwise faithful**: decoding reproduces each model's
+stored floats exactly (no re-normalization — a decoded
+:class:`~repro.uncertain.histogram.HistogramUncertainPoint` carries the
+original normalized cell weights, not weights divided by their ≈1.0 sum a
+second time), so every query answered by a decoded replica returns the
+same bits as the original index.  Derived structures (cumulative tables,
+convex hulls, fan triangulations) are rebuilt from those identical floats
+by the same arithmetic, hence land on identical values.
+
+Layout (``n`` points, ``T`` total variable-length rows)::
+
+    types    (n,)   int64    model tag (_CODE_* below)
+    scalars  (n, 4) float64  per-model scalar params (centers, radii, ...)
+    aux      (n,)   int64    integer param (Gaussian quadrature order)
+    offsets  (n+1,) int64    row range [offsets[i], offsets[i+1]) in ``rows``
+    rows     (T, 3) float64  per-model rows: discrete sites ``(x, y, w)``,
+                             histogram cells ``(i, j, w)``, polygon
+                             vertices ``(x, y, 0)``; disk-family models
+                             have empty ranges
+
+Only the built-in model classes are encodable — and only *exactly* those
+classes: a subclass may override behaviour the arrays cannot carry, so it
+raises :class:`CodecUnsupported` (the same exact-type convention the batch
+kernels use).  Callers that must handle arbitrary models catch it and fall
+back to pickling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..uncertain.annulus import AnnulusUniformPoint
+from ..uncertain.base import UncertainPoint
+from ..uncertain.discrete import DiscreteUncertainPoint
+from ..uncertain.disk_uniform import DiskUniformPoint
+from ..uncertain.gaussian import TruncatedGaussianPoint
+from ..uncertain.histogram import HistogramUncertainPoint
+from ..uncertain.polygon import ConvexPolygonUniformPoint
+
+__all__ = ["CodecUnsupported", "points_to_arrays", "points_from_arrays",
+           "ARRAY_KEYS"]
+
+#: The arrays every encoded point set consists of, in a fixed order (the
+#: shared-memory backend packs them into one segment in this order).
+ARRAY_KEYS = ("types", "scalars", "aux", "offsets", "rows")
+
+_CODE_DISK = 0
+_CODE_GAUSSIAN = 1
+_CODE_ANNULUS = 2
+_CODE_DISCRETE = 3
+_CODE_HISTOGRAM = 4
+_CODE_POLYGON = 5
+
+
+class CodecUnsupported(TypeError):
+    """The point set contains a model the array codec cannot carry."""
+
+
+def points_to_arrays(points: Sequence[UncertainPoint]
+                     ) -> Dict[str, np.ndarray]:
+    """Encode *points* into the flat-array form (see module docstring)."""
+    if not points:
+        raise ValueError("cannot encode an empty point set")
+    n = len(points)
+    types = np.zeros(n, dtype=np.int64)
+    scalars = np.zeros((n, 4), dtype=np.float64)
+    aux = np.zeros(n, dtype=np.int64)
+    offsets = np.zeros(n + 1, dtype=np.int64)
+    row_chunks: List[np.ndarray] = []
+    total = 0
+    for i, p in enumerate(points):
+        # Exact type checks: subclasses may override behaviour that the
+        # arrays cannot represent (same convention as the batch kernels).
+        cls = type(p)
+        if cls is DiskUniformPoint:
+            types[i] = _CODE_DISK
+            scalars[i, :3] = (p.center[0], p.center[1], p.radius)
+        elif cls is TruncatedGaussianPoint:
+            types[i] = _CODE_GAUSSIAN
+            scalars[i] = (p.center[0], p.center[1], p.sigma,
+                          p.support_radius)
+            aux[i] = p._order
+        elif cls is AnnulusUniformPoint:
+            types[i] = _CODE_ANNULUS
+            scalars[i] = (p.center[0], p.center[1], p.r_inner, p.r_outer)
+        elif cls is DiscreteUncertainPoint:
+            types[i] = _CODE_DISCRETE
+            chunk = np.empty((p.k, 3), dtype=np.float64)
+            chunk[:, :2] = p.points
+            chunk[:, 2] = p.weights
+            row_chunks.append(chunk)
+            total += p.k
+        elif cls is HistogramUncertainPoint:
+            types[i] = _CODE_HISTOGRAM
+            scalars[i] = (p.origin[0], p.origin[1], p.cell_width,
+                          p.cell_height)
+            chunk = np.empty((len(p._cells), 3), dtype=np.float64)
+            chunk[:, :2] = p._cells
+            chunk[:, 2] = p._weights
+            row_chunks.append(chunk)
+            total += len(p._cells)
+        elif cls is ConvexPolygonUniformPoint:
+            types[i] = _CODE_POLYGON
+            chunk = np.zeros((len(p.vertices), 3), dtype=np.float64)
+            chunk[:, :2] = p.vertices
+            row_chunks.append(chunk)
+            total += len(p.vertices)
+        else:
+            raise CodecUnsupported(
+                f"point {i} has un-encodable type {cls.__name__}; the "
+                "array codec carries exactly the built-in model classes")
+        offsets[i + 1] = total
+    rows = (np.concatenate(row_chunks, axis=0) if row_chunks
+            else np.empty((0, 3), dtype=np.float64))
+    return {"types": types, "scalars": scalars, "aux": aux,
+            "offsets": offsets, "rows": rows}
+
+
+def points_from_arrays(arrays: Dict[str, np.ndarray]
+                       ) -> List[UncertainPoint]:
+    """Decode the flat-array form back into model objects (bitwise)."""
+    types = arrays["types"]
+    scalars = arrays["scalars"]
+    aux = arrays["aux"]
+    offsets = arrays["offsets"]
+    rows = arrays["rows"]
+    out: List[UncertainPoint] = []
+    for i, code in enumerate(types.tolist()):
+        s = scalars[i]
+        lo, hi = int(offsets[i]), int(offsets[i + 1])
+        if code == _CODE_DISK:
+            out.append(DiskUniformPoint((s[0], s[1]), s[2]))
+        elif code == _CODE_GAUSSIAN:
+            out.append(TruncatedGaussianPoint(
+                (s[0], s[1]), s[2], s[3], quadrature_order=int(aux[i])))
+        elif code == _CODE_ANNULUS:
+            out.append(AnnulusUniformPoint((s[0], s[1]), s[2], s[3]))
+        elif code == _CODE_DISCRETE:
+            chunk = rows[lo:hi]
+            # The stored weights are already normalized; normalize=False
+            # keeps them bitwise (a second w / sum(w) pass would not).
+            out.append(DiscreteUncertainPoint(
+                [(x, y) for x, y, _ in chunk.tolist()],
+                chunk[:, 2].tolist(), normalize=False))
+        elif code == _CODE_HISTOGRAM:
+            chunk = rows[lo:hi]
+            # normalize=False keeps the stored normalized weights bitwise
+            # (a second w / sum(w) pass would not).
+            out.append(HistogramUncertainPoint.from_cells(
+                (s[0], s[1]), s[2], s[3],
+                [(int(i), int(j)) for i, j in chunk[:, :2].tolist()],
+                chunk[:, 2].tolist(), normalize=False))
+        elif code == _CODE_POLYGON:
+            out.append(ConvexPolygonUniformPoint(
+                [(x, y) for x, y, _ in rows[lo:hi].tolist()]))
+        else:
+            raise ValueError(f"unknown model tag {code} at point {i}")
+    return out

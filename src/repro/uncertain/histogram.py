@@ -46,7 +46,6 @@ class HistogramUncertainPoint(UncertainPoint):
 
         self._cells: List[Tuple[int, int]] = []
         self._weights: List[float] = []
-        total = 0.0
         for i in range(rows):
             for j in range(cols):
                 w = float(weights[i][j])
@@ -55,10 +54,44 @@ class HistogramUncertainPoint(UncertainPoint):
                 if w > 0:
                     self._cells.append((i, j))
                     self._weights.append(w)
-                    total += w
         if not self._cells:
             raise ValueError("histogram needs at least one positive cell")
-        self._weights = [w / total for w in self._weights]
+        self._finish_weights(normalize=True)
+
+    @classmethod
+    def from_cells(cls, origin: Point, cell_width: float, cell_height: float,
+                   cells: Sequence[Tuple[int, int]],
+                   weights: Sequence[float],
+                   normalize: bool = True) -> "HistogramUncertainPoint":
+        """Build from an explicit positive-cell list.
+
+        The decoding counterpart of the flat-array codec (and any future
+        persistence path): ``normalize=False`` keeps already-normalized
+        *weights* bitwise (re-dividing by their ≈1.0 sum would perturb
+        them).  Derived state is assembled by the same
+        :meth:`_finish_weights` the grid constructor uses, so the two
+        paths cannot drift apart.
+        """
+        if cell_width <= 0 or cell_height <= 0:
+            raise ValueError("cell dimensions must be positive")
+        if not cells or len(cells) != len(weights):
+            raise ValueError("need equal-length, non-empty cells/weights")
+        if any(w <= 0 for w in weights):
+            raise ValueError("cell weights must be positive")
+        p = cls.__new__(cls)
+        p.origin = (float(origin[0]), float(origin[1]))
+        p.cell_width = float(cell_width)
+        p.cell_height = float(cell_height)
+        p._cells = [(int(i), int(j)) for i, j in cells]
+        p._weights = [float(w) for w in weights]
+        p._finish_weights(normalize=normalize)
+        return p
+
+    def _finish_weights(self, normalize: bool) -> None:
+        """Normalize (optionally) and derive the cumulative table."""
+        if normalize:
+            total = sum(self._weights)
+            self._weights = [w / total for w in self._weights]
         self._cumulative: List[float] = []
         acc = 0.0
         for w in self._weights:

@@ -346,6 +346,21 @@ class ProbabilisticVoronoiDiagram:
                         self.points, (float(q[j, 0]), float(q[j, 1])))
         return out
 
+    def quantify_batch(self, queries) -> List[Dict[int, float]]:
+        """Sparse ``{i: pi_i(q)}`` dicts (zeros omitted), one per query.
+
+        The serving container: the same ``row > 0`` filter as
+        :meth:`~repro.quantification.batch_exact.BatchExactQuantifier.
+        batch`, over :meth:`query_batch` rows — so wherever the float
+        vectors agree with the direct Eq. (2) sweep (everywhere outside
+        the window, and on every generic in-window query), the dicts are
+        equal row for row.  This is what the ``quantify_vpr`` query kind
+        serves.
+        """
+        mat = self.query_batch(queries)
+        return [{int(i): float(row[i]) for i in np.flatnonzero(row > 0.0)}
+                for row in mat]
+
     def positive_probabilities(self, q: Point,
                                tol: float = 0.0) -> Dict[int, float]:
         """The paper's query output: all ``(P_i, pi_i(q))`` with positive pi."""

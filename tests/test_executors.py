@@ -1,0 +1,318 @@
+"""Property tests for the pluggable executor backends.
+
+The refactor's inviolable contract: **every backend returns
+bitwise-identical results to the unsharded ``PNNIndex.batch_*`` call,
+for every query kind, at every worker count and chunking.**  These tests
+pin that grid — all seven shardable kinds x all backends x worker counts
+1..3 — plus the backend factory's selection/degradation policy and the
+worker lifecycle (idempotent close, ``__del__`` teardown, no leaked
+pools).
+"""
+
+import math
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_discrete_points, random_disks
+from repro.serving import ShardExecutor
+from repro.serving.executors import (
+    BACKENDS,
+    BackendUnavailable,
+    InlineBackend,
+    ProcessBackend,
+    SharedMemoryBackend,
+    ThreadBackend,
+    create_backend,
+)
+from repro.serving.executors import BACKEND_ENV
+from repro.uncertain.base import UncertainPoint
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+PARALLEL_BACKENDS = ("process", "thread", "shm")
+
+
+def _disk_index(n, seed=3):
+    extent = math.sqrt(n) * 2.0
+    disks = random_disks(n, seed=seed, extent=extent, r_min=0.1, r_max=0.4)
+    return PNNIndex([DiskUniformPoint(d.center, d.r) for d in disks]), extent
+
+
+def _queries(m, extent, seed=17):
+    rng = random.Random(seed)
+    return np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                     for _ in range(m)])
+
+
+class _OpaqueModel(DiskUniformPoint):
+    """A user-defined subclass the array codec must refuse to encode."""
+
+
+# ----------------------------------------------------------------------
+# The parity grid: 7 kinds x backends x worker counts, all bitwise.
+# ----------------------------------------------------------------------
+
+class TestBackendParityGrid:
+    @pytest.fixture(scope="class")
+    def disk_case(self):
+        index, extent = _disk_index(150)
+        qs = _queries(500, extent)
+        expected = {
+            "delta": index.batch_delta(qs),
+            "nonzero_nn": index.batch_nonzero_nn(qs),
+            "quantify": index.batch_quantify(qs[:80], epsilon=0.25),
+            "top_k": index.batch_top_k(qs[:80], k=2, epsilon=0.25),
+            "threshold_nn": index.batch_threshold_nn(qs[:80], tau=0.4),
+        }
+        return index, qs, expected
+
+    @pytest.fixture(scope="class")
+    def discrete_case(self):
+        pts = random_discrete_points(14, 2, seed=13, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(200, 12.0, seed=23)
+        return index, qs, index.batch_quantify_exact(qs)
+
+    @pytest.fixture(scope="class")
+    def vpr_case(self):
+        # Kept deliberately small: every process/shm worker builds its
+        # own Theta(N^4) diagram, so the instance size — not the query
+        # count — is the grid's cost driver.
+        pts = random_discrete_points(8, 2, seed=13, spread=2.0)
+        index = PNNIndex(pts)
+        qs = _queries(200, 9.0, seed=23)
+        return index, qs, index.batch_quantify_vpr(qs)
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_generic_kinds_bitwise(self, disk_case, backend, workers):
+        index, qs, expected = disk_case
+        with ShardExecutor(index.points, workers=workers, chunk_size=64,
+                           backend=backend, index=index) as executor:
+            assert np.array_equal(executor.run("delta", qs),
+                                  expected["delta"])
+            assert executor.run("nonzero_nn", qs) == expected["nonzero_nn"]
+            assert executor.run("quantify", qs[:80],
+                                {"epsilon": 0.25}) == expected["quantify"]
+            assert executor.run("top_k", qs[:80],
+                                {"k": 2, "epsilon": 0.25}) == \
+                expected["top_k"]
+            assert executor.run("threshold_nn", qs[:80],
+                                {"tau": 0.4}) == expected["threshold_nn"]
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_quantify_exact_bitwise(self, discrete_case, backend, workers):
+        index, qs, expected = discrete_case
+        with ShardExecutor(index.points, workers=workers, chunk_size=32,
+                           backend=backend, index=index) as executor:
+            assert executor.run("quantify_exact", qs) == expected
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_quantify_vpr_bitwise(self, vpr_case, backend, workers):
+        index, qs, expected = vpr_case
+        with ShardExecutor(index.points, workers=workers, chunk_size=64,
+                           backend=backend, index=index) as executor:
+            assert executor.run("quantify_vpr", qs) == expected
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_chunking_invariance(self, disk_case, backend):
+        """Any chunk size reassembles to the same bits."""
+        index, qs, expected = disk_case
+        for chunk in (17, 100, 10_000):
+            with ShardExecutor(index.points, workers=2, chunk_size=chunk,
+                               backend=backend, index=index) as executor:
+                assert np.array_equal(executor.run("delta", qs),
+                                      expected["delta"])
+
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS)
+    def test_empty_batch(self, backend):
+        index, _ = _disk_index(10)
+        with ShardExecutor(index.points, workers=2,
+                           backend=backend) as executor:
+            result = executor.run("delta", np.empty((0, 2)))
+            assert isinstance(result, np.ndarray) and result.shape == (0,)
+            assert executor.run("nonzero_nn", []) == []
+
+
+# ----------------------------------------------------------------------
+# Factory: selection policy and degradation chain.
+# ----------------------------------------------------------------------
+
+class TestBackendFactory:
+    def test_unknown_backend_rejected(self):
+        index, _ = _disk_index(5)
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            create_backend("gpu", index.points, workers=2)
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            ShardExecutor(index.points, workers=2, backend="gpu")
+
+    def test_single_worker_is_inline(self):
+        index, _ = _disk_index(5)
+        for backend in BACKENDS:
+            impl = create_backend(backend, index.points, workers=1)
+            assert isinstance(impl, InlineBackend)
+            impl.close()
+
+    def test_requested_modes(self):
+        index, _ = _disk_index(5)
+        for name, cls in (("process", ProcessBackend),
+                          ("thread", ThreadBackend),
+                          ("shm", SharedMemoryBackend)):
+            impl = create_backend(name, index.points, workers=2)
+            try:
+                # Pool-less sandboxes may degrade; a live backend must
+                # resolve to the class (and mode) that was asked for.
+                if impl.mode == name:
+                    assert isinstance(impl, cls)
+                    assert impl.workers == 2
+            finally:
+                impl.close()
+
+    def test_auto_prefers_shm_for_encodable_points(self):
+        index, _ = _disk_index(5)
+        impl = create_backend("auto", index.points, workers=2)
+        try:
+            assert impl.mode in ("shm", "process", "thread")
+        finally:
+            impl.close()
+
+    def test_auto_env_override(self, monkeypatch):
+        index, _ = _disk_index(5)
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        impl = create_backend("auto", index.points, workers=2)
+        try:
+            assert impl.mode == "thread"
+        finally:
+            impl.close()
+        # Explicit names are never overridden.
+        monkeypatch.setenv(BACKEND_ENV, "process")
+        impl = create_backend("thread", index.points, workers=2)
+        try:
+            assert impl.mode == "thread"
+        finally:
+            impl.close()
+        monkeypatch.setenv(BACKEND_ENV, "gpu")
+        with pytest.raises(ValueError, match=BACKEND_ENV):
+            create_backend("auto", index.points, workers=2)
+
+    def test_shm_falls_back_to_process_for_opaque_models(self):
+        """A model outside the codec's inventory cannot ride shared
+        memory; the chain degrades to pickled process replicas with the
+        same answers."""
+        points = [_OpaqueModel((float(i), 0.0), 0.5) for i in range(6)]
+        with pytest.raises(BackendUnavailable):
+            SharedMemoryBackend(points, workers=2)
+        index = PNNIndex(points)
+        qs = _queries(60, 6.0)
+        with ShardExecutor(points, workers=2, backend="shm") as executor:
+            assert executor.mode in ("process", "inline")
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))
+
+    def test_shm_releases_segment_on_close(self):
+        index, _ = _disk_index(30)
+        impl = create_backend("shm", index.points, workers=2)
+        if impl.mode != "shm":  # pragma: no cover — pool-less sandbox
+            impl.close()
+            pytest.skip("shared-memory backend unavailable here")
+        name = impl._shm.name
+        assert impl.segment_bytes > 0
+        impl.close()
+        assert impl._shm is None
+        from multiprocessing import shared_memory
+
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Thread backend specifics.
+# ----------------------------------------------------------------------
+
+class TestThreadBackend:
+    def test_shares_the_caller_index(self):
+        pts = random_discrete_points(10, 2, seed=7, spread=2.0)
+        index = PNNIndex(pts)
+        impl = ThreadBackend(pts, workers=2, index=index)
+        try:
+            assert impl._replica.index is index
+            qs = _queries(150, 8.0)
+            parts = impl.map([("quantify_vpr", qs[:50], {}),
+                              ("quantify_vpr", qs[50:], {})])
+            # The warm-up built V_Pr once, on the shared index itself.
+            assert index._vpr is not None
+            flat = [row for part in parts for row in part]
+            assert flat == index.batch_quantify_vpr(qs)
+        finally:
+            impl.close()
+
+    def test_concurrent_maps_agree(self):
+        """Two client threads driving one thread backend stay bitwise."""
+        import threading
+
+        index, extent = _disk_index(60)
+        qs = _queries(400, extent)
+        expected = index.batch_delta(qs)
+        impl = ThreadBackend(index.points, workers=3, index=index)
+        results, errors = {}, []
+
+        def client(tid):
+            try:
+                tasks = [("delta", qs[s:s + 50], {})
+                         for s in range(0, len(qs), 50)]
+                parts = impl.map(tasks)
+                results[tid] = np.concatenate(parts)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=client, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        impl.close()
+        assert not errors
+        for got in results.values():
+            assert np.array_equal(got, expected)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: close/teardown without leaks.
+# ----------------------------------------------------------------------
+
+class TestLifecycle:
+    @pytest.mark.parametrize("backend", PARALLEL_BACKENDS + ("inline",))
+    def test_close_is_idempotent(self, backend):
+        index, _ = _disk_index(10)
+        impl = create_backend(backend, index.points, workers=2)
+        impl.close()
+        impl.close()
+        assert impl.closed
+
+    def test_del_tears_down_worker_pool(self):
+        import gc
+
+        index, _ = _disk_index(10)
+        impl = create_backend("process", index.points, workers=2)
+        if impl.mode != "process":  # pragma: no cover
+            impl.close()
+            pytest.skip("process pools unavailable here")
+        pool = impl._pool
+        del impl
+        gc.collect()
+        assert pool._state != "RUN"  # pool closed, not leaked
+
+    def test_executor_usable_after_backend_degradation(self):
+        """An executor that degraded still answers correctly."""
+        points = [_OpaqueModel((float(i), 0.0), 0.5) for i in range(4)]
+        index = PNNIndex(points)
+        qs = _queries(20, 4.0)
+        with ShardExecutor(points, workers=2, backend="auto") as executor:
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))

@@ -8,7 +8,7 @@ from repro.experiments.runners import run_e01, run_e02, run_e14
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 23)}
+        assert set(REGISTRY) == {f"E{i}" for i in range(1, 24)}
 
     def test_runner_returns_result(self):
         res = run_e14(quick=True)

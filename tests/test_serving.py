@@ -26,7 +26,7 @@ from repro.serving import (
     ServiceConfig,
     ShardExecutor,
 )
-from repro.serving import shard as shard_module
+from repro.serving.executors import process as process_module
 from repro.uncertain.disk_uniform import DiskUniformPoint
 
 
@@ -280,35 +280,46 @@ class TestShardExecutor:
             executor.run("delta", _queries(5, extent))
 
     def test_fallback_when_multiprocessing_unavailable(self, monkeypatch):
-        """Sandboxes without process pools degrade to inline execution."""
+        """Sandboxes without process pools degrade instead of crashing:
+        an explicit process backend falls to inline, the auto policy
+        falls through to the (always-available) thread backend."""
         def broken_get_context(method=None):
             raise ValueError(f"start method {method!r} unavailable")
 
-        monkeypatch.setattr(shard_module.multiprocessing, "get_context",
+        monkeypatch.setattr(process_module.multiprocessing, "get_context",
                             broken_get_context)
+        # This test pins the *default* auto chain; the backend-matrix CI
+        # job steers auto through this env var, so clear it here.
+        monkeypatch.delenv("REPRO_SERVING_BACKEND", raising=False)
         index, extent = _disk_index(40)
-        with ShardExecutor(index.points, workers=4) as executor:
+        qs = _queries(50, extent)
+        with ShardExecutor(index.points, workers=4,
+                           backend="process") as executor:
             assert executor.mode == "inline"
             assert executor.workers == 1
-            qs = _queries(50, extent)
+            assert np.array_equal(executor.run("delta", qs),
+                                  index.batch_delta(qs))
+        with ShardExecutor(index.points, workers=4) as executor:
+            assert executor.mode == "thread"
             assert np.array_equal(executor.run("delta", qs),
                                   index.batch_delta(qs))
 
     def test_fallback_when_pool_start_fails(self, monkeypatch):
-        real_get_context = shard_module.multiprocessing.get_context
+        real_get_context = process_module.multiprocessing.get_context
 
         class _BrokenContext:
             def __init__(self, method):
                 self._method = method
 
             def Pool(self, *args, **kwargs):  # noqa: N802 — mp API name
-                raise OSError("no /dev/shm in this sandbox")
+                raise OSError("no process pools in this sandbox")
 
         monkeypatch.setattr(
-            shard_module.multiprocessing, "get_context",
+            process_module.multiprocessing, "get_context",
             lambda method=None: _BrokenContext(method or "fork"))
         index, extent = _disk_index(40)
-        with ShardExecutor(index.points, workers=2) as executor:
+        with ShardExecutor(index.points, workers=2,
+                           backend="process") as executor:
             assert executor.mode == "inline"
             qs = _queries(20, extent)
             assert np.array_equal(executor.run("delta", qs),
@@ -430,7 +441,7 @@ class TestQueryService:
             result = service.batch_delta(qs)
             assert np.array_equal(result, index.batch_delta(qs))
             mstats = service.stats_registry.method("delta")
-            if service.executor.mode == "process":
+            if service.executor.mode != "inline":
                 assert mstats.sharded_calls == 1
 
     def test_submit_coalesces_and_agrees(self):
@@ -503,6 +514,293 @@ class TestQueryService:
         index, _ = _disk_index(5)
         with pytest.raises(TypeError):
             index.serve(ServiceConfig(), workers=2)
+
+
+class TestServiceConfigValidation:
+    def test_defaults_are_valid(self):
+        ServiceConfig()  # must not raise
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor backend"):
+            ServiceConfig(backend="gpu")
+
+    @pytest.mark.parametrize("field,value", [
+        ("workers", -1),
+        ("max_batch", 0),
+        ("max_batch", -5),
+        ("shard_min_batch", 0),
+        ("shard_chunk", 0),
+        ("flush_window", 0.0),
+        ("flush_window", -1.0),
+        ("cache_capacity", -1),
+        ("cache_batch_limit", -1),
+        ("cache_cell_size", -0.5),
+        ("latency_window", 0),
+    ])
+    def test_non_positive_sizes_rejected(self, field, value):
+        with pytest.raises(ValueError, match=field):
+            ServiceConfig(**{field: value})
+
+    def test_zero_disables_are_allowed(self):
+        # 0 means "off" for these — not a size error.
+        ServiceConfig(workers=0, cache_capacity=0, cache_batch_limit=0,
+                      cache_cell_size=0.0)
+
+    def test_unknown_query_kind_rejected_with_known_list(self):
+        index, _ = _disk_index(5)
+        with index.serve(workers=0, coalesce=False) as service:
+            with pytest.raises(ValueError, match="quantify_vpr"):
+                service.query("voronoi", (0.0, 0.0))
+
+
+class TestResultCacheConcurrency:
+    """Region-mode cache under concurrent access (the thread backend's
+    world): stats must not be corrupted and snapshots must stay
+    consistent while other threads churn the store."""
+
+    def test_concurrent_get_put_stats_consistent(self):
+        import threading
+
+        cache = ResultCache(capacity=64, cell_size=0.5)
+        per_thread = 400
+        n_threads = 8
+        errors = []
+
+        def worker(tid):
+            try:
+                rng = random.Random(tid)
+                for i in range(per_thread):
+                    q = (rng.uniform(0, 4), rng.uniform(0, 4))
+                    key = cache.key("nonzero_nn", q, ())
+                    hit, value = cache.get(key)
+                    if not hit:
+                        cache.put(key, [tid, i])
+                    elif not isinstance(value, list):
+                        errors.append(f"corrupt value {value!r}")
+            except Exception as exc:  # noqa: BLE001 — recorded for assert
+                errors.append(repr(exc))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Every get incremented exactly one of hits/misses.
+        assert cache.hits + cache.misses == n_threads * per_thread
+        assert len(cache) <= 64
+        snap = cache.snapshot()
+        assert snap["mode"] == "region"
+        assert snap["hits"] == cache.hits
+        assert snap["entries"] == len(cache)
+
+    def test_snapshot_consistent_during_churn(self):
+        import threading
+
+        cache = ResultCache(capacity=32, cell_size=0.25)
+        stop = threading.Event()
+        errors = []
+
+        def churn():
+            rng = random.Random(99)
+            while not stop.is_set():
+                q = (rng.uniform(0, 2), rng.uniform(0, 2))
+                key = cache.key("quantify", q, ())
+                if not cache.get(key)[0]:
+                    cache.put(key, {0: 1.0})
+
+        thread = threading.Thread(target=churn)
+        thread.start()
+        try:
+            for _ in range(200):
+                snap = cache.snapshot()
+                assert 0 <= snap["entries"] <= snap["capacity"]
+                assert snap["hits"] >= 0 and snap["misses"] >= 0
+                assert 0.0 <= snap["hit_rate"] <= 1.0
+        finally:
+            stop.set()
+            thread.join()
+
+    def test_thread_backend_service_stats_not_corrupted(self):
+        """A region-keyed service hammered from many client threads over
+        the thread backend keeps its accounting exact."""
+        import threading
+
+        pts = random_discrete_points(15, 3, seed=21, spread=2.0)
+        index = PNNIndex(pts)
+        requests_per_thread = 50
+        n_threads = 6
+        beacons = [(1.0 + i, 2.0 + i) for i in range(5)]
+        with index.serve(workers=2, backend="thread", coalesce=False,
+                         cache_capacity=256,
+                         cache_cell_size=0.25) as service:
+            errors = []
+
+            def client(tid):
+                try:
+                    rng = random.Random(tid)
+                    for _ in range(requests_per_thread):
+                        bx, by = beacons[rng.randrange(len(beacons))]
+                        q = (bx + rng.uniform(-0.01, 0.01),
+                             by + rng.uniform(-0.01, 0.01))
+                        service.quantify_exact(q)
+                except Exception as exc:  # noqa: BLE001
+                    errors.append(repr(exc))
+
+            threads = [threading.Thread(target=client, args=(t,))
+                       for t in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            total = n_threads * requests_per_thread
+            mstats = service.stats_registry.method("quantify_exact")
+            assert mstats.cache_hits + mstats.cache_misses == total
+            assert mstats.requests == total
+            snap = service.stats()["cache"]
+            assert snap["mode"] == "region"
+            assert snap["hits"] + snap["misses"] == total
+
+
+class TestQuantifyVprServing:
+    def _fleet(self, n=12, seed=13):
+        pts = random_discrete_points(n, 2, seed=seed, spread=2.0)
+        return PNNIndex(pts)
+
+    def test_matches_batch_quantify_exact_in_and_out_of_box(self):
+        index = self._fleet()
+        vpr = index.cached_vpr()
+        (xmin, ymin), (xmax, ymax) = vpr.box
+        rng = random.Random(7)
+        inside = np.array([(rng.uniform(xmin + 0.05, xmax - 0.05),
+                            rng.uniform(ymin + 0.05, ymax - 0.05))
+                           for _ in range(120)])
+        outside = np.array([(xmax + rng.uniform(1.0, 5.0),
+                             ymin - rng.uniform(1.0, 5.0))
+                            for _ in range(40)])
+        qs = np.vstack([inside, outside])
+        assert index.batch_quantify_vpr(qs) == \
+            index.batch_quantify_exact(qs)
+        # Out-of-box rows really exercised the fallback sweep.
+        locs = vpr.locator.locate_batch(outside)
+        assert (locs == -1).all()
+
+    def test_service_front_doors_match(self):
+        index = self._fleet()
+        rng = random.Random(11)
+        qs = [(rng.uniform(-1, 8), rng.uniform(-1, 8)) for _ in range(30)]
+        with index.serve(workers=0, coalesce=False,
+                         cache_capacity=64) as service:
+            for q in qs[:10]:
+                assert service.quantify_vpr(q) == \
+                    index.quantify(q, method="exact")
+            batch = service.batch_quantify_vpr(np.array(qs))
+            assert batch == index.batch_quantify_exact(np.array(qs))
+            with pytest.raises(TypeError, match="no parameters"):
+                service.query("quantify_vpr", qs[0], epsilon=0.1)
+        # Coalesced submits agree too.
+        with index.serve(workers=0, cache_capacity=0, max_batch=8,
+                         flush_window=10.0) as service:
+            futures = [service.submit("quantify_vpr", q) for q in qs[:8]]
+            service.flush()
+            assert [f.result(timeout=2.0) for f in futures] == \
+                index.batch_quantify_exact(np.array(qs[:8]))
+
+    def test_prebuilt_vpr_adopted(self):
+        index = self._fleet(n=8, seed=5)
+        vpr = index.build_vpr()
+        with index.serve(vpr=vpr, workers=0, coalesce=False) as service:
+            assert index._vpr is vpr
+            q = (1.0, 1.0)
+            assert service.quantify_vpr(q) == \
+                index.quantify(q, method="exact")
+
+    def test_prebuilt_vpr_size_mismatch_rejected(self):
+        index = self._fleet(n=8, seed=5)
+        other = self._fleet(n=6, seed=9)
+        with pytest.raises(ValueError, match="prebuilt V_Pr"):
+            index.serve(vpr=other.build_vpr(), workers=0)
+
+    def test_region_cache_hits_quantify_vpr(self):
+        index = self._fleet()
+        rng = random.Random(23)
+        beacons = [(rng.uniform(0, 6), rng.uniform(0, 6))
+                   for _ in range(10)]
+        with index.serve(workers=0, coalesce=False, cache_capacity=128,
+                         cache_cell_size=0.25) as service:
+            for _ in range(300):
+                bx, by = beacons[rng.randrange(len(beacons))]
+                service.quantify_vpr((bx + rng.uniform(-0.02, 0.02),
+                                      by + rng.uniform(-0.02, 0.02)))
+            snap = service.stats()["cache"]
+            assert snap["mode"] == "region"
+            assert snap["hit_rate"] >= 0.5
+
+    def test_non_discrete_index_raises(self):
+        index, _ = _disk_index(6)
+        with index.serve(workers=0, coalesce=False) as service:
+            with pytest.raises(ValueError, match="discrete"):
+                service.quantify_vpr((0.0, 0.0))
+
+    def test_large_batches_only_shard_on_index_sharing_backends(self):
+        """quantify_vpr must not fan out to process/shm worker replicas
+        (each would rebuild its own Theta(N^4) diagram and ignore an
+        adopted prebuilt one); the index-sharing thread backend shards."""
+        index = self._fleet(n=8, seed=5)
+        rng = random.Random(37)
+        qs = np.array([(rng.uniform(-1, 7), rng.uniform(-1, 7))
+                       for _ in range(300)])
+        expected = index.batch_quantify_exact(qs)
+        for backend, fans_out in (("process", False), ("thread", True)):
+            cfg = ServiceConfig(workers=2, backend=backend,
+                                shard_min_batch=100, cache_batch_limit=10,
+                                coalesce=False)
+            with QueryService(index, cfg) as service:
+                if service.executor.mode == "inline":  # pragma: no cover
+                    continue  # pool-less sandbox: nothing to assert
+                assert service.batch_quantify_vpr(qs) == expected
+                mstats = service.stats_registry.method("quantify_vpr")
+                assert mstats.sharded_calls == (1 if fans_out else 0)
+                # The other kinds still fan out on every live backend.
+                service.batch("quantify_exact", qs)
+                assert service.stats_registry.method(
+                    "quantify_exact").sharded_calls == 1
+
+
+class TestServiceLifecycle:
+    def test_service_del_closes_executor(self):
+        index, _ = _disk_index(20)
+        service = index.serve(workers=2, coalesce=False)
+        executor = service.executor
+        impl = executor.impl
+        del service
+        import gc
+
+        gc.collect()
+        assert executor._closed
+        assert impl.closed
+
+    def test_executor_del_closes_backend(self):
+        index, _ = _disk_index(20)
+        executor = ShardExecutor(index.points, workers=2)
+        impl = executor.impl
+        del executor
+        import gc
+
+        gc.collect()
+        assert impl.closed
+
+    def test_double_close_every_backend(self):
+        index, _ = _disk_index(15)
+        for backend in ("process", "thread", "shm", "inline"):
+            executor = ShardExecutor(index.points, workers=2,
+                                     backend=backend)
+            executor.close()
+            executor.close()  # second close is a no-op
+            with pytest.raises(RuntimeError, match="closed"):
+                executor.run("delta", np.zeros((1, 2)))
 
 
 class TestBatchThresholdNN:
