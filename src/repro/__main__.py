@@ -9,6 +9,12 @@ Commands
     Stand up the serving layer (cache + coalescer + shard executor) and
     drive a bursty synthetic workload through it, printing per-method
     throughput, hit rates, and latency percentiles.
+``serve-http [--host H] [--port P] [--backend B] [--workers W] ...``
+    Boot the asyncio HTTP front door over a synthetic discrete index:
+    ``POST /v1/query/<kind>`` for all seven query kinds (single point or
+    bulk array), ``GET /healthz`` readiness, ``GET /metrics`` Prometheus
+    text.  ``--smoke`` runs the CI self-test (endpoint parity, a forced
+    429, a /metrics scrape) and exits.
 ``info``
     Print the library version and the module inventory.
 ``experiments [--quick] [ids...]``
@@ -185,6 +191,78 @@ def _serve_demo() -> int:
     return 0
 
 
+def _serve_http(argv: list) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-http",
+        description="Serve probabilistic NN queries over HTTP (asyncio, "
+                    "stdlib-only): POST /v1/query/<kind>, GET /healthz, "
+                    "GET /metrics.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080,
+                        help="bind port (0 picks an ephemeral port)")
+    parser.add_argument("--backend", default="auto",
+                        help="executor backend: auto, shm, process, "
+                             "thread, inline")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="executor worker count (0 forces inline)")
+    parser.add_argument("--n", type=int, default=12,
+                        help="synthetic discrete index size (points; 2 "
+                             "instances each).  Kept small by default "
+                             "because quantify_vpr's first request "
+                             "lazily builds the Theta(N^4) V_Pr "
+                             "diagram — at the default N=24 instances "
+                             "that is sub-second, at N=36 it is already "
+                             "minutes.  Raise it for throughput demos "
+                             "of the other six kinds.")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--max-inflight", type=int, default=4,
+                        help="concurrent engine executions (thread pool "
+                             "size)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="admitted requests allowed to queue before "
+                             "429 shedding")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI self-test instead of serving")
+    parser.add_argument("--metrics-out", default=None,
+                        help="(smoke) write the final /metrics scrape "
+                             "to this file")
+    args = parser.parse_args(argv)
+
+    from .serving.http import run_smoke
+
+    if args.smoke:
+        return run_smoke(backend=("inline" if args.workers == 0
+                                  else args.backend),
+                         metrics_out=args.metrics_out)
+
+    from .core.index import PNNIndex
+    from .core.workloads import random_discrete_points
+    from .serving.http import HttpConfig, serve_forever
+
+    # A discrete fleet keeps all seven kinds answerable (quantify_exact
+    # and quantify_vpr require discrete instances); k=2 instances per
+    # point keeps the quantify_vpr lazy build inside serving reality.
+    index = PNNIndex(random_discrete_points(args.n, 2, seed=args.seed,
+                                            spread=2.0))
+    print(f"serve-http: {args.n} uncertain discrete points "
+          f"(2 instances each), backend={args.backend}, "
+          f"workers={args.workers}")
+    if args.n > 16:
+        print(f"note: quantify_vpr's first request builds V_Pr lazily — "
+              f"Theta(N^4) in the {2 * args.n} instances; the other six "
+              f"kinds are unaffected")
+    config = HttpConfig(host=args.host, port=args.port,
+                        max_inflight=args.max_inflight,
+                        max_pending=args.max_pending)
+    with index.serve(workers=args.workers, backend=args.backend,
+                     cache_capacity=8192, max_batch=128,
+                     flush_window=0.002) as service:
+        serve_forever(service, config)
+    return 0
+
+
 def _info() -> int:
     from . import __version__
 
@@ -205,14 +283,16 @@ def main(argv: list) -> int:
         return _demo()
     if command == "serve-demo":
         return _serve_demo()
+    if command == "serve-http":
+        return _serve_http(argv[1:])
     if command == "info":
         return _info()
     if command == "experiments":
         from .experiments.__main__ import main as experiments_main
 
         return experiments_main(argv[1:])
-    print(f"unknown command {command!r}; try: demo, serve-demo, info, "
-          "experiments")
+    print(f"unknown command {command!r}; try: demo, serve-demo, "
+          "serve-http, info, experiments")
     return 2
 
 

@@ -16,14 +16,21 @@ sustain bursty multi-client traffic against one shared
 * :class:`ResultCache` — exact- or region-keyed LRU over the
   piecewise-stable answer fields, with hit/miss/eviction accounting;
 * :class:`ServiceStats` — per-method request counts and latency
-  percentiles.
+  percentiles;
+* :class:`QueryGateway` / :class:`ServerThread` (:mod:`repro.serving.http`)
+  — the async HTTP front door: REST endpoints for all seven kinds with
+  admission control (bounded pending queue, 429 shedding), ``/healthz``
+  readiness, and Prometheus ``/metrics``.
 
-Benchmarks E20/E23 measure throughput against shard count, backend, and
-cache hit rate; ``python -m repro serve-demo`` exercises the full stack.
+Benchmarks E20/E23/E24 measure throughput against shard count, backend,
+cache hit rate, and HTTP concurrency; ``python -m repro serve-demo``
+exercises the in-process stack and ``python -m repro serve-http`` boots
+the network front door.
 """
 
 from .cache import ResultCache
 from .coalesce import MicroBatcher
+from .http import HttpConfig, QueryGateway, ServerThread, create_asgi_app
 from .executors import (
     BACKENDS,
     BackendUnavailable,
@@ -44,19 +51,23 @@ __all__ = [
     "BACKENDS",
     "BackendUnavailable",
     "ExecutorBackend",
+    "HttpConfig",
     "IndexReplica",
     "InlineBackend",
     "LatencyRecorder",
     "MethodStats",
     "MicroBatcher",
     "ProcessBackend",
+    "QueryGateway",
     "QueryService",
     "ResultCache",
     "SHARD_METHODS",
+    "ServerThread",
     "ServiceConfig",
     "ServiceStats",
     "SharedMemoryBackend",
     "ShardExecutor",
     "ThreadBackend",
+    "create_asgi_app",
     "create_backend",
 ]

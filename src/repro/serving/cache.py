@@ -171,19 +171,36 @@ class ResultCache:
 
     @property
     def hit_rate(self) -> float:
-        seen = self.hits + self.misses
-        return self.hits / seen if seen else 0.0
+        # Both counters under one lock acquisition: a get() on another
+        # thread bumps exactly one of them, so an unlocked read could see
+        # a hit counted whose miss-side denominator update is missing (a
+        # torn ratio > the true rate, or > 1.0 right after a reset).
+        with self._lock:
+            hits, misses = self.hits, self.misses
+        seen = hits + misses
+        return hits / seen if seen else 0.0
 
     def snapshot(self) -> Dict[str, object]:
-        """Counters labelled with the keying mode they were earned under."""
+        """Counters labelled with the keying mode they were earned under.
+
+        All counters are read under one lock acquisition so the snapshot
+        is internally consistent (``hit_rate`` is derived from the same
+        ``hits``/``misses`` pair it reports — the property is *not*
+        re-consulted, both because it would re-lock and because a racing
+        ``get()`` could change the answer between the two reads).
+        """
         with self._lock:
-            return {
-                "mode": self.mode,
-                "cell_size": self.cell_size,
-                "entries": len(self._store),
-                "capacity": self.capacity,
-                "hits": self.hits,
-                "misses": self.misses,
-                "evictions": self.evictions,
-                "hit_rate": round(self.hit_rate, 4),
-            }
+            hits, misses = self.hits, self.misses
+            entries = len(self._store)
+            evictions = self.evictions
+        seen = hits + misses
+        return {
+            "mode": self.mode,
+            "cell_size": self.cell_size,
+            "entries": entries,
+            "capacity": self.capacity,
+            "hits": hits,
+            "misses": misses,
+            "evictions": evictions,
+            "hit_rate": round(hits / seen if seen else 0.0, 4),
+        }

@@ -74,6 +74,13 @@ class MicroBatcher:
         self._cv = threading.Condition()
         self._groups: Dict[Hashable, _Group] = {}
         self._closed = False
+        # Groups detached from _groups but not yet resolved.  Every
+        # detachment happens under _cv and increments this counter; the
+        # finally-block of _run_group decrements it.  There is therefore
+        # never a moment when a pending future is neither reachable via
+        # _groups nor counted here — the invariant close() relies on to
+        # guarantee drain-or-fail for every submitted request.
+        self._inflight_groups = 0
         # Stats (read by ServiceStats.snapshot through the service).
         self.submitted = 0
         self.flushes = 0
@@ -106,6 +113,7 @@ class MicroBatcher:
             if len(group.queries) >= self.max_batch:
                 del self._groups[key]
                 full = group
+                self._inflight_groups += 1
                 self.full_flushes += 1
             else:
                 self._cv.notify()
@@ -118,6 +126,7 @@ class MicroBatcher:
         with self._cv:
             groups = list(self._groups.values())
             self._groups.clear()
+            self._inflight_groups += len(groups)
         released = 0
         for group in groups:
             released += len(group.queries)
@@ -131,31 +140,42 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def _run_group(self, group: _Group) -> None:
-        # Counter updates take the lock: this runs concurrently on the
-        # flusher thread and on submitters doing inline full flushes.
-        with self._cv:
-            self.flushes += 1
-            self.largest_batch = max(self.largest_batch,
-                                     len(group.queries))
+        # The caller detached *group* under _cv and incremented
+        # _inflight_groups; whatever happens here — success, flush_fn
+        # failure, even a non-Exception like KeyboardInterrupt — every
+        # future is resolved and the in-flight count is released, so a
+        # concurrent close() can never return while this group's callers
+        # still block.
         try:
-            results = self._flush_fn(group.method, group.queries,
-                                     group.params)
-            if len(results) != len(group.futures):
-                raise RuntimeError(
-                    f"flush_fn returned {len(results)} results for "
-                    f"{len(group.futures)} requests")
-        except BaseException as exc:  # noqa: BLE001 — forwarded, not hidden
-            for fut in group.futures:
-                # A future the caller cancelled while pending must be
-                # skipped: resolving it raises InvalidStateError, which
-                # would kill the flusher thread and strand every other
-                # pending request.
+            # Counter updates take the lock: this runs concurrently on the
+            # flusher thread and on submitters doing inline full flushes.
+            with self._cv:
+                self.flushes += 1
+                self.largest_batch = max(self.largest_batch,
+                                         len(group.queries))
+            try:
+                results = self._flush_fn(group.method, group.queries,
+                                         group.params)
+                if len(results) != len(group.futures):
+                    raise RuntimeError(
+                        f"flush_fn returned {len(results)} results for "
+                        f"{len(group.futures)} requests")
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                for fut in group.futures:
+                    # A future the caller cancelled while pending must be
+                    # skipped: resolving it raises InvalidStateError, which
+                    # would kill the flusher thread and strand every other
+                    # pending request.
+                    if fut.set_running_or_notify_cancel():
+                        fut.set_exception(exc)
+                return
+            for fut, res in zip(group.futures, results):
                 if fut.set_running_or_notify_cancel():
-                    fut.set_exception(exc)
-            return
-        for fut, res in zip(group.futures, results):
-            if fut.set_running_or_notify_cancel():
-                fut.set_result(res)
+                    fut.set_result(res)
+        finally:
+            with self._cv:
+                self._inflight_groups -= 1
+                self._cv.notify_all()
 
     def _flusher_loop(self) -> None:
         while True:
@@ -173,23 +193,42 @@ class MicroBatcher:
                         else max(0.0, oldest + self.flush_window - now)
                     self._cv.wait(timeout=timeout)
                     continue
+                self._inflight_groups += len(ripe)
                 self.timer_flushes += len(ripe)
             for group in ripe:
                 self._run_group(group)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Flush the backlog and stop the flusher thread."""
+        """Drain-or-fail every pending request, then stop the flusher.
+
+        When close() returns, every future handed out by an earlier
+        :meth:`submit` is resolved — with a result, or with the engine's
+        exception — regardless of which thread was about to flush it.
+        The guarantee is atomic against concurrent submitters: a submit
+        either lands before the closed flag (its group is drained below,
+        or it is counted in-flight and waited for) or after it (the
+        submit itself raises, so no orphan future exists).  That closes
+        the race where a group detached by an inline full flush or the
+        background flusher was still executing while close() returned —
+        the service would then tear down the executor underneath the
+        in-flight engine call, stranding its callers forever.
+
+        Idempotent and safe to race: *every* closer (not just the first)
+        drains the backlog, waits for the in-flight count to hit zero,
+        and joins the flusher thread before returning.
+        """
         with self._cv:
-            if self._closed:
-                return
             self._closed = True
             self._cv.notify_all()
-        self.flush()
-        # Join without a timeout: close() guarantees every request
-        # submitted before it is resolved, including groups the flusher
-        # already detached and is still executing.  flush_fn invocations
-        # terminate (they are engine calls), so this cannot hang.
+        self.flush()   # drains whatever is still queued (no-op if empty)
+        with self._cv:
+            # Wait out groups other threads detached (flusher timer
+            # flushes, submitters' inline full flushes, a racing closer's
+            # drain).  flush_fn invocations terminate (they are engine
+            # calls), so this cannot hang.
+            while self._inflight_groups > 0:
+                self._cv.wait()
         if self._thread is not None:
             self._thread.join()
 

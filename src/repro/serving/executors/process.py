@@ -99,6 +99,15 @@ class ProcessBackend(ExecutorBackend):
         return self._pool.map(_run_chunk, tasks)
 
     def _close_impl(self) -> None:
-        self._pool.close()
-        self._pool.join()
-        self._pool = None
+        # Same interrupted-teardown contract as the shm backend: a
+        # KeyboardInterrupt landing in join() (server killed mid-request)
+        # terminates the pool instead of blocking on a worker mid-chunk.
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.close()
+            pool.join()
+        except BaseException:
+            pool.terminate()
+            raise

@@ -123,6 +123,11 @@ class SharedMemoryBackend(ExecutorBackend):
                  workers: int,
                  start_method: Optional[str] = None) -> None:
         super().__init__()
+        # Both resource slots exist before anything can fail, so the
+        # teardown path (close(), or __del__ after a half-built
+        # constructor) never trips on a missing attribute.
+        self._shm = None
+        self._pool = None
         self.workers = int(workers)
         try:
             arrays = points_to_arrays(points)
@@ -139,11 +144,21 @@ class SharedMemoryBackend(ExecutorBackend):
             raise
 
     def _release_segment(self) -> None:
-        if self._shm is None:
+        # Claim the handle *before* touching the kernel object: close()
+        # and __del__ can both land here, and the segment must be
+        # unlinked exactly once — a second unlink of a name the OS may
+        # have re-issued would destroy someone else's segment.  close()
+        # and unlink() are attempted independently so a failing munmap
+        # can never leak the named segment behind it.
+        shm, self._shm = self._shm, None
+        if shm is None:
             return
         try:
-            self._shm.close()
-            self._shm.unlink()
+            shm.close()
+        except (OSError, ValueError):  # pragma: no cover — already gone
+            pass
+        try:
+            shm.unlink()
         except (FileNotFoundError, OSError):  # pragma: no cover
             pass
         self._shm = None
@@ -152,7 +167,19 @@ class SharedMemoryBackend(ExecutorBackend):
         return self._pool.map(_run_chunk, tasks)
 
     def _close_impl(self) -> None:
-        self._pool.close()
-        self._pool.join()
-        self._pool = None
-        self._release_segment()
+        # The segment is released in a finally so it cannot leak even
+        # when pool teardown is interrupted (an HTTP server killed
+        # mid-request delivers KeyboardInterrupt into join()); on that
+        # interrupted path the pool is terminated rather than joined so
+        # shutdown never blocks on a worker mid-chunk.
+        pool, self._pool = self._pool, None
+        try:
+            if pool is not None:
+                try:
+                    pool.close()
+                    pool.join()
+                except BaseException:
+                    pool.terminate()
+                    raise
+        finally:
+            self._release_segment()

@@ -1,0 +1,957 @@
+"""The async HTTP front door: REST serving with admission control.
+
+Everything below :class:`~repro.serving.service.QueryService` is an
+in-process API; this module is what actually takes traffic.  It exposes
+all seven query kinds (``delta``, ``nonzero_nn``, ``quantify``,
+``quantify_exact``, ``quantify_vpr``, ``top_k``, ``threshold_nn``) over
+HTTP, single-point and bulk, and feeds them into the *existing* serving
+spine — singles go through :meth:`QueryService.submit` (so concurrent
+HTTP clients coalesce into vectorized micro-batches), bulks through
+:meth:`QueryService.batch` (so large arrays shard across the executor
+backend).  No request handling is forked: validation, caching, and
+dispatch are the service's own (:meth:`QueryService.canonicalize`,
+``_cache_lookup``, ``_run_batch``), identical to the in-process callers.
+
+Endpoints
+---------
+``POST /v1/query/<kind>``
+    Body ``{"q": [x, y], "params": {...}}`` for one point, or
+    ``{"queries": [[x, y], ...], "params": {...}}`` for an ``(m, 2)``
+    bulk array.  ``params`` takes the same overrides as the python API
+    (``k``, ``tau``, ``epsilon``, ``method``, ``seed``, ``tie_tol``).
+``GET /healthz``
+    Readiness probe: ``503`` until the backend warm-up queries have run,
+    ``200`` after (load balancers gate traffic on it).
+``GET /metrics``
+    Prometheus text format: per-kind request/shed counters, in-flight and
+    pending gauges, and p50/p90/p99 latency summaries straight out of the
+    :mod:`repro.serving.stats` reservoirs (HTTP wall time *and* engine
+    batch time).
+``GET /``
+    A JSON index of the endpoints and served kinds.
+
+Admission control
+-----------------
+The gateway holds a configurable in-flight cap (``max_inflight`` engine
+threads actually executing) and a bounded pending queue
+(``max_pending`` admitted requests waiting for a slot).  A request
+arriving with every slot busy and the queue full is **shed immediately
+with 429** (plus ``Retry-After``) — the server degrades by refusing
+early rather than by building an unbounded backlog whose every entry
+times out.  ``/metrics`` exports the shed count per kind.
+
+Transports
+----------
+Two adapters share one transport-agnostic core (:class:`QueryGateway`):
+
+* a **pure-stdlib asyncio HTTP/1.1 server** (:func:`handle_connection` /
+  :class:`ServerThread` / :func:`serve_forever`) — zero dependencies, the
+  tier-1 path;
+* a **thin ASGI app** (:func:`create_asgi_app`) with lifespan support,
+  mountable under uvicorn/hypercorn/FastAPI-style stacks when one is
+  installed (none is required).
+
+``python -m repro serve-http`` boots the stdlib server; ``--smoke`` runs
+the self-test used by CI (all seven kinds single + bulk, parity against
+the in-process service, a forced 429, and a /metrics scrape).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..quantification.threshold import ThresholdResult
+from .shard import SHARD_METHODS
+from .stats import ServiceStats
+
+__all__ = [
+    "HttpConfig",
+    "QueryGateway",
+    "ServerThread",
+    "create_asgi_app",
+    "decode_result",
+    "encode_result",
+    "handle_connection",
+    "render_prometheus",
+    "run_smoke",
+    "serve_forever",
+]
+
+_JSON = "application/json"
+_PROM = "text/plain; version=0.0.4; charset=utf-8"
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+#: Sentinel distinguishing "request was shed" from any engine result.
+_SHED = object()
+
+
+@dataclass
+class HttpConfig:
+    """Tunables of the HTTP front door (validated eagerly).
+
+    Attributes
+    ----------
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (tests, smoke).
+    max_inflight:
+        Engine executions running concurrently — also the size of the
+        thread pool that carries blocking service calls off the event
+        loop.  This cap is what keeps a traffic spike from turning into
+        unbounded thread/memory growth.
+    max_pending:
+        Admitted requests allowed to wait for an execution slot; one
+        more and the server sheds with 429 instead of queueing.
+    max_bulk_rows:
+        Largest accepted bulk array (413 beyond it).
+    max_body_bytes:
+        Largest accepted request body (413 beyond it).
+    keep_alive_timeout:
+        Seconds an idle keep-alive connection may hold its socket.
+    warm_kinds:
+        Query kinds run once at startup to spin up the executor backend
+        and lazy engines; ``/healthz`` reports 503 until they finish.
+    latency_window:
+        Reservoir size of the per-kind HTTP latency percentiles.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_inflight: int = 4
+    max_pending: int = 64
+    max_bulk_rows: int = 100_000
+    max_body_bytes: int = 8 << 20
+    keep_alive_timeout: float = 10.0
+    warm_kinds: Tuple[str, ...] = ("delta",)
+    latency_window: int = 2048
+
+    def __post_init__(self) -> None:
+        for name, floor in (("max_inflight", 1), ("max_bulk_rows", 1),
+                            ("max_body_bytes", 1), ("latency_window", 1)):
+            if getattr(self, name) < floor:
+                raise ValueError(f"{name} must be >= {floor}, "
+                                 f"got {getattr(self, name)}")
+        if self.max_pending < 0:
+            raise ValueError(f"max_pending must be >= 0 (0 sheds whenever "
+                             f"all slots are busy), got {self.max_pending}")
+        if self.keep_alive_timeout <= 0:
+            raise ValueError(f"keep_alive_timeout must be positive, "
+                             f"got {self.keep_alive_timeout}")
+        unknown = set(self.warm_kinds) - set(SHARD_METHODS)
+        if unknown:
+            raise ValueError(f"unknown warm_kinds {sorted(unknown)}; "
+                             f"expected a subset of {SHARD_METHODS}")
+
+
+# ----------------------------------------------------------------------
+# Result codec: method-native python objects <-> JSON-safe structures.
+# JSON floats round-trip exactly (repr emits the shortest digits that
+# reparse to the same float64), so encoded answers stay bitwise-equal to
+# the in-process results — the property the parity tests pin.
+# ----------------------------------------------------------------------
+def encode_result(kind: str, row: object) -> object:
+    """One method-native answer row as a JSON-serializable structure."""
+    if kind == "delta":
+        return float(row)  # type: ignore[arg-type]
+    if kind in ("quantify", "quantify_exact", "quantify_vpr"):
+        return {str(int(i)): float(p)
+                for i, p in row.items()}  # type: ignore[union-attr]
+    if kind == "top_k":
+        return [[int(i), float(p)] for i, p in row]  # type: ignore[union-attr]
+    if kind == "threshold_nn":
+        return {"tau": float(row.tau),  # type: ignore[union-attr]
+                "epsilon": float(row.epsilon),
+                "certain": [int(i) for i in row.certain],
+                "candidates": [int(i) for i in row.candidates]}
+    return [int(i) for i in row]  # nonzero_nn  # type: ignore[union-attr]
+
+
+def decode_result(kind: str, obj: object) -> object:
+    """Invert :func:`encode_result` back to the method-native shape.
+
+    Client-side half of the codec (tests, smoke, benchmark clients):
+    ``decode_result(kind, json_response) == service.query(kind, q)``
+    exactly, floats included.
+    """
+    if kind == "delta":
+        return float(obj)  # type: ignore[arg-type]
+    if kind in ("quantify", "quantify_exact", "quantify_vpr"):
+        return {int(i): float(p) for i, p in obj.items()}  # type: ignore
+    if kind == "top_k":
+        return [(int(i), float(p)) for i, p in obj]  # type: ignore
+    if kind == "threshold_nn":
+        return ThresholdResult(float(obj["tau"]),  # type: ignore[index]
+                               float(obj["epsilon"]),
+                               [int(i) for i in obj["certain"]],
+                               [int(i) for i in obj["candidates"]])
+    return [int(i) for i in obj]  # type: ignore[union-attr]
+
+
+def _parse_point(value: object) -> Tuple[float, float]:
+    if (not isinstance(value, (list, tuple)) or len(value) != 2
+            or not all(isinstance(c, (int, float)) and not isinstance(c, bool)
+                       for c in value)):
+        raise ValueError("a query point must be a [x, y] number pair")
+    return float(value[0]), float(value[1])
+
+
+# ----------------------------------------------------------------------
+# The transport-agnostic core.
+# ----------------------------------------------------------------------
+class QueryGateway:
+    """Routing + admission control between HTTP transports and a service.
+
+    All mutable gateway state (counters, gauges, latency reservoirs) is
+    touched only on the event-loop thread, so it needs no locks; the
+    blocking service calls run on a bounded thread pool whose size *is*
+    the in-flight cap.
+    """
+
+    def __init__(self, service, config: Optional[HttpConfig] = None) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self.service = service
+        self.config = config or HttpConfig()
+        cfg = self.config
+        self.http_stats = ServiceStats(cfg.latency_window)
+        self._pool = ThreadPoolExecutor(max_workers=cfg.max_inflight,
+                                        thread_name_prefix="repro-http")
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._warm_task: Optional[asyncio.Task] = None
+        self._pending = 0
+        self._inflight = 0
+        self.ready = False
+        self.warm_error: Optional[BaseException] = None
+        self.requests_total: Dict[Tuple[str, int], int] = {}
+        self.shed_total: Dict[str, int] = {}
+
+    # -------------------------------------------------- lifecycle
+    async def startup(self) -> None:
+        """Bind loop primitives and kick off the (async) backend warm-up.
+
+        Returns immediately — the server can accept connections while the
+        warm-up queries run; ``/healthz`` answers 503 until they finish.
+        """
+        self._slots = asyncio.Semaphore(self.config.max_inflight)
+        # Pre-register every kind in both stats registries so /metrics
+        # exports a complete, zero-valued series set from the first
+        # scrape (and so never-hit kinds exercise the empty-window
+        # percentile path instead of being absent).
+        for kind in SHARD_METHODS:
+            self.service.stats_registry.method(kind)
+            self.http_stats.method(kind)
+        self._warm_task = asyncio.get_running_loop().create_task(
+            self._warm_async())
+
+    async def _warm_async(self) -> None:
+        try:
+            await asyncio.get_running_loop().run_in_executor(
+                self._pool, self._warm)
+        except Exception as exc:  # noqa: BLE001 — surfaced via /healthz
+            self.warm_error = exc
+        else:
+            self.ready = True
+
+    def _warm(self) -> None:
+        # One tiny batch per warm kind: spins up the executor backend's
+        # pools and builds the lazy batch engines, so the first real
+        # request doesn't pay the cold-start.  Runs on a pool thread.
+        for kind in self.config.warm_kinds:
+            self.service.batch(kind, [(0.0, 0.0)])
+
+    async def shutdown(self) -> None:
+        """Stop accepting work and release the execution pool."""
+        if self._warm_task is not None and not self._warm_task.done():
+            self._warm_task.cancel()
+            try:
+                await self._warm_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self.ready = False
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    # -------------------------------------------------- execution
+    def _run_single(self, kind: str, point: Tuple[float, float],
+                    params: Dict) -> object:
+        """Blocking single-point execution (runs on a pool thread).
+
+        Goes through :meth:`QueryService.submit` so concurrent HTTP
+        singles coalesce into one vectorized micro-batch — the same
+        cache -> coalescer -> engine path as in-process async callers.
+        """
+        return self.service.submit(kind, point, **params).result()
+
+    def _run_bulk(self, kind: str, rows: List[Tuple[float, float]],
+                  params: Dict) -> object:
+        """Blocking bulk execution: the service's batch front door
+        (row-wise cache for small arrays, executor sharding for large).
+        """
+        return self.service.batch(kind, rows, **params)
+
+    async def _admit_and_run(self, kind: str, fn: Callable[[], object]
+                             ) -> object:
+        """Run *fn* under the in-flight cap, or shed (returns _SHED).
+
+        All counter arithmetic happens between awaits on the loop thread,
+        so the pending gauge and the shed decision are race-free.
+        """
+        sem = self._slots
+        assert sem is not None, "gateway.startup() was not awaited"
+        if sem.locked():  # every slot busy -> this request must queue
+            if self._pending >= self.config.max_pending:
+                self.shed_total[kind] = self.shed_total.get(kind, 0) + 1
+                return _SHED
+            self._pending += 1
+            try:
+                await sem.acquire()
+            finally:
+                self._pending -= 1
+        else:
+            await sem.acquire()
+        self._inflight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(self._pool, fn)
+        finally:
+            self._inflight -= 1
+            sem.release()
+
+    # -------------------------------------------------- routing
+    async def handle(self, http_method: str, path: str, body: bytes
+                     ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        """Answer one HTTP request: ``(status, headers, payload)``.
+
+        The single routing table shared by the stdlib server and the
+        ASGI adapter, so both transports behave identically.
+        """
+        if path == "/healthz":
+            if http_method != "GET":
+                return self._json(405, {"error": "use GET"})
+            return self._healthz()
+        if path == "/metrics":
+            if http_method != "GET":
+                return self._json(405, {"error": "use GET"})
+            return 200, [("Content-Type", _PROM)], \
+                render_prometheus(self).encode("utf-8")
+        if path in ("", "/"):
+            if http_method != "GET":
+                return self._json(405, {"error": "use GET"})
+            return self._json(200, {
+                "service": "repro probabilistic nearest-neighbor queries",
+                "kinds": list(SHARD_METHODS),
+                "endpoints": {
+                    "query": "POST /v1/query/<kind> "
+                             '{"q": [x, y]} or {"queries": [[x, y], ...]}',
+                    "health": "GET /healthz",
+                    "metrics": "GET /metrics",
+                },
+            })
+        if path.startswith("/v1/query/"):
+            kind = path[len("/v1/query/"):]
+            if kind not in SHARD_METHODS:
+                return self._json(404, {"error": f"unknown kind {kind!r}",
+                                        "kinds": list(SHARD_METHODS)})
+            if http_method != "POST":
+                return self._json(405, {"error": "use POST"})
+            return await self._handle_query(kind, body)
+        return self._json(404, {"error": f"no route for {path!r}"})
+
+    async def _handle_query(self, kind: str, body: bytes
+                            ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        start = time.perf_counter()
+        status, payload = await self._query_response(kind, body)
+        mstats = self.http_stats.method(kind)
+        mstats.requests += 1
+        mstats.latency.record(time.perf_counter() - start)
+        key = (kind, status)
+        self.requests_total[key] = self.requests_total.get(key, 0) + 1
+        if status == 429:
+            return status, [("Content-Type", _JSON), ("Retry-After", "1")], \
+                self._dump(payload)
+        return self._json(status, payload)
+
+    async def _query_response(self, kind: str, body: bytes
+                              ) -> Tuple[int, Dict]:
+        try:
+            doc = json.loads(body.decode("utf-8")) if body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return 400, {"error": f"invalid JSON body: {exc}"}
+        if not isinstance(doc, dict):
+            return 400, {"error": "body must be a JSON object"}
+        overrides = doc.get("params", {})
+        if not isinstance(overrides, dict):
+            return 400, {"error": '"params" must be a JSON object'}
+        if ("q" in doc) == ("queries" in doc):
+            return 400, {"error": 'pass exactly one of "q" (single point) '
+                                  'or "queries" (bulk array)'}
+        # Validate method parameters on the loop thread, through the one
+        # validation gate every front door shares.
+        try:
+            params = self.service.canonicalize(kind, dict(overrides))
+        except (TypeError, ValueError) as exc:
+            return 400, {"error": str(exc)}
+        try:
+            if "q" in doc:
+                point = _parse_point(doc["q"])
+                result = await self._admit_and_run(
+                    kind, lambda: self._run_single(kind, point, params))
+                if result is _SHED:
+                    return 429, self._shed_doc()
+                return 200, {"kind": kind,
+                             "result": encode_result(kind, result)}
+            rows_doc = doc["queries"]
+            if not isinstance(rows_doc, list):
+                return 400, {"error": '"queries" must be a list of '
+                                      '[x, y] pairs'}
+            if len(rows_doc) > self.config.max_bulk_rows:
+                return 413, {"error": f"bulk arrays are capped at "
+                                      f"{self.config.max_bulk_rows} rows, "
+                                      f"got {len(rows_doc)}"}
+            rows = [_parse_point(r) for r in rows_doc]
+            result = await self._admit_and_run(
+                kind, lambda: self._run_bulk(kind, rows, params))
+            if result is _SHED:
+                return 429, self._shed_doc()
+            encoded = [encode_result(kind, row) for row in
+                       (result if kind != "delta" else list(result))]
+            return 200, {"kind": kind, "count": len(encoded),
+                         "results": encoded}
+        except ValueError as exc:
+            return 400, {"error": str(exc)}
+        except Exception as exc:  # noqa: BLE001 — engine failure -> 500
+            return 500, {"error": f"{type(exc).__name__}: {exc}"}
+
+    def _shed_doc(self) -> Dict:
+        return {"error": "server saturated: all "
+                         f"{self.config.max_inflight} execution slots busy "
+                         f"and {self.config.max_pending} pending requests "
+                         "queued; retry with backoff",
+                "shed": True}
+
+    def _healthz(self) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        doc = {
+            "status": "ok" if self.ready else "warming",
+            "inflight": self._inflight,
+            "pending": self._pending,
+            "kinds": list(SHARD_METHODS),
+        }
+        if self.warm_error is not None:
+            doc["status"] = "warmup-failed"
+            doc["error"] = str(self.warm_error)
+        return self._json(200 if self.ready else 503, doc)
+
+    # -------------------------------------------------- helpers
+    @staticmethod
+    def _dump(doc: Dict) -> bytes:
+        return json.dumps(doc).encode("utf-8")
+
+    def _json(self, status: int, doc: Dict
+              ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        return status, [("Content-Type", _JSON)], self._dump(doc)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition.
+# ----------------------------------------------------------------------
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _PromWriter:
+    """Accumulate one family (# HELP/# TYPE + samples) at a time."""
+
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+
+    def family(self, name: str, mtype: str, help_text: str) -> None:
+        self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(self, name: str, labels: Dict[str, str],
+               value: object) -> None:
+        if labels:
+            inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                             for k, v in labels.items())
+            self.lines.append(f"{name}{{{inner}}} {_fmt_value(value)}")
+        else:
+            self.lines.append(f"{name} {_fmt_value(value)}")
+
+    def render(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+def render_prometheus(gateway: QueryGateway) -> str:
+    """The gateway's state in Prometheus text exposition format.
+
+    Latency summaries are derived from the same
+    :class:`~repro.serving.stats.LatencyRecorder` reservoirs the python
+    API reports — one family for HTTP wall time (queueing included) and
+    one for the service's engine batch time.
+    """
+    w = _PromWriter()
+    w.family("repro_ready", "gauge",
+             "1 once backend warm-up finished (healthz readiness).")
+    w.sample("repro_ready", {}, 1 if gateway.ready else 0)
+    w.family("repro_http_inflight", "gauge",
+             "Requests currently executing on the engine pool.")
+    w.sample("repro_http_inflight", {}, gateway._inflight)
+    w.family("repro_http_pending", "gauge",
+             "Admitted requests waiting for an execution slot.")
+    w.sample("repro_http_pending", {}, gateway._pending)
+
+    w.family("repro_http_requests_total", "counter",
+             "HTTP query requests by kind and response code.")
+    for (kind, status), count in sorted(gateway.requests_total.items()):
+        w.sample("repro_http_requests_total",
+                 {"kind": kind, "code": str(status)}, count)
+    w.family("repro_http_shed_total", "counter",
+             "Requests shed with 429 by the admission controller.")
+    for kind in SHARD_METHODS:
+        w.sample("repro_http_shed_total", {"kind": kind},
+                 gateway.shed_total.get(kind, 0))
+
+    for family, registry, help_text in (
+            ("repro_http_request_latency_seconds", gateway.http_stats,
+             "HTTP request wall time per kind (queueing included)."),
+            ("repro_service_latency_seconds",
+             gateway.service.stats_registry,
+             "Engine batch execution time per kind.")):
+        w.family(family, "summary", help_text)
+        snap = registry.snapshot()
+        for kind, stats in snap.items():
+            for q, key in (("0.5", "p50_ms"), ("0.9", "p90_ms"),
+                           ("0.99", "p99_ms")):
+                w.sample(family, {"kind": kind, "quantile": q},
+                         stats[key] / 1e3)
+            w.sample(f"{family}_count", {"kind": kind}, stats["count"])
+            w.sample(f"{family}_sum", {"kind": kind},
+                     stats["count"] * stats["mean_ms"] / 1e3)
+
+    w.family("repro_service_requests_total", "counter",
+             "Query rows answered by the service per kind "
+             "(HTTP and in-process callers).")
+    service_snap = gateway.service.stats_registry.snapshot()
+    for kind, stats in service_snap.items():
+        w.sample("repro_service_requests_total", {"kind": kind},
+                 stats["requests"])
+    w.family("repro_service_cache_hits_total", "counter",
+             "Result-cache hits per kind.")
+    w.family("repro_service_cache_misses_total", "counter",
+             "Result-cache misses per kind.")
+    for kind, stats in service_snap.items():
+        w.sample("repro_service_cache_hits_total", {"kind": kind},
+                 stats["cache_hits"])
+        w.sample("repro_service_cache_misses_total", {"kind": kind},
+                 stats["cache_misses"])
+
+    cache = getattr(gateway.service, "cache", None)
+    if cache is not None:
+        snap = cache.snapshot()
+        w.family("repro_cache_entries", "gauge",
+                 "Entries currently held by the result cache.")
+        w.sample("repro_cache_entries", {"mode": snap["mode"]},
+                 snap["entries"])
+        w.family("repro_cache_evictions_total", "counter",
+                 "LRU evictions from the result cache.")
+        w.sample("repro_cache_evictions_total", {"mode": snap["mode"]},
+                 snap["evictions"])
+    return w.render()
+
+
+# ----------------------------------------------------------------------
+# Transport 1: the pure-stdlib asyncio HTTP/1.1 server.
+# ----------------------------------------------------------------------
+async def handle_connection(gateway: QueryGateway,
+                            reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+    """Serve one client connection (HTTP/1.1, keep-alive) until it closes."""
+    cfg = gateway.config
+    try:
+        while True:
+            try:
+                request_line = await asyncio.wait_for(
+                    reader.readline(), timeout=cfg.keep_alive_timeout)
+            except asyncio.TimeoutError:
+                break
+            if not request_line:
+                break
+            try:
+                http_method, target, version = \
+                    request_line.decode("latin-1").split()
+            except ValueError:
+                await _write_response(
+                    writer, 400, [("Content-Type", _JSON)],
+                    b'{"error": "malformed request line"}', close=True)
+                break
+            headers: Dict[str, str] = {}
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            length = int(headers.get("content-length", "0") or "0")
+            if length > cfg.max_body_bytes:
+                await _write_response(
+                    writer, 413, [("Content-Type", _JSON)],
+                    json.dumps({"error": f"bodies are capped at "
+                                f"{cfg.max_body_bytes} bytes"}
+                               ).encode(), close=True)
+                break
+            body = await reader.readexactly(length) if length else b""
+            path = target.split("?", 1)[0]
+            status, extra, payload = await gateway.handle(
+                http_method, path, body)
+            close = (headers.get("connection", "").lower() == "close"
+                     or version.upper() != "HTTP/1.1")
+            await _write_response(writer, status, extra, payload,
+                                  close=close)
+            if close:
+                break
+    except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
+            ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-request; nothing to answer
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _write_response(writer: asyncio.StreamWriter, status: int,
+                          headers: List[Tuple[str, str]], payload: bytes,
+                          close: bool = False) -> None:
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.1 {status} {reason}"]
+    head += [f"{k}: {v}" for k, v in headers]
+    head.append(f"Content-Length: {len(payload)}")
+    head.append(f"Connection: {'close' if close else 'keep-alive'}")
+    writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1"))
+    writer.write(payload)
+    await writer.drain()
+
+
+# ----------------------------------------------------------------------
+# Transport 2: the thin ASGI layer (FastAPI/uvicorn-style mounting).
+# ----------------------------------------------------------------------
+def create_asgi_app(gateway: QueryGateway):
+    """A minimal ASGI 3 application over *gateway*.
+
+    Handles the ``lifespan`` protocol (startup/shutdown map onto the
+    gateway's) and ``http`` scopes; mount it under any ASGI server —
+    none is required by this package, the stdlib transport serves the
+    same routes.
+    """
+
+    async def app(scope, receive, send):
+        if scope["type"] == "lifespan":
+            while True:
+                message = await receive()
+                if message["type"] == "lifespan.startup":
+                    await gateway.startup()
+                    await send({"type": "lifespan.startup.complete"})
+                elif message["type"] == "lifespan.shutdown":
+                    await gateway.shutdown()
+                    await send({"type": "lifespan.shutdown.complete"})
+                    return
+        if scope["type"] != "http":
+            raise RuntimeError(f"unsupported ASGI scope {scope['type']!r}")
+        body = b""
+        while True:
+            message = await receive()
+            if message["type"] != "http.request":
+                break
+            body += message.get("body", b"")
+            if not message.get("more_body", False):
+                break
+        status, headers, payload = await gateway.handle(
+            scope["method"], scope["path"], body)
+        await send({"type": "http.response.start", "status": status,
+                    "headers": [(k.lower().encode("latin-1"),
+                                 v.encode("latin-1"))
+                                for k, v in headers]
+                    + [(b"content-length", str(len(payload)).encode())]})
+        await send({"type": "http.response.body", "body": payload})
+
+    return app
+
+
+# ----------------------------------------------------------------------
+# Server lifecycles: blocking runner and background thread.
+# ----------------------------------------------------------------------
+async def _serve_async(gateway: QueryGateway, host: str, port: int,
+                       started: Optional[Callable[[int], None]] = None,
+                       stop: Optional[asyncio.Event] = None) -> None:
+    await gateway.startup()
+    server = await asyncio.start_server(
+        lambda r, w: handle_connection(gateway, r, w), host, port)
+    bound = server.sockets[0].getsockname()[1]
+    if started is not None:
+        started(bound)
+    try:
+        async with server:
+            if stop is None:
+                await server.serve_forever()
+            else:
+                await stop.wait()
+    finally:
+        await gateway.shutdown()
+
+
+def serve_forever(service, config: Optional[HttpConfig] = None,
+                  announce: Optional[Callable[[str], None]] = print) -> None:
+    """Run the stdlib HTTP server on *service* until interrupted."""
+    gateway = QueryGateway(service, config)
+    cfg = gateway.config
+
+    def _started(port: int) -> None:
+        if announce is not None:
+            announce(f"serving {len(SHARD_METHODS)} query kinds on "
+                     f"http://{cfg.host}:{port} "
+                     f"(max_inflight={cfg.max_inflight}, "
+                     f"max_pending={cfg.max_pending}); "
+                     f"POST /v1/query/<kind>, GET /healthz, GET /metrics")
+
+    try:
+        asyncio.run(_serve_async(gateway, cfg.host, cfg.port,
+                                 started=_started))
+    except KeyboardInterrupt:
+        if announce is not None:
+            announce("interrupted; shutting down")
+
+
+class ServerThread:
+    """The HTTP front door on a background event-loop thread.
+
+    The process-internal harness used by tests, the E24 benchmark, and
+    the CI smoke: start() returns once the socket is bound (the bound
+    port is in :attr:`port`), stop() shuts the loop down and joins.
+    The gateway stays reachable for white-box assertions.
+    """
+
+    def __init__(self, service, config: Optional[HttpConfig] = None) -> None:
+        self.gateway = QueryGateway(service, config)
+        self.port: Optional[int] = None
+        self.error: Optional[BaseException] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-http-server",
+                                        daemon=True)
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("HTTP server failed to start in time")
+        if self.error is not None:
+            raise RuntimeError("HTTP server failed to start") \
+                from self.error
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        cfg = self.gateway.config
+
+        def _started(port: int) -> None:
+            self.port = port
+            self._ready.set()
+
+        try:
+            await _serve_async(self.gateway, cfg.host, cfg.port,
+                               started=_started, stop=self._stop)
+        except BaseException as exc:  # noqa: BLE001 — surfaced by start()
+            self.error = exc
+            self._ready.set()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# The self-smoke used by `python -m repro serve-http --smoke` and CI.
+# ----------------------------------------------------------------------
+def _http_json(port: int, method: str, path: str,
+               doc: Optional[Dict] = None, timeout: float = 30.0
+               ) -> Tuple[int, object, str]:
+    """One HTTP request against localhost; ``(status, parsed, raw)``."""
+    import http.client
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = json.dumps(doc) if doc is not None else None
+        conn.request(method, path, body=body,
+                     headers={"Content-Type": _JSON} if body else {})
+        resp = conn.getresponse()
+        raw = resp.read().decode("utf-8")
+        parsed: object = None
+        if resp.headers.get_content_type() == "application/json":
+            parsed = json.loads(raw)
+        return resp.status, parsed, raw
+    finally:
+        conn.close()
+
+
+def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
+              log: Callable[[str], None] = print) -> int:
+    """Boot the server, exercise every kind single + bulk, force a 429.
+
+    Returns a process exit code (0 = all checks passed).  Used by the CI
+    ``http-smoke`` job; ``metrics_out`` saves the final /metrics scrape.
+    """
+    import random
+
+    from ..core.index import PNNIndex
+    from ..core.workloads import random_discrete_points
+
+    # Small discrete fleet: every kind answerable, and the quantify_vpr
+    # endpoint's lazy V_Pr build (arrangement size grows ~quartically in
+    # instance count) stays sub-second.
+    index = PNNIndex(random_discrete_points(12, 2, seed=7, spread=2.0))
+    workers = 0 if backend == "inline" else 2
+    service = index.serve(workers=workers, backend=backend,
+                          max_batch=64, flush_window=0.002,
+                          cache_capacity=4096)
+    config = HttpConfig(port=0, max_inflight=2, max_pending=2,
+                        warm_kinds=("delta", "nonzero_nn"))
+    failures: List[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+
+    rng = random.Random(99)
+    queries = [(rng.uniform(-2.0, 16.0), rng.uniform(-2.0, 16.0))
+               for _ in range(6)]
+    with service, ServerThread(service, config) as server:
+        port = server.port
+        assert port is not None
+        deadline = time.monotonic() + 30
+        status = 0
+        while time.monotonic() < deadline:
+            status, _, _ = _http_json(port, "GET", "/healthz")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        check(status == 200, f"healthz never became ready ({status})")
+
+        for kind in SHARD_METHODS:
+            expected = service.batch(kind, queries)
+            # Compare in encoded (JSON-safe) form on both sides: floats
+            # survive the JSON round-trip bitwise, so equality here is
+            # exact parity with the in-process answers.
+            rows = [encode_result(kind, row) for row in
+                    (list(expected) if kind == "delta" else expected)]
+            status, doc, _ = _http_json(
+                port, "POST", f"/v1/query/{kind}", {"q": list(queries[0])})
+            check(status == 200, f"{kind} single returned {status}")
+            if status == 200:
+                check(doc["result"] == rows[0],
+                      f"{kind} single result differs from service.batch")
+            status, doc, _ = _http_json(
+                port, "POST", f"/v1/query/{kind}",
+                {"queries": [list(q) for q in queries]})
+            check(status == 200, f"{kind} bulk returned {status}")
+            if status == 200:
+                check(doc["results"] == rows,
+                      f"{kind} bulk results differ from service.batch")
+            log(f"kind {kind}: single + bulk parity verified")
+
+        # Validation behavior: unknown kind 404, bad params 400.
+        status, _, _ = _http_json(port, "POST", "/v1/query/nope",
+                                  {"q": [0, 0]})
+        check(status == 404, f"unknown kind returned {status}, wanted 404")
+        status, _, _ = _http_json(port, "POST", "/v1/query/delta",
+                                  {"q": [0, 0], "params": {"bogus": 1}})
+        check(status == 400, f"bad params returned {status}, wanted 400")
+
+        # Saturate admission control: block the engine behind an event,
+        # fill every slot and the whole pending queue, then probe.
+        gate = threading.Event()
+        original = server.gateway._run_bulk
+
+        def held(kind, rows_, params):
+            gate.wait(timeout=30)
+            return original(kind, rows_, params)
+
+        server.gateway._run_bulk = held
+        blocked = []
+
+        def fire():
+            blocked.append(_http_json(port, "POST", "/v1/query/delta",
+                                      {"queries": [[0.0, 0.0]]}))
+
+        threads = [threading.Thread(target=fire) for _ in
+                   range(config.max_inflight + config.max_pending)]
+        for t in threads:
+            t.start()
+        saturated = False
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            if (server.gateway._inflight >= config.max_inflight
+                    and server.gateway._pending >= config.max_pending):
+                saturated = True
+                break
+            time.sleep(0.01)
+        check(saturated, "admission gauges never reached saturation")
+        status, doc, _ = _http_json(port, "POST", "/v1/query/delta",
+                                    {"queries": [[0.0, 0.0]]})
+        check(status == 429, f"saturated server returned {status}, "
+                             f"wanted 429")
+        gate.set()
+        for t in threads:
+            t.join(timeout=30)
+        server.gateway._run_bulk = original
+        check(all(s == 200 for s, _, _ in blocked),
+              f"held requests finished {[s for s, _, _ in blocked]}, "
+              f"wanted all 200")
+        log("admission control: 429 under saturation, queued requests "
+            "completed after release")
+
+        status, _, raw = _http_json(port, "GET", "/metrics")
+        check(status == 200, f"/metrics returned {status}")
+        check("repro_http_requests_total" in raw
+              and "repro_http_shed_total" in raw
+              and 'quantile="0.99"' in raw,
+              "/metrics scrape is missing expected families")
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(raw)
+            log(f"metrics scrape saved to {metrics_out}")
+
+    if failures:
+        for line in failures:
+            log(f"FAIL: {line}")
+        return 1
+    log("http smoke: all checks passed")
+    return 0

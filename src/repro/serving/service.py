@@ -181,7 +181,17 @@ class QueryService:
     # Parameter canonicalization — one stable signature per method, so
     # cache keys and coalescing groups agree on equality.
     # ------------------------------------------------------------------
-    def _canonical(self, method: str, overrides: Dict) -> Dict:
+    def canonicalize(self, method: str, overrides: Dict) -> Dict:
+        """Validate *method*/*overrides* into the canonical params dict.
+
+        The one validation gate for every front door — sync :meth:`query`,
+        async :meth:`submit`, :meth:`batch`, and the HTTP layer
+        (:mod:`repro.serving.http`) all funnel through here, so an
+        invalid method or parameter fails identically (``ValueError`` /
+        ``TypeError``) no matter how the request arrived.  Idempotent:
+        feeding a canonical dict back in returns it unchanged, which lets
+        a front door validate early and pass the result along.
+        """
         if method not in SHARD_METHODS:
             raise ValueError(f"unknown query method {method!r}; "
                              f"expected one of {SHARD_METHODS}")
@@ -284,6 +294,28 @@ class QueryService:
         """MicroBatcher callback: answer one coalesced group."""
         return self._compute_rows(method, queries, dict(params_key))
 
+    def _cache_lookup(self, method: str, q: Tuple[float, float],
+                      params: Dict) -> Tuple[bool, object]:
+        """One accounted cache consultation for a scalar request.
+
+        The shared first step of every scalar front door — sync
+        :meth:`query`, async :meth:`submit`, and the HTTP handlers — so
+        hit/miss statistics are counted once, identically, wherever the
+        request came from.  ``(False, None)`` when there is no cache.
+        """
+        if self.cache is None:
+            return False, None
+        hit, value = self.cache.get(
+            self.cache.key(method, q, self._params_key(params)))
+        mstats = self.stats_registry.method(method)
+        with self._lock:
+            if hit:
+                mstats.cache_hits += 1
+                mstats.requests += 1
+            else:
+                mstats.cache_misses += 1
+        return hit, value
+
     # ------------------------------------------------------------------
     # Scalar front doors.
     # ------------------------------------------------------------------
@@ -294,19 +326,10 @@ class QueryService:
         ``method`` and ``q`` are positional-only so estimator overrides
         (which also use the name ``method``) pass through ``overrides``.
         """
-        params = self._canonical(method, overrides)
-        mstats = self.stats_registry.method(method)
-        if self.cache is not None:
-            hit, value = self.cache.get(
-                self.cache.key(method, q, self._params_key(params)))
-            with self._lock:
-                if hit:
-                    mstats.cache_hits += 1
-                    mstats.requests += 1
-                else:
-                    mstats.cache_misses += 1
-            if hit:
-                return value
+        params = self.canonicalize(method, overrides)
+        hit, value = self._cache_lookup(method, q, params)
+        if hit:
+            return value
         return self._compute_rows(method, [q], params)[0]
 
     def delta(self, q: Tuple[float, float]) -> float:
@@ -344,21 +367,12 @@ class QueryService:
         (``coalesce=False``) the call computes synchronously and returns
         an already-resolved future.
         """
-        params = self._canonical(method, overrides)
-        mstats = self.stats_registry.method(method)
-        if self.cache is not None:
-            hit, value = self.cache.get(
-                self.cache.key(method, q, self._params_key(params)))
-            with self._lock:
-                if hit:
-                    mstats.cache_hits += 1
-                    mstats.requests += 1
-                else:
-                    mstats.cache_misses += 1
-            if hit:
-                fut: Future = Future()
-                fut.set_result(value)
-                return fut
+        params = self.canonicalize(method, overrides)
+        hit, value = self._cache_lookup(method, q, params)
+        if hit:
+            fut: Future = Future()
+            fut.set_result(value)
+            return fut
         if self.batcher is None:
             fut = Future()
             try:
@@ -384,7 +398,7 @@ class QueryService:
         float array, the other methods lists — exactly the containers the
         underlying ``PNNIndex.batch_*`` calls produce.
         """
-        params = self._canonical(method, overrides)
+        params = self.canonicalize(method, overrides)
         q = as_query_array(queries)
         m = len(q)
         if m == 0:

@@ -32,26 +32,41 @@ class LatencyRecorder:
         self.total += seconds
         self.count += 1
 
-    def percentile(self, p: float) -> float:
-        """The *p*-th percentile (0..100) of the retained window, seconds.
-
-        Nearest-rank on the sorted window; 0.0 when nothing was recorded.
-        """
-        if not self._samples:
+    @staticmethod
+    def _rank_of(ordered: List[float], p: float) -> float:
+        """Nearest-rank percentile over an already-sorted sample list."""
+        if not ordered:
             return 0.0
-        ordered = sorted(self._samples)
         rank = min(len(ordered) - 1,
                    max(0, int(round(p / 100.0 * (len(ordered) - 1)))))
         return ordered[rank]
 
+    def percentile(self, p: float) -> float:
+        """The *p*-th percentile (0..100) of the retained window, seconds.
+
+        Nearest-rank on the sorted window; 0.0 when nothing was recorded
+        — an empty reservoir (a method registered but never hit, e.g. a
+        freshly exposed HTTP kind) must snapshot as zeros, never raise or
+        emit NaN into a ``/metrics`` scrape.  The deque is copied before
+        sorting so a concurrent :meth:`record` on another thread cannot
+        mutate it mid-iteration.
+        """
+        return self._rank_of(sorted(self._samples), p)
+
     def snapshot(self) -> Dict[str, float]:
-        mean = self.total / self.count if self.count else 0.0
+        # Copy-then-derive: count/total/samples are read once so a racing
+        # record() can skew a snapshot by at most one sample, never tear
+        # it into NaN (count read as 0 with total > 0 is impossible —
+        # count is incremented last in record()).
+        ordered = sorted(self._samples)
+        count = self.count
+        mean = self.total / count if count else 0.0
         return {
-            "count": self.count,
+            "count": count,
             "mean_ms": mean * 1e3,
-            "p50_ms": self.percentile(50) * 1e3,
-            "p90_ms": self.percentile(90) * 1e3,
-            "p99_ms": self.percentile(99) * 1e3,
+            "p50_ms": self._rank_of(ordered, 50) * 1e3,
+            "p90_ms": self._rank_of(ordered, 90) * 1e3,
+            "p99_ms": self._rank_of(ordered, 99) * 1e3,
         }
 
 
@@ -101,12 +116,20 @@ class ServiceStats:
                 self.methods[name] = MethodStats(self._window)
             return self.methods[name]
 
+    def _methods_view(self) -> Dict[str, MethodStats]:
+        # A locked copy of the registry dict: iterating self.methods
+        # directly would race first-touch inserts from method() on other
+        # threads ("dictionary changed size during iteration" mid-scrape).
+        with self._lock:
+            return dict(self.methods)
+
     @property
     def total_requests(self) -> int:
-        return sum(m.requests for m in self.methods.values())
+        return sum(m.requests for m in self._methods_view().values())
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
-        return {name: m.snapshot() for name, m in sorted(self.methods.items())}
+        return {name: m.snapshot()
+                for name, m in sorted(self._methods_view().items())}
 
     def format_table(self) -> List[str]:
         """Human-readable lines for the demo CLI."""

@@ -316,3 +316,115 @@ class TestLifecycle:
         with ShardExecutor(points, workers=2, backend="auto") as executor:
             assert np.array_equal(executor.run("delta", qs),
                                   index.batch_delta(qs))
+
+# ----------------------------------------------------------------------
+# Shared-memory teardown: exactly-once unlink, no leaks, no double-free.
+# ----------------------------------------------------------------------
+
+class TestShmTeardown:
+    def _shm_backend(self, n=10):
+        index, _ = _disk_index(n)
+        impl = create_backend("shm", index.points, workers=2)
+        if impl.mode != "shm":  # pragma: no cover — pool-less sandbox
+            impl.close()
+            pytest.skip("shared-memory backend unavailable here")
+        return impl
+
+    def _count_unlinks(self, impl):
+        """Instrument the live segment handle to count unlink() calls."""
+        shm = impl._shm
+        counter = {"unlinks": 0}
+        original = shm.unlink
+
+        def counting_unlink():
+            counter["unlinks"] += 1
+            return original()
+
+        shm.unlink = counting_unlink
+        return counter
+
+    def test_close_then_close_unlinks_exactly_once(self):
+        impl = self._shm_backend()
+        counter = self._count_unlinks(impl)
+        impl.close()
+        impl.close()
+        assert counter["unlinks"] == 1
+        assert impl._shm is None
+
+    def test_close_then_del_unlinks_exactly_once(self):
+        """__del__ after an explicit close() (the interpreter-exit order)
+        must not re-release — the OS may have re-issued the name."""
+        import gc
+
+        impl = self._shm_backend()
+        counter = self._count_unlinks(impl)
+        impl.close()
+        impl.__del__()
+        del impl
+        gc.collect()
+        assert counter["unlinks"] == 1
+
+    def test_del_alone_releases_segment(self):
+        import gc
+        from multiprocessing import shared_memory
+
+        impl = self._shm_backend()
+        name = impl._shm.name
+        del impl
+        gc.collect()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_failed_pool_teardown_still_unlinks(self):
+        """A pool whose close() blows up must not leak the named
+        segment: the release runs in a finally, and the pool is
+        terminated rather than left running."""
+        from multiprocessing import shared_memory
+
+        impl = self._shm_backend()
+        name = impl._shm.name
+        pool = impl._pool
+        terminated = {"called": False}
+        original_terminate = pool.terminate
+
+        def recording_terminate():
+            terminated["called"] = True
+            return original_terminate()
+
+        pool.terminate = recording_terminate
+        pool.close = lambda: (_ for _ in ()).throw(
+            RuntimeError("teardown exploded"))
+        with pytest.raises(RuntimeError, match="teardown exploded"):
+            impl.close()
+        assert terminated["called"], "interrupted teardown must terminate"
+        assert impl._shm is None and impl._pool is None
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        impl.close()  # and a retried close stays a clean no-op
+
+    def test_half_built_constructor_releases_segment(self, monkeypatch):
+        """A constructor that dies after packing the segment but before
+        its pool starts must unlink the segment on the way out."""
+        from multiprocessing import shared_memory
+
+        from repro.serving.executors import shm as shm_module
+
+        created = {}
+        original_pack = shm_module.pack_arrays
+
+        def spy_pack(arrays):
+            seg, manifest = original_pack(arrays)
+            created["name"] = seg.name
+            return seg, manifest
+
+        def failing_start_pool(*args, **kwargs):
+            raise BackendUnavailable("no pools on this host")
+
+        monkeypatch.setattr(shm_module, "pack_arrays", spy_pack)
+        monkeypatch.setattr(shm_module, "start_pool", failing_start_pool)
+        index, _ = _disk_index(8)
+        with pytest.raises(BackendUnavailable):
+            SharedMemoryBackend(index.points, workers=2)
+        assert "name" in created
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=created["name"])

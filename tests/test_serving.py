@@ -837,3 +837,189 @@ def test_flush_window_latency_bound():
         elapsed = time.perf_counter() - start
         assert value == index.delta((1.0, 1.0))
         assert elapsed < 2.0
+
+class TestMicroBatcherCloseRace:
+    """close() must be drain-or-fail atomic against concurrent flushes:
+    every future handed out before the closed flag is resolved by the
+    time close() returns, even when its group was detached by an inline
+    full flush or the background flusher and is still mid-engine."""
+
+    def test_close_waits_for_inflight_inline_flush(self):
+        import threading
+
+        release = threading.Event()
+        entered = threading.Event()
+
+        def slow_flush(method, queries, params):
+            entered.set()
+            release.wait(timeout=10)
+            return [q[0] for q in queries]
+
+        batcher = MicroBatcher(slow_flush, max_batch=1, auto_flush=False)
+        # max_batch=1: the submit detaches its own group and runs it
+        # inline — from close()'s point of view, an in-flight group that
+        # is in neither _groups nor the flusher's hands.
+        fut_holder = {}
+
+        def submitter():
+            fut_holder["fut"] = batcher.submit("delta", (7.0, 0.0), ())
+
+        sub = threading.Thread(target=submitter)
+        sub.start()
+        assert entered.wait(timeout=5)
+
+        closed = threading.Event()
+
+        def closer():
+            batcher.close()
+            closed.set()
+
+        clo = threading.Thread(target=closer)
+        clo.start()
+        # close() must be blocked on the in-flight group, not returned.
+        assert not closed.wait(timeout=0.1)
+        release.set()
+        sub.join(timeout=5)
+        clo.join(timeout=5)
+        assert closed.is_set()
+        assert fut_holder["fut"].result(timeout=0) == 7.0
+
+    def test_close_vs_submit_hammer_no_stranded_future(self):
+        """Spam submits from many threads while closing: every accepted
+        future is resolved when close() returns; late submits raise."""
+        import threading
+
+        def flush_fn(method, queries, params):
+            time.sleep(0.0005)  # widen the detached-but-running window
+            return [q[0] for q in queries]
+
+        for trial in range(5):
+            batcher = MicroBatcher(flush_fn, max_batch=2,
+                                   flush_window=0.001)
+            accepted = [[] for _ in range(4)]
+
+            def spam(tid):
+                while True:
+                    try:
+                        fut = batcher.submit("delta", (float(tid), 0.0),
+                                             ())
+                    except RuntimeError:
+                        return  # closed — expected shutdown signal
+                    accepted[tid].append(fut)
+
+            threads = [threading.Thread(target=spam, args=(t,))
+                       for t in range(4)]
+            for t in threads:
+                t.start()
+            time.sleep(0.01)
+            batcher.close()
+            # The moment close() returns, nothing may still be pending:
+            # sample *now*, before the spammers get a chance to finish.
+            unresolved = [f for futs in accepted for f in futs
+                          if not f.done()]
+            for t in threads:
+                t.join(timeout=10)
+            assert not unresolved, (
+                f"trial {trial}: close() returned with "
+                f"{len(unresolved)} unresolved futures")
+            for tid, futs in enumerate(accepted):
+                for f in futs:
+                    assert f.result(timeout=0) == float(tid)
+
+    def test_concurrent_closers_both_drain(self):
+        import threading
+
+        def flush_fn(method, queries, params):
+            time.sleep(0.002)
+            return [0.0] * len(queries)
+
+        batcher = MicroBatcher(flush_fn, max_batch=100, flush_window=5.0)
+        futures = [batcher.submit("delta", (float(i), 0.0), ())
+                   for i in range(5)]
+        threads = [threading.Thread(target=batcher.close)
+                   for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert all(f.done() for f in futures)
+        assert [f.result(timeout=0) for f in futures] == [0.0] * 5
+
+
+class TestLatencyStatsEmptyWindow:
+    """A registered-but-never-hit method (every HTTP kind starts that
+    way) must snapshot as clean zeros — no exception, no NaN leaking
+    into a /metrics scrape."""
+
+    def test_percentile_on_empty_window_is_zero(self):
+        from repro.serving import LatencyRecorder
+
+        rec = LatencyRecorder(window=8)
+        for p in (0, 50, 90, 99, 100):
+            assert rec.percentile(p) == 0.0
+
+    def test_snapshot_on_empty_window_is_all_zeros(self):
+        from repro.serving import LatencyRecorder
+
+        snap = LatencyRecorder(window=8).snapshot()
+        assert snap == {"count": 0, "mean_ms": 0.0, "p50_ms": 0.0,
+                        "p90_ms": 0.0, "p99_ms": 0.0}
+
+    def test_never_hit_method_snapshots_clean(self):
+        from repro.serving import ServiceStats
+
+        stats = ServiceStats(window=16)
+        stats.method("quantify_vpr")  # registered (e.g. by the HTTP
+        stats.method("top_k")         # gateway), never actually queried
+        snap = stats.snapshot()
+        for name in ("quantify_vpr", "top_k"):
+            m = snap[name]
+            assert m["requests"] == 0 and m["count"] == 0
+            assert m["hit_rate"] == 0.0 and m["p99_ms"] == 0.0
+        assert stats.total_requests == 0
+
+    def test_single_sample_percentiles(self):
+        from repro.serving import LatencyRecorder
+
+        rec = LatencyRecorder(window=8)
+        rec.record(0.25)
+        assert rec.percentile(50) == 0.25
+        assert rec.percentile(99) == 0.25
+
+
+class TestCacheHitRateTornRead:
+    def test_hit_rate_never_torn_under_churn(self):
+        """hits and misses are read under one lock acquisition: a
+        concurrent reader can never combine a new hits with a stale
+        misses (which can push the ratio above 1)."""
+        import threading
+
+        cache = ResultCache(capacity=8)
+        stop = threading.Event()
+        errors = []
+
+        def churn(tid):
+            rng = random.Random(tid)
+            while not stop.is_set():
+                key = cache.key("delta", (float(rng.randrange(12)), 0.0),
+                                ())
+                if not cache.get(key)[0]:
+                    cache.put(key, 1.0)
+
+        threads = [threading.Thread(target=churn, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(2000):
+                rate = cache.hit_rate
+                if not 0.0 <= rate <= 1.0:
+                    errors.append(rate)
+                snap = cache.snapshot()
+                if not 0.0 <= snap["hit_rate"] <= 1.0:
+                    errors.append(("snapshot", snap["hit_rate"]))
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not errors
