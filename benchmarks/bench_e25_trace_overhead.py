@@ -1,0 +1,115 @@
+"""E25 — tracing overhead: the disabled path must cost (almost) nothing.
+
+The observability layer (:mod:`repro.obs`) instruments every serving
+stage — request spans, cache/coalesce/dispatch child spans, worker spans
+shipped back from shard chunks.  Its design contract is that all of that
+collapses to one attribute check per instrumentation point when tracing
+is off (the ``NULL_SPAN`` fast path).  This benchmark pins the contract:
+
+* **parity in every mode** — service answers with tracing disabled,
+  sampled (10%), and full (100%) are bitwise identical to the direct
+  engine call (tracing observes, never steers);
+* **disabled-path bar** — ``service.batch`` with tracing disabled stays
+  within ``E25_MAX_OVERHEAD`` (default 3%) of the raw
+  ``index.batch_delta`` engine call.  The service wraps the same
+  vectorized engine invocation in its front-door bookkeeping (stats,
+  cache-limit check, and every NULL-span instrumentation point), so
+  this ratio bounds the *disabled* tracing tax from above;
+* **reported, not barred** — the sampled and full-tracing ratios, and
+  the scalar (per-request) path across the three modes, where the
+  per-span cost is visible.  Absolute overhead of full tracing depends
+  on span count per request, which is workload shape, not regression.
+
+Env knobs: ``E25_N``, ``E25_M``, ``E25_SCALAR_REQUESTS``,
+``E25_MAX_OVERHEAD`` (``<= 0`` disables the bar), ``E25_JSON``.
+"""
+
+import math
+import random
+
+from _common import best_of, cores, env_float, env_int, write_json
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_disks
+from repro.obs.trace import TraceConfig
+from repro.uncertain.disk_uniform import DiskUniformPoint
+
+N = env_int("E25_N", 5000)
+M = env_int("E25_M", 40000)
+SCALAR_REQUESTS = env_int("E25_SCALAR_REQUESTS", 2000)
+MAX_OVERHEAD = env_float("E25_MAX_OVERHEAD", 0.03)
+
+EXTENT = math.sqrt(N) * 2.0
+_DISKS = random_disks(N, seed=2525, extent=EXTENT, r_min=0.1, r_max=0.4)
+INDEX = PNNIndex([DiskUniformPoint(d.center, d.r) for d in _DISKS])
+RNG = random.Random(17)
+BATCH = [(RNG.uniform(0, EXTENT), RNG.uniform(0, EXTENT))
+         for _ in range(M)]
+HOT = BATCH[:64]
+
+#: The three tracing modes under test.  ``sampled`` uses a mid rate so
+#: both the sampled and unsampled per-request branches execute.
+MODES = (
+    ("disabled", None),
+    ("sampled", TraceConfig(enabled=True, sample=0.1, max_spans=2048)),
+    ("full", TraceConfig(enabled=True, sample=1.0, max_spans=2048)),
+)
+
+
+def _service(trace):
+    # Inline, uncoalesced, row-cache bypassed (M >> cache_batch_limit):
+    # the batch path is the bare engine call plus front-door bookkeeping,
+    # which is exactly the overhead this benchmark measures.
+    return INDEX.serve(workers=0, coalesce=False, cache_capacity=64,
+                       trace=trace)
+
+
+def test_e25_trace_overhead():
+    INDEX.batch_delta(BATCH[:16])  # build the engine outside the timers
+    direct_t, direct = best_of(lambda: INDEX.batch_delta(BATCH), reps=3)
+
+    rows = []
+    ratios = {}
+    for mode, trace in MODES:
+        with _service(trace) as service:
+            batch_t, answers = best_of(
+                lambda s=service: s.batch_delta(BATCH), reps=3)
+            assert (answers == direct).all(), \
+                f"tracing mode {mode!r} perturbed batch answers"
+
+            def scalar_burst(s=service):
+                for i in range(SCALAR_REQUESTS):
+                    s.query("delta", HOT[i % len(HOT)])
+
+            scalar_t, _ = best_of(scalar_burst, reps=2)
+            snap = service.tracer.snapshot() if service.tracer.enabled \
+                else {"spans_recorded": 0}
+            ratio = batch_t / direct_t
+            ratios[mode] = ratio
+            rows.append({
+                "mode": mode,
+                "batch_qps": int(M / batch_t),
+                "batch_ratio": round(ratio, 4),
+                "scalar_rps": int(SCALAR_REQUESTS / scalar_t),
+                "spans_recorded": snap["spans_recorded"],
+            })
+
+    # Sampling actually varies what is recorded: full traces record
+    # spans for every request, disabled records none.
+    by_mode = {r["mode"]: r for r in rows}
+    assert by_mode["disabled"]["spans_recorded"] == 0
+    assert by_mode["full"]["spans_recorded"] > 0
+
+    if MAX_OVERHEAD > 0:
+        assert ratios["disabled"] <= 1.0 + MAX_OVERHEAD, \
+            f"tracing-disabled service.batch is " \
+            f"{(ratios['disabled'] - 1) * 100:.1f}% over the direct " \
+            f"engine call (bar {MAX_OVERHEAD * 100:.0f}%; relax via " \
+            f"E25_MAX_OVERHEAD)"
+
+    write_json("E25_JSON", {
+        "experiment": "E25",
+        "n": N, "m": M, "scalar_requests": SCALAR_REQUESTS,
+        "cores": cores(), "max_overhead": MAX_OVERHEAD,
+        "direct_qps": int(M / direct_t),
+        "rows": rows,
+    })

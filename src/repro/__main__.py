@@ -13,8 +13,15 @@ Commands
     Boot the asyncio HTTP front door over a synthetic discrete index:
     ``POST /v1/query/<kind>`` for all seven query kinds (single point or
     bulk array), ``GET /healthz`` readiness, ``GET /metrics`` Prometheus
-    text.  ``--smoke`` runs the CI self-test (endpoint parity, a forced
-    429, a /metrics scrape) and exits.
+    text.  ``--trace-sample R`` samples request traces (``GET
+    /debug/traces`` exports them), ``--access-log`` writes structured
+    JSON request records.  ``--smoke`` runs the CI self-test (endpoint
+    parity, a forced 429, trace/slow-log checks, a /metrics scrape) and
+    exits.
+``trace-dump [--host H] [--port P] [--format chrome|jsonl]``
+    Fetch the trace store of a running ``serve-http`` instance and
+    print or save it (``--out``); the chrome format loads directly in
+    chrome://tracing and ui.perfetto.dev.
 ``info``
     Print the library version and the module inventory.
 ``experiments [--quick] [ids...]``
@@ -223,11 +230,35 @@ def _serve_http(argv: list) -> int:
     parser.add_argument("--max-pending", type=int, default=64,
                         help="admitted requests allowed to queue before "
                              "429 shedding")
+    parser.add_argument("--trace-sample", type=float, default=0.0,
+                        metavar="RATE",
+                        help="trace this fraction of requests (0 disables "
+                             "tracing entirely — the default; 1.0 traces "
+                             "everything).  Sampled traces land in the "
+                             "bounded in-memory store behind GET "
+                             "/debug/traces and feed the per-stage "
+                             "latency families on /metrics.")
+    parser.add_argument("--slow-ms", type=float, default=250.0,
+                        help="requests at least this slow land in the "
+                             "slow-query ring (GET /debug/slow) and are "
+                             "logged at WARNING")
+    parser.add_argument("--access-log", default=None, metavar="PATH",
+                        help="structured JSON access log: a file path, "
+                             "or '-' for stderr (default: no log; the "
+                             "slow-query ring fills regardless)")
+    parser.add_argument("--log-level", default="INFO",
+                        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+                        help="access-log threshold: INFO writes every "
+                             "request record, WARNING only the slow ones")
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI self-test instead of serving")
     parser.add_argument("--metrics-out", default=None,
                         help="(smoke) write the final /metrics scrape "
                              "to this file")
+    parser.add_argument("--trace-out", default=None,
+                        help="(smoke) write the Chrome trace-event "
+                             "export to this file (loadable in "
+                             "chrome://tracing or ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
     from .serving.http import run_smoke
@@ -235,10 +266,12 @@ def _serve_http(argv: list) -> int:
     if args.smoke:
         return run_smoke(backend=("inline" if args.workers == 0
                                   else args.backend),
-                         metrics_out=args.metrics_out)
+                         metrics_out=args.metrics_out,
+                         trace_out=args.trace_out)
 
     from .core.index import PNNIndex
     from .core.workloads import random_discrete_points
+    from .obs.trace import TraceConfig
     from .serving.http import HttpConfig, serve_forever
 
     # A discrete fleet keeps all seven kinds answerable (quantify_exact
@@ -253,13 +286,68 @@ def _serve_http(argv: list) -> int:
         print(f"note: quantify_vpr's first request builds V_Pr lazily — "
               f"Theta(N^4) in the {2 * args.n} instances; the other six "
               f"kinds are unaffected")
+    if args.trace_sample > 0:
+        print(f"tracing {args.trace_sample:.0%} of requests "
+              f"(GET /debug/traces exports them; slow-query threshold "
+              f"{args.slow_ms:g} ms on GET /debug/slow)")
     config = HttpConfig(host=args.host, port=args.port,
                         max_inflight=args.max_inflight,
-                        max_pending=args.max_pending)
+                        max_pending=args.max_pending,
+                        access_log=args.access_log,
+                        log_level=args.log_level)
+    trace = TraceConfig(enabled=args.trace_sample > 0,
+                        sample=args.trace_sample,
+                        slow_ms=args.slow_ms)
     with index.serve(workers=args.workers, backend=args.backend,
                      cache_capacity=8192, max_batch=128,
-                     flush_window=0.002) as service:
+                     flush_window=0.002, trace=trace) as service:
         serve_forever(service, config)
+    return 0
+
+
+def _trace_dump(argv: list) -> int:
+    import argparse
+    import json
+    import urllib.error
+    import urllib.request
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace-dump",
+        description="Fetch the trace store of a running serve-http "
+                    "instance (GET /debug/traces) and print or save it.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--format", default="chrome",
+                        choices=("chrome", "jsonl"),
+                        help="chrome: trace-event JSON for "
+                             "chrome://tracing / ui.perfetto.dev; "
+                             "jsonl: one span record per line")
+    parser.add_argument("--trace-id", default=None,
+                        help="restrict the dump to one trace")
+    parser.add_argument("--out", default=None,
+                        help="write to this file instead of stdout")
+    args = parser.parse_args(argv)
+
+    url = (f"http://{args.host}:{args.port}/debug/traces"
+           f"?format={args.format}")
+    if args.trace_id:
+        url += f"&trace_id={args.trace_id}"
+    try:
+        with urllib.request.urlopen(url, timeout=30) as resp:
+            payload = resp.read().decode("utf-8")
+    except (urllib.error.URLError, OSError) as exc:
+        print(f"trace-dump: cannot reach {url}: {exc}", file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        if args.format == "chrome":
+            spans = len(json.loads(payload).get("traceEvents", []))
+        else:
+            spans = sum(1 for line in payload.splitlines() if line)
+        print(f"wrote {spans} spans to {args.out} ({args.format})")
+    else:
+        print(payload)
     return 0
 
 
@@ -285,6 +373,8 @@ def main(argv: list) -> int:
         return _serve_demo()
     if command == "serve-http":
         return _serve_http(argv[1:])
+    if command == "trace-dump":
+        return _trace_dump(argv[1:])
     if command == "info":
         return _info()
     if command == "experiments":
@@ -292,7 +382,7 @@ def main(argv: list) -> int:
 
         return experiments_main(argv[1:])
     print(f"unknown command {command!r}; try: demo, serve-demo, "
-          "serve-http, info, experiments")
+          "serve-http, trace-dump, info, experiments")
     return 2
 
 

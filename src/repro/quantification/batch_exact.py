@@ -48,6 +48,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..obs.metrics import ENGINE
 from ..uncertain.discrete import DiscreteUncertainPoint
 
 __all__ = ["BatchExactQuantifier"]
@@ -177,7 +178,14 @@ class BatchExactQuantifier:
         d = np.sqrt(dx, out=dx)
         pending = np.arange(mc, dtype=np.intp)
         width = min(big_n, _PREFIX_START)
+        ENGINE.inc("exact_sweep.chunks")
+        first_pass = True
         while pending.size:
+            if not first_pass:
+                # Rows still live at the prefix end: the sweep re-runs
+                # them 4x wider (observable as prefix pressure).
+                ENGINE.inc("exact_sweep.prefix_widenings")
+            first_pass = False
             dsub = d[pending] if len(pending) < mc else d
             if width >= big_n:
                 order = np.argsort(dsub, axis=1, kind="stable")
@@ -194,6 +202,7 @@ class BatchExactQuantifier:
                                     self._weight[order],
                                     final=width >= big_n)
             finished = np.flatnonzero(done)
+            ENGINE.inc("exact_sweep.rows_retired", int(finished.size))
             result[pending[finished]] = res[finished]
             pending = pending[~done]
             width = min(big_n, width * 4)

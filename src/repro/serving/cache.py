@@ -106,6 +106,10 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Evictions by query kind: every key's first element is the
+        # method name (see key()), so an unexplained hit-rate drop can be
+        # attributed to whichever kind's entries are being pushed out.
+        self.evictions_by_kind: Dict[str, int] = {}
 
     def key(self, method: str, q: Tuple[float, float],
             params: Tuple) -> Hashable:
@@ -162,8 +166,12 @@ class ResultCache:
                 self._store.move_to_end(key)
             self._store[key] = value
             while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
+                evicted_key, _ = self._store.popitem(last=False)
                 self.evictions += 1
+                kind = (evicted_key[0] if isinstance(evicted_key, tuple)
+                        and evicted_key else "unknown")
+                self.evictions_by_kind[kind] = \
+                    self.evictions_by_kind.get(kind, 0) + 1
 
     def clear(self) -> None:
         with self._lock:
@@ -193,6 +201,7 @@ class ResultCache:
             hits, misses = self.hits, self.misses
             entries = len(self._store)
             evictions = self.evictions
+            by_kind = dict(self.evictions_by_kind)
         seen = hits + misses
         return {
             "mode": self.mode,
@@ -202,5 +211,6 @@ class ResultCache:
             "hits": hits,
             "misses": misses,
             "evictions": evictions,
+            "evictions_by_kind": by_kind,
             "hit_rate": round(hits / seen if seen else 0.0, 4),
         }

@@ -33,13 +33,19 @@ __all__ = ["MicroBatcher"]
 class _Group:
     """Pending requests of one ``(method, params)`` signature."""
 
-    __slots__ = ("method", "params", "queries", "futures", "born")
+    __slots__ = ("method", "params", "queries", "futures", "spans", "born")
 
     def __init__(self, method: str, params: Tuple) -> None:
         self.method = method
         self.params = params
         self.queries: List[Tuple[float, float]] = []
         self.futures: List[Future] = []
+        # Trace spans of the *sampled* requests waiting in this group
+        # (untraced submits add nothing here, so the common path stays
+        # allocation-free).  When non-empty, the flush callback receives
+        # them as a fourth argument so it can link every waiting request
+        # to the one engine-execution span it coalesced into.
+        self.spans: List[object] = []
         self.born = time.monotonic()
 
 
@@ -96,8 +102,15 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, method: str, q: Tuple[float, float],
-               params: Tuple) -> Future:
-        """Enqueue one scalar request; returns its future immediately."""
+               params: Tuple, span=None) -> Future:
+        """Enqueue one scalar request; returns its future immediately.
+
+        *span* (optional) is the request's live ``coalesce.wait`` trace
+        span; sampled spans ride with the group and are handed to the
+        flush callback (see :meth:`_run_group`) so the tracing layer can
+        link each waiting request to the engine execution that answered
+        it.  ``None`` — the untraced default — costs nothing.
+        """
         fut: Future = Future()
         full: _Group = None  # type: ignore[assignment]
         with self._cv:
@@ -109,6 +122,8 @@ class MicroBatcher:
                 group = self._groups[key] = _Group(method, params)
             group.queries.append((float(q[0]), float(q[1])))
             group.futures.append(fut)
+            if span is not None:
+                group.spans.append(span)
             self.submitted += 1
             if len(group.queries) >= self.max_batch:
                 del self._groups[key]
@@ -154,8 +169,17 @@ class MicroBatcher:
                 self.largest_batch = max(self.largest_batch,
                                          len(group.queries))
             try:
-                results = self._flush_fn(group.method, group.queries,
-                                         group.params)
+                # Traced groups (any waiting span) call the 4-argument
+                # form so the flush function can link waiters to the
+                # engine-execution span; plain groups keep the original
+                # 3-argument contract, so existing flush functions (and
+                # the untraced hot path) are untouched.
+                if group.spans:
+                    results = self._flush_fn(group.method, group.queries,
+                                             group.params, group.spans)
+                else:
+                    results = self._flush_fn(group.method, group.queries,
+                                             group.params)
                 if len(results) != len(group.futures):
                     raise RuntimeError(
                         f"flush_fn returned {len(results)} results for "

@@ -36,6 +36,9 @@ documented degradation chain instead of crashing the service.
 from __future__ import annotations
 
 import abc
+import os
+import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -51,7 +54,11 @@ __all__ = ["SHARD_METHODS", "BackendUnavailable", "ExecutorBackend",
 SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "quantify_exact",
                  "quantify_vpr", "top_k", "threshold_nn")
 
-#: One unit of backend work: ``(method, query_chunk, params)``.
+#: One unit of backend work: ``(method, query_chunk, params)``, or the
+#: traced 4-tuple ``(method, query_chunk, params, meta)`` — *meta* is a
+#: small dict of span attributes (chunk ordinal) and marks that the
+#: caller wants a worker-side compute span shipped back alongside the
+#: result (see :meth:`IndexReplica.run_task`).
 Task = Tuple[str, np.ndarray, Dict]
 
 
@@ -87,6 +94,32 @@ class IndexReplica:
         if method not in SHARD_METHODS:
             raise ValueError(f"unknown shardable method {method!r}")
         return getattr(self.index, f"batch_{method}")(chunk, **params)
+
+    def run_task(self, task: Task) -> object:
+        """The one task entry point every backend's ``map`` routes through.
+
+        A plain 3-tuple task returns the bare chunk result, untouched —
+        the untraced hot path stays exactly what it was.  A traced
+        4-tuple task returns ``(result, span_spec)``: the same result
+        plus a plain-dict ``worker.compute`` span (wall-clock start,
+        perf_counter duration, pid/tid, attrs) that ships back over the
+        pool pipe and is re-parented into the live trace by
+        :meth:`repro.obs.trace.Tracer.record_remote`.  The *result* is
+        computed by the identical :meth:`run` call either way, so
+        tracing can never perturb answers.
+        """
+        if len(task) == 3:
+            return self.run(*task)
+        method, chunk, params, meta = task
+        start = time.time()
+        t0 = time.perf_counter()
+        result = self.run(method, chunk, params)
+        duration = time.perf_counter() - t0
+        attrs = {"method": method, "rows": int(len(chunk))}
+        attrs.update(meta)
+        return result, {"name": "worker.compute", "start": start,
+                        "duration": duration, "pid": os.getpid(),
+                        "tid": threading.get_ident(), "attrs": attrs}
 
 
 def reassemble(method: str, parts: List[object]) -> object:

@@ -47,4 +47,4 @@ class InlineBackend(ExecutorBackend):
 
     def map(self, tasks: List[Task]) -> List[object]:
         replica = self._replica()
-        return [replica.run(*task) for task in tasks]
+        return [replica.run_task(task) for task in tasks]

@@ -21,9 +21,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from typing import List, Optional, Sequence, Tuple
 
 from ...uncertain.base import UncertainPoint
 from .base import BackendUnavailable, ExecutorBackend, IndexReplica, Task
@@ -45,11 +43,15 @@ def _init_worker(payload: bytes) -> None:
     _set_replica(IndexReplica(pickle.loads(payload)))
 
 
-def _run_chunk(task: Tuple[str, np.ndarray, Dict]) -> object:
-    """Top-level (picklable) worker entry: answer one chunk."""
-    method, chunk, params = task
+def _run_chunk(task) -> object:
+    """Top-level (picklable) worker entry: answer one chunk.
+
+    Routes through :meth:`IndexReplica.run_task`, so traced 4-tuple
+    tasks come back as ``(result, worker_span_dict)`` pairs — the span
+    dict (plain picklable types only) rides the normal pool result pipe.
+    """
     assert _REPLICA is not None, "worker initializer did not run"
-    return _REPLICA.run(method, chunk, params)
+    return _REPLICA.run_task(task)
 
 
 def start_pool(workers: int, preferred: Optional[str],

@@ -15,7 +15,9 @@ Execution is byte-for-byte the process backend's: the same worker entry
 point answers the same chunk tasks against an
 :class:`~repro.serving.executors.base.IndexReplica`, so results stay
 bitwise identical to every other backend.  Only the *transport* of the
-replica data differs.
+replica data differs.  That includes tracing: traced 4-tuple tasks flow
+through the shared ``_run_chunk`` -> ``run_task`` path, so worker-side
+compute spans ship back from shm workers exactly as from process ones.
 
 The codec carries exactly the built-in model classes; an index holding a
 user-defined model raises

@@ -53,10 +53,10 @@ class ThreadBackend(ExecutorBackend):
         # Warm-up: the first chunk runs synchronously so every lazy
         # structure (engines, tensors, V_Pr) is built exactly once
         # before threads race over the shared index.
-        head = self._replica.run(*tasks[0])
+        head = self._replica.run_task(tasks[0])
         if len(tasks) == 1:
             return [head]
-        rest = self._pool.map(lambda t: self._replica.run(*t), tasks[1:])
+        rest = self._pool.map(self._replica.run_task, tasks[1:])
         return [head] + list(rest)
 
     def _close_impl(self) -> None:

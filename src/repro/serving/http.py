@@ -65,6 +65,10 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.logging import RequestLog
+from ..obs.metrics import engine_counters
+from ..obs.trace import (NULL_SPAN, call_with_span, current_span,
+                         format_traceparent, to_chrome, to_jsonl, use_span)
 from ..quantification.threshold import ThresholdResult
 from .shard import SHARD_METHODS
 from .stats import ServiceStats
@@ -121,6 +125,13 @@ class HttpConfig:
         and lazy engines; ``/healthz`` reports 503 until they finish.
     latency_window:
         Reservoir size of the per-kind HTTP latency percentiles.
+    access_log:
+        Structured-JSON access log sink: a file path, ``"-"`` for
+        stderr, or ``None`` (default) for none.  The slow-query ring
+        behind ``GET /debug/slow`` fills either way.
+    log_level:
+        Access-log threshold: ``"INFO"`` writes one record per request,
+        ``"WARNING"`` only the slow ones (>= the tracer's ``slow_ms``).
     """
 
     host: str = "127.0.0.1"
@@ -132,6 +143,8 @@ class HttpConfig:
     keep_alive_timeout: float = 10.0
     warm_kinds: Tuple[str, ...] = ("delta",)
     latency_window: int = 2048
+    access_log: Optional[str] = None
+    log_level: str = "INFO"
 
     def __post_init__(self) -> None:
         for name, floor in (("max_inflight", 1), ("max_bulk_rows", 1),
@@ -222,6 +235,13 @@ class QueryGateway:
         self.config = config or HttpConfig()
         cfg = self.config
         self.http_stats = ServiceStats(cfg.latency_window)
+        # Observability: the service owns the tracer (ServiceConfig
+        # trace=...); the gateway owns the access log / slow-query ring,
+        # threshold-matched to the tracer's slow_ms.
+        self.tracer = service.tracer
+        self.request_log = RequestLog(
+            path=cfg.access_log, level=cfg.log_level,
+            slow_ms=self.tracer.config.slow_ms)
         self._pool = ThreadPoolExecutor(max_workers=cfg.max_inflight,
                                         thread_name_prefix="repro-http")
         self._slots: Optional[asyncio.Semaphore] = None
@@ -277,6 +297,7 @@ class QueryGateway:
                 pass
         self.ready = False
         self._pool.shutdown(wait=True, cancel_futures=True)
+        self.request_log.close()
 
     # -------------------------------------------------- execution
     def _run_single(self, kind: str, point: Tuple[float, float],
@@ -305,13 +326,16 @@ class QueryGateway:
         """
         sem = self._slots
         assert sem is not None, "gateway.startup() was not awaited"
+        parent = current_span()
         if sem.locked():  # every slot busy -> this request must queue
             if self._pending >= self.config.max_pending:
                 self.shed_total[kind] = self.shed_total.get(kind, 0) + 1
                 return _SHED
             self._pending += 1
             try:
-                await sem.acquire()
+                with self.tracer.start_span("http.queue", parent=parent,
+                                            kind=kind):
+                    await sem.acquire()
             finally:
                 self._pending -= 1
         else:
@@ -319,19 +343,29 @@ class QueryGateway:
         self._inflight += 1
         try:
             loop = asyncio.get_running_loop()
+            if parent.sampled:
+                # run_in_executor does not copy contextvars to the pool
+                # thread; carry the request span across explicitly.
+                return await loop.run_in_executor(
+                    self._pool, lambda: call_with_span(parent, fn))
             return await loop.run_in_executor(self._pool, fn)
         finally:
             self._inflight -= 1
             sem.release()
 
     # -------------------------------------------------- routing
-    async def handle(self, http_method: str, path: str, body: bytes
+    async def handle(self, http_method: str, path: str, body: bytes,
+                     headers: Optional[Dict[str, str]] = None
                      ) -> Tuple[int, List[Tuple[str, str]], bytes]:
         """Answer one HTTP request: ``(status, headers, payload)``.
 
         The single routing table shared by the stdlib server and the
-        ASGI adapter, so both transports behave identically.
+        ASGI adapter, so both transports behave identically.  *path*
+        may carry a query string (``/debug/traces?format=jsonl``);
+        *headers* (lowercase names) feed trace-context propagation
+        (``traceparent``).
         """
+        path, _, query = path.partition("?")
         if path == "/healthz":
             if http_method != "GET":
                 return self._json(405, {"error": "use GET"})
@@ -341,6 +375,18 @@ class QueryGateway:
                 return self._json(405, {"error": "use GET"})
             return 200, [("Content-Type", _PROM)], \
                 render_prometheus(self).encode("utf-8")
+        if path == "/debug/traces":
+            if http_method != "GET":
+                return self._json(405, {"error": "use GET"})
+            return self._debug_traces(query)
+        if path == "/debug/slow":
+            if http_method != "GET":
+                return self._json(405, {"error": "use GET"})
+            return self._json(200, {
+                "slow_ms": self.request_log.slow_ms,
+                "total": self.request_log.slow_total,
+                "requests": self.request_log.slow_snapshot(),
+            })
         if path in ("", "/"):
             if http_method != "GET":
                 return self._json(405, {"error": "use GET"})
@@ -361,22 +407,67 @@ class QueryGateway:
                                         "kinds": list(SHARD_METHODS)})
             if http_method != "POST":
                 return self._json(405, {"error": "use POST"})
-            return await self._handle_query(kind, body)
+            return await self._handle_query(kind, body, headers or {})
         return self._json(404, {"error": f"no route for {path!r}"})
 
-    async def _handle_query(self, kind: str, body: bytes
+    def _debug_traces(self, query: str
+                      ) -> Tuple[int, List[Tuple[str, str]], bytes]:
+        """The trace-store exporters: ``?format=chrome`` (default; the
+        Chrome trace-event JSON Perfetto loads as-is) or
+        ``?format=jsonl`` (one span record per line); ``?trace_id=``
+        restricts the dump to one trace."""
+        params = dict(
+            pair.partition("=")[::2] for pair in query.split("&") if pair)
+        fmt = params.get("format", "chrome")
+        trace_id = params.get("trace_id") or None
+        records = self.tracer.spans(trace_id)
+        if fmt == "jsonl":
+            return 200, [("Content-Type",
+                          "application/x-ndjson; charset=utf-8")], \
+                to_jsonl(records).encode("utf-8")
+        if fmt != "chrome":
+            return self._json(400, {"error": f"unknown format {fmt!r}; "
+                                             "use chrome or jsonl"})
+        doc = to_chrome(records)
+        doc["metadata"] = {"spans": len(records),
+                           "tracer": self.tracer.snapshot()}
+        return self._json(200, doc)
+
+    async def _handle_query(self, kind: str, body: bytes,
+                            headers: Dict[str, str]
                             ) -> Tuple[int, List[Tuple[str, str]], bytes]:
         start = time.perf_counter()
-        status, payload = await self._query_response(kind, body)
+        span = self.tracer.start_trace(
+            "http.request", traceparent=headers.get("traceparent"),
+            kind=kind)
+        if span is NULL_SPAN:
+            status, payload = await self._query_response(kind, body)
+        else:
+            # The contextvar set survives awaits inside this task, so
+            # everything the request touches on the loop thread sees the
+            # root span; pool threads get it via call_with_span.
+            with use_span(span):
+                status, payload = await self._query_response(kind, body)
+            span.set(status=status)
+        duration = time.perf_counter() - start
         mstats = self.http_stats.method(kind)
         mstats.requests += 1
-        mstats.latency.record(time.perf_counter() - start)
+        mstats.latency.record(duration)
         key = (kind, status)
         self.requests_total[key] = self.requests_total.get(key, 0) + 1
+        extra: List[Tuple[str, str]] = [("Content-Type", _JSON)]
         if status == 429:
-            return status, [("Content-Type", _JSON), ("Retry-After", "1")], \
-                self._dump(payload)
-        return self._json(status, payload)
+            extra.append(("Retry-After", "1"))
+        if span is not NULL_SPAN:
+            # Close the root first so the access-log record can fold the
+            # whole finished trace into its per-stage breakdown.
+            span.finish()
+            extra.append(("X-Request-Id", span.trace_id))
+            extra.append(("traceparent", format_traceparent(
+                span.trace_id, span.span_id, span.sampled)))
+        self.request_log.record(kind, status, duration,
+                                tracer=self.tracer, span=span)
+        return status, extra, self._dump(payload)
 
     async def _query_response(self, kind: str, body: bytes
                               ) -> Tuple[int, Dict]:
@@ -572,6 +663,53 @@ def render_prometheus(gateway: QueryGateway) -> str:
                  "LRU evictions from the result cache.")
         w.sample("repro_cache_evictions_total", {"mode": snap["mode"]},
                  snap["evictions"])
+        w.family("repro_cache_kind_evictions_total", "counter",
+                 "LRU evictions from the result cache by query kind.")
+        for kind, count in sorted(snap["evictions_by_kind"].items()):
+            w.sample("repro_cache_kind_evictions_total", {"kind": kind},
+                     count)
+
+    # ------------------------------------------------------- observability
+    tracer = gateway.tracer
+    w.family("repro_trace_sampled", "gauge",
+             "Trace sample rate (0 when tracing is disabled).")
+    w.sample("repro_trace_sampled", {},
+             tracer.config.sample if tracer.enabled else 0.0)
+    tsnap = tracer.snapshot()
+    w.family("repro_trace_traces_total", "counter",
+             "Sampled traces started.")
+    w.sample("repro_trace_traces_total", {}, tsnap["traces_started"])
+    w.family("repro_trace_spans_total", "counter",
+             "Spans recorded into the bounded trace store.")
+    w.sample("repro_trace_spans_total", {}, tsnap["spans_recorded"])
+    w.family("repro_trace_spans_stored", "gauge",
+             "Spans currently held by the bounded trace store.")
+    w.sample("repro_trace_spans_stored", {}, tsnap["spans_stored"])
+
+    w.family("repro_stage_duration_seconds", "summary",
+             "Per-pipeline-stage durations from sampled trace spans "
+             "(cache, coalesce, dispatch, worker compute, reassembly).")
+    for stage, stats in tracer.stage_snapshot().items():
+        for q, key in (("0.5", "p50_ms"), ("0.9", "p90_ms"),
+                       ("0.99", "p99_ms")):
+            w.sample("repro_stage_duration_seconds",
+                     {"stage": stage, "quantile": q}, stats[key] / 1e3)
+        w.sample("repro_stage_duration_seconds_count", {"stage": stage},
+                 stats["count"])
+        w.sample("repro_stage_duration_seconds_sum", {"stage": stage},
+                 stats["count"] * stats["mean_ms"] / 1e3)
+
+    w.family("repro_slow_requests_total", "counter",
+             "Requests at or above the slow-query threshold.")
+    w.sample("repro_slow_requests_total", {},
+             gateway.request_log.slow_total)
+
+    w.family("repro_engine_events_total", "counter",
+             "Engine-level work counters (chunks swept, rows retired, "
+             "prefix widenings, locator passes) from the hot-path "
+             "modules of this process.")
+    for event, count in engine_counters().items():
+        w.sample("repro_engine_events_total", {"event": event}, count)
     return w.render()
 
 
@@ -616,9 +754,8 @@ async def handle_connection(gateway: QueryGateway,
                                ).encode(), close=True)
                 break
             body = await reader.readexactly(length) if length else b""
-            path = target.split("?", 1)[0]
             status, extra, payload = await gateway.handle(
-                http_method, path, body)
+                http_method, target, body, headers)
             close = (headers.get("connection", "").lower() == "close"
                      or version.upper() != "HTTP/1.1")
             await _write_response(writer, status, extra, payload,
@@ -682,8 +819,16 @@ def create_asgi_app(gateway: QueryGateway):
             body += message.get("body", b"")
             if not message.get("more_body", False):
                 break
+        # Test scopes are minimal dicts; headers/query_string are
+        # optional per the spirit of ASGI's "may be empty" fields.
+        req_headers = {k.decode("latin-1").lower(): v.decode("latin-1")
+                       for k, v in scope.get("headers") or []}
+        path = scope["path"]
+        query_string = scope.get("query_string") or b""
+        if query_string:
+            path = f"{path}?{query_string.decode('latin-1')}"
         status, headers, payload = await gateway.handle(
-            scope["method"], scope["path"], body)
+            scope["method"], path, body, req_headers)
         await send({"type": "http.response.start", "status": status,
                     "headers": [(k.lower().encode("latin-1"),
                                  v.encode("latin-1"))
@@ -802,37 +947,48 @@ class ServerThread:
 # The self-smoke used by `python -m repro serve-http --smoke` and CI.
 # ----------------------------------------------------------------------
 def _http_json(port: int, method: str, path: str,
-               doc: Optional[Dict] = None, timeout: float = 30.0
-               ) -> Tuple[int, object, str]:
-    """One HTTP request against localhost; ``(status, parsed, raw)``."""
+               doc: Optional[Dict] = None, timeout: float = 30.0,
+               headers: Optional[Dict[str, str]] = None
+               ) -> Tuple[int, object, str, Dict[str, str]]:
+    """One HTTP request against localhost;
+    ``(status, parsed, raw, response_headers)``."""
     import http.client
 
     conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
     try:
         body = json.dumps(doc) if doc is not None else None
-        conn.request(method, path, body=body,
-                     headers={"Content-Type": _JSON} if body else {})
+        send = {"Content-Type": _JSON} if body else {}
+        if headers:
+            send.update(headers)
+        conn.request(method, path, body=body, headers=send)
         resp = conn.getresponse()
         raw = resp.read().decode("utf-8")
         parsed: object = None
         if resp.headers.get_content_type() == "application/json":
             parsed = json.loads(raw)
-        return resp.status, parsed, raw
+        return resp.status, parsed, raw, \
+            {k.lower(): v for k, v in resp.getheaders()}
     finally:
         conn.close()
 
 
 def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
-              log: Callable[[str], None] = print) -> int:
+              log: Callable[[str], None] = print,
+              trace_out: Optional[str] = None) -> int:
     """Boot the server, exercise every kind single + bulk, force a 429.
 
     Returns a process exit code (0 = all checks passed).  Used by the CI
-    ``http-smoke`` job; ``metrics_out`` saves the final /metrics scrape.
+    ``http-smoke``/``obs-smoke`` jobs; ``metrics_out`` saves the final
+    /metrics scrape and ``trace_out`` the Chrome trace-event export.
+    The server runs fully traced (``sample=1.0``, ``slow_ms=0`` so every
+    request lands in the slow ring) — the per-kind parity checks therefore
+    also prove that tracing does not perturb answers.
     """
     import random
 
     from ..core.index import PNNIndex
     from ..core.workloads import random_discrete_points
+    from ..obs.trace import TraceConfig, parse_traceparent
 
     # Small discrete fleet: every kind answerable, and the quantify_vpr
     # endpoint's lazy V_Pr build (arrangement size grows ~quartically in
@@ -841,7 +997,10 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
     workers = 0 if backend == "inline" else 2
     service = index.serve(workers=workers, backend=backend,
                           max_batch=64, flush_window=0.002,
-                          cache_capacity=4096)
+                          cache_capacity=4096,
+                          shard_min_batch=4096 if backend == "inline" else 32,
+                          trace=TraceConfig(enabled=True, sample=1.0,
+                                            slow_ms=0.0))
     config = HttpConfig(port=0, max_inflight=2, max_pending=2,
                         warm_kinds=("delta", "nonzero_nn"))
     failures: List[str] = []
@@ -859,7 +1018,7 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
         deadline = time.monotonic() + 30
         status = 0
         while time.monotonic() < deadline:
-            status, _, _ = _http_json(port, "GET", "/healthz")
+            status, _, _, _ = _http_json(port, "GET", "/healthz")
             if status == 200:
                 break
             time.sleep(0.05)
@@ -872,13 +1031,15 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
             # exact parity with the in-process answers.
             rows = [encode_result(kind, row) for row in
                     (list(expected) if kind == "delta" else expected)]
-            status, doc, _ = _http_json(
+            status, doc, _, hdrs = _http_json(
                 port, "POST", f"/v1/query/{kind}", {"q": list(queries[0])})
             check(status == 200, f"{kind} single returned {status}")
             if status == 200:
                 check(doc["result"] == rows[0],
                       f"{kind} single result differs from service.batch")
-            status, doc, _ = _http_json(
+            check(len(hdrs.get("x-request-id", "")) == 32,
+                  f"{kind} single response is missing X-Request-Id")
+            status, doc, _, _ = _http_json(
                 port, "POST", f"/v1/query/{kind}",
                 {"queries": [list(q) for q in queries]})
             check(status == 200, f"{kind} bulk returned {status}")
@@ -888,11 +1049,11 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
             log(f"kind {kind}: single + bulk parity verified")
 
         # Validation behavior: unknown kind 404, bad params 400.
-        status, _, _ = _http_json(port, "POST", "/v1/query/nope",
-                                  {"q": [0, 0]})
+        status, _, _, _ = _http_json(port, "POST", "/v1/query/nope",
+                                     {"q": [0, 0]})
         check(status == 404, f"unknown kind returned {status}, wanted 404")
-        status, _, _ = _http_json(port, "POST", "/v1/query/delta",
-                                  {"q": [0, 0], "params": {"bogus": 1}})
+        status, _, _, _ = _http_json(port, "POST", "/v1/query/delta",
+                                     {"q": [0, 0], "params": {"bogus": 1}})
         check(status == 400, f"bad params returned {status}, wanted 400")
 
         # Saturate admission control: block the engine behind an event,
@@ -924,26 +1085,72 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
                 break
             time.sleep(0.01)
         check(saturated, "admission gauges never reached saturation")
-        status, doc, _ = _http_json(port, "POST", "/v1/query/delta",
-                                    {"queries": [[0.0, 0.0]]})
+        status, doc, _, _ = _http_json(port, "POST", "/v1/query/delta",
+                                       {"queries": [[0.0, 0.0]]})
         check(status == 429, f"saturated server returned {status}, "
                              f"wanted 429")
         gate.set()
         for t in threads:
             t.join(timeout=30)
         server.gateway._run_bulk = original
-        check(all(s == 200 for s, _, _ in blocked),
-              f"held requests finished {[s for s, _, _ in blocked]}, "
+        check(all(s == 200 for s, _, _, _ in blocked),
+              f"held requests finished {[s for s, _, _, _ in blocked]}, "
               f"wanted all 200")
         log("admission control: 429 under saturation, queued requests "
             "completed after release")
 
-        status, _, raw = _http_json(port, "GET", "/metrics")
+        # ------------------------------------------------ tracing checks
+        # Upstream context propagation: a request carrying a W3C
+        # traceparent must join that trace (X-Request-Id == its trace id)
+        # and answer with a well-formed traceparent of its own.
+        upstream_trace = "a" * 32
+        status, _, _, hdrs = _http_json(
+            port, "POST", "/v1/query/delta",
+            {"queries": [[float(i), 0.5] for i in range(80)]},
+            headers={"traceparent": f"00-{upstream_trace}-{'b' * 16}-01"})
+        check(status == 200, f"traced bulk returned {status}")
+        check(hdrs.get("x-request-id") == upstream_trace,
+              "upstream traceparent was not honored")
+        parsed_tp = parse_traceparent(hdrs.get("traceparent", ""))
+        check(parsed_tp is not None and parsed_tp[0] == upstream_trace,
+              "response traceparent is malformed or re-rooted")
+
+        status, doc, _, _ = _http_json(
+            port, "GET", f"/debug/traces?trace_id={upstream_trace}")
+        check(status == 200 and bool(doc.get("traceEvents")),
+              "/debug/traces has no spans for the propagated trace")
+        names = {e["name"] for e in doc.get("traceEvents", [])}
+        wanted = {"http.request", "service.batch", "service.cache"}
+        if backend != "inline":
+            wanted |= {"shard.dispatch", "worker.compute",
+                       "shard.reassemble"}
+        check(wanted <= names,
+              f"trace is missing stages {sorted(wanted - names)}")
+        status, full, _, _ = _http_json(port, "GET", "/debug/traces")
+        check(status == 200 and len(full["traceEvents"]) >= 1,
+              "/debug/traces full dump is empty")
+        if trace_out:
+            with open(trace_out, "w", encoding="utf-8") as fh:
+                json.dump(full, fh)
+            log(f"chrome trace export saved to {trace_out}")
+
+        status, sdoc, _, _ = _http_json(port, "GET", "/debug/slow")
+        check(status == 200 and sdoc["total"] > 0
+              and bool(sdoc["requests"]),
+              "slow-query log is empty (slow_ms=0 marks every request)")
+        log(f"tracing: {len(full['traceEvents'])} spans stored, "
+            f"{sdoc['total']} slow-log records, trace context propagated")
+
+        status, _, raw, _ = _http_json(port, "GET", "/metrics")
         check(status == 200, f"/metrics returned {status}")
         check("repro_http_requests_total" in raw
               and "repro_http_shed_total" in raw
               and 'quantile="0.99"' in raw,
               "/metrics scrape is missing expected families")
+        check("repro_stage_duration_seconds" in raw
+              and "repro_trace_spans_total" in raw
+              and "repro_slow_requests_total" in raw,
+              "/metrics scrape is missing tracing families")
         if metrics_out:
             with open(metrics_out, "w", encoding="utf-8") as fh:
                 fh.write(raw)

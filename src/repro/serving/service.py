@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.trace import NULL_SPAN, Tracer, current_span, use_span
 from ..spatial.batch import as_query_array
 from .cache import ResultCache
 from .coalesce import MicroBatcher
@@ -107,6 +108,17 @@ class ServiceConfig:
         work it fronts).
     latency_window:
         Per-method latency reservoir size for percentile stats.
+    trace:
+        Request tracing (:mod:`repro.obs`): ``None``/``False`` off
+        (default, near-zero cost — every instrumentation point is one
+        attribute check), ``True`` record every request, a float in
+        ``(0, 1]`` the sample rate, or a full
+        :class:`~repro.obs.trace.TraceConfig` (sample rate, span-store
+        bound, slow-query threshold).  Sampled requests produce span
+        trees covering cache lookup, coalescing, shard dispatch, and
+        per-worker chunk compute, exported via
+        :meth:`QueryService.tracer` (JSONL / Chrome trace-event) and the
+        HTTP ``/debug/traces`` endpoint.
     """
 
     workers: int = 0
@@ -121,8 +133,14 @@ class ServiceConfig:
     cache_cell_size: float = 0.0
     cache_batch_limit: int = 1024
     latency_window: int = 4096
+    trace: object = None
 
     def __post_init__(self) -> None:
+        from ..obs.trace import TraceConfig
+
+        # Coerce eagerly so an invalid trace spec fails at construction
+        # (idempotent: a TraceConfig passes through unchanged).
+        self.trace = TraceConfig.coerce(self.trace)
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown executor backend {self.backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -159,6 +177,7 @@ class QueryService:
         cfg = self.config
         if vpr is not None:
             index.use_vpr(vpr)
+        self.tracer = Tracer(cfg.trace)
         self.stats_registry = ServiceStats(cfg.latency_window)
         self.cache: Optional[ResultCache] = (
             ResultCache(cfg.cache_capacity, cell_size=cfg.cache_cell_size)
@@ -168,7 +187,7 @@ class QueryService:
             self.executor = ShardExecutor(
                 index.points, workers=cfg.workers,
                 start_method=cfg.start_method, chunk_size=cfg.shard_chunk,
-                backend=cfg.backend, index=index)
+                backend=cfg.backend, index=index, tracer=self.tracer)
         self.batcher: Optional[MicroBatcher] = None
         if cfg.coalesce:
             self.batcher = MicroBatcher(
@@ -234,6 +253,25 @@ class QueryService:
         return tuple(sorted(params.items()))
 
     # ------------------------------------------------------------------
+    # Tracing plumbing.
+    # ------------------------------------------------------------------
+    def _request_span(self, name: str, method: str):
+        """The span of one front-door request: a child of the ambient
+        span (an HTTP gateway root, or a caller's ``tracer.root`` block),
+        a fresh sampled-if-lucky root when there is no ambient context,
+        and :data:`~repro.obs.trace.NULL_SPAN` whenever tracing is off or
+        the surrounding trace was not sampled — the one-check fast path
+        every front door takes before touching any other tracing code.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return NULL_SPAN
+        parent = current_span()
+        if parent is NULL_SPAN:
+            return tracer.start_trace(name, kind=method)
+        return tracer.start_span(name, parent=parent, kind=method)
+
+    # ------------------------------------------------------------------
     # The execution spine (shared by scalar, coalesced, and batch paths).
     # ------------------------------------------------------------------
     def _run_batch(self, method: str, q: np.ndarray, params: Dict) -> object:
@@ -253,13 +291,29 @@ class QueryService:
                    and self.executor.mode != "inline"
                    and fan_out
                    and len(q) >= cfg.shard_min_batch)
+        tracer = self.tracer
+        espan = (tracer.start_span("service.execute", method=method,
+                                   rows=int(len(q)), sharded=sharded)
+                 if tracer.enabled else NULL_SPAN)
         start = time.perf_counter()
-        if sharded:
-            result = self.executor.run(method, q, params)
+        if espan is NULL_SPAN:
+            if sharded:
+                result = self.executor.run(method, q, params)
+            else:
+                # Same mapping the shard replicas use: every query kind
+                # is an index batch_<method> front door (method already
+                # validated).
+                result = getattr(self.index, f"batch_{method}")(q, **params)
         else:
-            # Same mapping the shard replicas use: every query kind is an
-            # index batch_<method> front door (method already validated).
-            result = getattr(self.index, f"batch_{method}")(q, **params)
+            # Ambient for the duration so ShardExecutor.run parents its
+            # dispatch/reassembly spans (and the re-adopted worker chunk
+            # spans) under this execution.
+            with use_span(espan), espan:
+                if sharded:
+                    result = self.executor.run(method, q, params)
+                else:
+                    result = getattr(self.index,
+                                     f"batch_{method}")(q, **params)
         elapsed = time.perf_counter() - start
         with self._lock:
             mstats.batch_calls += 1
@@ -290,9 +344,34 @@ class QueryService:
 
     def _flush_group(self, method: str,
                      queries: List[Tuple[float, float]],
-                     params_key: Tuple) -> List[object]:
-        """MicroBatcher callback: answer one coalesced group."""
-        return self._compute_rows(method, queries, dict(params_key))
+                     params_key: Tuple, spans: Sequence = ()
+                     ) -> List[object]:
+        """MicroBatcher callback: answer one coalesced group.
+
+        *spans* are the ``coalesce.wait`` spans of the sampled requests
+        in the group (the batcher passes them only when any exist).  The
+        flush itself becomes one ``coalesce.flush`` span in the first
+        waiter's trace; every waiter links to it and learns the batch
+        size it coalesced into — the many-requests-to-one-execution
+        join the access log and trace viewers reconstruct.
+        """
+        if not spans:
+            return self._compute_rows(method, queries, dict(params_key))
+        fspan = self.tracer.start_span(
+            "coalesce.flush", parent=spans[0], method=method,
+            batch_size=len(queries))
+        for span in spans:
+            span.link(fspan)
+            span.set(batch_size=len(queries))
+        try:
+            with use_span(fspan), fspan:
+                return self._compute_rows(method, queries,
+                                          dict(params_key))
+        finally:
+            # The wait spans opened at submit close here — whether the
+            # engine answered or raised — so no span leaks open.
+            for span in spans:
+                span.finish()
 
     def _cache_lookup(self, method: str, q: Tuple[float, float],
                       params: Dict) -> Tuple[bool, object]:
@@ -305,8 +384,12 @@ class QueryService:
         """
         if self.cache is None:
             return False, None
-        hit, value = self.cache.get(
-            self.cache.key(method, q, self._params_key(params)))
+        cspan = (self.tracer.start_span("service.cache", method=method)
+                 if self.tracer.enabled else NULL_SPAN)
+        with cspan:
+            hit, value = self.cache.get(
+                self.cache.key(method, q, self._params_key(params)))
+            cspan.set(hit=hit)
         mstats = self.stats_registry.method(method)
         with self._lock:
             if hit:
@@ -327,10 +410,18 @@ class QueryService:
         (which also use the name ``method``) pass through ``overrides``.
         """
         params = self.canonicalize(method, overrides)
-        hit, value = self._cache_lookup(method, q, params)
-        if hit:
-            return value
-        return self._compute_rows(method, [q], params)[0]
+        span = self._request_span("service.query", method)
+        if span is NULL_SPAN:
+            hit, value = self._cache_lookup(method, q, params)
+            if hit:
+                return value
+            return self._compute_rows(method, [q], params)[0]
+        with use_span(span), span:
+            hit, value = self._cache_lookup(method, q, params)
+            span.set(cache_hit=hit)
+            if hit:
+                return value
+            return self._compute_rows(method, [q], params)[0]
 
     def delta(self, q: Tuple[float, float]) -> float:
         return float(self.query("delta", q))
@@ -368,7 +459,17 @@ class QueryService:
         an already-resolved future.
         """
         params = self.canonicalize(method, overrides)
+        span = self._request_span("service.submit", method)
+        if span is NULL_SPAN:
+            return self._submit_impl(method, q, params, NULL_SPAN)
+        with use_span(span), span:
+            return self._submit_impl(method, q, params, span)
+
+    def _submit_impl(self, method: str, q: Tuple[float, float],
+                     params: Dict, span) -> Future:
+        """The submit body, with *span* already ambient (or NULL_SPAN)."""
         hit, value = self._cache_lookup(method, q, params)
+        span.set(cache_hit=hit)
         if hit:
             fut: Future = Future()
             fut.set_result(value)
@@ -380,7 +481,20 @@ class QueryService:
             except BaseException as exc:  # noqa: BLE001 — same as a batch
                 fut.set_exception(exc)
             return fut
-        return self.batcher.submit(method, q, self._params_key(params))
+        if span is NULL_SPAN:
+            return self.batcher.submit(method, q, self._params_key(params))
+        # The wait span outlives this call on purpose: it closes when the
+        # group flushes (see _flush_group), so its duration is the time
+        # the request actually spent coalescing.
+        wspan = self.tracer.start_span("coalesce.wait", parent=span,
+                                       method=method)
+        try:
+            return self.batcher.submit(
+                method, q, self._params_key(params),
+                span=wspan if wspan.sampled else None)
+        except BaseException:
+            wspan.finish()
+            raise
 
     def flush(self) -> int:
         """Force pending coalesced requests through; returns how many."""
@@ -404,6 +518,18 @@ class QueryService:
         if m == 0:
             return (np.empty(0, dtype=np.float64) if method == "delta"
                     else [])
+        span = self._request_span("service.batch", method)
+        if span is NULL_SPAN:
+            return self._batch_rows(method, q, params)
+        with use_span(span), span:
+            span.set(rows=m)
+            return self._batch_rows(method, q, params)
+
+    def _batch_rows(self, method: str, q: np.ndarray,
+                    params: Dict) -> object:
+        """The batch body: row-wise cache for small arrays, else one
+        engine/executor run (*q* validated, the request span ambient)."""
+        m = len(q)
         cfg = self.config
         use_cache = (self.cache is not None
                      and 0 < m <= cfg.cache_batch_limit)
@@ -416,13 +542,17 @@ class QueryService:
         miss_at: List[int] = []
         mstats = self.stats_registry.method(method)
         hits = 0
-        for j, key in enumerate(keys):
-            hit, value = self.cache.get(key)
-            if hit:
-                rows[j] = value
-                hits += 1
-            else:
-                miss_at.append(j)
+        cspan = (self.tracer.start_span("service.cache", method=method)
+                 if self.tracer.enabled else NULL_SPAN)
+        with cspan:
+            for j, key in enumerate(keys):
+                hit, value = self.cache.get(key)
+                if hit:
+                    rows[j] = value
+                    hits += 1
+                else:
+                    miss_at.append(j)
+            cspan.set(hits=hits, misses=len(miss_at))
         with self._lock:
             mstats.cache_hits += hits
             mstats.cache_misses += len(miss_at)
@@ -467,6 +597,8 @@ class QueryService:
             "methods": self.stats_registry.snapshot(),
             "total_requests": self.stats_registry.total_requests,
         }
+        if self.tracer.enabled:
+            snap["trace"] = self.tracer.snapshot()
         if self.cache is not None:
             snap["cache"] = self.cache.snapshot()
         if self.executor is not None:

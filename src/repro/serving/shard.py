@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs.trace import NULL_SPAN, current_span
 from ..uncertain.base import UncertainPoint
 from .executors import (
     SHARD_METHODS,
@@ -72,6 +73,13 @@ class ShardExecutor:
         Optional already-built index over *points*; backends that share
         the caller's index (thread, inline) then skip the replica build
         entirely — and share its lazy artifacts (engines, ``V_Pr``).
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When the ambient
+        span of a :meth:`run` call is sampled, the dispatch and
+        reassembly phases get spans, tasks are sent as traced 4-tuples,
+        and the per-chunk ``worker.compute`` spans the workers ship
+        back are re-parented under the dispatch span.  ``None`` (or an
+        unsampled context) keeps the exact untraced code path.
     """
 
     _TASKS_PER_WORKER = 4
@@ -82,10 +90,11 @@ class ShardExecutor:
                  start_method: Optional[str] = None,
                  chunk_size: Optional[int] = None,
                  backend: str = "auto",
-                 index=None) -> None:
+                 index=None, tracer=None) -> None:
         if not points:
             raise ValueError("ShardExecutor needs at least one uncertain point")
         self.points = list(points)
+        self.tracer = tracer
         cpus = os.cpu_count() or 1
         self.workers = min(4, cpus) if workers is None else int(workers)
         self.chunk_size = chunk_size
@@ -137,7 +146,29 @@ class ShardExecutor:
         if len(q) == 0:
             return reassemble(method, [])
         tasks = [(method, chunk, params) for chunk in self._chunks(q)]
-        return reassemble(method, self.impl.map(tasks))
+        tracer = self.tracer
+        parent = current_span() if (tracer is not None
+                                    and tracer.enabled) else NULL_SPAN
+        if not parent.sampled:
+            return reassemble(method, self.impl.map(tasks))
+        # Traced dispatch: 4-tuple tasks make every backend worker time
+        # its chunk (IndexReplica.run_task) and ship the span spec back
+        # with the result; the specs are grafted into the live trace
+        # under the dispatch span.  The result objects themselves come
+        # from the identical run() call, so parity is untouched.
+        dspan = tracer.start_span(
+            "shard.dispatch", parent=parent, method=method,
+            backend=self.impl.mode, workers=self.workers,
+            chunks=len(tasks), rows=int(len(q)))
+        traced = [task + ({"chunk": i},) for i, task in enumerate(tasks)]
+        parts: List[object] = []
+        with dspan:
+            for result, spec in self.impl.map(traced):
+                parts.append(result)
+                tracer.record_remote(dspan, spec)
+        with tracer.start_span("shard.reassemble", parent=parent,
+                               method=method, chunks=len(parts)):
+            return reassemble(method, parts)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

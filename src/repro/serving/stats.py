@@ -14,7 +14,7 @@ import threading
 from collections import deque
 from typing import Deque, Dict, List
 
-__all__ = ["LatencyRecorder", "MethodStats", "ServiceStats"]
+__all__ = ["LatencyRecorder", "MethodStats", "ServiceStats", "StageStats"]
 
 
 class LatencyRecorder:
@@ -97,6 +97,36 @@ class MethodStats:
         }
         out.update(self.latency.snapshot())
         return out
+
+
+class StageStats:
+    """Per-*stage* duration reservoirs, keyed by span name.
+
+    The aggregation half of the tracing layer (:mod:`repro.obs.trace`):
+    every finished sampled span records its duration here under its
+    stage name (``http.queue``, ``service.execute``, ``worker.compute``,
+    ...), and ``/metrics`` exports the percentiles as the
+    ``repro_stage_duration_seconds`` family.  Same locked first-touch
+    registry discipline as :class:`ServiceStats` — stages first appear
+    from whichever thread finishes that span first.
+    """
+
+    def __init__(self, window: int = 2048) -> None:
+        self._window = window
+        self._lock = threading.Lock()
+        self._stages: Dict[str, LatencyRecorder] = {}
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            recorder = self._stages.get(name)
+            if recorder is None:
+                recorder = self._stages[name] = LatencyRecorder(self._window)
+            recorder.record(seconds)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            stages = dict(self._stages)
+        return {name: rec.snapshot() for name, rec in sorted(stages.items())}
 
 
 class ServiceStats:

@@ -53,6 +53,7 @@ import numpy as np
 
 from ..geometry.disks import Disk
 from ..geometry.primitives import EPS
+from ..obs.metrics import ENGINE
 from ..uncertain.annulus import AnnulusUniformPoint
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
@@ -845,6 +846,7 @@ class BatchQueryEngine:
             return (np.empty(0, dtype=np.float64),
                     np.empty(0, dtype=np.float64),
                     np.empty(0, dtype=np.intp))
+        ENGINE.inc("batch_engine.chunks")
         chunk_fn = self._chunk_dense if self.backend == "dense" \
             else self._chunk_bucket
         min1, second, unique, _ = chunk_fn(qc, report=False)
@@ -857,6 +859,7 @@ class BatchQueryEngine:
             return [[0] for _ in range(len(qc))]
         if len(qc) == 0:
             return []
+        ENGINE.inc("batch_engine.chunks")
         chunk_fn = self._chunk_dense if self.backend == "dense" \
             else self._chunk_bucket
         q2, p2 = chunk_fn(qc, report=True)[3]

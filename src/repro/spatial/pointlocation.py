@@ -27,6 +27,7 @@ import numpy as np
 
 from ..geometry.primitives import Point
 from ..geometry.seg_arrangement import SegmentArrangement
+from ..obs.metrics import ENGINE
 
 __all__ = ["SlabPointLocator"]
 
@@ -160,10 +161,12 @@ class SlabPointLocator:
         hi[~inside] = 0
         vx, vy = self.arrangement._vx, self.arrangement._vy
         max_row = max(len(self._row_u) - 1, 0)
+        ENGINE.inc("locator.batches")
         while True:
             run = lo < hi
             if not run.any():
                 break
+            ENGINE.inc("locator.bisection_passes")
             mid = np.minimum((lo + hi) >> 1, max_row)
             u = self._row_u[mid]
             v = self._row_v[mid]

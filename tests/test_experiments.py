@@ -8,7 +8,10 @@ from repro.experiments.runners import run_e01, run_e02, run_e14
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert set(REGISTRY) == {f"E{i}" for i in range(1, 24)}
+        # E24 is benchmark-only (HTTP throughput needs a live socket and
+        # wall-clock headroom); the registry skips straight to E25.
+        assert set(REGISTRY) == \
+            {f"E{i}" for i in range(1, 24)} | {"E25"}
 
     def test_runner_returns_result(self):
         res = run_e14(quick=True)
