@@ -15,9 +15,15 @@ Commands
     bulk array), ``GET /healthz`` readiness, ``GET /metrics`` Prometheus
     text.  ``--trace-sample R`` samples request traces (``GET
     /debug/traces`` exports them), ``--access-log`` writes structured
-    JSON request records.  ``--smoke`` runs the CI self-test (endpoint
-    parity, a forced 429, trace/slow-log checks, a /metrics scrape) and
-    exits.
+    JSON request records.  ``--request-timeout S`` applies a default
+    end-to-end deadline (504 past it); ``--faults PLAN`` injects
+    deterministic faults for chaos drills.  ``--smoke`` runs the CI
+    self-test (endpoint parity, a forced 429, trace/slow-log checks, a
+    /metrics scrape) and exits.
+``chaos-smoke [--backend B] [--metrics-out PATH]``
+    Fault-injection self-test: worker-crash recovery with bitwise
+    parity, deadline 504s without admission-slot leaks, and the
+    circuit-breaker degradation ladder, over live HTTP on one backend.
 ``trace-dump [--host H] [--port P] [--format chrome|jsonl]``
     Fetch the trace store of a running ``serve-http`` instance and
     print or save it (``--out``); the chrome format loads directly in
@@ -230,6 +236,18 @@ def _serve_http(argv: list) -> int:
     parser.add_argument("--max-pending", type=int, default=64,
                         help="admitted requests allowed to queue before "
                              "429 shedding")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="default end-to-end deadline applied to "
+                             "every query that does not carry its own "
+                             "timeout_ms / X-Request-Deadline-Ms; "
+                             "requests exceeding it answer 504 "
+                             "(default: no deadline)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="fault-injection plan for chaos drills, "
+                             "e.g. 'crash_worker:chunk=0' or "
+                             "'slow_chunk:delay=1,attempts=any;seed:3' "
+                             "(also settable via REPRO_FAULTS)")
     parser.add_argument("--trace-sample", type=float, default=0.0,
                         metavar="RATE",
                         help="trace this fraction of requests (0 disables "
@@ -298,11 +316,41 @@ def _serve_http(argv: list) -> int:
     trace = TraceConfig(enabled=args.trace_sample > 0,
                         sample=args.trace_sample,
                         slow_ms=args.slow_ms)
+    if args.request_timeout is not None:
+        print(f"end-to-end deadline: {args.request_timeout:g} s default "
+              f"(per-request timeout_ms / X-Request-Deadline-Ms override)")
+    if args.faults:
+        print(f"chaos: fault plan active — {args.faults!r}")
     with index.serve(workers=args.workers, backend=args.backend,
                      cache_capacity=8192, max_batch=128,
-                     flush_window=0.002, trace=trace) as service:
+                     flush_window=0.002, trace=trace,
+                     default_timeout=args.request_timeout,
+                     faults=args.faults) as service:
         serve_forever(service, config)
     return 0
+
+
+def _chaos_smoke(argv: list) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos-smoke",
+        description="Fault-injection self-test of the serving stack: "
+                    "worker-crash recovery with bitwise parity, deadline "
+                    "504s without slot leaks, and the circuit-breaker "
+                    "degradation ladder, all over live HTTP.")
+    parser.add_argument("--backend", default="process",
+                        help="executor backend under test: shm, process, "
+                             "thread, inline")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the final /metrics scrape (every "
+                             "resilience counter nonzero) to this file")
+    args = parser.parse_args(argv)
+
+    from .serving.http import run_chaos_smoke
+
+    return run_chaos_smoke(backend=args.backend,
+                           metrics_out=args.metrics_out)
 
 
 def _trace_dump(argv: list) -> int:
@@ -373,6 +421,8 @@ def main(argv: list) -> int:
         return _serve_demo()
     if command == "serve-http":
         return _serve_http(argv[1:])
+    if command == "chaos-smoke":
+        return _chaos_smoke(argv[1:])
     if command == "trace-dump":
         return _trace_dump(argv[1:])
     if command == "info":
@@ -382,7 +432,7 @@ def main(argv: list) -> int:
 
         return experiments_main(argv[1:])
     print(f"unknown command {command!r}; try: demo, serve-demo, "
-          "serve-http, trace-dump, info, experiments")
+          "serve-http, chaos-smoke, trace-dump, info, experiments")
     return 2
 
 

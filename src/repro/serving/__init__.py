@@ -20,7 +20,12 @@ sustain bursty multi-client traffic against one shared
 * :class:`QueryGateway` / :class:`ServerThread` (:mod:`repro.serving.http`)
   — the async HTTP front door: REST endpoints for all seven kinds with
   admission control (bounded pending queue, 429 shedding), ``/healthz``
-  readiness, and Prometheus ``/metrics``.
+  readiness, and Prometheus ``/metrics``;
+* :mod:`repro.serving.faults` — the resilience layer: end-to-end
+  :class:`Deadline` propagation (504 on expiry), :class:`RetryPolicy`
+  chunk re-dispatch with pool self-healing, a :class:`CircuitBreaker`
+  gating the runtime degradation ladder, and the deterministic
+  :class:`FaultPlan` chaos-injection harness.
 
 Benchmarks E20/E23/E24 measure throughput against shard count, backend,
 cache hit rate, and HTTP concurrency; ``python -m repro serve-demo``
@@ -43,6 +48,20 @@ from .executors import (
     ThreadBackend,
     create_backend,
 )
+from .faults import (
+    FAULT_KINDS,
+    FAULTS_ENV,
+    CircuitBreaker,
+    Deadline,
+    DeadlineExceeded,
+    FaultInjected,
+    FaultPlan,
+    FaultSpec,
+    ResilienceStats,
+    RetryPolicy,
+    SegmentCorrupted,
+    WorkerFailure,
+)
 from .service import QueryService, ServiceConfig
 from .shard import ShardExecutor
 from .stats import LatencyRecorder, MethodStats, ServiceStats
@@ -50,7 +69,15 @@ from .stats import LatencyRecorder, MethodStats, ServiceStats
 __all__ = [
     "BACKENDS",
     "BackendUnavailable",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceeded",
     "ExecutorBackend",
+    "FAULT_KINDS",
+    "FAULTS_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
     "HttpConfig",
     "IndexReplica",
     "InlineBackend",
@@ -60,14 +87,18 @@ __all__ = [
     "ProcessBackend",
     "QueryGateway",
     "QueryService",
+    "ResilienceStats",
     "ResultCache",
+    "RetryPolicy",
     "SHARD_METHODS",
+    "SegmentCorrupted",
     "ServerThread",
     "ServiceConfig",
     "ServiceStats",
     "SharedMemoryBackend",
     "ShardExecutor",
     "ThreadBackend",
+    "WorkerFailure",
     "create_asgi_app",
     "create_backend",
 ]

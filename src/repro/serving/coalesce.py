@@ -27,13 +27,16 @@ import time
 from concurrent.futures import Future
 from typing import Callable, Dict, Hashable, List, Tuple
 
+from .faults import Deadline
+
 __all__ = ["MicroBatcher"]
 
 
 class _Group:
     """Pending requests of one ``(method, params)`` signature."""
 
-    __slots__ = ("method", "params", "queries", "futures", "spans", "born")
+    __slots__ = ("method", "params", "queries", "futures", "spans", "born",
+                 "deadline")
 
     def __init__(self, method: str, params: Tuple) -> None:
         self.method = method
@@ -46,6 +49,11 @@ class _Group:
         # them as a fourth argument so it can link every waiting request
         # to the one engine-execution span it coalesced into.
         self.spans: List[object] = []
+        # The group's effective deadline: the *laxest* member deadline
+        # (one request cannot tighten the budget of the others it
+        # happens to share a batch with), or None once any member has
+        # no deadline.  Set by the first submit, merged by the rest.
+        self.deadline: object = None
         self.born = time.monotonic()
 
 
@@ -102,7 +110,7 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def submit(self, method: str, q: Tuple[float, float],
-               params: Tuple, span=None) -> Future:
+               params: Tuple, span=None, deadline=None) -> Future:
         """Enqueue one scalar request; returns its future immediately.
 
         *span* (optional) is the request's live ``coalesce.wait`` trace
@@ -110,6 +118,12 @@ class MicroBatcher:
         flush callback (see :meth:`_run_group`) so the tracing layer can
         link each waiting request to the engine execution that answered
         it.  ``None`` — the untraced default — costs nothing.
+
+        *deadline* (optional :class:`~repro.serving.faults.Deadline`)
+        is merged into the group's effective deadline (the laxest of
+        its members') and handed to the flush callback as a
+        ``deadline=`` keyword — only when the whole group carries one,
+        so deadline-free traffic keeps the original callback signature.
         """
         fut: Future = Future()
         full: _Group = None  # type: ignore[assignment]
@@ -120,6 +134,9 @@ class MicroBatcher:
             group = self._groups.get(key)
             if group is None:
                 group = self._groups[key] = _Group(method, params)
+                group.deadline = deadline
+            else:
+                group.deadline = Deadline.merge(group.deadline, deadline)
             group.queries.append((float(q[0]), float(q[1])))
             group.futures.append(fut)
             if span is not None:
@@ -173,13 +190,17 @@ class MicroBatcher:
                 # form so the flush function can link waiters to the
                 # engine-execution span; plain groups keep the original
                 # 3-argument contract, so existing flush functions (and
-                # the untraced hot path) are untouched.
+                # the untraced hot path) are untouched.  A group-wide
+                # deadline travels as a keyword, again only when set.
+                kwargs = ({} if group.deadline is None
+                          else {"deadline": group.deadline})
                 if group.spans:
                     results = self._flush_fn(group.method, group.queries,
-                                             group.params, group.spans)
+                                             group.params, group.spans,
+                                             **kwargs)
                 else:
                     results = self._flush_fn(group.method, group.queries,
-                                             group.params)
+                                             group.params, **kwargs)
                 if len(results) != len(group.futures):
                     raise RuntimeError(
                         f"flush_fn returned {len(results)} results for "

@@ -29,6 +29,7 @@ from .base import (
     BackendUnavailable,
     ExecutorBackend,
     IndexReplica,
+    PendingChunk,
     reassemble,
 )
 from .inline import InlineBackend
@@ -42,6 +43,7 @@ __all__ = [
     "ExecutorBackend",
     "IndexReplica",
     "InlineBackend",
+    "PendingChunk",
     "ProcessBackend",
     "SHARD_METHODS",
     "SharedMemoryBackend",

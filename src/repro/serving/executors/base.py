@@ -44,9 +44,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...uncertain.base import UncertainPoint
+from ..faults import FaultPlan
 
 __all__ = ["SHARD_METHODS", "BackendUnavailable", "ExecutorBackend",
-           "IndexReplica", "Task", "reassemble"]
+           "IndexReplica", "PendingChunk", "Task", "reassemble"]
 
 #: Every query kind the sharding layer can route — each one is an index
 #: ``batch_<method>`` front door, so growing this tuple automatically
@@ -55,10 +56,12 @@ SHARD_METHODS = ("delta", "nonzero_nn", "quantify", "quantify_exact",
                  "quantify_vpr", "top_k", "threshold_nn")
 
 #: One unit of backend work: ``(method, query_chunk, params)``, or the
-#: traced 4-tuple ``(method, query_chunk, params, meta)`` — *meta* is a
-#: small dict of span attributes (chunk ordinal) and marks that the
-#: caller wants a worker-side compute span shipped back alongside the
-#: result (see :meth:`IndexReplica.run_task`).
+#: annotated 4-tuple ``(method, query_chunk, params, meta)`` — *meta* is
+#: a small plain dict carrying the chunk ordinal and dispatch attempt,
+#: an optional fault-injection plan (``"faults"``/``"ppid"``, see
+#: :mod:`repro.serving.faults`), and marks that the caller wants a
+#: worker-side compute span shipped back alongside the result (see
+#: :meth:`IndexReplica.run_task`).
 Task = Tuple[str, np.ndarray, Dict]
 
 
@@ -111,12 +114,23 @@ class IndexReplica:
         if len(task) == 3:
             return self.run(*task)
         method, chunk, params, meta = task
+        fault_doc = meta.get("faults")
+        if fault_doc is not None:
+            # Chaos hook: the plan rides the task as a plain dict, so
+            # every backend's workers (separate processes included)
+            # perturb identically with no initializer or global state.
+            plan = FaultPlan.from_dict(fault_doc)
+            if plan is not None:
+                plan.perturb(method, chunk=meta.get("chunk", 0),
+                             attempt=meta.get("attempt", 0),
+                             parent_pid=meta.get("ppid"))
         start = time.time()
         t0 = time.perf_counter()
         result = self.run(method, chunk, params)
         duration = time.perf_counter() - t0
-        attrs = {"method": method, "rows": int(len(chunk))}
-        attrs.update(meta)
+        attrs = {"method": method, "rows": int(len(chunk)),
+                 "chunk": meta.get("chunk", 0),
+                 "attempt": meta.get("attempt", 0)}
         return result, {"name": "worker.compute", "start": start,
                         "duration": duration, "pid": os.getpid(),
                         "tid": threading.get_ident(), "attrs": attrs}
@@ -133,6 +147,37 @@ def reassemble(method: str, parts: List[object]) -> object:
     for part in parts:
         out.extend(part)  # type: ignore[arg-type]
     return out
+
+
+class PendingChunk(abc.ABC):
+    """A single dispatched chunk whose result may not be ready yet.
+
+    The resilient collection loop in
+    :class:`~repro.serving.shard.ShardExecutor` polls these instead of
+    blocking in ``Pool.map``, which is what makes deadlines, hang
+    detection, and selective re-dispatch possible: an expired or lost
+    chunk is simply abandoned and (when retryable) dispatched again,
+    while every other chunk's progress is untouched.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def ready(self) -> bool:
+        """Whether :meth:`result` would return (or raise) immediately."""
+
+    @abc.abstractmethod
+    def result(self) -> object:
+        """The chunk's result; re-raises the worker-side exception."""
+
+    def wait(self, timeout: float) -> bool:
+        """Block up to *timeout* seconds; return :meth:`ready`."""
+        deadline = time.monotonic() + max(0.0, timeout)
+        while not self.ready():
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(min(0.005, timeout))
+        return True
 
 
 class ExecutorBackend(abc.ABC):
@@ -162,6 +207,33 @@ class ExecutorBackend(abc.ABC):
     def map(self, tasks: List[Task]) -> List[object]:
         """Execute *tasks*, returning per-chunk results in task order."""
 
+    @abc.abstractmethod
+    def dispatch(self, task: Task) -> PendingChunk:
+        """Start *task* asynchronously and return its pending handle.
+
+        Dispatch never blocks on the task itself (the inline backend
+        defers execution into the handle), so the caller can submit a
+        whole batch and then drive the deadline-aware collection loop.
+        """
+
+    def broken(self) -> bool:
+        """Whether the backend has lost workers since the last check.
+
+        Process-based backends compare the live worker pid set against
+        the last snapshot; a vanished pid means any chunk dispatched to
+        it may never complete and still-pending work must be
+        re-dispatched (after :meth:`rebuild`).  Thread/inline backends
+        cannot lose workers this way and always return ``False``.
+        """
+        return False
+
+    def rebuild(self) -> None:
+        """Recreate the worker pool after :meth:`broken`; default no-op.
+
+        Raises :class:`BackendUnavailable` if the pool cannot be
+        restarted, which the caller treats as a degradation trigger.
+        """
+
     def _close_impl(self) -> None:
         """Release backend resources (pools, segments); default no-op."""
 
@@ -176,6 +248,15 @@ class ExecutorBackend(abc.ABC):
             return
         self._closed = True
         self._close_impl()
+
+    def abort(self) -> None:
+        """Tear down *without waiting* on in-flight chunks.
+
+        The degradation path discards backends whose workers may be
+        wedged or dead; a graceful :meth:`close` could block behind
+        them.  Default is plain close (safe for inline).
+        """
+        self.close()
 
     def __enter__(self) -> "ExecutorBackend":
         return self

@@ -13,9 +13,51 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from ...uncertain.base import UncertainPoint
-from .base import ExecutorBackend, IndexReplica, Task
+from .base import ExecutorBackend, IndexReplica, PendingChunk, Task
 
 __all__ = ["InlineBackend"]
+
+
+class _LazyPending(PendingChunk):
+    """A chunk that computes on first poll, in the caller's thread.
+
+    Dispatch stays non-blocking and the collection loop checks the
+    request deadline *between* chunks — serial execution can still abort
+    a many-chunk batch part-way instead of only at the end.
+    """
+
+    __slots__ = ("_fn", "_task", "_done", "_result", "_exc")
+
+    def __init__(self, fn, task: Task) -> None:
+        self._fn = fn
+        self._task = task
+        self._done = False
+        self._result = None
+        self._exc = None
+
+    def _run(self) -> None:
+        if self._done:
+            return
+        self._done = True
+        try:
+            self._result = self._fn(self._task)
+        except Exception as exc:  # noqa: BLE001 — delivered via result()
+            self._exc = exc
+        finally:
+            self._fn = self._task = None  # free the chunk array early
+
+    def ready(self) -> bool:
+        self._run()
+        return True
+
+    def result(self) -> object:
+        self._run()
+        if self._exc is not None:
+            raise self._exc
+        return self._result
+
+    def wait(self, timeout: float) -> bool:
+        return self.ready()
 
 
 class InlineBackend(ExecutorBackend):
@@ -48,3 +90,6 @@ class InlineBackend(ExecutorBackend):
     def map(self, tasks: List[Task]) -> List[object]:
         replica = self._replica()
         return [replica.run_task(task) for task in tasks]
+
+    def dispatch(self, task: Task) -> PendingChunk:
+        return _LazyPending(self._replica().run_task, task)

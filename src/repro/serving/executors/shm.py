@@ -36,7 +36,7 @@ from ...spatial.codec import CodecUnsupported, points_from_arrays, \
     points_to_arrays
 from ...uncertain.base import UncertainPoint
 from .base import BackendUnavailable, ExecutorBackend, IndexReplica, Task
-from .process import _run_chunk, _set_replica, start_pool
+from .process import PoolWorkersMixin, _run_chunk, _set_replica, start_pool
 
 __all__ = ["SharedMemoryBackend"]
 
@@ -116,7 +116,7 @@ def _init_shm_worker(name: str, manifest: Manifest) -> None:
     _set_replica(IndexReplica(points))
 
 
-class SharedMemoryBackend(ExecutorBackend):
+class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
     """Worker processes decoding replicas from one shared segment."""
 
     mode = "shm"
@@ -131,19 +131,28 @@ class SharedMemoryBackend(ExecutorBackend):
         self._shm = None
         self._pool = None
         self.workers = int(workers)
+        self._preferred = start_method
         try:
             arrays = points_to_arrays(points)
         except CodecUnsupported as exc:
             raise BackendUnavailable(str(exc))
-        self._shm, manifest = pack_arrays(arrays)
+        self._shm, self._manifest = pack_arrays(arrays)
         self.segment_bytes = self._shm.size
         try:
-            self._pool, self.start_method = start_pool(
-                self.workers, start_method,
-                _init_shm_worker, (self._shm.name, manifest))
+            self._pool, self.start_method = self._start_pool()
         except BackendUnavailable:
             self._release_segment()
             raise
+        self._snapshot_workers()
+
+    def _start_pool(self):
+        # Rebuild reuses the live segment: the replica data is read-only
+        # and outlives any worker, so a healed pool re-maps the same
+        # bytes — no re-encode, no second copy.
+        return start_pool(self.workers,
+                          self.start_method or self._preferred,
+                          _init_shm_worker,
+                          (self._shm.name, self._manifest))
 
     def _release_segment(self) -> None:
         # Claim the handle *before* touching the kernel object: close()

@@ -23,12 +23,45 @@ then fans the rest out.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from ...uncertain.base import UncertainPoint
-from .base import ExecutorBackend, IndexReplica, Task
+from .base import ExecutorBackend, IndexReplica, PendingChunk, Task
 
 __all__ = ["ThreadBackend"]
+
+
+class _FuturePending(PendingChunk):
+    """A chunk in flight on a :class:`ThreadPoolExecutor`."""
+
+    __slots__ = ("_fut",)
+
+    def __init__(self, fut) -> None:
+        self._fut = fut
+
+    def ready(self) -> bool:
+        return self._fut.done()
+
+    def result(self) -> object:
+        return self._fut.result(timeout=0)
+
+
+class _DonePending(PendingChunk):
+    """An already-computed chunk (the synchronous warm-up dispatch)."""
+
+    __slots__ = ("_result", "_exc")
+
+    def __init__(self, result=None, exc=None) -> None:
+        self._result = result
+        self._exc = exc
+
+    def ready(self) -> bool:
+        return True
+
+    def result(self) -> object:
+        if self._exc is not None:
+            raise self._exc
+        return self._result
 
 
 class ThreadBackend(ExecutorBackend):
@@ -43,6 +76,7 @@ class ThreadBackend(ExecutorBackend):
         self.shares_index = index is not None
         self._replica = (IndexReplica.of_index(index)
                          if index is not None else IndexReplica(points))
+        self._warm: Set[str] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers,
             thread_name_prefix="repro-shard")
@@ -59,6 +93,41 @@ class ThreadBackend(ExecutorBackend):
         rest = self._pool.map(self._replica.run_task, tasks[1:])
         return [head] + list(rest)
 
+    def dispatch(self, task: Task) -> PendingChunk:
+        # Same warm-up discipline as map(), tracked per method: the
+        # first chunk of a never-seen method runs synchronously so lazy
+        # structures build once instead of racing across pool threads.
+        if task[0] not in self._warm:
+            self._warm.add(task[0])
+            try:
+                return _DonePending(result=self._replica.run_task(task))
+            except Exception as exc:  # noqa: BLE001 — delivered via result()
+                return _DonePending(exc=exc)
+        return _FuturePending(self._pool.submit(self._replica.run_task,
+                                                task))
+
+    def rebuild(self) -> None:
+        # Threads cannot be killed, but a rebuild still quarantines a
+        # pool whose threads are wedged behind a hung chunk: abandon it
+        # (without blocking on its shutdown) and start a fresh one.
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers,
+            thread_name_prefix="repro-shard")
+
+    def abort(self) -> None:
+        # Threads cannot be joined if wedged on an in-flight chunk;
+        # release them without waiting (they die with their work).
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False)
+
     def _close_impl(self) -> None:
-        self._pool.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
         self._pool = None

@@ -60,8 +60,11 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
+import math
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -70,8 +73,12 @@ from ..obs.metrics import engine_counters
 from ..obs.trace import (NULL_SPAN, call_with_span, current_span,
                          format_traceparent, to_chrome, to_jsonl, use_span)
 from ..quantification.threshold import ThresholdResult
+from .executors import BACKENDS
+from .faults import Deadline, DeadlineExceeded
 from .shard import SHARD_METHODS
 from .stats import ServiceStats
+
+_LOG = logging.getLogger("repro.serving.http")
 
 __all__ = [
     "HttpConfig",
@@ -82,6 +89,7 @@ __all__ = [
     "encode_result",
     "handle_connection",
     "render_prometheus",
+    "run_chaos_smoke",
     "run_smoke",
     "serve_forever",
 ]
@@ -91,8 +99,14 @@ _PROM = "text/plain; version=0.0.4; charset=utf-8"
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            429: "Too Many Requests", 499: "Client Closed Request",
+            500: "Internal Server Error", 503: "Service Unavailable",
+            504: "Gateway Timeout"}
+
+#: Request header carrying a whole-request deadline in milliseconds
+#: (the JSON body's ``timeout_ms`` field takes precedence when both are
+#: present).  Matched case-insensitively like every other header.
+DEADLINE_HEADER = "x-request-deadline-ms"
 
 #: Sentinel distinguishing "request was shed" from any engine result.
 _SHED = object()
@@ -248,10 +262,14 @@ class QueryGateway:
         self._warm_task: Optional[asyncio.Task] = None
         self._pending = 0
         self._inflight = 0
+        # Completion timestamps of recent engine executions: the drain
+        # rate behind the dynamic Retry-After estimate on 429s.
+        self._completions: deque = deque(maxlen=128)
         self.ready = False
         self.warm_error: Optional[BaseException] = None
         self.requests_total: Dict[Tuple[str, int], int] = {}
         self.shed_total: Dict[str, int] = {}
+        self.disconnects_total = 0
 
     # -------------------------------------------------- lifecycle
     async def startup(self) -> None:
@@ -288,7 +306,14 @@ class QueryGateway:
             self.service.batch(kind, [(0.0, 0.0)])
 
     async def shutdown(self) -> None:
-        """Stop accepting work and release the execution pool."""
+        """Stop accepting work and release the execution pool.
+
+        The pool drain is bounded: a worker thread wedged inside an
+        engine call (hung backend, fault injection) must not hang the
+        whole server teardown silently.  After 30 seconds the drain
+        thread is abandoned (daemonized, so it cannot pin the process)
+        and a ``RuntimeError`` surfaces the leak to the caller.
+        """
         if self._warm_task is not None and not self._warm_task.done():
             self._warm_task.cancel()
             try:
@@ -296,26 +321,48 @@ class QueryGateway:
             except (asyncio.CancelledError, Exception):  # noqa: BLE001
                 pass
         self.ready = False
-        self._pool.shutdown(wait=True, cancel_futures=True)
-        self.request_log.close()
+        drained = threading.Event()
+
+        def _drain() -> None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            drained.set()
+
+        threading.Thread(target=_drain, name="repro-http-drain",
+                         daemon=True).start()
+        deadline = time.monotonic() + 30.0
+        try:
+            while not drained.is_set():
+                if time.monotonic() > deadline:
+                    _LOG.error(
+                        "gateway execution pool failed to drain within "
+                        "30 s (inflight=%d, pending=%d); a worker thread "
+                        "is wedged — abandoning the drain",
+                        self._inflight, self._pending)
+                    raise RuntimeError(
+                        "gateway execution pool failed to drain within "
+                        "30 s; a worker thread is wedged")
+                await asyncio.sleep(0.05)
+        finally:
+            self.request_log.close()
 
     # -------------------------------------------------- execution
     def _run_single(self, kind: str, point: Tuple[float, float],
-                    params: Dict) -> object:
+                    params: Dict, deadline: Optional[Deadline]) -> object:
         """Blocking single-point execution (runs on a pool thread).
 
         Goes through :meth:`QueryService.submit` so concurrent HTTP
         singles coalesce into one vectorized micro-batch — the same
         cache -> coalescer -> engine path as in-process async callers.
         """
-        return self.service.submit(kind, point, **params).result()
+        return self.service.submit(kind, point, timeout=deadline,
+                                   **params).result()
 
     def _run_bulk(self, kind: str, rows: List[Tuple[float, float]],
-                  params: Dict) -> object:
+                  params: Dict, deadline: Optional[Deadline]) -> object:
         """Blocking bulk execution: the service's batch front door
         (row-wise cache for small arrays, executor sharding for large).
         """
-        return self.service.batch(kind, rows, **params)
+        return self.service.batch(kind, rows, timeout=deadline, **params)
 
     async def _admit_and_run(self, kind: str, fn: Callable[[], object]
                              ) -> object:
@@ -323,6 +370,15 @@ class QueryGateway:
 
         All counter arithmetic happens between awaits on the loop thread,
         so the pending gauge and the shed decision are race-free.
+
+        The pool execution is wrapped in :func:`asyncio.shield` with the
+        slot released by a done-callback rather than a ``finally``: when
+        the awaiting handler task is *cancelled* (client disconnect), the
+        blocking service call cannot be interrupted — it keeps a pool
+        thread busy until it returns — so releasing the semaphore at
+        cancellation time would over-admit past ``max_inflight``.  The
+        callback frees the slot (and records the drain event feeding the
+        Retry-After estimate) exactly when the thread actually finishes.
         """
         sem = self._slots
         assert sem is not None, "gateway.startup() was not awaited"
@@ -337,21 +393,62 @@ class QueryGateway:
                                             kind=kind):
                     await sem.acquire()
             finally:
+                # Runs on the loop thread even when the awaiting task is
+                # cancelled mid-queue (client gone): the queue slot is
+                # returned before the cancellation propagates.
                 self._pending -= 1
         else:
             await sem.acquire()
         self._inflight += 1
-        try:
-            loop = asyncio.get_running_loop()
-            if parent.sampled:
-                # run_in_executor does not copy contextvars to the pool
-                # thread; carry the request span across explicitly.
-                return await loop.run_in_executor(
-                    self._pool, lambda: call_with_span(parent, fn))
-            return await loop.run_in_executor(self._pool, fn)
-        finally:
+        loop = asyncio.get_running_loop()
+        if parent.sampled:
+            # run_in_executor does not copy contextvars to the pool
+            # thread; carry the request span across explicitly.
+            work = loop.run_in_executor(
+                self._pool, lambda: call_with_span(parent, fn))
+        else:
+            work = loop.run_in_executor(self._pool, fn)
+
+        def _done(fut: "asyncio.Future") -> None:
+            # Loop-thread callback: fires when the pool thread returns,
+            # whether or not anyone is still awaiting the result.
             self._inflight -= 1
             sem.release()
+            self._completions.append(time.monotonic())
+            if not fut.cancelled():
+                fut.exception()  # mark retrieved: the awaiter may be gone
+
+        work.add_done_callback(_done)
+        return await asyncio.shield(work)
+
+    def _retry_after(self) -> int:
+        """Seconds a shed client should wait, from queue depth and the
+        recent drain rate; clamped to ``[1, 30]``.
+
+        ``depth / rate`` estimates when the backlog ahead of a retry
+        will have drained.  With no recent completions to rate from
+        (cold server, stalled engine) the depth itself — seconds if the
+        engine manages one execution per second — is the fallback.
+        """
+        now = time.monotonic()
+        depth = self._pending + self._inflight
+        recent = [t for t in self._completions if now - t <= 30.0]
+        if len(recent) >= 2 and now > recent[0]:
+            rate = len(recent) / max(now - recent[0], 1e-3)
+            estimate = depth / rate if rate > 0 else 30.0
+        else:
+            estimate = float(max(depth, 1))
+        return max(1, min(30, math.ceil(estimate)))
+
+    def note_client_disconnect(self, path: str) -> None:
+        """Account one mid-request client disconnect (nginx's 499)."""
+        self.disconnects_total += 1
+        route = path.partition("?")[0]
+        if route.startswith("/v1/query/"):
+            kind = route[len("/v1/query/"):]
+            if kind in SHARD_METHODS:
+                key = (kind, 499)
+                self.requests_total[key] = self.requests_total.get(key, 0) + 1
 
     # -------------------------------------------------- routing
     async def handle(self, http_method: str, path: str, body: bytes,
@@ -441,13 +538,14 @@ class QueryGateway:
             "http.request", traceparent=headers.get("traceparent"),
             kind=kind)
         if span is NULL_SPAN:
-            status, payload = await self._query_response(kind, body)
+            status, payload = await self._query_response(kind, body, headers)
         else:
             # The contextvar set survives awaits inside this task, so
             # everything the request touches on the loop thread sees the
             # root span; pool threads get it via call_with_span.
             with use_span(span):
-                status, payload = await self._query_response(kind, body)
+                status, payload = await self._query_response(kind, body,
+                                                             headers)
             span.set(status=status)
         duration = time.perf_counter() - start
         mstats = self.http_stats.method(kind)
@@ -457,7 +555,7 @@ class QueryGateway:
         self.requests_total[key] = self.requests_total.get(key, 0) + 1
         extra: List[Tuple[str, str]] = [("Content-Type", _JSON)]
         if status == 429:
-            extra.append(("Retry-After", "1"))
+            extra.append(("Retry-After", str(self._retry_after())))
         if span is not NULL_SPAN:
             # Close the root first so the access-log record can fold the
             # whole finished trace into its per-stage breakdown.
@@ -469,8 +567,36 @@ class QueryGateway:
                                 tracer=self.tracer, span=span)
         return status, extra, self._dump(payload)
 
-    async def _query_response(self, kind: str, body: bytes
-                              ) -> Tuple[int, Dict]:
+    @staticmethod
+    def _parse_deadline(doc: Dict, headers: Dict[str, str]
+                        ) -> Optional[Deadline]:
+        """The request's deadline, armed at parse time.
+
+        The JSON body's ``timeout_ms`` takes precedence over the
+        ``X-Request-Deadline-Ms`` header; absent both, ``None`` lets
+        :meth:`QueryService._deadline` fall back to the service's
+        ``default_timeout``.  Arming here (not at dispatch) makes queue
+        time count against the budget — a request that waited out its
+        whole deadline in the pending queue 504s without touching the
+        engine.  Raises ``ValueError`` on a malformed value.
+        """
+        raw: object = doc.get("timeout_ms")
+        if raw is None:
+            raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            ms = float(raw)
+        except (TypeError, ValueError):
+            raise ValueError(f"timeout_ms must be a positive number of "
+                             f"milliseconds, got {raw!r}") from None
+        if isinstance(raw, bool) or not math.isfinite(ms) or ms <= 0:
+            raise ValueError(f"timeout_ms must be a positive number of "
+                             f"milliseconds, got {raw!r}")
+        return Deadline.from_timeout_ms(ms)
+
+    async def _query_response(self, kind: str, body: bytes,
+                              headers: Dict[str, str]) -> Tuple[int, Dict]:
         try:
             doc = json.loads(body.decode("utf-8")) if body else {}
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -487,13 +613,15 @@ class QueryGateway:
         # validation gate every front door shares.
         try:
             params = self.service.canonicalize(kind, dict(overrides))
+            deadline = self._parse_deadline(doc, headers)
         except (TypeError, ValueError) as exc:
             return 400, {"error": str(exc)}
         try:
             if "q" in doc:
                 point = _parse_point(doc["q"])
                 result = await self._admit_and_run(
-                    kind, lambda: self._run_single(kind, point, params))
+                    kind, lambda: self._run_single(kind, point, params,
+                                                   deadline))
                 if result is _SHED:
                     return 429, self._shed_doc()
                 return 200, {"kind": kind,
@@ -508,13 +636,15 @@ class QueryGateway:
                                       f"got {len(rows_doc)}"}
             rows = [_parse_point(r) for r in rows_doc]
             result = await self._admit_and_run(
-                kind, lambda: self._run_bulk(kind, rows, params))
+                kind, lambda: self._run_bulk(kind, rows, params, deadline))
             if result is _SHED:
                 return 429, self._shed_doc()
             encoded = [encode_result(kind, row) for row in
                        (result if kind != "delta" else list(result))]
             return 200, {"kind": kind, "count": len(encoded),
                          "results": encoded}
+        except DeadlineExceeded as exc:
+            return 504, {"error": str(exc), "deadline_exceeded": True}
         except ValueError as exc:
             return 400, {"error": str(exc)}
         except Exception as exc:  # noqa: BLE001 — engine failure -> 500
@@ -534,6 +664,14 @@ class QueryGateway:
             "pending": self._pending,
             "kinds": list(SHARD_METHODS),
         }
+        executor = getattr(self.service, "executor", None)
+        if executor is not None:
+            health = executor.health()
+            doc["executor"] = health
+            # Still serving (200) on a fallback backend, but loudly: load
+            # balancers keep routing, operators see the degraded rung.
+            if self.ready and health.get("degraded"):
+                doc["status"] = "degraded"
         if self.warm_error is not None:
             doc["status"] = "warmup-failed"
             doc["error"] = str(self.warm_error)
@@ -617,6 +755,46 @@ def render_prometheus(gateway: QueryGateway) -> str:
     for kind in SHARD_METHODS:
         w.sample("repro_http_shed_total", {"kind": kind},
                  gateway.shed_total.get(kind, 0))
+    w.family("repro_http_client_disconnects_total", "counter",
+             "Requests abandoned by a client disconnect mid-flight (499).")
+    w.sample("repro_http_client_disconnects_total", {},
+             gateway.disconnects_total)
+
+    # ------------------------------------------------------- resilience
+    resilience = getattr(gateway.service, "resilience", None)
+    if resilience is not None:
+        rsnap = resilience.snapshot()
+        for field, help_text in (
+                ("retries", "Chunk re-dispatch attempts after a worker "
+                            "failure, hang, or injected fault."),
+                ("worker_failures", "Chunk executions lost to worker "
+                                    "death, fault, or timeout."),
+                ("rebuilds", "Worker-pool rebuilds by the self-healing "
+                             "path."),
+                ("degradations", "Runtime backend downgrades along the "
+                                 "shm->process->thread->inline ladder."),
+                ("breaker_trips", "Circuit-breaker trips (each one "
+                                  "triggers a degradation attempt)."),
+                ("deadline_exceeded", "Requests abandoned at their "
+                                      "end-to-end deadline (504s)."),
+                ("faults_injected", "Faults fired by the configured "
+                                    "FaultPlan (chaos testing only).")):
+            name = f"repro_{field}_total"
+            w.family(name, "counter", help_text)
+            w.sample(name, {}, rsnap.get(field, 0))
+    executor = getattr(gateway.service, "executor", None)
+    if executor is not None:
+        health = executor.health()
+        w.family("repro_backend_state", "gauge",
+                 "Executor backend currently serving this process "
+                 "(1 = active; moves down the ladder on degradation).")
+        for mode in sorted(m for m in BACKENDS if m != "auto"):
+            w.sample("repro_backend_state", {"backend": mode},
+                     1 if health.get("mode") == mode else 0)
+        w.family("repro_backend_degraded", "gauge",
+                 "1 when the executor has left its configured backend.")
+        w.sample("repro_backend_degraded", {},
+                 1 if health.get("degraded") else 0)
 
     for family, registry, help_text in (
             ("repro_http_request_latency_seconds", gateway.http_stats,
@@ -651,6 +829,12 @@ def render_prometheus(gateway: QueryGateway) -> str:
                  stats["cache_hits"])
         w.sample("repro_service_cache_misses_total", {"kind": kind},
                  stats["cache_misses"])
+    w.family("repro_service_failures_total", "counter",
+             "Engine/executor invocations ending in an exception per "
+             "kind (deadline expiry, exhausted retries).")
+    for kind, stats in service_snap.items():
+        w.sample("repro_service_failures_total", {"kind": kind},
+                 stats["failures"])
 
     cache = getattr(gateway.service, "cache", None)
     if cache is not None:
@@ -716,6 +900,21 @@ def render_prometheus(gateway: QueryGateway) -> str:
 # ----------------------------------------------------------------------
 # Transport 1: the pure-stdlib asyncio HTTP/1.1 server.
 # ----------------------------------------------------------------------
+async def _watch_disconnect(reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter,
+                            poll: float = 0.05) -> None:
+    """Return once the client side of this connection is gone.
+
+    A queued request whose client already hung up would otherwise hold
+    its pending-queue slot (and eventually an execution slot) to compute
+    an answer nobody reads; :func:`handle_connection` races this watcher
+    against the handler and cancels the loser.
+    """
+    while not (reader.at_eof() or reader.exception() is not None
+               or writer.is_closing()):
+        await asyncio.sleep(poll)
+
+
 async def handle_connection(gateway: QueryGateway,
                             reader: asyncio.StreamReader,
                             writer: asyncio.StreamWriter) -> None:
@@ -754,8 +953,33 @@ async def handle_connection(gateway: QueryGateway,
                                ).encode(), close=True)
                 break
             body = await reader.readexactly(length) if length else b""
-            status, extra, payload = await gateway.handle(
-                http_method, target, body, headers)
+            handler = asyncio.ensure_future(gateway.handle(
+                http_method, target, body, headers))
+            watcher = asyncio.ensure_future(
+                _watch_disconnect(reader, writer))
+            try:
+                await asyncio.wait({handler, watcher},
+                                   return_when=asyncio.FIRST_COMPLETED)
+            finally:
+                watcher.cancel()
+                try:
+                    await watcher
+                except asyncio.CancelledError:
+                    pass
+            if not handler.done():
+                # Client hung up mid-request: cancel the handler — a
+                # request still queued gives its pending slot straight
+                # back; one already executing is shielded and frees its
+                # execution slot when the pool thread returns — and
+                # account the abandoned request as a 499.
+                handler.cancel()
+                try:
+                    await handler
+                except asyncio.CancelledError:
+                    pass
+                gateway.note_client_disconnect(target)
+                break
+            status, extra, payload = handler.result()
             close = (headers.get("connection", "").lower() == "close"
                      or version.upper() != "HTTP/1.1")
             await _write_response(writer, status, extra, payload,
@@ -765,6 +989,12 @@ async def handle_connection(gateway: QueryGateway,
     except (asyncio.IncompleteReadError, asyncio.LimitOverrunError,
             ConnectionResetError, BrokenPipeError):
         pass  # client went away mid-request; nothing to answer
+    except asyncio.CancelledError:
+        # Loop teardown cancelled this connection task mid-read; finish
+        # normally (the socket closes below) instead of propagating —
+        # stdlib streams retrieves task.exception() in a callback and
+        # would log the cancellation as an unhandled error.
+        pass
     finally:
         try:
             writer.close()
@@ -932,9 +1162,30 @@ class ServerThread:
             self._ready.set()
 
     def stop(self) -> None:
+        """Shut the server loop down and join its thread.
+
+        A hung join is an error, not a shrug: a server thread still
+        alive after 30 seconds means a wedged teardown (stuck engine
+        call, unjoinable pool), and silently leaking it would let tests
+        and operators believe the port was released.
+        """
         if self._loop is not None and self._stop is not None:
             self._loop.call_soon_threadsafe(self._stop.set)
         self._thread.join(timeout=30)
+        if self._thread.is_alive():
+            _LOG.error(
+                "http server thread %r did not stop within 30 s "
+                "(port=%s, gateway inflight=%d, pending=%d); "
+                "the thread is leaked",
+                self._thread.name, self.port,
+                self.gateway._inflight, self.gateway._pending)
+            raise RuntimeError(
+                "HTTP server thread failed to stop within 30 s")
+        if self.error is not None and self.port is not None:
+            # An error raised *after* a successful start (teardown
+            # failures included) would otherwise vanish with the thread.
+            raise RuntimeError("HTTP server terminated with an error") \
+                from self.error
 
     def __enter__(self) -> "ServerThread":
         return self.start()
@@ -1061,9 +1312,9 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
         gate = threading.Event()
         original = server.gateway._run_bulk
 
-        def held(kind, rows_, params):
+        def held(kind, rows_, params, deadline=None):
             gate.wait(timeout=30)
-            return original(kind, rows_, params)
+            return original(kind, rows_, params, deadline)
 
         server.gateway._run_bulk = held
         blocked = []
@@ -1161,4 +1412,198 @@ def run_smoke(backend: str = "inline", metrics_out: Optional[str] = None,
             log(f"FAIL: {line}")
         return 1
     log("http smoke: all checks passed")
+    return 0
+
+
+def run_chaos_smoke(backend: str = "process",
+                    metrics_out: Optional[str] = None,
+                    log: Callable[[str], None] = print) -> int:
+    """Fault-injection self-test: recovery, deadlines, degradation.
+
+    Boots the HTTP server over one service whose executor is fed a
+    sequence of deterministic :class:`~repro.serving.faults.FaultPlan`
+    phases, and checks the full resilience story end to end:
+
+    1. **recovery** — a worker crash (pool backends) or an in-compute
+       fault (thread/inline) on the first chunk; the response must be
+       200 and bitwise-identical to the unsharded oracle, with the
+       retry/rebuild counters incremented;
+    2. **deadline** — a hung first chunk against a 300 ms ``timeout_ms``;
+       the response must be 504 with no admission slots leaked;
+    3. **degradation** — a persistent per-method fault walks the
+       backend ladder until the circuit breaker lands on ``inline``;
+       the faulted kind fails, every *other* kind keeps answering
+       correctly, and ``/healthz`` reports ``degraded``.
+
+    Returns a process exit code (0 = all checks passed).  The CI
+    ``chaos-smoke`` job runs it once per backend; ``metrics_out`` saves
+    the final /metrics scrape — by then every resilience counter
+    (retries, worker failures, rebuilds, deadline 504s, breaker trips,
+    degradations, injected faults) is provably nonzero.
+    """
+    import random
+
+    from ..core.index import PNNIndex
+    from ..core.workloads import random_discrete_points
+    from .faults import FaultPlan
+
+    index = PNNIndex(random_discrete_points(12, 2, seed=7, spread=2.0))
+    rng = random.Random(41)
+    queries = [(rng.uniform(-2.0, 16.0), rng.uniform(-2.0, 16.0))
+               for _ in range(48)]
+    failures: List[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+        log(("ok   " if cond else "FAIL ") + what)
+
+    # Sharded answers must stay bitwise-equal to the unsharded batch
+    # calls, faults or not — encoded form, same contract as run_smoke.
+    oracle = {
+        "delta": [encode_result("delta", r)
+                  for r in list(index.batch_delta(queries))],
+        "nonzero_nn": [encode_result("nonzero_nn", r)
+                       for r in index.batch_nonzero_nn(queries)],
+    }
+    crashy = backend in ("process", "shm")
+    phase1 = ("crash_worker:chunk=0" if crashy
+              else "raise_in_compute:chunk=0")
+    service = index.serve(workers=2, backend=backend, shard_min_batch=8,
+                          shard_chunk=8, cache_capacity=0, coalesce=False,
+                          retries=2, faults=phase1)
+    check(service.executor is not None, "service built a shard executor")
+    config = HttpConfig(port=0, max_inflight=2, max_pending=4,
+                        warm_kinds=("delta",))
+    with service, ServerThread(service, config) as server:
+        port = server.port
+        assert port is not None
+        deadline_at = time.monotonic() + 30
+        status = 0
+        while time.monotonic() < deadline_at:
+            status, _, _, _ = _http_json(port, "GET", "/healthz")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        check(status == 200, f"healthz became ready ({status})")
+        executor = service.executor
+
+        # ---------------------------------------- phase 1: recovery
+        t0 = time.perf_counter()
+        status, doc, _, _ = _http_json(
+            port, "POST", "/v1/query/delta",
+            {"queries": [list(q) for q in queries]})
+        recovery_ms = (time.perf_counter() - t0) * 1e3
+        check(status == 200,
+              f"{phase1}: request survived the fault ({status})")
+        check(status == 200 and doc["results"] == oracle["delta"],
+              "recovered answers are bitwise-equal to the oracle")
+        snap = service.resilience.snapshot()
+        check(snap["retries"] >= 1 and snap["worker_failures"] >= 1,
+              f"failed chunk was retried (retries={snap['retries']}, "
+              f"worker_failures={snap['worker_failures']})")
+        if crashy:
+            # A crashed worker takes its counter bump with it (os._exit
+            # fires worker-side); the rebuild is the parent-side proof.
+            check(snap["rebuilds"] >= 1, "dead pool was rebuilt "
+                  f"(rebuilds={snap['rebuilds']})")
+        else:
+            check(snap["faults_injected"] >= 1, "fault fired "
+                  f"(faults_injected={snap['faults_injected']})")
+        log(f"phase 1: recovered in {recovery_ms:.0f} ms on {backend}")
+
+        # ---------------------------------------- phase 2: deadline
+        executor.faults = FaultPlan.coerce(
+            "slow_chunk:chunk=0,delay=2,attempts=any")
+        t0 = time.perf_counter()
+        status, doc, _, _ = _http_json(
+            port, "POST", "/v1/query/delta",
+            {"queries": [list(q) for q in queries], "timeout_ms": 300})
+        elapsed = time.perf_counter() - t0
+        check(status == 504 and doc.get("deadline_exceeded") is True,
+              f"hung chunk against timeout_ms=300 answered {status}")
+        # Pool backends abandon the hung chunk at the deadline; the
+        # thread warm-up path and the inline backend cannot preempt a
+        # chunk already running on the caller, so allow one chunk delay.
+        check(elapsed < 5.0, f"504 arrived in {elapsed * 1e3:.0f} ms")
+        gw = server.gateway
+        time.sleep(0.1)
+        check(gw._inflight == 0 and gw._pending == 0,
+              f"no admission slots leaked (inflight={gw._inflight}, "
+              f"pending={gw._pending})")
+        check(service.resilience.get("deadline_exceeded") >= 1,
+              "deadline_exceeded counter incremented")
+
+        # ---------------------------------------- phase 3: degradation
+        # Every chunk of the faulted kind fails, so the breaker sees
+        # consecutive failures (successes from healthy sibling chunks
+        # would reset its count — by design) and walks the ladder.
+        executor.faults = FaultPlan.coerce(
+            "raise_in_compute:method=delta,attempts=any")
+        status, _, _, _ = _http_json(
+            port, "POST", "/v1/query/delta",
+            {"queries": [list(q) for q in queries]})
+        check(status == 500, "persistently faulted kind failed loudly "
+                             f"({status})")
+        check(service.resilience.get("breaker_trips") >= 1,
+              "circuit breaker tripped (trips="
+              f"{service.resilience.get('breaker_trips')})")
+        health = executor.health()
+        if backend == "inline":
+            # Already on the bottom rung: nowhere to degrade to — the
+            # breaker trips, the request fails, the mode stays inline.
+            check(health["mode"] == "inline" and not health["degraded"],
+                  "inline floor held (no rung below to degrade to)")
+        else:
+            check(bool(health["degraded"])
+                  and health["mode"] == "inline",
+                  f"breaker walked the ladder to inline "
+                  f"(mode={health['mode']}, degradations="
+                  f"{service.resilience.get('degradations')})")
+        status, doc, _, _ = _http_json(
+            port, "POST", "/v1/query/nonzero_nn",
+            {"queries": [list(q) for q in queries]})
+        check(status == 200 and doc["results"] == oracle["nonzero_nn"],
+              "unfaulted kinds still answer correctly while degraded")
+        status, hdoc, _, _ = _http_json(port, "GET", "/healthz")
+        if backend == "inline":
+            check(status == 200 and hdoc["status"] == "ok",
+                  f"healthz stays ok on the inline floor "
+                  f"({hdoc['status']})")
+        else:
+            check(status == 200 and hdoc["status"] == "degraded",
+                  f"healthz reports degraded ({hdoc['status']})")
+
+        status, _, raw, _ = _http_json(port, "GET", "/metrics")
+        check(status == 200, f"/metrics returned {status}")
+        want_nonzero = ["repro_retries_total", "repro_worker_failures_total",
+                        "repro_deadline_exceeded_total",
+                        "repro_faults_injected_total",
+                        "repro_breaker_trips_total"]
+        if backend != "inline":
+            want_nonzero += ["repro_degradations_total",
+                             "repro_backend_degraded"]
+        if crashy:
+            want_nonzero.append("repro_rebuilds_total")
+        values = {}
+        for line in raw.splitlines():
+            if line.startswith("#") or " " not in line:
+                continue
+            name, _, value = line.rpartition(" ")
+            values[name.partition("{")[0]] = values.get(
+                name.partition("{")[0], 0.0) + float(value)
+        for family in want_nonzero:
+            check(values.get(family, 0) > 0, f"{family} is nonzero "
+                  f"({values.get(family, 0):g})")
+        check(values.get("repro_backend_state", 0) == 1,
+              "exactly one backend_state gauge is set")
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(raw)
+            log(f"metrics scrape saved to {metrics_out}")
+
+    if failures:
+        log(f"chaos smoke [{backend}]: {len(failures)} check(s) FAILED")
+        return 1
+    log(f"chaos smoke [{backend}]: all checks passed")
     return 0

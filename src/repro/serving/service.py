@@ -55,6 +55,8 @@ from ..spatial.batch import as_query_array
 from .cache import ResultCache
 from .coalesce import MicroBatcher
 from .executors import BACKENDS
+from .faults import (CircuitBreaker, Deadline, DeadlineExceeded, FaultPlan,
+                     ResilienceStats, RetryPolicy)
 from .shard import SHARD_METHODS, ShardExecutor
 from .stats import ServiceStats
 
@@ -108,6 +110,32 @@ class ServiceConfig:
         work it fronts).
     latency_window:
         Per-method latency reservoir size for percentile stats.
+    default_timeout:
+        End-to-end deadline in *seconds* applied to every request that
+        does not carry its own (HTTP ``timeout_ms`` / header, or the
+        ``timeout=`` keyword of :meth:`QueryService.query`/``submit``/
+        ``batch``).  ``None`` (default) = no implicit deadline.
+    retries:
+        Re-dispatch rounds allowed per failed shard chunk (see
+        :class:`~repro.serving.faults.RetryPolicy`).
+    retry_backoff:
+        Base seconds of the exponential backoff between re-dispatch
+        rounds.
+    chunk_timeout:
+        Per-chunk hang watchdog in seconds (``None`` disables): a
+        dispatched chunk unanswered this long has its pool rebuilt and
+        is re-dispatched.
+    breaker_threshold:
+        Consecutive backend failures that trip the circuit breaker and
+        demote the executor one rung down the runtime degradation
+        ladder (``shm -> process -> thread -> inline``).
+    faults:
+        Fault-injection plan for chaos testing — anything
+        :meth:`~repro.serving.faults.FaultPlan.coerce` accepts (spec
+        list, compact string, JSON).  ``None`` (default) reads the
+        :data:`~repro.serving.faults.FAULTS_ENV` environment variable;
+        injection is fully off when neither is set.  Faults apply to
+        sharded execution only (``workers >= 2``).
     trace:
         Request tracing (:mod:`repro.obs`): ``None``/``False`` off
         (default, near-zero cost — every instrumentation point is one
@@ -133,6 +161,12 @@ class ServiceConfig:
     cache_cell_size: float = 0.0
     cache_batch_limit: int = 1024
     latency_window: int = 4096
+    default_timeout: Optional[float] = None
+    retries: int = 2
+    retry_backoff: float = 0.05
+    chunk_timeout: Optional[float] = None
+    breaker_threshold: int = 3
+    faults: object = None
     trace: object = None
 
     def __post_init__(self) -> None:
@@ -141,6 +175,24 @@ class ServiceConfig:
         # Coerce eagerly so an invalid trace spec fails at construction
         # (idempotent: a TraceConfig passes through unchanged).
         self.trace = TraceConfig.coerce(self.trace)
+        # Same eager policy for fault plans; None falls back to the
+        # REPRO_FAULTS environment variable (the CI chaos jobs' knob).
+        self.faults = (FaultPlan.from_env() if self.faults is None
+                       else FaultPlan.coerce(self.faults))
+        if self.default_timeout is not None and not self.default_timeout > 0:
+            raise ValueError(f"default_timeout must be positive (or None), "
+                             f"got {self.default_timeout}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.retry_backoff < 0:
+            raise ValueError(f"retry_backoff must be >= 0, "
+                             f"got {self.retry_backoff}")
+        if self.chunk_timeout is not None and not self.chunk_timeout > 0:
+            raise ValueError(f"chunk_timeout must be positive (or None), "
+                             f"got {self.chunk_timeout}")
+        if self.breaker_threshold < 1:
+            raise ValueError(f"breaker_threshold must be >= 1, "
+                             f"got {self.breaker_threshold}")
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown executor backend {self.backend!r}; "
                              f"expected one of {BACKENDS}")
@@ -179,6 +231,8 @@ class QueryService:
             index.use_vpr(vpr)
         self.tracer = Tracer(cfg.trace)
         self.stats_registry = ServiceStats(cfg.latency_window)
+        self.resilience = ResilienceStats()
+        self.breaker = CircuitBreaker(cfg.breaker_threshold)
         self.cache: Optional[ResultCache] = (
             ResultCache(cfg.cache_capacity, cell_size=cfg.cache_cell_size)
             if cfg.cache_capacity > 0 else None)
@@ -187,7 +241,12 @@ class QueryService:
             self.executor = ShardExecutor(
                 index.points, workers=cfg.workers,
                 start_method=cfg.start_method, chunk_size=cfg.shard_chunk,
-                backend=cfg.backend, index=index, tracer=self.tracer)
+                backend=cfg.backend, index=index, tracer=self.tracer,
+                policy=RetryPolicy(retries=cfg.retries,
+                                   backoff=cfg.retry_backoff,
+                                   chunk_timeout=cfg.chunk_timeout),
+                faults=cfg.faults, resilience=self.resilience,
+                breaker=self.breaker)
         self.batcher: Optional[MicroBatcher] = None
         if cfg.coalesce:
             self.batcher = MicroBatcher(
@@ -274,12 +333,33 @@ class QueryService:
     # ------------------------------------------------------------------
     # The execution spine (shared by scalar, coalesced, and batch paths).
     # ------------------------------------------------------------------
-    def _run_batch(self, method: str, q: np.ndarray, params: Dict) -> object:
+    def _deadline(self, timeout) -> Optional[Deadline]:
+        """Resolve a per-request ``timeout=`` into an optional deadline.
+
+        ``None`` falls back to :attr:`ServiceConfig.default_timeout`; an
+        already-armed :class:`Deadline` (the HTTP gateway starts the
+        clock at request parse, so queue time counts) passes through.
+        """
+        if timeout is None:
+            timeout = self.config.default_timeout
+        return Deadline.coerce(timeout)
+
+    def _run_batch(self, method: str, q: np.ndarray, params: Dict,
+                   deadline: Optional[Deadline] = None) -> object:
         """One engine/executor invocation over a validated query array."""
         if self._closed:
             raise RuntimeError("QueryService is closed")
-        cfg = self.config
         mstats = self.stats_registry.method(method)
+        if deadline is not None and deadline.expired:
+            # Expired while queued (cache walk, coalesce window): don't
+            # start an engine call whose answer nobody is waiting for.
+            self.resilience.bump("deadline_exceeded")
+            with self._lock:
+                mstats.failures += 1
+            raise DeadlineExceeded(
+                f"deadline of {deadline.timeout * 1e3:.0f} ms exceeded "
+                f"before {method} execution started")
+        cfg = self.config
         # quantify_vpr only fans out over backends that share this
         # service's index: a process/shm worker replica would lazily
         # rebuild its own Theta(N^4) diagram (once per worker, default
@@ -287,8 +367,16 @@ class QueryService:
         fan_out = (method != "quantify_vpr"
                    or (self.executor is not None
                        and self.executor.impl.shares_index))
+        # An inline-mode executor adds chunking overhead for no
+        # parallelism, so plain traffic takes the direct engine call —
+        # *unless* the request carries a deadline (the chunked loop is
+        # what enforces it mid-batch) or a fault plan is active (chaos
+        # runs must exercise the resilient path on every backend).
+        resilient = (deadline is not None
+                     or (self.executor is not None
+                         and self.executor.faults is not None))
         sharded = (self.executor is not None
-                   and self.executor.mode != "inline"
+                   and (self.executor.mode != "inline" or resilient)
                    and fan_out
                    and len(q) >= cfg.shard_min_batch)
         tracer = self.tracer
@@ -296,24 +384,34 @@ class QueryService:
                                    rows=int(len(q)), sharded=sharded)
                  if tracer.enabled else NULL_SPAN)
         start = time.perf_counter()
-        if espan is NULL_SPAN:
-            if sharded:
-                result = self.executor.run(method, q, params)
-            else:
-                # Same mapping the shard replicas use: every query kind
-                # is an index batch_<method> front door (method already
-                # validated).
-                result = getattr(self.index, f"batch_{method}")(q, **params)
-        else:
-            # Ambient for the duration so ShardExecutor.run parents its
-            # dispatch/reassembly spans (and the re-adopted worker chunk
-            # spans) under this execution.
-            with use_span(espan), espan:
+        try:
+            if espan is NULL_SPAN:
                 if sharded:
-                    result = self.executor.run(method, q, params)
+                    result = self.executor.run(method, q, params,
+                                               deadline=deadline)
                 else:
+                    # Same mapping the shard replicas use: every query
+                    # kind is an index batch_<method> front door (method
+                    # already validated).  An in-process engine call
+                    # cannot be preempted mid-kernel, so only sharded
+                    # execution enforces the deadline *during* compute.
                     result = getattr(self.index,
                                      f"batch_{method}")(q, **params)
+            else:
+                # Ambient for the duration so ShardExecutor.run parents
+                # its dispatch/reassembly spans (and the re-adopted
+                # worker chunk spans) under this execution.
+                with use_span(espan), espan:
+                    if sharded:
+                        result = self.executor.run(method, q, params,
+                                                   deadline=deadline)
+                    else:
+                        result = getattr(self.index,
+                                         f"batch_{method}")(q, **params)
+        except Exception:
+            with self._lock:
+                mstats.failures += 1
+            raise
         elapsed = time.perf_counter() - start
         with self._lock:
             mstats.batch_calls += 1
@@ -332,10 +430,12 @@ class QueryService:
 
     def _compute_rows(self, method: str, queries: Sequence[Tuple[float,
                                                                  float]],
-                      params: Dict) -> List[object]:
+                      params: Dict,
+                      deadline: Optional[Deadline] = None) -> List[object]:
         """Answer rows for a list of scalar queries, filling the cache."""
         q = np.asarray(queries, dtype=np.float64).reshape(len(queries), 2)
-        rows = self._rows(method, self._run_batch(method, q, params))
+        rows = self._rows(method, self._run_batch(method, q, params,
+                                                  deadline))
         if self.cache is not None:
             pkey = self._params_key(params)
             for point, row in zip(queries, rows):
@@ -344,8 +444,8 @@ class QueryService:
 
     def _flush_group(self, method: str,
                      queries: List[Tuple[float, float]],
-                     params_key: Tuple, spans: Sequence = ()
-                     ) -> List[object]:
+                     params_key: Tuple, spans: Sequence = (),
+                     deadline: Optional[Deadline] = None) -> List[object]:
         """MicroBatcher callback: answer one coalesced group.
 
         *spans* are the ``coalesce.wait`` spans of the sampled requests
@@ -354,9 +454,14 @@ class QueryService:
         waiter's trace; every waiter links to it and learns the batch
         size it coalesced into — the many-requests-to-one-execution
         join the access log and trace viewers reconstruct.
+
+        *deadline* is the group-wide (laxest-member) deadline the
+        batcher merged — expiry fails every future of the group with
+        :class:`DeadlineExceeded`.
         """
         if not spans:
-            return self._compute_rows(method, queries, dict(params_key))
+            return self._compute_rows(method, queries, dict(params_key),
+                                      deadline)
         fspan = self.tracer.start_span(
             "coalesce.flush", parent=spans[0], method=method,
             batch_size=len(queries))
@@ -366,7 +471,7 @@ class QueryService:
         try:
             with use_span(fspan), fspan:
                 return self._compute_rows(method, queries,
-                                          dict(params_key))
+                                          dict(params_key), deadline)
         finally:
             # The wait spans opened at submit close here — whether the
             # engine answered or raised — so no span leaks open.
@@ -402,26 +507,29 @@ class QueryService:
     # ------------------------------------------------------------------
     # Scalar front doors.
     # ------------------------------------------------------------------
-    def query(self, method: str, q: Tuple[float, float], /, **overrides
-              ) -> object:
+    def query(self, method: str, q: Tuple[float, float], /, *,
+              timeout=None, **overrides) -> object:
         """Answer one query synchronously (cache first, then a 1-batch).
 
         ``method`` and ``q`` are positional-only so estimator overrides
         (which also use the name ``method``) pass through ``overrides``.
+        *timeout* (seconds, or a prepared :class:`Deadline`) bounds the
+        request end to end; ``None`` uses the config default.
         """
         params = self.canonicalize(method, overrides)
+        deadline = self._deadline(timeout)
         span = self._request_span("service.query", method)
         if span is NULL_SPAN:
             hit, value = self._cache_lookup(method, q, params)
             if hit:
                 return value
-            return self._compute_rows(method, [q], params)[0]
+            return self._compute_rows(method, [q], params, deadline)[0]
         with use_span(span), span:
             hit, value = self._cache_lookup(method, q, params)
             span.set(cache_hit=hit)
             if hit:
                 return value
-            return self._compute_rows(method, [q], params)[0]
+            return self._compute_rows(method, [q], params, deadline)[0]
 
     def delta(self, q: Tuple[float, float]) -> float:
         return float(self.query("delta", q))
@@ -450,23 +558,26 @@ class QueryService:
     # ------------------------------------------------------------------
     # Asynchronous (coalesced) front door.
     # ------------------------------------------------------------------
-    def submit(self, method: str, q: Tuple[float, float], /, **overrides
-               ) -> Future:
+    def submit(self, method: str, q: Tuple[float, float], /, *,
+               timeout=None, **overrides) -> Future:
         """Enqueue one query; the future resolves when its batch flushes.
 
         A cache hit resolves immediately.  Without a coalescer
         (``coalesce=False``) the call computes synchronously and returns
-        an already-resolved future.
+        an already-resolved future.  *timeout* (seconds or a
+        :class:`Deadline`) bounds the request including its coalescing
+        wait; expiry resolves the future with :class:`DeadlineExceeded`.
         """
         params = self.canonicalize(method, overrides)
+        deadline = self._deadline(timeout)
         span = self._request_span("service.submit", method)
         if span is NULL_SPAN:
-            return self._submit_impl(method, q, params, NULL_SPAN)
+            return self._submit_impl(method, q, params, NULL_SPAN, deadline)
         with use_span(span), span:
-            return self._submit_impl(method, q, params, span)
+            return self._submit_impl(method, q, params, span, deadline)
 
     def _submit_impl(self, method: str, q: Tuple[float, float],
-                     params: Dict, span) -> Future:
+                     params: Dict, span, deadline=None) -> Future:
         """The submit body, with *span* already ambient (or NULL_SPAN)."""
         hit, value = self._cache_lookup(method, q, params)
         span.set(cache_hit=hit)
@@ -477,12 +588,14 @@ class QueryService:
         if self.batcher is None:
             fut = Future()
             try:
-                fut.set_result(self._compute_rows(method, [q], params)[0])
+                fut.set_result(self._compute_rows(method, [q], params,
+                                                  deadline)[0])
             except BaseException as exc:  # noqa: BLE001 — same as a batch
                 fut.set_exception(exc)
             return fut
         if span is NULL_SPAN:
-            return self.batcher.submit(method, q, self._params_key(params))
+            return self.batcher.submit(method, q, self._params_key(params),
+                                       deadline=deadline)
         # The wait span outlives this call on purpose: it closes when the
         # group flushes (see _flush_group), so its duration is the time
         # the request actually spent coalescing.
@@ -491,7 +604,8 @@ class QueryService:
         try:
             return self.batcher.submit(
                 method, q, self._params_key(params),
-                span=wspan if wspan.sampled else None)
+                span=wspan if wspan.sampled else None,
+                deadline=deadline)
         except BaseException:
             wspan.finish()
             raise
@@ -503,16 +617,21 @@ class QueryService:
     # ------------------------------------------------------------------
     # Batch front door.
     # ------------------------------------------------------------------
-    def batch(self, method: str, queries, /, **overrides) -> object:
+    def batch(self, method: str, queries, /, *, timeout=None,
+              **overrides) -> object:
         """Answer an ``(m, 2)`` array of queries.
 
         Small batches (``<= cache_batch_limit``) consult the cache row by
         row and compute only the misses; large batches bypass the cache
         and shard across workers when available.  ``delta`` returns a
         float array, the other methods lists — exactly the containers the
-        underlying ``PNNIndex.batch_*`` calls produce.
+        underlying ``PNNIndex.batch_*`` calls produce.  *timeout*
+        (seconds or a :class:`Deadline`) bounds the call; sharded
+        execution enforces it mid-flight, in-process execution at the
+        engine boundary.
         """
         params = self.canonicalize(method, overrides)
+        deadline = self._deadline(timeout)
         q = as_query_array(queries)
         m = len(q)
         if m == 0:
@@ -520,13 +639,14 @@ class QueryService:
                     else [])
         span = self._request_span("service.batch", method)
         if span is NULL_SPAN:
-            return self._batch_rows(method, q, params)
+            return self._batch_rows(method, q, params, deadline)
         with use_span(span), span:
             span.set(rows=m)
-            return self._batch_rows(method, q, params)
+            return self._batch_rows(method, q, params, deadline)
 
     def _batch_rows(self, method: str, q: np.ndarray,
-                    params: Dict) -> object:
+                    params: Dict,
+                    deadline: Optional[Deadline] = None) -> object:
         """The batch body: row-wise cache for small arrays, else one
         engine/executor run (*q* validated, the request span ambient)."""
         m = len(q)
@@ -534,7 +654,7 @@ class QueryService:
         use_cache = (self.cache is not None
                      and 0 < m <= cfg.cache_batch_limit)
         if not use_cache:
-            return self._run_batch(method, q, params)
+            return self._run_batch(method, q, params, deadline)
         pkey = self._params_key(params)
         points = [(float(x), float(y)) for x, y in q]
         keys = [self.cache.key(method, p, pkey) for p in points]
@@ -559,7 +679,7 @@ class QueryService:
             mstats.requests += hits
         if miss_at:
             computed = self._compute_rows(
-                method, [points[j] for j in miss_at], params)
+                method, [points[j] for j in miss_at], params, deadline)
             for j, row in zip(miss_at, computed):
                 rows[j] = row
         if method == "delta":
@@ -601,12 +721,16 @@ class QueryService:
             snap["trace"] = self.tracer.snapshot()
         if self.cache is not None:
             snap["cache"] = self.cache.snapshot()
+        snap["resilience"] = self.resilience.snapshot()
         if self.executor is not None:
             snap["executor"] = {
                 "backend": self.executor.backend,
                 "mode": self.executor.mode,
                 "workers": self.executor.workers,
                 "start_method": self.executor.start_method,
+                "degraded": self.executor.degraded,
+                "initial_mode": self.executor._initial_mode,
+                "breaker": self.breaker.snapshot(),
             }
         if self.batcher is not None:
             snap["coalescer"] = {

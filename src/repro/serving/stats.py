@@ -77,6 +77,8 @@ class MethodStats:
         self.requests = 0          # individual query rows answered
         self.batch_calls = 0       # underlying engine/executor invocations
         self.sharded_calls = 0     # batch calls routed through the executor
+        self.failures = 0          # executions ending in an exception
+        #                            (deadline expiry, exhausted retries)
         self.cache_hits = 0
         self.cache_misses = 0
         self.latency = LatencyRecorder(window)
@@ -91,6 +93,7 @@ class MethodStats:
             "requests": self.requests,
             "batch_calls": self.batch_calls,
             "sharded_calls": self.sharded_calls,
+            "failures": self.failures,
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "hit_rate": round(self.hit_rate, 4),
@@ -165,10 +168,12 @@ class ServiceStats:
         """Human-readable lines for the demo CLI."""
         lines = []
         for name, snap in self.snapshot().items():
+            failed = (f", {snap['failures']} failed"
+                      if snap["failures"] else "")
             lines.append(
                 f"{name:>13}: {snap['requests']:>7} req in "
                 f"{snap['batch_calls']} batches "
-                f"({snap['sharded_calls']} sharded), hit rate "
+                f"({snap['sharded_calls']} sharded{failed}), hit rate "
                 f"{snap['hit_rate']:.0%}, p50 {snap['p50_ms']:.2f} ms, "
                 f"p99 {snap['p99_ms']:.2f} ms")
         return lines

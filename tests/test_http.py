@@ -213,9 +213,9 @@ class TestAdmissionControl:
         gate = threading.Event()
         original = gateway._run_bulk
 
-        def held(kind, rows, params):
+        def held(kind, rows, params, deadline=None):
             gate.wait(timeout=30)
-            return original(kind, rows, params)
+            return original(kind, rows, params, deadline)
 
         gateway._run_bulk = held
         results = []
@@ -257,8 +257,8 @@ class TestAdmissionControl:
         gateway = server.gateway
         gate = threading.Event()
         original = gateway._run_bulk
-        gateway._run_bulk = lambda k, r, p: (gate.wait(30),
-                                             original(k, r, p))[1]
+        gateway._run_bulk = lambda k, r, p, d=None: (gate.wait(30),
+                                                     original(k, r, p, d))[1]
         threads = [threading.Thread(
             target=lambda: _http(server.port, "POST", "/v1/query/delta",
                                  {"queries": [[0.0, 0.0]]}))
