@@ -15,6 +15,12 @@ Conventions (established by E19/E20, enforced here):
   force any bar through its env knob.
 * **JSON summaries** are written only when the benchmark's ``*_JSON``
   env var names a path (:func:`write_json`).
+* **The aggregate summary** ``BENCH_SUMMARY.json`` at the repo root
+  folds in every payload carrying an ``"experiment"`` key as it passes
+  through :func:`write_json` — one machine-readable file collecting the
+  latest result per experiment across benchmark runs
+  (:func:`update_bench_summary`; ``REPRO_BENCH_SUMMARY`` renames it,
+  ``REPRO_BENCH_SUMMARY=0`` disables it).
 """
 
 import json
@@ -23,7 +29,10 @@ import os
 import time
 
 __all__ = ["best_of", "cores", "env_float", "env_int", "gated_speedup",
-           "write_json"]
+           "update_bench_summary", "write_json"]
+
+#: Override (a path) or disable ("0"/"off") the aggregate summary file.
+SUMMARY_ENV = "REPRO_BENCH_SUMMARY"
 
 
 def cores() -> int:
@@ -70,9 +79,56 @@ def best_of(fn, reps: int = 2):
     return best, result
 
 
+def _summary_path() -> str:
+    """Resolved aggregate-summary path ('' when disabled)."""
+    override = os.environ.get(SUMMARY_ENV)
+    if override is not None:
+        return "" if override.strip().lower() in ("", "0", "off") \
+            else override
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    return os.path.join(repo_root, "BENCH_SUMMARY.json")
+
+
+def update_bench_summary(payload: dict) -> None:
+    """Fold one experiment payload into the aggregate summary file.
+
+    The file keeps the *latest* payload per experiment id under
+    ``"runs"`` — rerunning E21 replaces only E21's entry.  Written
+    atomically (tmp + rename) so a crashed benchmark cannot leave a
+    truncated summary; a corrupt or foreign existing file is replaced
+    rather than crashed on.
+    """
+    exp = payload.get("experiment")
+    path = _summary_path()
+    if not exp or not path:
+        return
+    doc = {"runs": {}}
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            loaded = json.load(handle)
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"),
+                                                   dict):
+            doc = loaded
+    except (OSError, ValueError):
+        pass
+    doc["runs"][exp] = payload
+    doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
 def write_json(env_name: str, payload: dict) -> None:
-    """Dump *payload* to the path named by ``$env_name`` (if set)."""
+    """Dump *payload* to the path named by ``$env_name`` (if set).
+
+    Payloads carrying an ``"experiment"`` key are additionally folded
+    into the repo-root aggregate (:func:`update_bench_summary`) whether
+    or not the per-benchmark path is configured.
+    """
     path = os.environ.get(env_name, "")
     if path:
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)
+    update_bench_summary(payload)

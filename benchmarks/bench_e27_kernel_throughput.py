@@ -1,0 +1,181 @@
+"""E27 — kernel-tier throughput: compiled native vs. NumPy providers.
+
+The acceptance workload of the pluggable kernel tier
+(:mod:`repro.spatial.kernels`): every provider entry point is driven
+head-to-head on the two hot-loop shapes the tier was built for —
+
+* the **pairwise distance matrix** at the engines' chunk shape
+  (``m x s ~ 2^20`` elements of ``sqrt(dx*dx + dy*dy)`` — the
+  ``_CHUNK_ELEMENTS`` budget both batch engines size their work
+  matrices to, so the benchmark times the loop the way production runs
+  it: cache-resident chunks, not one memory-bound mega-matrix);
+* the **Eq. (2) sweep step loop** at the E21 exact-quantification shape
+  (sorted ``(m, N)`` distance rows, per-parent survival products);
+
+plus the geometry batch kernels (segment intersections, line-box clip)
+and the slab locator's vectorized binary search.  Two headline
+assertions:
+
+* **bitwise identity everywhere** — the native provider must return,
+  for every entry point, exactly the bytes the NumPy oracle produces
+  (same floats, same masks; never gated);
+* **single-core speedup** — the native distance matrix and sweep must
+  each beat NumPy by ``E27_MIN_SPEEDUP``x (default 3x).  This is
+  row-scalar C against vectorized NumPy on one core, so the bar holds
+  on 1-core containers; the geometry/locator timings are recorded in
+  the JSON payload but not gated (their workloads are too small to time
+  reliably).
+
+Hosts without a working C compiler skip the comparisons (the tier
+degrades to NumPy by design — parity is then vacuous); the CI
+``kernel-matrix`` job provides the compiler and runs the bars.
+
+Env knobs: ``E27_M``, ``E27_SITES``, ``E27_N``, ``E27_K``,
+``E27_MIN_SPEEDUP``, ``E27_JSON`` (machine-readable summary for CI
+artifacts; also folded into the repo-root ``BENCH_SUMMARY.json``).
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from _common import best_of, cores, env_float, env_int, write_json
+from repro.core.workloads import random_discrete_points
+from repro.geometry.seg_arrangement import SegmentArrangement
+from repro.geometry.segments import bisector_line, line_box_clip
+from repro.quantification.batch_exact import BatchExactQuantifier
+from repro.spatial.kernels import get_provider, native_available, native_error
+from repro.spatial.pointlocation import SlabPointLocator
+
+M = env_int("E27_M", 2048)             # distance-matrix query rows
+SITES = env_int("E27_SITES", 512)      # distance-matrix site columns
+N = env_int("E27_N", 200)              # sweep: uncertain points
+K = env_int("E27_K", 5)                # sweep: sites per point
+MIN_SPEEDUP = env_float("E27_MIN_SPEEDUP", 3.0)
+
+RNG = np.random.default_rng(2027)
+_PAYLOAD = {"experiment": "E27", "m": M, "sites": SITES, "n": N, "k": K,
+            "cores": cores(), "min_speedup": MIN_SPEEDUP,
+            "native_available": native_available(),
+            "native_error": native_error()}
+
+
+def _providers():
+    if not native_available():
+        pytest.skip(f"native kernel unavailable on this host "
+                    f"({native_error()}); the tier runs on NumPy")
+    return get_provider("numpy"), get_provider("native")
+
+
+def _finish(key: str, numpy_t: float, native_t: float,
+            gated: bool) -> None:
+    speedup = numpy_t / native_t
+    _PAYLOAD[key] = {"numpy_ms": round(numpy_t * 1e3, 3),
+                     "native_ms": round(native_t * 1e3, 3),
+                     "speedup": round(speedup, 3), "gated": gated}
+    write_json("E27_JSON", _PAYLOAD)
+    if gated and MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, \
+            f"native {key} {speedup:.2f}x < {MIN_SPEEDUP}x " \
+            f"(numpy {numpy_t * 1e3:.1f} ms, native {native_t * 1e3:.1f} ms)"
+
+
+def test_e27_distance_matrix_parity_and_speedup():
+    oracle, native = _providers()
+    qx = RNG.uniform(0.0, 50.0, M)
+    qy = RNG.uniform(0.0, 50.0, M)
+    px = RNG.uniform(0.0, 50.0, SITES)
+    py = RNG.uniform(0.0, 50.0, SITES)
+    numpy_t, d_numpy = best_of(lambda: oracle.distance_matrix(qx, qy,
+                                                              px, py))
+    native_t, d_native = best_of(lambda: native.distance_matrix(qx, qy,
+                                                                px, py))
+    assert np.array_equal(d_numpy, d_native), \
+        "native distance matrix is not bitwise-equal to the NumPy oracle"
+    _finish("distance_matrix", numpy_t, native_t, gated=True)
+
+
+def test_e27_sweep_parity_and_speedup():
+    oracle, native = _providers()
+    points = random_discrete_points(N, K, seed=2026, spread=2.0)
+    quant = BatchExactQuantifier(points, kernel="numpy")
+    rng = random.Random(59)
+    extent = (N ** 0.5) * 2.2
+    q = np.array([(rng.uniform(0, extent), rng.uniform(0, extent))
+                  for _ in range(M)])
+    # Prepare the sorted inputs once — the sweep step loop is what the
+    # providers differ on; orchestration (sorting, scatter) is shared.
+    d = oracle.distance_matrix(q[:, 0], q[:, 1], quant._sx, quant._sy)
+    order = np.argsort(d, axis=1, kind="stable")
+    ds = np.take_along_axis(d, order, axis=1)
+    pp, pw = quant._parent[order], quant._weight[order]
+
+    def run(provider):
+        return provider.sweep_eq2(ds, pp, pw, quant._totals, N, 0.0,
+                                  final=True)
+
+    numpy_t, (res_numpy, done_numpy) = best_of(lambda: run(oracle))
+    native_t, (res_native, done_native) = best_of(lambda: run(native))
+    assert np.array_equal(done_numpy, done_native)
+    assert np.array_equal(res_numpy, res_native), \
+        "native Eq. (2) sweep is not bitwise-equal to the NumPy oracle"
+    assert done_numpy.all()  # final=True retires every row
+    _finish("sweep_eq2", numpy_t, native_t, gated=True)
+
+
+def test_e27_geometry_and_locator_parity():
+    oracle, native = _providers()
+    rng = random.Random(4)
+    sites = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(8)]
+    box = ((-1.0, -1.0), (7.0, 7.0))
+    # Bisector lines: the exact inputs the V_Pr pipeline clips and
+    # intersects (E10/E22's workload, at benchmark-friendly size).
+    lines = [bisector_line(sites[i], sites[j])
+             for i in range(len(sites)) for j in range(i + 1, len(sites))]
+    A = np.array([ln[0] for ln in lines])
+    B = np.array([ln[1] for ln in lines])
+    C = np.array([ln[2] for ln in lines])
+    clip_args = (A, B, C, box, 1e-9)
+    numpy_clip_t, (segs_o, valid_o) = best_of(
+        lambda: oracle.line_box_clip(*clip_args))
+    native_clip_t, (segs_n, valid_n) = best_of(
+        lambda: native.line_box_clip(*clip_args))
+    assert np.array_equal(valid_o, valid_n)
+    assert np.array_equal(segs_o[valid_o], segs_n[valid_n])
+
+    segs = segs_o[valid_o]
+    ax, ay, bx, by = segs[:, 0], segs[:, 1], segs[:, 2], segs[:, 3]
+    s = len(segs)
+    I, J = np.triu_indices(s, k=1)
+    inter_args = (ax, ay, bx, by, I.astype(np.intp), J.astype(np.intp),
+                  1e-9)
+    numpy_int_t, (px_o, py_o, hit_o) = best_of(
+        lambda: oracle.segment_intersections(*inter_args))
+    native_int_t, (px_n, py_n, hit_n) = best_of(
+        lambda: native.segment_intersections(*inter_args))
+    assert np.array_equal(hit_o, hit_n)
+    assert np.array_equal(px_o[hit_o], px_n[hit_n])
+    assert np.array_equal(py_o[hit_o], py_n[hit_n])
+
+    # Slab locator over the clipped-bisector arrangement, boxed: the
+    # end-to-end locate_batch must agree elementwise across providers.
+    (xmin, ymin), (xmax, ymax) = box
+    walls = [((xmin, ymin), (xmax, ymin)), ((xmax, ymin), (xmax, ymax)),
+             ((xmax, ymax), (xmin, ymax)), ((xmin, ymax), (xmin, ymin))]
+    arr = SegmentArrangement([((x1, y1), (x2, y2))
+                              for x1, y1, x2, y2 in segs.tolist()] + walls)
+    queries = np.column_stack([RNG.uniform(-0.9, 6.9, 4000),
+                               RNG.uniform(-0.9, 6.9, 4000)])
+    loc_numpy = SlabPointLocator(arr, kernel="numpy")
+    loc_native = SlabPointLocator(arr, kernel="native")
+    numpy_loc_t, faces_o = best_of(lambda: loc_numpy.locate_batch(queries))
+    native_loc_t, faces_n = best_of(
+        lambda: loc_native.locate_batch(queries))
+    assert np.array_equal(faces_o, faces_n), \
+        "native slab locate disagrees with the NumPy oracle"
+
+    _finish("line_box_clip", numpy_clip_t, native_clip_t, gated=False)
+    _finish("segment_intersections", numpy_int_t, native_int_t,
+            gated=False)
+    _finish("slab_locate", numpy_loc_t, native_loc_t, gated=False)

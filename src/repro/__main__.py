@@ -28,6 +28,11 @@ Commands
     Fetch the trace store of a running ``serve-http`` instance and
     print or save it (``--out``); the chrome format loads directly in
     chrome://tracing and ui.perfetto.dev.
+``kernels``
+    Report the compute-kernel tier: compiler discovery, native build
+    status, the ``auto`` selection (env steer included), and a
+    micro-benchmark of each provider's distance-matrix and Eq. (2)
+    sweep entry points with a bitwise parity check.
 ``info``
     Print the library version and the module inventory.
 ``experiments [--quick] [ids...]``
@@ -220,6 +225,12 @@ def _serve_http(argv: list) -> int:
                              "thread, inline")
     parser.add_argument("--workers", type=int, default=2,
                         help="executor worker count (0 forces inline)")
+    parser.add_argument("--kernel", default="auto",
+                        help="compute-kernel provider: auto, native, "
+                             "numpy (auto prefers the compiled native "
+                             "kernels when a C compiler is available, "
+                             "honoring REPRO_KERNEL; all providers are "
+                             "bitwise-identical)")
     parser.add_argument("--n", type=int, default=12,
                         help="synthetic discrete index size (points; 2 "
                              "instances each).  Kept small by default "
@@ -296,10 +307,14 @@ def _serve_http(argv: list) -> int:
     # and quantify_vpr require discrete instances); k=2 instances per
     # point keeps the quantify_vpr lazy build inside serving reality.
     index = PNNIndex(random_discrete_points(args.n, 2, seed=args.seed,
-                                            spread=2.0))
+                                            spread=2.0),
+                     kernel=args.kernel)
+    from .spatial.kernels import get_provider
+
     print(f"serve-http: {args.n} uncertain discrete points "
           f"(2 instances each), backend={args.backend}, "
-          f"workers={args.workers}")
+          f"workers={args.workers}, "
+          f"kernel={args.kernel} -> {get_provider(args.kernel).name}")
     if args.n > 16:
         print(f"note: quantify_vpr's first request builds V_Pr lazily — "
               f"Theta(N^4) in the {2 * args.n} instances; the other six "
@@ -322,6 +337,7 @@ def _serve_http(argv: list) -> int:
     if args.faults:
         print(f"chaos: fault plan active — {args.faults!r}")
     with index.serve(workers=args.workers, backend=args.backend,
+                     kernel=args.kernel,
                      cache_capacity=8192, max_batch=128,
                      flush_window=0.002, trace=trace,
                      default_timeout=args.request_timeout,
@@ -399,6 +415,68 @@ def _trace_dump(argv: list) -> int:
     return 0
 
 
+def _kernels() -> int:
+    import time
+
+    import numpy as np
+
+    from .spatial.kernels import (KERNEL_ENV, get_provider, kernel_status,
+                                  native_available)
+
+    status = kernel_status()
+    print("kernel tier status")
+    print(f"  providers:        {', '.join(status['kernels'])}")
+    env = status["env"]
+    print(f"  {KERNEL_ENV}:     {env if env else '(unset)'}")
+    print(f"  auto selects:     {status['selected']}")
+    print(f"  compiler:         {status['compiler'] or '(none found)'}")
+    if status["compiler"]:
+        print(f"  cflags:           {' '.join(status['cflags'])}")
+    print(f"  native available: {status['native_available']}")
+    if status["native_error"]:
+        print(f"  native error:     {status['native_error']}")
+    if status.get("library"):
+        cached = " (cached)" if status.get("cached") else ""
+        print(f"  library:          {status['library']}{cached}")
+
+    # Micro self-test: both entry points the E27 benchmark gates, on a
+    # small fixed workload — parity asserted, timings indicative only.
+    rng = np.random.default_rng(7)
+    qx, qy = rng.uniform(0, 50, 2000), rng.uniform(0, 50, 2000)
+    px, py = rng.uniform(0, 50, 600), rng.uniform(0, 50, 600)
+    parents = np.repeat(np.arange(200, dtype=np.intp), 3)
+    weights = np.full(600, 1.0 / 3.0)
+    totals = np.full(200, 3, dtype=np.int64)
+    providers = ["numpy"] + (["native"] if native_available() else [])
+    results = {}
+    print("\nmicro self-test (2000 queries x 600 sites)")
+    for name in providers:
+        provider = get_provider(name)
+        t0 = time.perf_counter()
+        d = provider.distance_matrix(qx, qy, px, py)
+        t_dist = time.perf_counter() - t0
+        order = np.argsort(d, axis=1, kind="stable")
+        ds = np.take_along_axis(d, order, axis=1)
+        t0 = time.perf_counter()
+        res, done = provider.sweep_eq2(ds, parents[order], weights[order],
+                                       totals, 200, 0.0, final=True)
+        t_sweep = time.perf_counter() - t0
+        results[name] = (d, res, done)
+        print(f"  {name:>6}: distance_matrix {t_dist * 1e3:7.2f} ms, "
+              f"sweep_eq2 {t_sweep * 1e3:7.2f} ms")
+    if len(results) == 2:
+        d_n, r_n, done_n = results["native"]
+        d_o, r_o, done_o = results["numpy"]
+        ok = (np.array_equal(d_n, d_o) and np.array_equal(r_n, r_o)
+              and np.array_equal(done_n, done_o))
+        print(f"  parity: {'bitwise-identical' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    else:
+        print("  parity: skipped (native provider unavailable)")
+    return 0
+
+
 def _info() -> int:
     from . import __version__
 
@@ -425,6 +503,8 @@ def main(argv: list) -> int:
         return _chaos_smoke(argv[1:])
     if command == "trace-dump":
         return _trace_dump(argv[1:])
+    if command == "kernels":
+        return _kernels()
     if command == "info":
         return _info()
     if command == "experiments":
@@ -432,7 +512,8 @@ def main(argv: list) -> int:
 
         return experiments_main(argv[1:])
     print(f"unknown command {command!r}; try: demo, serve-demo, "
-          "serve-http, chaos-smoke, trace-dump, info, experiments")
+          "serve-http, chaos-smoke, trace-dump, kernels, info, "
+          "experiments")
     return 2
 
 

@@ -56,6 +56,7 @@ from ..quantification.spiral import SpiralSearchQuantifier
 from ..quantification.threshold import ThresholdResult, classify_threshold
 from ..spatial.batch import BatchQueryEngine, as_query_array
 from ..spatial.kdtree import KDTree
+from ..spatial.kernels import KERNELS
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
 from ..voronoi.diagram import NonzeroVoronoiDiagram
@@ -71,6 +72,13 @@ class PNNIndex:
     ----------
     points:
         The uncertain points (at least one; models may be mixed).
+    kernel:
+        Compute-kernel provider for the batch engines: ``"auto"``
+        (default), ``"native"``, or ``"numpy"`` — see
+        :mod:`repro.spatial.kernels`.  All providers return
+        bitwise-identical answers; the choice is operational (``"auto"``
+        prefers the compiled native kernels when the host can build
+        them, honoring the ``REPRO_KERNEL`` environment steer).
 
     Examples
     --------
@@ -82,9 +90,14 @@ class PNNIndex:
     [0, 1]
     """
 
-    def __init__(self, points: Sequence[UncertainPoint]) -> None:
+    def __init__(self, points: Sequence[UncertainPoint],
+                 kernel: str = "auto") -> None:
         if not points:
             raise ValueError("PNNIndex needs at least one uncertain point")
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; "
+                             f"expected one of {KERNELS}")
+        self.kernel = kernel
         self.points: List[UncertainPoint] = list(points)
         self._supports: List[Disk] = [p.support_disk() for p in self.points]
         self._support_tree = KDTree(
@@ -108,6 +121,27 @@ class PNNIndex:
     def all_discrete(self) -> bool:
         """Whether every point has a discrete distribution."""
         return all(isinstance(p, DiscreteUncertainPoint) for p in self.points)
+
+    def set_kernel(self, kernel: str) -> None:
+        """Switch the kernel provider for subsequently built batch engines.
+
+        Validates *kernel* (and fails fast on an explicit ``"native"``
+        request the host cannot serve) and drops the cached batch engine
+        and exact quantifier so the next batch call rebuilds them on the
+        new provider.  A cached ``V_Pr`` is deliberately kept: rebuilding
+        the ``Theta(N^4)`` diagram would be expensive and pointless —
+        providers are bitwise-identical, so the stored face vectors are
+        exactly what either provider would compute.
+        """
+        if kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {kernel!r}; "
+                             f"expected one of {KERNELS}")
+        from ..spatial.kernels import get_provider
+
+        get_provider(kernel)  # explicit "native" must fail loudly here
+        self.kernel = kernel
+        self._batch = None
+        self._batch_exact = None
 
     # ------------------------------------------------------------------
     # Stage 1: Delta(q).
@@ -199,9 +233,10 @@ class PNNIndex:
         tests and benchmarks; the auto engine stays cached.
         """
         if backend != "auto":
-            return BatchQueryEngine(self.points, backend=backend)
+            return BatchQueryEngine(self.points, backend=backend,
+                                    kernel=self.kernel)
         if self._batch is None:
-            self._batch = BatchQueryEngine(self.points)
+            self._batch = BatchQueryEngine(self.points, kernel=self.kernel)
         return self._batch
 
     def batch_delta(self, queries) -> np.ndarray:
@@ -258,9 +293,11 @@ class PNNIndex:
                 "use batch_quantify(method='monte_carlo') for mixed models")
         if tie_tol != 0.0:
             return BatchExactQuantifier(
-                self.points, tie_tol=tie_tol).batch(queries)  # type: ignore[arg-type]
+                self.points, tie_tol=tie_tol,  # type: ignore[arg-type]
+                kernel=self.kernel).batch(queries)
         if self._batch_exact is None:
-            self._batch_exact = BatchExactQuantifier(self.points)  # type: ignore[arg-type]
+            self._batch_exact = BatchExactQuantifier(
+                self.points, kernel=self.kernel)  # type: ignore[arg-type]
         return self._batch_exact.batch(queries)
 
     def batch_top_k(self, queries, k: int, method: str = "auto",
@@ -515,7 +552,8 @@ class PNNIndex:
         quantifier = None
         if build_mode == "vector":
             if self._batch_exact is None:
-                self._batch_exact = BatchExactQuantifier(self.points)  # type: ignore[arg-type]
+                self._batch_exact = BatchExactQuantifier(
+                    self.points, kernel=self.kernel)  # type: ignore[arg-type]
             quantifier = self._batch_exact
         return ProbabilisticVoronoiDiagram(
             self.points, box=box, build_mode=build_mode,  # type: ignore[arg-type]

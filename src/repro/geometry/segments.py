@@ -6,12 +6,13 @@ lines clipped to a bounding box).
 
 The batched kernels (:func:`segment_intersections_batch`,
 :func:`line_box_clip_batch`) evaluate the *same* IEEE-754 expression
-sequences as their scalar counterparts, element-wise over NumPy arrays, with
-identical tolerance comparisons.  That makes their outputs **bitwise
-identical** to a scalar loop — the property the vectorized arrangement
-build relies on to reproduce the scalar arrangement's combinatorics
-exactly (same convention as the batch query engines; see
-``repro.geometry.primitives.dist``).
+sequences as their scalar counterparts — element-wise over NumPy arrays,
+or row-scalar in the compiled native provider, both served through
+:mod:`repro.spatial.kernels` — with identical tolerance comparisons.
+That makes their outputs **bitwise identical** to a scalar loop — the
+property the vectorized arrangement build relies on to reproduce the
+scalar arrangement's combinatorics exactly (same convention as the batch
+query engines; see ``repro.geometry.primitives.dist``).
 """
 
 from __future__ import annotations
@@ -68,35 +69,25 @@ def segment_intersection(a: Point, b: Point, c: Point, d: Point,
     return None
 
 
-def segment_intersections_batch(ax, ay, bx, by, I, J, tol: float = EPS):
+def segment_intersections_batch(ax, ay, bx, by, I, J, tol: float = EPS,
+                                kernel: str = "auto"):
     """Batched :func:`segment_intersection` for segment pairs ``(I[p], J[p])``.
 
     ``ax/ay/bx/by`` are the ``(S,)`` endpoint coordinate arrays of a segment
     set; ``I``/``J`` index the pairs to intersect.  Returns ``(px, py, hit)``
     where ``hit[p]`` is true exactly when the scalar call would return a
-    point, and ``(px[p], py[p])`` is that point bit-for-bit (the expressions
-    and the tolerance comparisons below mirror the scalar code line by
-    line; entries with ``hit == False`` are unspecified).
+    point, and ``(px[p], py[p])`` is that point bit-for-bit (the provider
+    expressions and tolerance comparisons mirror the scalar code line by
+    line; entries with ``hit == False`` are unspecified).  *kernel*
+    selects the compute provider (:mod:`repro.spatial.kernels`); both
+    providers are bitwise-identical.
     """
-    rx = bx[I] - ax[I]
-    ry = by[I] - ay[I]
-    sx = bx[J] - ax[J]
-    sy = by[J] - ay[J]
-    denom = rx * sy - ry * sx
-    span = np.maximum(np.maximum(1.0, np.abs(rx) + np.abs(ry)),
-                      np.abs(sx) + np.abs(sy))
-    ok = np.abs(denom) > tol * span * span
-    qpx = ax[J] - ax[I]
-    qpy = ay[J] - ay[I]
-    with np.errstate(divide="ignore", invalid="ignore"):
-        t = (qpx * sy - qpy * sx) / denom
-        u = (qpx * ry - qpy * rx) / denom
-        slack = 1e-12
-        hit = ok & (-slack <= t) & (t <= 1.0 + slack) \
-            & (-slack <= u) & (u <= 1.0 + slack)
-        px = ax[I] + t * rx
-        py = ay[I] + t * ry
-    return px, py, hit
+    # Imported lazily: repro.spatial pulls in the arrangement module,
+    # which imports this one back.
+    from ..spatial.kernels import get_provider
+
+    return get_provider(kernel).segment_intersections(
+        ax, ay, bx, by, I, J, tol)
 
 
 def bisector_line(p: Point, q: Point) -> Tuple[float, float, float]:
@@ -160,7 +151,8 @@ def line_box_clip(a: float, b: float, c: float,
     return ((px + t0 * dx, py + t0 * dy), (px + t1 * dx, py + t1 * dy))
 
 
-def line_box_clip_batch(A, B, C, box: Tuple[Point, Point]):
+def line_box_clip_batch(A, B, C, box: Tuple[Point, Point],
+                        kernel: str = "auto"):
     """Batched :func:`line_box_clip` over coefficient arrays ``A, B, C``.
 
     Returns ``(segs, valid)`` where ``segs`` is a ``(k, 4)`` array of
@@ -168,40 +160,15 @@ def line_box_clip_batch(A, B, C, box: Tuple[Point, Point]):
     scalar clip would return a segment; valid rows are bit-for-bit the
     scalar endpoints (same expression sequence, same wall order, same
     comparison tolerances).  Raises on degenerate coefficient rows, as the
-    scalar kernel does.
+    scalar kernel does.  *kernel* selects the compute provider
+    (:mod:`repro.spatial.kernels`); both providers are bitwise-identical.
     """
-    (xmin, ymin), (xmax, ymax) = box
+    from ..spatial.kernels import get_provider
+
     A = np.asarray(A, dtype=np.float64)
     B = np.asarray(B, dtype=np.float64)
     C = np.asarray(C, dtype=np.float64)
-    norm = np.sqrt(A * A + B * B)
-    if np.any(norm <= EPS):
-        raise ValueError("degenerate line coefficients")
-    cx = 0.5 * (xmin + xmax)
-    cy = 0.5 * (ymin + ymax)
-    offset = (A * cx + B * cy - C) / (norm * norm)
-    px = cx - offset * A
-    py = cy - offset * B
-    dx = -B / norm
-    dy = A / norm
-    t0 = np.full(A.shape, -np.inf)
-    t1 = np.full(A.shape, np.inf)
-    valid = np.ones(A.shape, dtype=bool)
-    for coord, d, lo, hi in ((px, dx, xmin, xmax), (py, dy, ymin, ymax)):
-        small = np.abs(d) <= EPS
-        valid &= ~(small & ((coord < lo - EPS) | (coord > hi + EPS)))
-        with np.errstate(divide="ignore", invalid="ignore", over="ignore"):
-            ta = (lo - coord) / d
-            tb = (hi - coord) / d
-        swap = ta > tb
-        lo_t = np.where(swap, tb, ta)
-        hi_t = np.where(swap, ta, tb)
-        t0 = np.where(small, t0, np.maximum(t0, lo_t))
-        t1 = np.where(small, t1, np.minimum(t1, hi_t))
-    valid &= ~(t0 >= t1)
-    segs = np.empty(A.shape + (4,), dtype=np.float64)
-    segs[..., 0] = px + t0 * dx
-    segs[..., 1] = py + t0 * dy
-    segs[..., 2] = px + t1 * dx
-    segs[..., 3] = py + t1 * dy
-    return segs, valid
+    shape = A.shape
+    segs, valid = get_provider(kernel).line_box_clip(
+        A.ravel(), B.ravel(), C.ravel(), box, EPS)
+    return segs.reshape(shape + (4,)), valid.reshape(shape)

@@ -23,7 +23,8 @@ from __future__ import annotations
 import threading
 from typing import Dict
 
-__all__ = ["CounterSet", "ENGINE", "engine_counters"]
+__all__ = ["CounterSet", "ENGINE", "KERNEL", "engine_counters",
+           "kernel_counters"]
 
 
 class CounterSet:
@@ -57,7 +58,18 @@ class CounterSet:
 #: The process-wide engine counter set (see module docstring).
 ENGINE = CounterSet()
 
+#: Kernel-provider call counters, keyed ``"<provider>:<op>"`` — one inc
+#: per provider entry-point call (chunk-level, like :data:`ENGINE`).
+#: ``/metrics`` exports the snapshot as
+#: ``repro_kernel_calls_total{provider,op}``.
+KERNEL = CounterSet()
+
 
 def engine_counters() -> Dict[str, int]:
     """A point-in-time snapshot of :data:`ENGINE`."""
     return ENGINE.snapshot()
+
+
+def kernel_counters() -> Dict[str, int]:
+    """A point-in-time snapshot of :data:`KERNEL`."""
+    return KERNEL.snapshot()

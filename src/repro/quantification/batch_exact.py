@@ -4,9 +4,11 @@
 all ``N = sum k_i`` sites in pure Python.  This module answers an
 ``(m, 2)`` array of queries through the *same* sweep, vectorized across
 queries: one ``(mc, N)`` distance matrix per chunk (chunks sized to bound
-memory), a stable per-row argsort, and then a loop over sorted *positions*
-where every step performs a handful of NumPy passes over all still-active
-query rows.
+memory), a stable per-row argsort, and then the sweep step loop — served
+by a pluggable kernel provider (:mod:`repro.spatial.kernels`): the NumPy
+oracle advances all still-active rows one sorted *position* per handful
+of array passes, the native provider runs the identical expression
+sequence row-scalar in compiled C.
 
 The step loop reproduces the scalar sweep's arithmetic operation for
 operation, which is what makes the results **bitwise identical** to
@@ -49,6 +51,7 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from ..obs.metrics import ENGINE
+from ..spatial.kernels import get_provider
 from ..uncertain.discrete import DiscreteUncertainPoint
 
 __all__ = ["BatchExactQuantifier"]
@@ -58,11 +61,6 @@ __all__ = ["BatchExactQuantifier"]
 # overhead amortizes over the chunk's rows, and an 8 MB matrix is still a
 # single pass of streaming reductions.
 _CHUNK_ELEMENTS = 1 << 20
-# The scalar sweep's underflow clamp for nearly-exhausted parents.
-_UNDERFLOW = 1e-15
-# Compaction policy: rewrite the active-row state once at least this many
-# rows are done *and* they are at least half the active set.
-_COMPACT_MIN = 32
 # First sorted-prefix width tried per chunk; widened 4x for rows whose
 # sweep is still live at the prefix end, up to the full site count.
 _PREFIX_START = 256
@@ -80,10 +78,15 @@ class BatchExactQuantifier:
         Distances within ``tie_tol`` of a group's first member are
         processed as one tie group, exactly as in
         :func:`~repro.quantification.exact_discrete.sweep_quantification`.
+    kernel:
+        Kernel provider for the distance matrix and the sweep step loop:
+        ``"auto"`` (default), ``"native"``, or ``"numpy"`` — see
+        :mod:`repro.spatial.kernels`.  Providers are bitwise-identical,
+        so the choice is purely operational.
     """
 
     def __init__(self, points: Sequence[DiscreteUncertainPoint],
-                 tie_tol: float = 0.0) -> None:
+                 tie_tol: float = 0.0, kernel: str = "auto") -> None:
         if not points:
             raise ValueError("batch quantifier needs at least one point")
         for p in points:
@@ -93,6 +96,9 @@ class BatchExactQuantifier:
                     f"distributions, got {type(p).__name__}")
         self.n = len(points)
         self.tie_tol = float(tie_tol)
+        get_provider(kernel)  # validate the name (and fail fast on an
+        # explicit "native" request the host cannot serve)
+        self.kernel = kernel
         xs: List[float] = []
         ys: List[float] = []
         parents: List[int] = []
@@ -169,13 +175,10 @@ class BatchExactQuantifier:
         if mc == 0:
             return result
         big_n = self.total_sites
+        provider = get_provider(self.kernel)
         # (mc, N) distances in the shared sqrt(dx*dx + dy*dy) form.
-        dx = qc[:, 0:1] - self._sx[None, :]
-        np.multiply(dx, dx, out=dx)
-        dy = qc[:, 1:2] - self._sy[None, :]
-        np.multiply(dy, dy, out=dy)
-        dx += dy
-        d = np.sqrt(dx, out=dx)
+        d = provider.distance_matrix(qc[:, 0], qc[:, 1],
+                                     self._sx, self._sy)
         pending = np.arange(mc, dtype=np.intp)
         width = min(big_n, _PREFIX_START)
         ENGINE.inc("exact_sweep.chunks")
@@ -198,9 +201,11 @@ class BatchExactQuantifier:
                 rank = np.lexsort((part, dpref), axis=-1)
                 order = np.take_along_axis(part, rank, axis=1)
                 ds = np.take_along_axis(dpref, rank, axis=1)
-            res, done = self._sweep(ds, self._parent[order],
-                                    self._weight[order],
-                                    final=width >= big_n)
+            res, done = provider.sweep_eq2(ds, self._parent[order],
+                                           self._weight[order],
+                                           self._totals, self.n,
+                                           self.tie_tol,
+                                           final=width >= big_n)
             finished = np.flatnonzero(done)
             ENGINE.inc("exact_sweep.rows_retired", int(finished.size))
             result[pending[finished]] = res[finished]
@@ -208,116 +213,9 @@ class BatchExactQuantifier:
             width = min(big_n, width * 4)
         return result
 
-    def _sweep(self, ds: np.ndarray, pp: np.ndarray, pw: np.ndarray,
-               final: bool):
-        """Run the vectorized sweep over prefix-ordered site columns.
-
-        ``ds`` / ``pp`` / ``pw`` are ``(r, K)`` sorted distance / parent /
-        weight arrays.  Returns ``(result_rows, done)`` — ``done[j]`` is
-        true when row ``j``'s answer is complete (its zero counter reached
-        two inside the prefix, or ``final`` allowed the last tie group to
-        flush because the prefix is the whole site set).
-        """
-        r, width = ds.shape
-        n = self.n
-        result = np.zeros((r, n), dtype=np.float64)
-        rows = np.arange(r, dtype=np.intp)        # original row ids
-        ar = np.arange(r, dtype=np.intp)          # active-row iota
-        survival = np.ones((r, n), dtype=np.float64)
-        seen = np.zeros((r, n), dtype=np.int64)
-        zero_count = np.zeros(r, dtype=np.int64)
-        prod = np.ones(r, dtype=np.float64)
-        anchor = np.empty(r, dtype=np.float64)    # first distance of group
-        glen = np.zeros(r, dtype=np.int64)        # members absorbed so far
-        finished = np.zeros(r, dtype=bool)
-
-        def contribute(sel: np.ndarray, pos: int) -> None:
-            """One phase-2 contribution per selected row, from *pos*."""
-            ps = pp[sel, pos]
-            f_own = survival[sel, ps]
-            zc = zero_count[sel]
-            pr = prod[sel]
-            f_safe = np.where(f_own > 0.0, f_own, 1.0)
-            others = np.where(
-                zc == 0,
-                np.where(f_own > 0.0, pr / f_safe, 0.0),
-                np.where((zc == 1) & (f_own == 0.0), pr, 0.0))
-            # eta = 0 rows scatter +0.0, a float no-op, so no filter.
-            result[rows[sel], ps] += pw[sel, pos] * others
-
-        def flush(mask: np.ndarray, end: int) -> None:
-            """Phase 2 for groups spanning positions [end - glen, end)."""
-            idx = np.flatnonzero(mask)
-            if not idx.size:
-                return
-            g = glen[idx]
-            gmax = int(g.max())
-            if gmax == 1:                          # general position
-                contribute(idx, end - 1)
-                return
-            # Offsets descend so positions ascend — the scalar phase-2
-            # iteration (and thus the result accumulation) order.
-            for o in range(gmax, 0, -1):
-                contribute(idx[g >= o], end - o)
-
-        act = r
-        for t in range(width):
-            dt = ds[:, t]
-            if t == 0:
-                start = np.ones(act, dtype=bool)
-            else:
-                start = dt - anchor > self.tie_tol
-                if start.any():
-                    flush(start, t)
-            anchor[start] = dt[start]
-            glen[start] = 0
-            # Phase 1: absorb every row's t-th nearest site.
-            p_t = pp[:, t]
-            old = survival[ar, p_t]
-            cnt = seen[ar, p_t] + 1
-            seen[ar, p_t] = cnt
-            new = old - pw[:, t]
-            new[new < _UNDERFLOW] = 0.0
-            new[cnt >= self._totals[p_t]] = 0.0
-            survival[ar, p_t] = new
-            # The scalar case analysis, as in-place masked updates (the
-            # same expressions — prod / old and prod * (new / old) — on
-            # exactly the affected lanes).
-            shrunk = np.flatnonzero((old > 0.0) & (new > 0.0))
-            prod[shrunk] *= new[shrunk] / old[shrunk]
-            zeroed = np.flatnonzero((old > 0.0) & (new == 0.0))
-            if zeroed.size:
-                prod[zeroed] /= old[zeroed]
-                zero_count[zeroed] += 1
-            glen += 1
-            # Retire finished rows: with two exhausted parents every
-            # further contribution is exactly zero (including the pending
-            # group's — its phase 2 would run with zero_count >= 2).
-            done = zero_count >= 2
-            nd = int(done.sum())
-            if nd == act:
-                finished[rows] = True
-                act = 0
-                break
-            if nd >= _COMPACT_MIN and 2 * nd >= act:
-                keep = ~done
-                finished[rows[done]] = True
-                rows = rows[keep]
-                ds = ds[keep]
-                pp = pp[keep]
-                pw = pw[keep]
-                survival = survival[keep]
-                seen = seen[keep]
-                zero_count = zero_count[keep]
-                prod = prod[keep]
-                anchor = anchor[keep]
-                glen = glen[keep]
-                act = len(rows)
-                ar = ar[:act]
-        if act:
-            live = zero_count < 2
-            finished[rows[~live]] = True
-            if final:
-                flush(live, width)
-                finished[rows] = True
-        return result, finished
+    # The sweep step loop itself lives behind the kernel-provider
+    # protocol (repro.spatial.kernels): the NumPy implementation —
+    # this module's original ``_sweep``, verbatim — is the bitwise
+    # oracle, and the native provider replays the identical expression
+    # sequence row-scalar in C.  Orchestration above (chunk planning,
+    # prefix ordering, widening, result scatter) is shared by both.

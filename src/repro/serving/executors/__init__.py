@@ -64,7 +64,7 @@ BACKEND_ENV = "REPRO_SERVING_BACKEND"
 def create_backend(name: str, points: Sequence[UncertainPoint],
                    workers: int,
                    start_method: Optional[str] = None,
-                   index=None) -> ExecutorBackend:
+                   index=None, kernel: str = "auto") -> ExecutorBackend:
     """Build the requested backend, degrading instead of crashing.
 
     Construction always succeeds and always returns bitwise-correct
@@ -81,6 +81,14 @@ def create_backend(name: str, points: Sequence[UncertainPoint],
 
     The :data:`BACKEND_ENV` environment variable overrides the
     ``"auto"`` resolution (explicit names are never overridden).
+
+    *kernel* names the compute provider
+    (:mod:`repro.spatial.kernels`) worker replicas resolve: backends
+    that build their own replicas (process, shm, and thread/inline
+    without a shared *index*) construct them with this name, so every
+    worker process resolves its own provider — a worker that cannot
+    build the native library degrades to NumPy on its own, and parity
+    keeps the answers identical either way.
     """
     if name not in BACKENDS:
         raise ValueError(f"unknown executor backend {name!r}; "
@@ -93,7 +101,7 @@ def create_backend(name: str, points: Sequence[UncertainPoint],
                     f"{BACKEND_ENV}={forced!r} is not one of {BACKENDS}")
             name = forced
     if workers < 2 or name == "inline":
-        return InlineBackend(points, index=index)
+        return InlineBackend(points, index=index, kernel=kernel)
     chain = {"auto": ("shm", "process", "thread"),
              "shm": ("shm", "process"),
              "process": ("process",),
@@ -101,10 +109,13 @@ def create_backend(name: str, points: Sequence[UncertainPoint],
     for kind in chain:
         try:
             if kind == "shm":
-                return SharedMemoryBackend(points, workers, start_method)
+                return SharedMemoryBackend(points, workers, start_method,
+                                           kernel=kernel)
             if kind == "process":
-                return ProcessBackend(points, workers, start_method)
-            return ThreadBackend(points, workers, index=index)
+                return ProcessBackend(points, workers, start_method,
+                                      kernel=kernel)
+            return ThreadBackend(points, workers, index=index,
+                                 kernel=kernel)
         except BackendUnavailable:
             continue
-    return InlineBackend(points, index=index)
+    return InlineBackend(points, index=index, kernel=kernel)

@@ -80,10 +80,11 @@ class IndexReplica:
     own index (:meth:`of_index`) so nothing is rebuilt at all.
     """
 
-    def __init__(self, points: Sequence[UncertainPoint]) -> None:
+    def __init__(self, points: Sequence[UncertainPoint],
+                 kernel: str = "auto") -> None:
         from ...core.index import PNNIndex
 
-        self.index = PNNIndex(points)
+        self.index = PNNIndex(points, kernel=kernel)
 
     @classmethod
     def of_index(cls, index) -> "IndexReplica":

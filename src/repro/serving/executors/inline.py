@@ -72,11 +72,12 @@ class InlineBackend(ExecutorBackend):
     mode = "inline"
 
     def __init__(self, points: Sequence[UncertainPoint],
-                 index=None) -> None:
+                 index=None, kernel: str = "auto") -> None:
         super().__init__()
         self.points = list(points)
         self.workers = 1
         self._index = index
+        self._kernel = kernel
         self.shares_index = index is not None
         self._local: Optional[IndexReplica] = None
 
@@ -84,7 +85,8 @@ class InlineBackend(ExecutorBackend):
         if self._local is None:
             self._local = (IndexReplica.of_index(self._index)
                            if self._index is not None
-                           else IndexReplica(self.points))
+                           else IndexReplica(self.points,
+                                             kernel=self._kernel))
         return self._local
 
     def map(self, tasks: List[Task]) -> List[object]:

@@ -41,9 +41,15 @@ def _set_replica(replica: IndexReplica) -> None:
     _REPLICA = replica
 
 
-def _init_worker(payload: bytes) -> None:
-    """Pool initializer: build this worker's replica from pickled points."""
-    _set_replica(IndexReplica(pickle.loads(payload)))
+def _init_worker(payload: bytes, kernel: str = "auto") -> None:
+    """Pool initializer: build this worker's replica from pickled points.
+
+    *kernel* names the compute provider the replica resolves in this
+    process (the compiled native library, when selected, loads once per
+    worker via the build cache) — providers are bitwise-identical, so a
+    worker degrading to NumPy still answers the exact same bytes.
+    """
+    _set_replica(IndexReplica(pickle.loads(payload), kernel=kernel))
 
 
 def _run_chunk(task) -> object:
@@ -237,18 +243,20 @@ class ProcessBackend(PoolWorkersMixin, ExecutorBackend):
 
     def __init__(self, points: Sequence[UncertainPoint],
                  workers: int,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 kernel: str = "auto") -> None:
         super().__init__()
         self.workers = int(workers)
         self._payload = pickle.dumps(list(points))
         self._preferred = start_method
+        self._kernel = kernel
         self._pool, self.start_method = self._start_pool()
         self._snapshot_workers()
 
     def _start_pool(self):
         return start_pool(self.workers,
                           self.start_method or self._preferred,
-                          _init_worker, (self._payload,))
+                          _init_worker, (self._payload, self._kernel))
 
     def map(self, tasks: List[Task]) -> List[object]:
         return self._pool.map(_run_chunk, tasks)

@@ -101,19 +101,22 @@ def _attach(name: str) -> shared_memory.SharedMemory:
             resource_tracker.register = original
 
 
-def _init_shm_worker(name: str, manifest: Manifest) -> None:
+def _init_shm_worker(name: str, manifest: Manifest,
+                     kernel: str = "auto") -> None:
     """Pool initializer: decode this worker's replica from the segment.
 
     The decoded models own their data (the codec materializes Python
     lists and fresh arrays), so the mapping is released again right after
-    decoding — workers keep no handle on the segment.
+    decoding — workers keep no handle on the segment.  *kernel* names
+    the compute provider the replica resolves in this process (see
+    :mod:`repro.spatial.kernels`).
     """
     shm = _attach(name)
     try:
         points = points_from_arrays(unpack_arrays(shm.buf, manifest))
     finally:
         shm.close()
-    _set_replica(IndexReplica(points))
+    _set_replica(IndexReplica(points, kernel=kernel))
 
 
 class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
@@ -123,7 +126,8 @@ class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
 
     def __init__(self, points: Sequence[UncertainPoint],
                  workers: int,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 kernel: str = "auto") -> None:
         super().__init__()
         # Both resource slots exist before anything can fail, so the
         # teardown path (close(), or __del__ after a half-built
@@ -132,6 +136,7 @@ class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
         self._pool = None
         self.workers = int(workers)
         self._preferred = start_method
+        self._kernel = kernel
         try:
             arrays = points_to_arrays(points)
         except CodecUnsupported as exc:
@@ -152,7 +157,7 @@ class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
         return start_pool(self.workers,
                           self.start_method or self._preferred,
                           _init_shm_worker,
-                          (self._shm.name, self._manifest))
+                          (self._shm.name, self._manifest, self._kernel))
 
     def _release_segment(self) -> None:
         # Claim the handle *before* touching the kernel object: close()

@@ -70,12 +70,14 @@ class ThreadBackend(ExecutorBackend):
     mode = "thread"
 
     def __init__(self, points: Sequence[UncertainPoint],
-                 workers: int, index=None) -> None:
+                 workers: int, index=None,
+                 kernel: str = "auto") -> None:
         super().__init__()
         self.workers = int(workers)
         self.shares_index = index is not None
         self._replica = (IndexReplica.of_index(index)
-                         if index is not None else IndexReplica(points))
+                         if index is not None
+                         else IndexReplica(points, kernel=kernel))
         self._warm: Set[str] = set()
         self._pool = ThreadPoolExecutor(
             max_workers=self.workers,

@@ -69,7 +69,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..obs.logging import RequestLog
-from ..obs.metrics import engine_counters
+from ..obs.metrics import engine_counters, kernel_counters
+from ..spatial.kernels import kernel_status
 from ..obs.trace import (NULL_SPAN, call_with_span, current_span,
                          format_traceparent, to_chrome, to_jsonl, use_span)
 from ..quantification.threshold import ThresholdResult
@@ -672,6 +673,18 @@ class QueryGateway:
             # balancers keep routing, operators see the degraded rung.
             if self.ready and health.get("degraded"):
                 doc["status"] = "degraded"
+        status = kernel_status()
+        requested = getattr(self.service.index, "kernel", "auto")
+        doc["kernel"] = {
+            "requested": requested,
+            # What this process actually computes with: the requested
+            # name resolved through the provider registry ("auto" shows
+            # its env-steered / compiler-probed resolution).
+            "resolved": (status["selected"] if requested == "auto"
+                         else requested),
+            "native_available": status["native_available"],
+            "native_error": status["native_error"],
+        }
         if self.warm_error is not None:
             doc["status"] = "warmup-failed"
             doc["error"] = str(self.warm_error)
@@ -894,6 +907,27 @@ def render_prometheus(gateway: QueryGateway) -> str:
              "modules of this process.")
     for event, count in engine_counters().items():
         w.sample("repro_engine_events_total", {"event": event}, count)
+
+    # ------------------------------------------------------- kernel tier
+    status = kernel_status()
+    w.family("repro_kernel_provider", "gauge",
+             "Compute-kernel provider the auto policy resolves in this "
+             "process (1 = selected; worker processes resolve their "
+             "own).")
+    for provider in ("native", "numpy"):
+        w.sample("repro_kernel_provider", {"provider": provider},
+                 1 if status["selected"] == provider else 0)
+    w.family("repro_kernel_native_available", "gauge",
+             "1 when the compiled native kernel library is usable here.")
+    w.sample("repro_kernel_native_available", {},
+             1 if status["native_available"] else 0)
+    w.family("repro_kernel_calls_total", "counter",
+             "Kernel entry-point invocations by provider and operation "
+             "(one per chunk-level call, this process only).")
+    for key, count in kernel_counters().items():
+        provider, _, op = key.partition(":")
+        w.sample("repro_kernel_calls_total",
+                 {"provider": provider, "op": op}, count)
     return w.render()
 
 

@@ -52,6 +52,7 @@ import numpy as np
 
 from ..obs.trace import NULL_SPAN, Tracer, current_span, use_span
 from ..spatial.batch import as_query_array
+from ..spatial.kernels import KERNELS
 from .cache import ResultCache
 from .coalesce import MicroBatcher
 from .executors import BACKENDS
@@ -85,6 +86,14 @@ class ServiceConfig:
         bitwise-identical answers; the choice is operational.
     start_method:
         Preferred multiprocessing start method (``None`` = auto).
+    kernel:
+        Compute-kernel provider (:mod:`repro.spatial.kernels`):
+        ``"auto"`` (default), ``"native"``, or ``"numpy"``.  ``"auto"``
+        leaves the served index's own selection untouched (which itself
+        honors the ``REPRO_KERNEL`` environment steer); a concrete name
+        is applied to the index and forwarded to every worker replica,
+        so process/shm workers resolve the same provider.  All providers
+        return bitwise-identical answers; the choice is operational.
     shard_min_batch:
         Smallest batch worth paying dispatch overhead for; smaller
         batches run in-process even when workers are available.
@@ -152,6 +161,7 @@ class ServiceConfig:
     workers: int = 0
     backend: str = "auto"
     start_method: Optional[str] = None
+    kernel: str = "auto"
     shard_min_batch: int = 4096
     shard_chunk: Optional[int] = None
     max_batch: int = 256
@@ -196,6 +206,9 @@ class ServiceConfig:
         if self.backend not in BACKENDS:
             raise ValueError(f"unknown executor backend {self.backend!r}; "
                              f"expected one of {BACKENDS}")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"unknown kernel {self.kernel!r}; "
+                             f"expected one of {KERNELS}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         for field, floor in (("shard_min_batch", 1), ("max_batch", 1),
@@ -229,6 +242,12 @@ class QueryService:
         cfg = self.config
         if vpr is not None:
             index.use_vpr(vpr)
+        if cfg.kernel != "auto":
+            # Apply the concrete provider to the shared index (fails fast
+            # on an unbuildable "native" request); "auto" leaves the
+            # index's own selection — possibly set at construction —
+            # untouched.
+            index.set_kernel(cfg.kernel)
         self.tracer = Tracer(cfg.trace)
         self.stats_registry = ServiceStats(cfg.latency_window)
         self.resilience = ResilienceStats()
@@ -241,7 +260,8 @@ class QueryService:
             self.executor = ShardExecutor(
                 index.points, workers=cfg.workers,
                 start_method=cfg.start_method, chunk_size=cfg.shard_chunk,
-                backend=cfg.backend, index=index, tracer=self.tracer,
+                backend=cfg.backend, kernel=index.kernel, index=index,
+                tracer=self.tracer,
                 policy=RetryPolicy(retries=cfg.retries,
                                    backoff=cfg.retry_backoff,
                                    chunk_timeout=cfg.chunk_timeout),

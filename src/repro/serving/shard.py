@@ -84,6 +84,15 @@ class ShardExecutor:
         ``"auto"`` (default), ``"shm"``, ``"process"``, ``"thread"``, or
         ``"inline"`` — see :func:`repro.serving.executors.create_backend`
         for the auto policy and degradation chain.
+    kernel:
+        Compute-kernel provider (:mod:`repro.spatial.kernels`) the
+        worker replicas resolve: ``"auto"`` (default), ``"native"``, or
+        ``"numpy"``.  Process/shm workers build their replica indexes
+        with this name (each worker resolves its own provider — the
+        compiled library loads once per process); thread/inline backends
+        share the caller's index and therefore its provider.  Bitwise
+        parity across providers keeps sharded answers identical
+        regardless of what each side resolved.
     index:
         Optional already-built index over *points*; backends that share
         the caller's index (thread, inline) then skip the replica build
@@ -123,6 +132,7 @@ class ShardExecutor:
                  start_method: Optional[str] = None,
                  chunk_size: Optional[int] = None,
                  backend: str = "auto",
+                 kernel: str = "auto",
                  index=None, tracer=None,
                  policy: Optional[RetryPolicy] = None,
                  faults=None,
@@ -136,6 +146,7 @@ class ShardExecutor:
         self.workers = min(4, cpus) if workers is None else int(workers)
         self.chunk_size = chunk_size
         self.backend = backend
+        self.kernel = kernel
         self.policy = policy if policy is not None else RetryPolicy()
         self.faults = FaultPlan.coerce(faults)
         self.resilience = (resilience if resilience is not None
@@ -147,7 +158,7 @@ class ShardExecutor:
         self._closed = False
         self.impl: ExecutorBackend = create_backend(
             backend, self.points, self.workers,
-            start_method=start_method, index=index)
+            start_method=start_method, index=index, kernel=kernel)
         self.workers = self.impl.workers
         self._initial_mode = self.impl.mode
 
@@ -444,10 +455,12 @@ class ShardExecutor:
             try:
                 self.impl = create_backend(
                     nxt, self.points, self.workers,
-                    start_method=self._start_method_pref, index=self._index)
+                    start_method=self._start_method_pref, index=self._index,
+                    kernel=self.kernel)
             except Exception:  # noqa: BLE001 — inline floor cannot fail
                 self.impl = create_backend("inline", self.points, 1,
-                                           index=self._index)
+                                           index=self._index,
+                                           kernel=self.kernel)
             self.workers = self.impl.workers
             try:
                 old.abort()

@@ -54,6 +54,7 @@ import numpy as np
 from ..geometry.disks import Disk
 from ..geometry.primitives import EPS
 from ..obs.metrics import ENGINE
+from .kernels import get_provider
 from ..uncertain.annulus import AnnulusUniformPoint
 from ..uncertain.base import UncertainPoint
 from ..uncertain.discrete import DiscreteUncertainPoint
@@ -146,13 +147,18 @@ def _pair_dist(q: np.ndarray, c: np.ndarray) -> np.ndarray:
 class _DiskKernel:
     """Models whose min/max distances equal the support-disk bounds."""
 
-    def __init__(self, centers: np.ndarray, radii: np.ndarray) -> None:
+    def __init__(self, centers: np.ndarray, radii: np.ndarray,
+                 provider_fn=None) -> None:
         self.cx = np.ascontiguousarray(centers[:, 0])
         self.cy = np.ascontiguousarray(centers[:, 1])
         self.centers = centers
         self.radii = np.ascontiguousarray(radii)
+        self._provider_fn = provider_fn
 
     def _d_matrix(self, qc: np.ndarray) -> np.ndarray:
+        if self._provider_fn is not None:
+            return self._provider_fn().distance_matrix(
+                qc[:, 0], qc[:, 1], self.cx, self.cy)
         dx = qc[:, 0:1] - self.cx[None, :]
         np.multiply(dx, dx, out=dx)
         dy = qc[:, 1:2] - self.cy[None, :]
@@ -411,14 +417,22 @@ class BatchQueryEngine:
     backend:
         ``"auto"`` (dense below ``_DENSE_MAX_POINTS`` points, bucketed
         above), or force ``"dense"`` / ``"bucket"``.
+    kernel:
+        Kernel provider for the distance-matrix inner loops: ``"auto"``
+        (default), ``"native"``, or ``"numpy"`` — see
+        :mod:`repro.spatial.kernels`.  Providers are bitwise-identical,
+        so the choice is purely operational.
     """
 
     def __init__(self, points: Sequence[UncertainPoint],
-                 backend: str = "auto") -> None:
+                 backend: str = "auto", kernel: str = "auto") -> None:
         if not points:
             raise ValueError("batch engine needs at least one uncertain point")
         if backend not in ("auto", "dense", "bucket"):
             raise ValueError(f"unknown backend {backend!r}")
+        get_provider(kernel)  # validate (and fail fast on an explicit
+        # "native" request the host cannot serve)
+        self.kernel = kernel
         self.points: List[UncertainPoint] = list(points)
         n = len(self.points)
         supports = [p.support_disk() for p in self.points]
@@ -451,6 +465,11 @@ class BatchQueryEngine:
     @property
     def n(self) -> int:
         return len(self.points)
+
+    def _provider(self):
+        """The engine's kernel provider (resolved per call, cached by
+        the kernels registry, so env-steered "auto" stays live)."""
+        return get_provider(self.kernel)
 
     # ------------------------------------------------------------------
     # Kernel grouping.
@@ -486,7 +505,8 @@ class BatchQueryEngine:
             members = [self.points[i] for i in idxs]
             if name == "disk":
                 kernel: object = _DiskKernel(
-                    self.centers[idxs], self.radii[idxs])
+                    self.centers[idxs], self.radii[idxs],
+                    provider_fn=self._provider)
             elif name == "annulus":
                 kernel = _AnnulusKernel(members)  # type: ignore[arg-type]
             elif name == "sites":
@@ -677,12 +697,8 @@ class BatchQueryEngine:
     def _support_matrices(self, qc: np.ndarray
                           ) -> Tuple[np.ndarray, np.ndarray]:
         """Support-disk bound matrices ``(lb, ub) = (d -/+ r)`` for a chunk."""
-        dx = qc[:, 0:1] - self._cx[None, :]
-        np.multiply(dx, dx, out=dx)
-        dy = qc[:, 1:2] - self._cy[None, :]
-        np.multiply(dy, dy, out=dy)
-        dx += dy
-        d = np.sqrt(dx, out=dx)
+        d = self._provider().distance_matrix(qc[:, 0], qc[:, 1],
+                                             self._cx, self._cy)
         ub = d + self._cr[None, :]
         lb = np.subtract(d, self._cr[None, :], out=d)
         return lb, ub

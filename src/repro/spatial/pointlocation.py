@@ -39,10 +39,18 @@ class SlabPointLocator:
     face containing *q*, or ``None`` when *q* lies in the unbounded face.
     Queries exactly on an edge or vertex return one of the incident faces.
     ``locate_batch(queries)`` answers a whole ``(m, 2)`` array at once
-    (``-1`` marking the unbounded face).
+    (``-1`` marking the unbounded face); its per-pass binary search runs
+    on the selected kernel provider (:mod:`repro.spatial.kernels` —
+    ``"auto"``, ``"native"``, or ``"numpy"``; providers are
+    bitwise-identical).
     """
 
-    def __init__(self, arrangement: SegmentArrangement) -> None:
+    def __init__(self, arrangement: SegmentArrangement,
+                 kernel: str = "auto") -> None:
+        from .kernels import get_provider
+
+        get_provider(kernel)  # validate the requested provider eagerly
+        self.kernel = kernel
         self.arrangement = arrangement
         vx, vy = arrangement._vx, arrangement._vy
         xs = np.unique(vx)
@@ -141,42 +149,18 @@ class SlabPointLocator:
         the same floats).
         """
         from .batch import as_query_array
+        from .kernels import get_provider
 
         q = as_query_array(queries)
         m = len(q)
         out = np.full(m, -1, dtype=np.intp)
-        xs = self._xs
         if m == 0 or len(self._offs) < 2:
             return out  # no slabs (e.g. all vertices share one x)
-        qx = q[:, 0]
-        qy = q[:, 1]
-        inside = (qx >= xs[0]) & (qx <= xs[-1])
-        slab = np.searchsorted(xs, qx, side="right") - 1
-        slab = np.minimum(slab, len(self._offs) - 2)
-        slab = np.maximum(slab, 0)  # out-of-window lanes, masked by `inside`
-        lo = self._offs[slab].copy()
-        hi = self._offs[slab + 1].copy()
-        end = self._offs[slab + 1]
-        lo[~inside] = 0
-        hi[~inside] = 0
         vx, vy = self.arrangement._vx, self.arrangement._vy
-        max_row = max(len(self._row_u) - 1, 0)
         ENGINE.inc("locator.batches")
-        while True:
-            run = lo < hi
-            if not run.any():
-                break
-            ENGINE.inc("locator.bisection_passes")
-            mid = np.minimum((lo + hi) >> 1, max_row)
-            u = self._row_u[mid]
-            v = self._row_v[mid]
-            pux = vx[u]
-            t = (qx - pux) / (vx[v] - pux)
-            y = vy[u] + t * (vy[v] - vy[u])
-            less = y < qy
-            lo = np.where(run & less, mid + 1, lo)
-            hi = np.where(run & ~less, mid, hi)
-        found = inside & (lo < end)
+        lo, found = get_provider(self.kernel).slab_locate(
+            q[:, 0], q[:, 1], self._xs, self._offs,
+            self._row_u, self._row_v, vx, vy)
         if found.any():
             hid = self._row_hid_rev[lo[found]]
             loops = self.arrangement._half_loop[hid]

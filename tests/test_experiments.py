@@ -8,10 +8,11 @@ from repro.experiments.runners import run_e01, run_e02, run_e14
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # E24 is benchmark-only (HTTP throughput needs a live socket and
-        # wall-clock headroom); the registry skips straight to E25.
+        # E24 and E26 are benchmark-only (HTTP throughput / fault
+        # recovery need live sockets and wall-clock headroom); the
+        # registry skips them.
         assert set(REGISTRY) == \
-            {f"E{i}" for i in range(1, 24)} | {"E25"}
+            {f"E{i}" for i in range(1, 24)} | {"E25", "E27"}
 
     def test_runner_returns_result(self):
         res = run_e14(quick=True)
