@@ -18,9 +18,12 @@ Conventions (established by E19/E20, enforced here):
 * **The aggregate summary** ``BENCH_SUMMARY.json`` at the repo root
   folds in every payload carrying an ``"experiment"`` key as it passes
   through :func:`write_json` — one machine-readable file collecting the
-  latest result per experiment across benchmark runs
+  latest result per experiment under ``"runs"`` plus a bounded
+  per-experiment ``"history"`` list, so the perf trajectory survives
+  across runs instead of each rerun erasing the last
   (:func:`update_bench_summary`; ``REPRO_BENCH_SUMMARY`` renames it,
-  ``REPRO_BENCH_SUMMARY=0`` disables it).
+  ``REPRO_BENCH_SUMMARY=0`` disables it, ``REPRO_BENCH_HISTORY`` resizes
+  the history cap).
 """
 
 import json
@@ -28,11 +31,17 @@ import math
 import os
 import time
 
-__all__ = ["best_of", "cores", "env_float", "env_int", "gated_speedup",
+__all__ = ["HISTORY_DEFAULT", "HISTORY_ENV", "best_of", "cores",
+           "env_float", "env_int", "gated_speedup",
            "update_bench_summary", "write_json"]
 
 #: Override (a path) or disable ("0"/"off") the aggregate summary file.
 SUMMARY_ENV = "REPRO_BENCH_SUMMARY"
+
+#: Per-experiment history entries retained in the aggregate summary
+#: (oldest dropped first); 0 disables history entirely.
+HISTORY_ENV = "REPRO_BENCH_HISTORY"
+HISTORY_DEFAULT = 20
 
 
 def cores() -> int:
@@ -93,7 +102,11 @@ def update_bench_summary(payload: dict) -> None:
     """Fold one experiment payload into the aggregate summary file.
 
     The file keeps the *latest* payload per experiment id under
-    ``"runs"`` — rerunning E21 replaces only E21's entry.  Written
+    ``"runs"`` — rerunning E21 replaces only E21's entry — and appends
+    a timestamped copy to the bounded per-experiment ``"history"``
+    list (newest last, oldest dropped past the
+    :data:`HISTORY_ENV` cap, default :data:`HISTORY_DEFAULT`), so a
+    rerun refines the trajectory instead of erasing it.  Written
     atomically (tmp + rename) so a crashed benchmark cannot leave a
     truncated summary; a corrupt or foreign existing file is replaced
     rather than crashed on.
@@ -102,7 +115,7 @@ def update_bench_summary(payload: dict) -> None:
     path = _summary_path()
     if not exp or not path:
         return
-    doc = {"runs": {}}
+    doc = {"runs": {}, "history": {}}
     try:
         with open(path, "r", encoding="utf-8") as handle:
             loaded = json.load(handle)
@@ -111,8 +124,19 @@ def update_bench_summary(payload: dict) -> None:
             doc = loaded
     except (OSError, ValueError):
         pass
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     doc["runs"][exp] = payload
-    doc["updated"] = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    cap = env_int(HISTORY_ENV, HISTORY_DEFAULT)
+    if cap > 0:
+        history = doc.get("history")
+        if not isinstance(history, dict):
+            history = doc["history"] = {}
+        entries = history.get(exp)
+        if not isinstance(entries, list):
+            entries = history[exp] = []
+        entries.append(dict(payload, recorded=stamp))
+        del entries[:-cap]
+    doc["updated"] = stamp
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)

@@ -13,26 +13,50 @@ head-to-head on the two hot-loop shapes the tier was built for —
   (sorted ``(m, N)`` distance rows, per-parent survival products);
 
 plus the geometry batch kernels (segment intersections, line-box clip)
-and the slab locator's vectorized binary search.  Two headline
-assertions:
+and both point locators' bisection kernels (``slab_locate``,
+``plane_locate``).  Two headline assertions:
 
 * **bitwise identity everywhere** — the native provider must return,
   for every entry point, exactly the bytes the NumPy oracle produces
   (same floats, same masks; never gated);
-* **single-core speedup** — the native distance matrix and sweep must
-  each beat NumPy by ``E27_MIN_SPEEDUP``x (default 3x).  This is
-  row-scalar C against vectorized NumPy on one core, so the bar holds
-  on 1-core containers; the geometry/locator timings are recorded in
-  the JSON payload but not gated (their workloads are too small to time
-  reliably).
+* **per-op single-core speedup bars** — every op is either gated at an
+  explicit bar or recorded with ``"gated": false`` in the JSON, never
+  silently ungated:
+
+  ========================= ============================== ===========
+  op                        bar (env knob)                 default
+  ========================= ============================== ===========
+  ``distance_matrix``       ``E27_MIN_SPEEDUP``            3x
+  ``sweep_eq2``             ``E27_MIN_SPEEDUP``            3x
+  ``slab_locate``           ``E27_MIN_SPEEDUP_LOCATE``     1.3x
+  ``plane_locate``          ``E27_MIN_SPEEDUP_LOCATE``     1.3x
+  ``line_box_clip``         (ungated — workload too small) —
+  ``segment_intersections`` (ungated — workload too small) —
+  ========================= ============================== ===========
+
+  The arithmetic kernels carry the 3x bar: row-scalar C against
+  vectorized NumPy on one core, flops-bound, so the ratio is stable.
+  The locate kernels get their own, lower bar because bisection is
+  **memory-latency-bound**, not flops-bound — each binary-search step
+  is a dependent load (the next probe address depends on the last
+  compare), so the native loop saves NumPy's temporaries but cannot
+  overlap the loads that dominate the runtime.  Measured:
+  ``slab_locate`` ~1.5-2x (its NumPy lane is itself a vectorized
+  bisection over a flat table, a strong baseline), ``plane_locate``
+  ~4x (the NumPy lane pays a per-tree-level pass over the whole
+  batch).  The 1.3x default bar sits under the weakest measured op
+  with noise margin; pinning the arithmetic 3x bar on these would
+  either fail spuriously or (the previous state of this file) push
+  them out of gating entirely.
 
 Hosts without a working C compiler skip the comparisons (the tier
 degrades to NumPy by design — parity is then vacuous); the CI
 ``kernel-matrix`` job provides the compiler and runs the bars.
 
 Env knobs: ``E27_M``, ``E27_SITES``, ``E27_N``, ``E27_K``,
-``E27_MIN_SPEEDUP``, ``E27_JSON`` (machine-readable summary for CI
-artifacts; also folded into the repo-root ``BENCH_SUMMARY.json``).
+``E27_LOC_QUERIES``, ``E27_MIN_SPEEDUP``, ``E27_MIN_SPEEDUP_LOCATE``,
+``E27_JSON`` (machine-readable summary for CI artifacts; also folded
+into the repo-root ``BENCH_SUMMARY.json``).
 """
 
 import random
@@ -46,17 +70,25 @@ from repro.geometry.seg_arrangement import SegmentArrangement
 from repro.geometry.segments import bisector_line, line_box_clip
 from repro.quantification.batch_exact import BatchExactQuantifier
 from repro.spatial.kernels import get_provider, native_available, native_error
+from repro.spatial.planelocate import PersistentPlaneLocator
 from repro.spatial.pointlocation import SlabPointLocator
 
 M = env_int("E27_M", 2048)             # distance-matrix query rows
 SITES = env_int("E27_SITES", 512)      # distance-matrix site columns
 N = env_int("E27_N", 200)              # sweep: uncertain points
 K = env_int("E27_K", 5)                # sweep: sites per point
+LOC_QUERIES = env_int("E27_LOC_QUERIES", 20000)  # locate-kernel batch
 MIN_SPEEDUP = env_float("E27_MIN_SPEEDUP", 3.0)
+# Bisection is memory-latency-bound (dependent loads per step), not
+# flops-bound like the 3x ops — see the module docstring for why the
+# locate kernels carry their own bar.
+MIN_SPEEDUP_LOCATE = env_float("E27_MIN_SPEEDUP_LOCATE", 1.3)
 
 RNG = np.random.default_rng(2027)
 _PAYLOAD = {"experiment": "E27", "m": M, "sites": SITES, "n": N, "k": K,
-            "cores": cores(), "min_speedup": MIN_SPEEDUP,
+            "loc_queries": LOC_QUERIES, "cores": cores(),
+            "min_speedup": MIN_SPEEDUP,
+            "min_speedup_locate": MIN_SPEEDUP_LOCATE,
             "native_available": native_available(),
             "native_error": native_error()}
 
@@ -69,15 +101,24 @@ def _providers():
 
 
 def _finish(key: str, numpy_t: float, native_t: float,
-            gated: bool) -> None:
+            gated: bool, bar: float = None) -> None:
+    """Record one op's timings and enforce its speedup bar.
+
+    *bar* is the op's gate (defaults to the arithmetic
+    :data:`MIN_SPEEDUP`); the JSON records it per op so a scrape can
+    tell a gated op from an ungated one without reading this file.
+    """
     speedup = numpy_t / native_t
+    if bar is None:
+        bar = MIN_SPEEDUP
     _PAYLOAD[key] = {"numpy_ms": round(numpy_t * 1e3, 3),
                      "native_ms": round(native_t * 1e3, 3),
-                     "speedup": round(speedup, 3), "gated": gated}
+                     "speedup": round(speedup, 3), "gated": gated,
+                     "bar": bar if gated else 0.0}
     write_json("E27_JSON", _PAYLOAD)
-    if gated and MIN_SPEEDUP > 0:
-        assert speedup >= MIN_SPEEDUP, \
-            f"native {key} {speedup:.2f}x < {MIN_SPEEDUP}x " \
+    if gated and bar > 0:
+        assert speedup >= bar, \
+            f"native {key} {speedup:.2f}x < {bar}x " \
             f"(numpy {numpy_t * 1e3:.1f} ms, native {native_t * 1e3:.1f} ms)"
 
 
@@ -127,7 +168,7 @@ def test_e27_sweep_parity_and_speedup():
 def test_e27_geometry_and_locator_parity():
     oracle, native = _providers()
     rng = random.Random(4)
-    sites = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(8)]
+    sites = [(rng.uniform(0, 6), rng.uniform(0, 6)) for _ in range(12)]
     box = ((-1.0, -1.0), (7.0, 7.0))
     # Bisector lines: the exact inputs the V_Pr pipeline clips and
     # intersects (E10/E22's workload, at benchmark-friendly size).
@@ -158,24 +199,42 @@ def test_e27_geometry_and_locator_parity():
     assert np.array_equal(px_o[hit_o], px_n[hit_n])
     assert np.array_equal(py_o[hit_o], py_n[hit_n])
 
-    # Slab locator over the clipped-bisector arrangement, boxed: the
-    # end-to-end locate_batch must agree elementwise across providers.
+    # Both point locators over the clipped-bisector arrangement, boxed:
+    # end-to-end locate_batch must agree elementwise across providers,
+    # and both bisection kernels carry the memory-latency bar
+    # (MIN_SPEEDUP_LOCATE) at a batch large enough to time reliably.
     (xmin, ymin), (xmax, ymax) = box
     walls = [((xmin, ymin), (xmax, ymin)), ((xmax, ymin), (xmax, ymax)),
              ((xmax, ymax), (xmin, ymax)), ((xmin, ymax), (xmin, ymin))]
     arr = SegmentArrangement([((x1, y1), (x2, y2))
                               for x1, y1, x2, y2 in segs.tolist()] + walls)
-    queries = np.column_stack([RNG.uniform(-0.9, 6.9, 4000),
-                               RNG.uniform(-0.9, 6.9, 4000)])
+    queries = np.column_stack([RNG.uniform(-0.9, 6.9, LOC_QUERIES),
+                               RNG.uniform(-0.9, 6.9, LOC_QUERIES)])
     loc_numpy = SlabPointLocator(arr, kernel="numpy")
     loc_native = SlabPointLocator(arr, kernel="native")
+    loc_native.locate_batch(queries[:8])  # touch the table before timing
     numpy_loc_t, faces_o = best_of(lambda: loc_numpy.locate_batch(queries))
     native_loc_t, faces_n = best_of(
         lambda: loc_native.locate_batch(queries))
     assert np.array_equal(faces_o, faces_n), \
         "native slab locate disagrees with the NumPy oracle"
 
+    plane_numpy = PersistentPlaneLocator(arr, kernel="numpy")
+    plane_native = PersistentPlaneLocator(arr, kernel="native")
+    plane_native.locate_batch(queries[:8])
+    numpy_pl_t, pfaces_o = best_of(
+        lambda: plane_numpy.locate_batch(queries))
+    native_pl_t, pfaces_n = best_of(
+        lambda: plane_native.locate_batch(queries))
+    assert np.array_equal(pfaces_o, pfaces_n), \
+        "native plane locate disagrees with the NumPy oracle"
+    assert np.array_equal(pfaces_o, faces_o), \
+        "merged-slab locator disagrees with the slab oracle"
+
     _finish("line_box_clip", numpy_clip_t, native_clip_t, gated=False)
     _finish("segment_intersections", numpy_int_t, native_int_t,
             gated=False)
-    _finish("slab_locate", numpy_loc_t, native_loc_t, gated=False)
+    _finish("slab_locate", numpy_loc_t, native_loc_t, gated=True,
+            bar=MIN_SPEEDUP_LOCATE)
+    _finish("plane_locate", numpy_pl_t, native_pl_t, gated=True,
+            bar=MIN_SPEEDUP_LOCATE)

@@ -28,11 +28,24 @@ Commands
     Fetch the trace store of a running ``serve-http`` instance and
     print or save it (``--out``); the chrome format loads directly in
     chrome://tracing and ui.perfetto.dev.
+``vpr-plane-smoke [--backend B] [--metrics-out PATH]``
+    Shared-plane serving self-test: build V_Pr once in the parent,
+    serve ``quantify_vpr`` from worker replicas attached to the
+    exported plane (process or shm backend), and assert fan-out,
+    bitwise HTTP parity, and **zero per-worker diagram rebuilds** via
+    the ``vpr.builds`` engine counter and the ``/healthz`` +
+    ``/metrics`` V_Pr families.
+``vpr-info [--n N] [--locator L] ...``
+    Build a small V_Pr diagram and print its locator build/size
+    figures: faces, entries, slabs, bytes, build seconds, the analytic
+    slab-table row count the persistent locator replaces (memory
+    ratio), and the shared-plane export size.
 ``kernels``
     Report the compute-kernel tier: compiler discovery, native build
     status, the ``auto`` selection (env steer included), and a
-    micro-benchmark of each provider's distance-matrix and Eq. (2)
-    sweep entry points with a bitwise parity check.
+    micro-benchmark of each provider's distance-matrix, Eq. (2)
+    sweep, and merged-slab ``plane_locate`` entry points with bitwise
+    parity checks.
 ``info``
     Print the library version and the module inventory.
 ``experiments [--quick] [ids...]``
@@ -231,6 +244,15 @@ def _serve_http(argv: list) -> int:
                              "kernels when a C compiler is available, "
                              "honoring REPRO_KERNEL; all providers are "
                              "bitwise-identical)")
+    parser.add_argument("--locator", default="auto",
+                        choices=("auto", "slab", "persistent"),
+                        help="V_Pr point locator: slab (flat table, "
+                             "Theta(V*S) rows) or persistent "
+                             "(merged-slab tree, O(V log V) entries); "
+                             "auto resolves to persistent.  Both answer "
+                             "bitwise identically; only persistent "
+                             "diagrams export a shared plane to process/"
+                             "shm workers")
     parser.add_argument("--n", type=int, default=12,
                         help="synthetic discrete index size (points; 2 "
                              "instances each).  Kept small by default "
@@ -313,7 +335,7 @@ def _serve_http(argv: list) -> int:
 
     print(f"serve-http: {args.n} uncertain discrete points "
           f"(2 instances each), backend={args.backend}, "
-          f"workers={args.workers}, "
+          f"workers={args.workers}, locator={args.locator}, "
           f"kernel={args.kernel} -> {get_provider(args.kernel).name}")
     if args.n > 16:
         print(f"note: quantify_vpr's first request builds V_Pr lazily — "
@@ -337,7 +359,7 @@ def _serve_http(argv: list) -> int:
     if args.faults:
         print(f"chaos: fault plan active — {args.faults!r}")
     with index.serve(workers=args.workers, backend=args.backend,
-                     kernel=args.kernel,
+                     kernel=args.kernel, locator=args.locator,
                      cache_capacity=8192, max_batch=128,
                      flush_window=0.002, trace=trace,
                      default_timeout=args.request_timeout,
@@ -367,6 +389,103 @@ def _chaos_smoke(argv: list) -> int:
 
     return run_chaos_smoke(backend=args.backend,
                            metrics_out=args.metrics_out)
+
+
+def _vpr_plane_smoke(argv: list) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro vpr-plane-smoke",
+        description="Shared-plane serving self-test: the parent builds "
+                    "V_Pr once, exports its face vectors and persistent "
+                    "locator as flat arrays, and worker replicas answer "
+                    "quantify_vpr from the attached plane — asserted: "
+                    "fan-out, bitwise HTTP parity, zero per-worker "
+                    "diagram rebuilds, and the /healthz + /metrics "
+                    "V_Pr families.")
+    parser.add_argument("--backend", default="process",
+                        choices=("process", "shm"),
+                        help="pool backend under test (thread/inline "
+                             "share the parent's index, so the plane "
+                             "transport has nothing to prove there)")
+    parser.add_argument("--metrics-out", default=None,
+                        help="write the final /metrics scrape to this "
+                             "file")
+    args = parser.parse_args(argv)
+
+    from .serving.http import run_plane_smoke
+
+    return run_plane_smoke(backend=args.backend,
+                           metrics_out=args.metrics_out)
+
+
+def _vpr_info(argv: list) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro vpr-info",
+        description="Build a small probabilistic Voronoi diagram and "
+                    "print locator build/size figures: persistent-tree "
+                    "entries versus the analytic slab-table row count, "
+                    "bytes, build seconds, and the shared-plane export "
+                    "size.")
+    parser.add_argument("--n", type=int, default=10,
+                        help="discrete points (2 instances each); the "
+                             "V_Pr build is Theta(N^4) in the 2n "
+                             "instances, so keep this modest")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--locator", default="auto",
+                        choices=("auto", "slab", "persistent"),
+                        help="which locator to build (auto resolves to "
+                             "persistent)")
+    parser.add_argument("--kernel", default="auto",
+                        help="compute-kernel provider: auto, native, "
+                             "numpy")
+    args = parser.parse_args(argv)
+
+    import time
+
+    from .core.index import PNNIndex
+    from .core.workloads import random_discrete_points
+    from .spatial.codec import CodecUnsupported, plane_to_arrays
+    from .spatial.pointlocation import SlabPointLocator
+    from .voronoi.vpr import resolve_locator
+
+    index = PNNIndex(random_discrete_points(args.n, 2, seed=args.seed,
+                                            spread=2.0),
+                     kernel=args.kernel)
+    resolved = resolve_locator(args.locator)
+    print(f"vpr-info: {args.n} discrete points (2 instances each), "
+          f"locator={args.locator} -> {resolved}")
+    t0 = time.perf_counter()
+    vpr = index.build_vpr(locator=args.locator)
+    build = time.perf_counter() - t0
+    stats = vpr.locator_stats()
+    arr = vpr.arrangement
+    print(f"  diagram:      {vpr.num_faces} bounded faces, "
+          f"{arr.num_vertices} vertices, {arr.num_edges} edges, "
+          f"built in {build:.3f} s")
+    print(f"  locator:      {stats['kind']}, "
+          f"{stats['slabs']} slabs, built in "
+          f"{stats['build_seconds']:.3f} s")
+    rows = SlabPointLocator.table_rows(arr)
+    if stats["kind"] == "persistent":
+        print(f"  storage:      {stats['entries']} tree entries "
+              f"({stats['nbytes'] / 1e6:.2f} MB) vs {rows} analytic "
+              f"slab-table rows — "
+              f"{rows / max(stats['entries'], 1):.1f}x fewer entries")
+    else:
+        print(f"  storage:      {stats['entries']} slab-table rows "
+              f"({stats['nbytes'] / 1e6:.2f} MB)")
+    try:
+        plane = plane_to_arrays(vpr)
+        nbytes = sum(a.nbytes for a in plane.values())
+        print(f"  shared plane: {len(plane)} arrays, "
+              f"{nbytes / 1e6:.2f} MB — process/shm workers attach "
+              f"zero-rebuild")
+    except CodecUnsupported as exc:
+        print(f"  shared plane: not exportable ({exc})")
+    return 0
 
 
 def _trace_dump(argv: list) -> int:
@@ -474,6 +593,47 @@ def _kernels() -> int:
             return 1
     else:
         print("  parity: skipped (native provider unavailable)")
+
+    # Merged-slab point location: build a small bisector arrangement and
+    # run the plane_locate entry point on every provider — the answers
+    # must match the scalar reference bitwise (E28's gated kernel).
+    import random
+
+    from .geometry.seg_arrangement import SegmentArrangement
+    from .geometry.segments import bisector_line, line_box_clip
+    from .spatial.planelocate import PersistentPlaneLocator
+
+    srng = random.Random(5)
+    sites = [(srng.uniform(0, 4), srng.uniform(0, 4)) for _ in range(9)]
+    box = ((-1.0, -1.0), (5.0, 5.0))
+    segs = [((-1.0, -1.0), (5.0, -1.0)), ((5.0, -1.0), (5.0, 5.0)),
+            ((5.0, 5.0), (-1.0, 5.0)), ((-1.0, 5.0), (-1.0, -1.0))]
+    for i in range(len(sites)):
+        for j in range(i + 1, len(sites)):
+            a, b, c = bisector_line(sites[i], sites[j])
+            seg = line_box_clip(a, b, c, box)
+            if seg:
+                segs.append(seg)
+    arr = SegmentArrangement(segs)
+    queries = rng.uniform(-1.5, 5.5, (4000, 2))
+    print(f"\nplane_locate self-test ({len(queries)} queries, "
+          f"{arr.num_edges} edges)")
+    loc_results = {}
+    for name in providers:
+        loc = PersistentPlaneLocator(arr, kernel=name)
+        loc.locate_batch(queries[:8])  # warm the provider
+        t0 = time.perf_counter()
+        faces = loc.locate_batch(queries)
+        t_loc = time.perf_counter() - t0
+        loc_results[name] = faces
+        print(f"  {name:>6}: locate_batch {t_loc * 1e3:7.2f} ms")
+    if len(loc_results) == 2:
+        ok = np.array_equal(loc_results["native"], loc_results["numpy"])
+        print(f"  parity: {'bitwise-identical' if ok else 'MISMATCH'}")
+        if not ok:
+            return 1
+    else:
+        print("  parity: skipped (native provider unavailable)")
     return 0
 
 
@@ -501,6 +661,10 @@ def main(argv: list) -> int:
         return _serve_http(argv[1:])
     if command == "chaos-smoke":
         return _chaos_smoke(argv[1:])
+    if command == "vpr-plane-smoke":
+        return _vpr_plane_smoke(argv[1:])
+    if command == "vpr-info":
+        return _vpr_info(argv[1:])
     if command == "trace-dump":
         return _trace_dump(argv[1:])
     if command == "kernels":
@@ -512,8 +676,8 @@ def main(argv: list) -> int:
 
         return experiments_main(argv[1:])
     print(f"unknown command {command!r}; try: demo, serve-demo, "
-          "serve-http, chaos-smoke, trace-dump, kernels, info, "
-          "experiments")
+          "serve-http, chaos-smoke, vpr-plane-smoke, vpr-info, "
+          "trace-dump, kernels, info, experiments")
     return 2
 
 

@@ -98,6 +98,16 @@ class PNNIndex:
             raise ValueError(f"unknown kernel {kernel!r}; "
                              f"expected one of {KERNELS}")
         self.kernel = kernel
+        #: Point-locator kind for lazily built V_Pr diagrams
+        #: (``"auto"`` | ``"slab"`` | ``"persistent"``; see
+        #: :data:`repro.voronoi.vpr.LOCATORS`).  ``ServiceConfig.locator``
+        #: sets this on the served index.
+        self.vpr_locator = "auto"
+        #: When ``True``, :meth:`cached_vpr` refuses to build a diagram
+        #: lazily and raises instead.  Shared-plane executor workers set
+        #: this before attaching the parent's plane, making a silent
+        #: Theta(N^4) per-worker rebuild structurally impossible.
+        self.vpr_build_forbidden = False
         self.points: List[UncertainPoint] = list(points)
         self._supports: List[Disk] = [p.support_disk() for p in self.points]
         self._support_tree = KDTree(
@@ -341,6 +351,12 @@ class PNNIndex:
         if self._vpr is None:
             with self._vpr_lock:
                 if self._vpr is None:
+                    if self.vpr_build_forbidden:
+                        raise RuntimeError(
+                            "V_Pr build forbidden on this index (shared-"
+                            "plane worker replica): the parent's plane "
+                            "was not installed, refusing a per-worker "
+                            "diagram rebuild")
                     self._vpr = self.build_vpr()
         return self._vpr
 
@@ -535,8 +551,9 @@ class PNNIndex:
         """
         return NonzeroVoronoiDiagram(self._supports, tol=tol)
 
-    def build_vpr(self, box=None,
-                  build_mode: str = "vector") -> ProbabilisticVoronoiDiagram:
+    def build_vpr(self, box=None, build_mode: str = "vector",
+                  locator: Optional[str] = None
+                  ) -> ProbabilisticVoronoiDiagram:
         """Construct the exact probabilistic Voronoi diagram (Theorem 4.2).
 
         ``build_mode="vector"`` (default) routes the whole construction —
@@ -546,6 +563,10 @@ class PNNIndex:
         for the ``O(N^4)`` face vectors; ``"scalar"`` forces the
         pure-Python reference build.  Both produce bitwise-identical
         diagrams (benchmark E22 measures the speedup).
+
+        ``locator`` picks the point-location structure (``"auto"`` |
+        ``"slab"`` | ``"persistent"``; locators answer bitwise
+        identically) and defaults to this index's :attr:`vpr_locator`.
         """
         if not self.all_discrete():
             raise ValueError("V_Pr requires discrete distributions")
@@ -557,4 +578,5 @@ class PNNIndex:
             quantifier = self._batch_exact
         return ProbabilisticVoronoiDiagram(
             self.points, box=box, build_mode=build_mode,  # type: ignore[arg-type]
-            quantifier=quantifier)
+            quantifier=quantifier,
+            locator=self.vpr_locator if locator is None else locator)

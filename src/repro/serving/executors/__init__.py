@@ -64,7 +64,8 @@ BACKEND_ENV = "REPRO_SERVING_BACKEND"
 def create_backend(name: str, points: Sequence[UncertainPoint],
                    workers: int,
                    start_method: Optional[str] = None,
-                   index=None, kernel: str = "auto") -> ExecutorBackend:
+                   index=None, kernel: str = "auto",
+                   plane=None) -> ExecutorBackend:
     """Build the requested backend, degrading instead of crashing.
 
     Construction always succeeds and always returns bitwise-correct
@@ -89,6 +90,13 @@ def create_backend(name: str, points: Sequence[UncertainPoint],
     worker process resolves its own provider — a worker that cannot
     build the native library degrades to NumPy on its own, and parity
     keeps the answers identical either way.
+
+    *plane* is an optional dict of flat V_Pr plane arrays
+    (:func:`repro.spatial.codec.plane_to_arrays`).  Process and shm
+    backends ship it to their workers (pickled initargs / prefixed keys
+    in the shared segment) and report ``serves_plane=True``; thread and
+    inline backends ignore it — they share the caller's *index*, which
+    already holds the built diagram.
     """
     if name not in BACKENDS:
         raise ValueError(f"unknown executor backend {name!r}; "
@@ -110,10 +118,10 @@ def create_backend(name: str, points: Sequence[UncertainPoint],
         try:
             if kind == "shm":
                 return SharedMemoryBackend(points, workers, start_method,
-                                           kernel=kernel)
+                                           kernel=kernel, plane=plane)
             if kind == "process":
                 return ProcessBackend(points, workers, start_method,
-                                      kernel=kernel)
+                                      kernel=kernel, plane=plane)
             return ThreadBackend(points, workers, index=index,
                                  kernel=kernel)
         except BackendUnavailable:

@@ -81,10 +81,21 @@ class IndexReplica:
     """
 
     def __init__(self, points: Sequence[UncertainPoint],
-                 kernel: str = "auto") -> None:
+                 kernel: str = "auto", plane: Optional[Dict] = None) -> None:
         from ...core.index import PNNIndex
 
         self.index = PNNIndex(points, kernel=kernel)
+        if plane is not None:
+            # Shared-plane worker: adopt the parent's already-built V_Pr
+            # (face vectors + locator arrays) instead of ever building
+            # one.  The forbid flag is set *before* the attach so any
+            # attach failure surfaces as a loud initializer error rather
+            # than a silent Theta(N^4) per-worker rebuild on first query.
+            from ...voronoi.vpr import SharedPlaneDiagram
+
+            self.index.vpr_build_forbidden = True
+            self.index.use_vpr(
+                SharedPlaneDiagram(self.index.points, plane, kernel=kernel))
 
     @classmethod
     def of_index(cls, index) -> "IndexReplica":
@@ -199,6 +210,14 @@ class ExecutorBackend(abc.ABC):
     #: policy for kinds whose replica state is expensive to duplicate
     #: (``quantify_vpr``'s Theta(N^4) diagram) keys off this.
     shares_index: bool = False
+    #: Whether this backend's workers hold an attached
+    #: :class:`~repro.voronoi.vpr.SharedPlaneDiagram` built once by the
+    #: parent and shipped through the backend's transport (pickle stream
+    #: or shared-memory segment).  The ``quantify_vpr`` fan-out policy
+    #: keys off ``shares_index or serves_plane`` — a plane-serving
+    #: process/shm backend answers V_Pr chunks in parallel with zero
+    #: per-worker diagram builds.
+    serves_plane: bool = False
 
     def __init__(self) -> None:
         self._closed = False

@@ -41,15 +41,23 @@ def _set_replica(replica: IndexReplica) -> None:
     _REPLICA = replica
 
 
-def _init_worker(payload: bytes, kernel: str = "auto") -> None:
+def _init_worker(payload: bytes, kernel: str = "auto",
+                 plane=None) -> None:
     """Pool initializer: build this worker's replica from pickled points.
 
     *kernel* names the compute provider the replica resolves in this
     process (the compiled native library, when selected, loads once per
     worker via the build cache) — providers are bitwise-identical, so a
     worker degrading to NumPy still answers the exact same bytes.
+
+    *plane* is an optional dict of flat V_Pr plane arrays
+    (:func:`repro.spatial.codec.plane_to_arrays`): when present the
+    replica attaches a :class:`~repro.voronoi.vpr.SharedPlaneDiagram`
+    over them and forbids any lazy diagram build, so ``quantify_vpr``
+    chunks are answered from the parent's build-once plane.
     """
-    _set_replica(IndexReplica(pickle.loads(payload), kernel=kernel))
+    _set_replica(IndexReplica(pickle.loads(payload), kernel=kernel,
+                              plane=plane))
 
 
 def _run_chunk(task) -> object:
@@ -244,19 +252,25 @@ class ProcessBackend(PoolWorkersMixin, ExecutorBackend):
     def __init__(self, points: Sequence[UncertainPoint],
                  workers: int,
                  start_method: Optional[str] = None,
-                 kernel: str = "auto") -> None:
+                 kernel: str = "auto",
+                 plane=None) -> None:
         super().__init__()
         self.workers = int(workers)
         self._payload = pickle.dumps(list(points))
         self._preferred = start_method
         self._kernel = kernel
+        # The plane arrays ride the initializer args (pickled once per
+        # worker, like the point payload); pool rebuilds re-ship them.
+        self._plane = plane
+        self.serves_plane = plane is not None
         self._pool, self.start_method = self._start_pool()
         self._snapshot_workers()
 
     def _start_pool(self):
         return start_pool(self.workers,
                           self.start_method or self._preferred,
-                          _init_worker, (self._payload, self._kernel))
+                          _init_worker,
+                          (self._payload, self._kernel, self._plane))
 
     def map(self, tasks: List[Task]) -> List[object]:
         return self._pool.map(_run_chunk, tasks)

@@ -32,8 +32,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ...spatial.codec import CodecUnsupported, points_from_arrays, \
-    points_to_arrays
+from ...spatial.codec import PLANE_KEY_PREFIX, CodecUnsupported, \
+    points_from_arrays, points_to_arrays
 from ...uncertain.base import UncertainPoint
 from .base import BackendUnavailable, ExecutorBackend, IndexReplica, Task
 from .process import PoolWorkersMixin, _run_chunk, _set_replica, start_pool
@@ -44,6 +44,11 @@ __all__ = ["SharedMemoryBackend"]
 Manifest = Tuple[Tuple[str, str, Tuple[int, ...], int], ...]
 
 _ALIGN = 16
+
+# Worker-process global: the mapped segment kept alive for the lifetime
+# of a plane-serving worker — the attached SharedPlaneDiagram answers
+# from zero-copy views into it, so the mapping must outlive every query.
+_PLANE_SEGMENT = None
 
 
 def pack_arrays(arrays: Dict[str, np.ndarray]
@@ -106,17 +111,37 @@ def _init_shm_worker(name: str, manifest: Manifest,
     """Pool initializer: decode this worker's replica from the segment.
 
     The decoded models own their data (the codec materializes Python
-    lists and fresh arrays), so the mapping is released again right after
-    decoding — workers keep no handle on the segment.  *kernel* names
-    the compute provider the replica resolves in this process (see
+    lists and fresh arrays), so for a plain replica the mapping is
+    released again right after decoding — workers keep no handle on the
+    segment.  When the manifest carries V_Pr plane arrays
+    (:data:`~repro.spatial.codec.PLANE_KEY_PREFIX`-prefixed keys), the
+    attached :class:`~repro.voronoi.vpr.SharedPlaneDiagram` answers from
+    **zero-copy views** into the segment, so the worker keeps the
+    mapping open for its lifetime instead (:data:`_PLANE_SEGMENT`) — the
+    shared-plane transport ships the face vectors and locator arrays to
+    every worker without a single per-worker copy.  *kernel* names the
+    compute provider the replica resolves in this process (see
     :mod:`repro.spatial.kernels`).
     """
+    global _PLANE_SEGMENT
     shm = _attach(name)
+    keep_mapped = False
     try:
-        points = points_from_arrays(unpack_arrays(shm.buf, manifest))
+        arrays = unpack_arrays(shm.buf, manifest)
+        plane = {key[len(PLANE_KEY_PREFIX):]: arr
+                 for key, arr in arrays.items()
+                 if key.startswith(PLANE_KEY_PREFIX)}
+        points = points_from_arrays(
+            {key: arr for key, arr in arrays.items()
+             if not key.startswith(PLANE_KEY_PREFIX)})
+        keep_mapped = bool(plane)
+        if keep_mapped:
+            _PLANE_SEGMENT = shm
+        _set_replica(IndexReplica(points, kernel=kernel,
+                                  plane=plane or None))
     finally:
-        shm.close()
-    _set_replica(IndexReplica(points, kernel=kernel))
+        if not keep_mapped:
+            shm.close()
 
 
 class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
@@ -127,7 +152,8 @@ class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
     def __init__(self, points: Sequence[UncertainPoint],
                  workers: int,
                  start_method: Optional[str] = None,
-                 kernel: str = "auto") -> None:
+                 kernel: str = "auto",
+                 plane: Optional[Dict[str, np.ndarray]] = None) -> None:
         super().__init__()
         # Both resource slots exist before anything can fail, so the
         # teardown path (close(), or __del__ after a half-built
@@ -137,10 +163,18 @@ class SharedMemoryBackend(PoolWorkersMixin, ExecutorBackend):
         self.workers = int(workers)
         self._preferred = start_method
         self._kernel = kernel
+        self.serves_plane = plane is not None
         try:
             arrays = points_to_arrays(points)
         except CodecUnsupported as exc:
             raise BackendUnavailable(str(exc))
+        if plane is not None:
+            # The plane arrays share the point segment under prefixed
+            # manifest keys: one pack, one mapping, and every worker's
+            # SharedPlaneDiagram reads the locator + face vectors as
+            # zero-copy views — the build-once plane is never copied.
+            for key, arr in plane.items():
+                arrays[PLANE_KEY_PREFIX + key] = arr
         self._shm, self._manifest = pack_arrays(arrays)
         self.segment_bytes = self._shm.size
         try:

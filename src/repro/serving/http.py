@@ -91,6 +91,7 @@ __all__ = [
     "handle_connection",
     "render_prometheus",
     "run_chaos_smoke",
+    "run_plane_smoke",
     "run_smoke",
     "serve_forever",
 ]
@@ -685,6 +686,12 @@ class QueryGateway:
             "native_available": status["native_available"],
             "native_error": status["native_error"],
         }
+        vpr_info = getattr(self.service, "vpr_info", None)
+        if vpr_info is not None:
+            # The V_Pr serving posture: locator kind, whether a diagram
+            # is built, whether its plane is encoded and actually served
+            # by the live backend's workers (zero per-worker rebuilds).
+            doc["vpr"] = vpr_info()
         if self.warm_error is not None:
             doc["status"] = "warmup-failed"
             doc["error"] = str(self.warm_error)
@@ -928,6 +935,52 @@ def render_prometheus(gateway: QueryGateway) -> str:
         provider, _, op = key.partition(":")
         w.sample("repro_kernel_calls_total",
                  {"provider": provider, "op": op}, count)
+
+    # ------------------------------------------------------- V_Pr plane
+    vpr_info = getattr(gateway.service, "vpr_info", None)
+    if vpr_info is not None:
+        info = vpr_info()
+        w.family("repro_vpr_built", "gauge",
+                 "1 when this process holds a built V_Pr diagram.")
+        w.sample("repro_vpr_built", {}, 1 if info.get("built") else 0)
+        w.family("repro_vpr_plane_resident", "gauge",
+                 "1 when the built V_Pr plane (face vectors + locator "
+                 "arrays) is encoded and served to executor workers — "
+                 "workers attach the build-once plane, zero per-worker "
+                 "diagram rebuilds (vpr.builds in "
+                 "repro_engine_events_total stays at the parent's one).")
+        w.sample("repro_vpr_plane_resident", {},
+                 1 if info.get("plane_served") else 0)
+        stats = info.get("locator_stats") or {}
+        w.family("repro_vpr_locator", "gauge",
+                 "Point-locator kind of the built V_Pr diagram "
+                 "(1 = active; locators answer bitwise identically).")
+        for kind in ("slab", "persistent"):
+            w.sample("repro_vpr_locator", {"kind": kind},
+                     1 if stats.get("kind") == kind else 0)
+        if stats:
+            w.family("repro_vpr_locator_bytes", "gauge",
+                     "Locator structure size in bytes (the slab table "
+                     "is Theta(V^2) worst case; the merged-slab "
+                     "persistent locator is O(V log V)).")
+            w.sample("repro_vpr_locator_bytes", {}, stats.get("nbytes", 0))
+            w.family("repro_vpr_locator_entries", "gauge",
+                     "Rows/entries held by the locator structure.")
+            w.sample("repro_vpr_locator_entries", {},
+                     stats.get("entries", 0))
+            if stats.get("build_seconds") is not None:
+                w.family("repro_vpr_locator_build_seconds", "gauge",
+                         "Wall time of the locator structure build.")
+                w.sample("repro_vpr_locator_build_seconds", {},
+                         stats["build_seconds"])
+        if info.get("build_seconds") is not None:
+            w.family("repro_vpr_build_seconds", "gauge",
+                     "Wall time of the full V_Pr diagram build.")
+            w.sample("repro_vpr_build_seconds", {}, info["build_seconds"])
+        if info.get("plane_bytes") is not None:
+            w.family("repro_vpr_plane_bytes", "gauge",
+                     "Total bytes of the encoded shared-plane arrays.")
+            w.sample("repro_vpr_plane_bytes", {}, info["plane_bytes"])
     return w.render()
 
 
@@ -1640,4 +1693,136 @@ def run_chaos_smoke(backend: str = "process",
         log(f"chaos smoke [{backend}]: {len(failures)} check(s) FAILED")
         return 1
     log(f"chaos smoke [{backend}]: all checks passed")
+    return 0
+
+
+def run_plane_smoke(backend: str = "process",
+                    metrics_out: Optional[str] = None,
+                    log: Callable[[str], None] = print) -> int:
+    """Shared-plane V_Pr serving self-test: build once, fan out, zero
+    per-worker rebuilds.
+
+    Builds one persistent-locator ``V_Pr`` in the parent, serves
+    ``quantify_vpr`` over a plane-shipping pool backend (``process`` or
+    ``shm``), and checks the whole story end to end:
+
+    1. the executor came up on the **requested** backend (no silent
+       degradation) and reports ``serves_plane``;
+    2. HTTP bulk ``quantify_vpr`` answers are bitwise-identical to the
+       parent's unsharded oracle, *and* the request actually fanned out
+       over the workers (``sharded_calls`` incremented — the old
+       parent-only routing would leave it at 0);
+    3. the parent-side ``vpr.builds`` engine counter stays at exactly
+       the one pre-serve build — workers attach the shipped plane, and
+       their replicas are structurally forbidden from building
+       (:attr:`~repro.core.index.PNNIndex.vpr_build_forbidden`), so a
+       rebuild anywhere would either crash the request or show up here;
+    4. ``/healthz`` reports the plane resident and ``/metrics`` exports
+       ``repro_vpr_plane_resident 1`` plus the locator families.
+
+    Returns a process exit code (0 = all checks passed).  The CI
+    ``vpr-plane-smoke`` job runs it once per pool backend;
+    ``metrics_out`` saves the final scrape.
+    """
+    import random
+
+    from ..core.index import PNNIndex
+    from ..core.workloads import random_discrete_points
+    from ..obs.metrics import ENGINE
+
+    if backend not in ("process", "shm"):
+        log(f"FAIL: plane smoke needs a pool backend, got {backend!r}")
+        return 1
+    failures: List[str] = []
+
+    def check(cond: bool, what: str) -> None:
+        if not cond:
+            failures.append(what)
+        log(("ok   " if cond else "FAIL ") + what)
+
+    index = PNNIndex(random_discrete_points(12, 2, seed=7, spread=2.0))
+    builds_before = ENGINE.get("vpr.builds")
+    vpr = index.build_vpr()
+    index.use_vpr(vpr)
+    check(vpr.locator_kind == "persistent",
+          f"diagram built with the persistent locator "
+          f"({vpr.locator_kind})")
+    rng = random.Random(53)
+    queries = [(rng.uniform(-2.0, 16.0), rng.uniform(-2.0, 16.0))
+               for _ in range(64)]
+    oracle = [encode_result("quantify_vpr", row)
+              for row in index.batch_quantify_vpr(queries)]
+
+    service = index.serve(workers=2, backend=backend, shard_min_batch=8,
+                          shard_chunk=8, cache_capacity=0, coalesce=False)
+    config = HttpConfig(port=0, max_inflight=2, max_pending=4,
+                        warm_kinds=("delta",))
+    with service, ServerThread(service, config) as server:
+        port = server.port
+        assert port is not None
+        deadline_at = time.monotonic() + 30
+        status = 0
+        while time.monotonic() < deadline_at:
+            status, _, _, _ = _http_json(port, "GET", "/healthz")
+            if status == 200:
+                break
+            time.sleep(0.05)
+        check(status == 200, f"healthz became ready ({status})")
+
+        executor = service.executor
+        check(executor is not None and executor.mode == backend,
+              f"executor runs on the requested backend "
+              f"(mode={getattr(executor, 'mode', None)})")
+        info = service.vpr_info()
+        check(info["plane_encoded"] is True,
+              "the built plane was encoded for the executor")
+        check(info["plane_served"] is True,
+              "the live backend serves the shared plane")
+
+        status, doc, _, _ = _http_json(
+            port, "POST", "/v1/query/quantify_vpr",
+            {"queries": [list(q) for q in queries]})
+        check(status == 200, f"bulk quantify_vpr answered {status}")
+        check(status == 200 and doc["results"] == oracle,
+              "fan-out answers are bitwise-equal to the parent oracle")
+        mstats = service.stats()["methods"].get("quantify_vpr", {})
+        check(mstats.get("sharded_calls", 0) >= 1,
+              f"quantify_vpr actually fanned out over {backend} workers "
+              f"(sharded_calls={mstats.get('sharded_calls', 0)})")
+
+        builds = ENGINE.get("vpr.builds") - builds_before
+        check(builds == 1,
+              f"exactly one V_Pr build in this process (vpr.builds "
+              f"delta={builds}); workers attached the shipped plane")
+
+        status, hdoc, _, _ = _http_json(port, "GET", "/healthz")
+        hvpr = (hdoc or {}).get("vpr", {})
+        check(status == 200 and hvpr.get("plane_served") is True,
+              "healthz reports the plane resident")
+        check(hvpr.get("locator_stats", {}).get("kind") == "persistent",
+              "healthz reports the persistent locator")
+
+        status, _, raw, _ = _http_json(port, "GET", "/metrics")
+        check(status == 200, f"/metrics returned {status}")
+        check("repro_vpr_plane_resident 1" in raw,
+              "/metrics exports repro_vpr_plane_resident 1")
+        check('repro_vpr_locator{kind="persistent"} 1' in raw,
+              "/metrics exports the persistent locator gauge")
+        expected_builds = builds_before + 1
+        check(f'repro_engine_events_total{{event="vpr.builds"}} '
+              f'{expected_builds}' in raw,
+              "/metrics shows exactly one new parent-side vpr.builds "
+              "event")
+        check("repro_vpr_plane_bytes" in raw
+              and "repro_vpr_locator_bytes" in raw,
+              "/metrics exports the plane/locator size gauges")
+        if metrics_out:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                fh.write(raw)
+            log(f"metrics scrape saved to {metrics_out}")
+
+    if failures:
+        log(f"plane smoke [{backend}]: {len(failures)} check(s) FAILED")
+        return 1
+    log(f"plane smoke [{backend}]: all checks passed")
     return 0

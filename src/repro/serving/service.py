@@ -52,7 +52,9 @@ import numpy as np
 
 from ..obs.trace import NULL_SPAN, Tracer, current_span, use_span
 from ..spatial.batch import as_query_array
+from ..spatial.codec import CodecUnsupported, plane_to_arrays
 from ..spatial.kernels import KERNELS
+from ..voronoi.vpr import LOCATORS
 from .cache import ResultCache
 from .coalesce import MicroBatcher
 from .executors import BACKENDS
@@ -94,6 +96,16 @@ class ServiceConfig:
         is applied to the index and forwarded to every worker replica,
         so process/shm workers resolve the same provider.  All providers
         return bitwise-identical answers; the choice is operational.
+    locator:
+        Point-location structure for lazily built ``V_Pr`` diagrams
+        (:data:`repro.voronoi.vpr.LOCATORS`): ``"auto"`` (default, the
+        output-sensitive persistent locator), ``"slab"`` (the quadratic
+        slab-table oracle), or ``"persistent"``.  A concrete name is
+        applied to the served index's :attr:`~repro.core.index.PNNIndex.
+        vpr_locator`; locators answer bitwise identically, so the choice
+        trades build memory for nothing else.  Only a ``"persistent"``
+        diagram can be exported as a shared plane to process/shm
+        workers.
     shard_min_batch:
         Smallest batch worth paying dispatch overhead for; smaller
         batches run in-process even when workers are available.
@@ -162,6 +174,7 @@ class ServiceConfig:
     backend: str = "auto"
     start_method: Optional[str] = None
     kernel: str = "auto"
+    locator: str = "auto"
     shard_min_batch: int = 4096
     shard_chunk: Optional[int] = None
     max_batch: int = 256
@@ -209,6 +222,9 @@ class ServiceConfig:
         if self.kernel not in KERNELS:
             raise ValueError(f"unknown kernel {self.kernel!r}; "
                              f"expected one of {KERNELS}")
+        if self.locator not in LOCATORS:
+            raise ValueError(f"unknown locator {self.locator!r}; "
+                             f"expected one of {LOCATORS}")
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
         for field, floor in (("shard_min_batch", 1), ("max_batch", 1),
@@ -248,6 +264,23 @@ class QueryService:
             # index's own selection — possibly set at construction —
             # untouched.
             index.set_kernel(cfg.kernel)
+        if cfg.locator != "auto":
+            # Same policy as kernel: a concrete locator name steers the
+            # index's lazy V_Pr builds; "auto" leaves the index's own
+            # vpr_locator untouched.
+            index.vpr_locator = cfg.locator
+        # Encode the already-built V_Pr (adopted above, or prebuilt on
+        # the index) into flat plane arrays once: process/shm executor
+        # workers attach the build-once plane instead of each rebuilding
+        # the Theta(N^4) diagram.  Planes exist only for persistent-
+        # locator discrete diagrams; anything else serves V_Pr from the
+        # parent index as before.
+        self.plane = None
+        if cfg.workers >= 2 and index._vpr is not None:
+            try:
+                self.plane = plane_to_arrays(index._vpr)
+            except CodecUnsupported:
+                self.plane = None
         self.tracer = Tracer(cfg.trace)
         self.stats_registry = ServiceStats(cfg.latency_window)
         self.resilience = ResilienceStats()
@@ -266,7 +299,7 @@ class QueryService:
                                    backoff=cfg.retry_backoff,
                                    chunk_timeout=cfg.chunk_timeout),
                 faults=cfg.faults, resilience=self.resilience,
-                breaker=self.breaker)
+                breaker=self.breaker, plane=self.plane)
         self.batcher: Optional[MicroBatcher] = None
         if cfg.coalesce:
             self.batcher = MicroBatcher(
@@ -380,13 +413,16 @@ class QueryService:
                 f"deadline of {deadline.timeout * 1e3:.0f} ms exceeded "
                 f"before {method} execution started")
         cfg = self.config
-        # quantify_vpr only fans out over backends that share this
-        # service's index: a process/shm worker replica would lazily
-        # rebuild its own Theta(N^4) diagram (once per worker, default
-        # window) and silently ignore an adopted prebuilt V_Pr.
+        # quantify_vpr only fans out over backends that either share
+        # this service's index or hold an attached copy of its built
+        # plane (serves_plane) — a plain process/shm worker replica
+        # would otherwise lazily rebuild its own Theta(N^4) diagram
+        # (once per worker, default window) and silently ignore an
+        # adopted prebuilt V_Pr.
         fan_out = (method != "quantify_vpr"
                    or (self.executor is not None
-                       and self.executor.impl.shares_index))
+                       and (self.executor.impl.shares_index
+                            or self.executor.impl.serves_plane)))
         # An inline-mode executor adds chunking overhead for no
         # parallelism, so plain traffic takes the direct engine call —
         # *unless* the request carries a deadline (the chunked loop is
@@ -731,6 +767,38 @@ class QueryService:
     # ------------------------------------------------------------------
     # Introspection and lifecycle.
     # ------------------------------------------------------------------
+    def vpr_info(self) -> Dict[str, object]:
+        """The ``V_Pr`` serving posture: locator, plane, residency.
+
+        One document for ``/healthz``, ``service.stats()``, and the
+        ``vpr-info`` CLI: which locator the index would build
+        (:attr:`~repro.core.index.PNNIndex.vpr_locator`), whether a
+        diagram is built, its locator stats (kind, entries, bytes, build
+        seconds), whether a shared plane was encoded for the executor,
+        and whether the live backend serves it.
+        """
+        info: Dict[str, object] = {
+            "locator": self.config.locator,
+            "resolved_locator": getattr(self.index, "vpr_locator", "auto"),
+            "built": self.index._vpr is not None,
+            "plane_encoded": self.plane is not None,
+            "plane_served": bool(
+                self.executor is not None
+                and getattr(self.executor.impl, "serves_plane", False)),
+        }
+        if self.plane is not None:
+            info["plane_bytes"] = int(
+                sum(a.nbytes for a in self.plane.values()))
+        vpr = self.index._vpr
+        if vpr is not None:
+            info["faces"] = vpr.num_faces
+            info["build_seconds"] = getattr(vpr, "build_seconds", None)
+            try:
+                info["locator_stats"] = vpr.locator_stats()
+            except Exception:  # noqa: BLE001 — introspection must not fail
+                pass
+        return info
+
     def stats(self) -> Dict[str, object]:
         """A point-in-time snapshot of every counter the service keeps."""
         snap: Dict[str, object] = {
@@ -750,8 +818,11 @@ class QueryService:
                 "start_method": self.executor.start_method,
                 "degraded": self.executor.degraded,
                 "initial_mode": self.executor._initial_mode,
+                "serves_plane": bool(getattr(self.executor.impl,
+                                             "serves_plane", False)),
                 "breaker": self.breaker.snapshot(),
             }
+        snap["vpr"] = self.vpr_info()
         if self.batcher is not None:
             snap["coalescer"] = {
                 "submitted": self.batcher.submitted,

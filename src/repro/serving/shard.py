@@ -97,6 +97,14 @@ class ShardExecutor:
         Optional already-built index over *points*; backends that share
         the caller's index (thread, inline) then skip the replica build
         entirely — and share its lazy artifacts (engines, ``V_Pr``).
+    plane:
+        Optional dict of flat ``V_Pr`` plane arrays
+        (:func:`repro.spatial.codec.plane_to_arrays`).  Process and shm
+        backends ship the build-once plane to their workers — which
+        then answer ``quantify_vpr`` chunks in parallel with **zero**
+        per-worker diagram builds — and the plane survives pool rebuilds
+        and degradations down the ladder (thread/inline rungs ignore it
+        and serve the shared index's diagram instead).
     tracer:
         Optional :class:`~repro.obs.trace.Tracer`.  When the ambient
         span of a :meth:`run` call is sampled, the dispatch and
@@ -137,7 +145,8 @@ class ShardExecutor:
                  policy: Optional[RetryPolicy] = None,
                  faults=None,
                  resilience: Optional[ResilienceStats] = None,
-                 breaker: Optional[CircuitBreaker] = None) -> None:
+                 breaker: Optional[CircuitBreaker] = None,
+                 plane=None) -> None:
         if not points:
             raise ValueError("ShardExecutor needs at least one uncertain point")
         self.points = list(points)
@@ -153,12 +162,14 @@ class ShardExecutor:
                            else ResilienceStats())
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self._index = index
+        self._plane = plane
         self._start_method_pref = start_method
         self._degrade_lock = threading.Lock()
         self._closed = False
         self.impl: ExecutorBackend = create_backend(
             backend, self.points, self.workers,
-            start_method=start_method, index=index, kernel=kernel)
+            start_method=start_method, index=index, kernel=kernel,
+            plane=plane)
         self.workers = self.impl.workers
         self._initial_mode = self.impl.mode
 
@@ -187,6 +198,8 @@ class ShardExecutor:
                 "initial_mode": self._initial_mode,
                 "degraded": self.degraded,
                 "workers": self.workers,
+                "serves_plane": bool(getattr(self.impl, "serves_plane",
+                                             False)),
                 "breaker": self.breaker.snapshot(),
                 "resilience": self.resilience.snapshot()}
 
@@ -456,7 +469,7 @@ class ShardExecutor:
                 self.impl = create_backend(
                     nxt, self.points, self.workers,
                     start_method=self._start_method_pref, index=self._index,
-                    kernel=self.kernel)
+                    kernel=self.kernel, plane=self._plane)
             except Exception:  # noqa: BLE001 — inline floor cannot fail
                 self.impl = create_backend("inline", self.points, 1,
                                            index=self._index,

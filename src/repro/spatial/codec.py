@@ -52,11 +52,34 @@ from ..uncertain.histogram import HistogramUncertainPoint
 from ..uncertain.polygon import ConvexPolygonUniformPoint
 
 __all__ = ["CodecUnsupported", "points_to_arrays", "points_from_arrays",
-           "ARRAY_KEYS"]
+           "ARRAY_KEYS", "PLANE_ARRAY_KEYS", "PLANE_KEY_PREFIX",
+           "check_plane_arrays", "plane_to_arrays", "plane_from_arrays"]
 
 #: The arrays every encoded point set consists of, in a fixed order (the
 #: shared-memory backend packs them into one segment in this order).
 ARRAY_KEYS = ("types", "scalars", "aux", "offsets", "rows")
+
+#: The arrays of an encoded V_Pr plane (``plane_to_arrays``), in a fixed
+#: order.  ``meta`` is ``(version, leaf_base, n_points, n_slabs,
+#: n_vertices, n_entries, n_faces)``; the rest are the persistent
+#: locator's flat arrays plus the face quantification matrix and the
+#: query window — everything a worker needs to serve ``quantify_vpr``
+#: without rebuilding the diagram.
+PLANE_ARRAY_KEYS = ("meta", "xs", "offs", "ent_u", "ent_v", "ent_row",
+                    "vx", "vy", "faces", "box")
+
+#: Manifest-key prefix under which the plane arrays ride in the same
+#: shared-memory segment as the index arrays (``executors/shm.py``).
+PLANE_KEY_PREFIX = "plane:"
+
+#: Expected dtype per plane array (shape checks are in
+#: ``check_plane_arrays``).
+_PLANE_DTYPES = {
+    "meta": np.int64, "xs": np.float64, "offs": np.int64,
+    "ent_u": np.int64, "ent_v": np.int64, "ent_row": np.int64,
+    "vx": np.float64, "vy": np.float64, "faces": np.float64,
+    "box": np.float64,
+}
 
 _CODE_DISK = 0
 _CODE_GAUSSIAN = 1
@@ -170,3 +193,90 @@ def points_from_arrays(arrays: Dict[str, np.ndarray]
         else:
             raise ValueError(f"unknown model tag {code} at point {i}")
     return out
+
+
+# ----------------------------------------------------------------------
+# The V_Pr shared-plane extension: the *built* diagram — persistent
+# locator arrays plus face quantification vectors — as the same kind of
+# flat float64/int64 arrays, so it can ride in the shared-memory
+# segment (or a pickled payload) next to the encoded index and be
+# served by workers that never pay the Theta(N^4) build.
+# ----------------------------------------------------------------------
+
+def check_plane_arrays(arrays: Dict[str, np.ndarray]) -> None:
+    """Validate a plane-array dict's keys, dtypes, and cross shapes.
+
+    Raises ``ValueError`` on a malformed dict.  Decoding is otherwise
+    zero-copy, so this is the only guard between a (possibly truncated
+    or reordered) segment and out-of-bounds gathers at query time.
+    """
+    for key in PLANE_ARRAY_KEYS:
+        if key not in arrays:
+            raise ValueError(f"plane arrays missing {key!r}")
+        a = arrays[key]
+        if a.dtype != _PLANE_DTYPES[key]:
+            raise ValueError(f"plane array {key!r} has dtype {a.dtype}, "
+                             f"expected {_PLANE_DTYPES[key].__name__}")
+    meta = arrays["meta"]
+    if meta.shape != (7,):
+        raise ValueError(f"plane meta has shape {meta.shape}, expected (7,)")
+    _, leaf_base, _, n_slabs, n_vertices, n_entries, n_faces = \
+        (int(v) for v in meta)
+    if leaf_base < 1 or (leaf_base & (leaf_base - 1)) != 0:
+        raise ValueError(f"plane leaf_base {leaf_base} is not a power of 2")
+    if leaf_base < n_slabs:
+        raise ValueError(f"plane leaf_base {leaf_base} < {n_slabs} slabs")
+    checks = (
+        ("xs", (n_slabs + 1,) if n_slabs else (len(arrays["xs"]),)),
+        ("offs", (2 * leaf_base + 1,)),
+        ("ent_u", (n_entries,)), ("ent_v", (n_entries,)),
+        ("ent_row", (n_entries,)),
+        ("vx", (n_vertices,)), ("vy", (n_vertices,)),
+        ("box", (2, 2)),
+    )
+    for key, shape in checks:
+        if arrays[key].shape != shape:
+            raise ValueError(f"plane array {key!r} has shape "
+                             f"{arrays[key].shape}, expected {shape}")
+    faces = arrays["faces"]
+    if faces.ndim != 2 or faces.shape[0] != n_faces:
+        raise ValueError(f"plane faces has shape {faces.shape}, "
+                         f"expected ({n_faces}, n)")
+    if n_entries:
+        offs = arrays["offs"]
+        if int(offs[0]) != 0 or int(offs[-1]) > n_entries or \
+                np.any(np.diff(offs) < 0):
+            raise ValueError("plane offs is not a monotone prefix-sum "
+                             "within the entry range")
+        for key in ("ent_u", "ent_v"):
+            a = arrays[key]
+            if int(a.min()) < 0 or int(a.max()) >= n_vertices:
+                raise ValueError(f"plane {key!r} indexes outside the "
+                                 "vertex arrays")
+        er = arrays["ent_row"]
+        if int(er.min()) < -1 or int(er.max()) >= max(n_faces, 1):
+            raise ValueError("plane ent_row indexes outside the face matrix")
+
+
+def plane_to_arrays(vpr) -> Dict[str, np.ndarray]:
+    """Encode a built diagram's plane (validated); see ``to_plane_arrays``.
+
+    Raises :class:`CodecUnsupported` for diagrams the plane layout
+    cannot carry (non-discrete site models, slab-table locators).
+    """
+    arrays = vpr.to_plane_arrays()
+    check_plane_arrays(arrays)
+    return arrays
+
+
+def plane_from_arrays(arrays: Dict[str, np.ndarray], points,
+                      kernel: str = "auto"):
+    """Decode plane arrays into a served diagram (zero-copy attach).
+
+    Returns a :class:`~repro.voronoi.vpr.SharedPlaneDiagram` over
+    *points* (the worker's own decoded replica of the uncertain points)
+    whose answers are bitwise the building diagram's.
+    """
+    from ..voronoi.vpr import SharedPlaneDiagram
+
+    return SharedPlaneDiagram(points, arrays, kernel=kernel)

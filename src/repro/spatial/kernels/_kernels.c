@@ -328,3 +328,91 @@ void repro_slab_locate(const double *qx, const double *qy, int64_t m,
         found[i] = (uint8_t)(lo < end);
     }
 }
+
+/* ------------------------------------------------------------------ */
+/* Merged-slab tree point location (spatial/planelocate.py): per       */
+/* query, the slab search above, then a leaf-to-root walk of the       */
+/* query slab's tree path.  Each node's entry list is bisected with    */
+/* the exact repro_slab_locate comparison arithmetic, and the best     */
+/* candidate minimizes the float triple (y at qx, y at the query       */
+/* slab's midline, slope) — slope breaking the degenerate tie where a  */
+/* sliver slab's midline rounds onto qx.  The combine compares exact   */
+/* values, so the answer is independent of path order and bitwise      */
+/* equal to the NumPy lanes.                                           */
+/* offs has 2 * leaf_base + 1 entries (heap-indexed nodes 1..2L-1).    */
+/* ------------------------------------------------------------------ */
+void repro_plane_locate(const double *qx, const double *qy, int64_t m,
+                        const double *xs, int64_t n_xs,
+                        const int64_t *offs, int64_t leaf_base,
+                        const int64_t *ent_u, const int64_t *ent_v,
+                        const double *vx, const double *vy,
+                        int64_t *best_out, uint8_t *found)
+{
+    const int64_t n_slabs = n_xs - 1;
+    for (int64_t i = 0; i < m; ++i) {
+        const double x = qx[i];
+        const double y = qy[i];
+        if (!(x >= xs[0] && x <= xs[n_xs - 1])) {
+            best_out[i] = 0;
+            found[i] = 0;
+            continue;
+        }
+        /* searchsorted(xs, x, side="right") - 1, clamped to a slab. */
+        int64_t sl = 0;
+        int64_t sh = n_xs;
+        while (sl < sh) {
+            const int64_t mid = (sl + sh) >> 1;
+            if (xs[mid] <= x)
+                sl = mid + 1;
+            else
+                sh = mid;
+        }
+        int64_t slab = sl - 1;
+        if (slab > n_slabs - 1)
+            slab = n_slabs - 1;
+        if (slab < 0)
+            slab = 0;
+        const double smid = 0.5 * (xs[slab] + xs[slab + 1]);
+        int64_t best = -1;
+        double best_y = 0.0;
+        double best_m = 0.0;
+        double best_s = 0.0;
+        for (int64_t node = leaf_base + slab; node >= 1; node >>= 1) {
+            int64_t lo = offs[node];
+            int64_t hi = offs[node + 1];
+            const int64_t end = hi;
+            while (lo < hi) {
+                const int64_t mid = (lo + hi) >> 1;
+                const int64_t u = ent_u[mid];
+                const int64_t v = ent_v[mid];
+                const double pux = vx[u];
+                const double t = (x - pux) / (vx[v] - pux);
+                const double ey = vy[u] + t * (vy[v] - vy[u]);
+                if (ey < y)
+                    lo = mid + 1;
+                else
+                    hi = mid;
+            }
+            if (lo < end) {
+                const int64_t u = ent_u[lo];
+                const int64_t v = ent_v[lo];
+                const double pux = vx[u];
+                const double dx = vx[v] - pux;
+                const double dy = vy[v] - vy[u];
+                const double yc = vy[u] + ((x - pux) / dx) * dy;
+                const double ym = vy[u] + ((smid - pux) / dx) * dy;
+                const double sl2 = dy / dx;
+                if (best < 0 || yc < best_y
+                        || (yc == best_y && ym < best_m)
+                        || (yc == best_y && ym == best_m && sl2 < best_s)) {
+                    best = lo;
+                    best_y = yc;
+                    best_m = ym;
+                    best_s = sl2;
+                }
+            }
+        }
+        best_out[i] = best < 0 ? 0 : best;
+        found[i] = (uint8_t)(best >= 0);
+    }
+}

@@ -79,6 +79,10 @@ class NativeProvider:
         lib.repro_slab_locate.argtypes = [
             _F64, _F64, ctypes.c_int64, _F64, ctypes.c_int64, _I64,
             ctypes.c_int64, _I64, _I64, _F64, _F64, _I64, _U8]
+        lib.repro_plane_locate.restype = None
+        lib.repro_plane_locate.argtypes = [
+            _F64, _F64, ctypes.c_int64, _F64, ctypes.c_int64, _I64,
+            ctypes.c_int64, _I64, _I64, _F64, _F64, _I64, _U8]
         self._lib = lib
 
     def _count(self, op: str) -> None:
@@ -183,3 +187,36 @@ class NativeProvider:
                 len(offs) - 1, _pi(row_u), _pi(row_v), _pf(vx), _pf(vy),
                 _pi(lo), _pu(found))
         return lo.astype(np.intp, copy=False), found
+
+    # ------------------------------------------------------------------
+    def plane_locate(self, qx, qy, xs, offs, ent_u, ent_v, vx, vy,
+                     leaf_base):
+        self._count("plane_locate")
+        qx = _f64(qx)
+        qy = _f64(qy)
+        xs = _f64(xs)
+        offs = _i64(offs)
+        ent_u = _i64(ent_u)
+        ent_v = _i64(ent_v)
+        vx = _f64(vx)
+        vy = _f64(vy)
+        m = len(qx)
+        best = np.zeros(m, dtype=np.int64)
+        found = np.zeros(m, dtype=bool)
+        if m and len(xs) >= 2 and len(ent_u):
+            # Mirror the NumPy pass accounting: per tree level, the
+            # vectorized search runs bit_length(widest node) passes
+            # until its widest lane converges — sum that over levels.
+            widths = offs[1:] - offs[:-1]
+            passes = 0
+            j = 1
+            while j <= leaf_base:
+                w = int(widths[j:2 * j].max(initial=0))
+                passes += w.bit_length()
+                j <<= 1
+            ENGINE.inc("planelocate.bisection_passes", max(passes, 1))
+            self._lib.repro_plane_locate(
+                _pf(qx), _pf(qy), m, _pf(xs), len(xs), _pi(offs),
+                int(leaf_base), _pi(ent_u), _pi(ent_v), _pf(vx), _pf(vy),
+                _pi(best), _pu(found))
+        return best, found

@@ -266,3 +266,77 @@ class NumpyProvider:
         if m == 0:
             found = np.zeros(0, dtype=bool)
         return lo, found
+
+    # ------------------------------------------------------------------
+    def plane_locate(self, qx, qy, xs, offs, ent_u, ent_v, vx, vy,
+                     leaf_base):
+        """Merged-slab tree descent (``PersistentPlaneLocator``).
+
+        Walks every query's leaf-to-root path, bisects each node's entry
+        list with the exact ``slab_locate`` comparison arithmetic, and
+        keeps the candidate minimizing the float triple ``(y at qx, y
+        at the query slab's midline, slope)`` — slope breaking the
+        degenerate tie where a sliver slab's midline rounds onto ``qx``.
+        The combine compares exact values (no accumulation), so the
+        result is independent of the order in which path nodes are
+        visited.  Returns ``(best, found)`` with ``best`` an entry
+        index (``0`` where ``found`` is false).
+        """
+        self._count("plane_locate")
+        m = len(qx)
+        best = np.full(m, -1, dtype=np.int64)
+        if m == 0 or len(ent_u) == 0 or len(xs) < 2:
+            return np.zeros(m, dtype=np.int64), np.zeros(m, dtype=bool)
+        inside = (qx >= xs[0]) & (qx <= xs[-1])
+        n_slabs = len(xs) - 1
+        slab = np.searchsorted(xs, qx, side="right") - 1
+        slab = np.minimum(slab, n_slabs - 1)
+        slab = np.maximum(slab, 0)  # out-of-window lanes, masked by inside
+        smid = 0.5 * (xs[slab] + xs[slab + 1])
+        leaf = leaf_base + slab
+        depth = int(leaf_base).bit_length() - 1
+        max_ent = len(ent_u) - 1
+        best_y = np.zeros(m, dtype=np.float64)
+        best_m = np.zeros(m, dtype=np.float64)
+        best_s = np.zeros(m, dtype=np.float64)
+        for level in range(depth + 1):
+            node = leaf >> level
+            lo = offs[node].copy()
+            hi = offs[node + 1].copy()
+            end = offs[node + 1]
+            lo[~inside] = 0
+            hi[~inside] = 0
+            while True:
+                run = lo < hi
+                if not run.any():
+                    break
+                ENGINE.inc("planelocate.bisection_passes")
+                mid = np.minimum((lo + hi) >> 1, max_ent)
+                u = ent_u[mid]
+                v = ent_v[mid]
+                pux = vx[u]
+                t = (qx - pux) / (vx[v] - pux)
+                y = vy[u] + t * (vy[v] - vy[u])
+                less = y < qy
+                lo = np.where(run & less, mid + 1, lo)
+                hi = np.where(run & ~less, mid, hi)
+            has = inside & (lo < end)
+            cand = np.minimum(lo, max_ent)
+            u = ent_u[cand]
+            v = ent_v[cand]
+            pux = vx[u]
+            dx = vx[v] - pux
+            dy = vy[v] - vy[u]
+            yc = vy[u] + ((qx - pux) / dx) * dy
+            ym = vy[u] + ((smid - pux) / dx) * dy
+            sl = dy / dx
+            better = has & ((best < 0) | (yc < best_y)
+                            | ((yc == best_y) & (ym < best_m))
+                            | ((yc == best_y) & (ym == best_m)
+                               & (sl < best_s)))
+            best = np.where(better, lo, best)
+            best_y = np.where(better, yc, best_y)
+            best_m = np.where(better, ym, best_m)
+            best_s = np.where(better, sl, best_s)
+        found = best >= 0
+        return np.where(found, best, 0), found

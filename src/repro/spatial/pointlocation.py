@@ -21,6 +21,7 @@ NumPy pass — returning exactly what a scalar :meth:`locate` loop would
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -30,6 +31,32 @@ from ..geometry.seg_arrangement import SegmentArrangement
 from ..obs.metrics import ENGINE
 
 __all__ = ["SlabPointLocator"]
+
+
+def _edge_slab_spans(arrangement: SegmentArrangement, xs: np.ndarray):
+    """Orient edges x-ascending and find their slab spans ``[i0, i1)``.
+
+    Shared by the slab table and the merged-slab tree
+    (:mod:`.planelocate`) so both structures derive spans with the same
+    arithmetic.  Returns ``(earr, eu, ev, eids, i0, i1)`` where *eids*
+    selects the non-vertical edges and *i0*/*i1* are their slab spans.
+    """
+    earr = arrangement._earr
+    if earr is None:
+        earr = np.asarray(arrangement.edges, dtype=np.intp)
+    vx = arrangement._vx
+    u0, v0 = earr[:, 0], earr[:, 1]
+    swap = vx[u0] > vx[v0]
+    eu = np.where(swap, v0, u0)
+    ev = np.where(swap, u0, v0)
+    xl, xr = vx[eu], vx[ev]
+    spans = xr > xl
+    eids = np.flatnonzero(spans)
+    # Edge endpoints are arrangement vertices, so their x-coordinates
+    # are slab boundaries: the edge spans slabs [i0, i1).
+    i0 = np.searchsorted(xs, xl[eids])
+    i1 = np.searchsorted(xs, xr[eids])
+    return earr, eu, ev, eids, i0, i1
 
 
 class SlabPointLocator:
@@ -50,8 +77,10 @@ class SlabPointLocator:
         from .kernels import get_provider
 
         get_provider(kernel)  # validate the requested provider eagerly
+        t0 = time.perf_counter()
         self.kernel = kernel
         self.arrangement = arrangement
+        self.build_seconds = 0.0
         vx, vy = arrangement._vx, arrangement._vy
         xs = np.unique(vx)
         self._xs = xs
@@ -62,22 +91,9 @@ class SlabPointLocator:
             self._row_u = np.empty(0, dtype=np.intp)
             self._row_v = np.empty(0, dtype=np.intp)
             self._row_hid_rev = np.empty(0, dtype=np.intp)
+            self.build_seconds = time.perf_counter() - t0
             return
-        earr = arrangement._earr
-        if earr is None:
-            earr = np.asarray(arrangement.edges, dtype=np.intp)
-        # Orient every edge x-ascending; vertical edges span no slab.
-        u0, v0 = earr[:, 0], earr[:, 1]
-        swap = vx[u0] > vx[v0]
-        eu = np.where(swap, v0, u0)
-        ev = np.where(swap, u0, v0)
-        xl, xr = vx[eu], vx[ev]
-        spans = xr > xl
-        eids = np.flatnonzero(spans)
-        # Edge endpoints are arrangement vertices, so their x-coordinates
-        # are slab boundaries: the edge spans slabs [i0, i1).
-        i0 = np.searchsorted(xs, xl[eids])
-        i1 = np.searchsorted(xs, xr[eids])
+        earr, eu, ev, eids, i0, i1 = _edge_slab_spans(arrangement, xs)
         counts = i1 - i0
         total = int(counts.sum())
         eidx = np.repeat(eids, counts)
@@ -86,17 +102,21 @@ class SlabPointLocator:
                     - np.repeat(offs_c, counts) + np.repeat(i0, counts))
         ru = eu[eidx]
         rv = ev[eidx]
-        # Order rows within each slab by y at the slab midline.  Two
-        # distinct edges spanning the same slab can never tie there: edges
-        # meet only at arrangement vertices, and slab interiors contain
-        # none — so two keys suffice (the dominant build cost is this sort
-        # over the Theta(V * S) rows).
+        # Order rows within each slab by y at the slab midline, slope
+        # breaking exact ties.  Two distinct edges spanning the same slab
+        # meet only at arrangement vertices and slab interiors contain
+        # none — but a near-zero-width slab can *round* its midline onto
+        # the boundary where edges do share a vertex, so the tiebreak
+        # must be geometric (slope orders lines through a common point)
+        # rather than positional, or the merged-slab tree
+        # (:mod:`.planelocate`) could not reproduce it.
         mid = 0.5 * (xs[slab_ids] + xs[slab_ids + 1])
         pux, puy = vx[ru], vy[ru]
         pvx, pvy = vx[rv], vy[rv]
         t = (mid - pux) / (pvx - pux)
         ymid = puy + t * (pvy - puy)
-        order = np.lexsort((ymid, slab_ids))
+        slope = (pvy - puy) / (pvx - pux)
+        order = np.lexsort((slope, ymid, slab_ids))
         self._row_u = ru[order]
         self._row_v = rv[order]
         row_e = eidx[order]
@@ -106,6 +126,34 @@ class SlabPointLocator:
                                      2 * row_e, 2 * row_e + 1)
         counts_s = np.bincount(slab_ids, minlength=n_slabs)
         self._offs = np.concatenate(([0], np.cumsum(counts_s))).astype(np.intp)
+        self.build_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def table_rows(arrangement: SegmentArrangement) -> int:
+        """Row count a slab table over *arrangement* would materialize.
+
+        Computed analytically from the edge spans — no table is built —
+        so benchmarks (E28) can report the slab structure's footprint at
+        sizes where actually materializing it would not fit in memory.
+        """
+        xs = np.unique(arrangement._vx)
+        if len(xs) < 2 or arrangement.num_edges == 0:
+            return 0
+        _, _, _, _, i0, i1 = _edge_slab_spans(arrangement, xs)
+        return int((i1 - i0).sum())
+
+    def stats(self) -> dict:
+        """Size/build figures for ``vpr-info`` and the serving metrics."""
+        nbytes = (self._xs.nbytes + self._offs.nbytes + self._row_u.nbytes
+                  + self._row_v.nbytes + self._row_hid_rev.nbytes)
+        return {
+            "kind": "slab",
+            "entries": int(len(self._row_u)),
+            "slabs": int(max(len(self._xs) - 1, 0)),
+            "nbytes": int(nbytes),
+            "build_seconds": float(self.build_seconds),
+        }
 
     # ------------------------------------------------------------------
     def locate(self, q: Point) -> Optional[int]:

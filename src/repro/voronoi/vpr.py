@@ -39,7 +39,8 @@ so it is only practical for small instances, which is also all the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,12 +48,32 @@ from ..geometry.primitives import Point
 from ..geometry.seg_arrangement import SegmentArrangement
 from ..geometry.segments import bisector_line, line_box_clip, \
     line_box_clip_batch
+from ..obs.metrics import ENGINE
 from ..quantification.batch_exact import BatchExactQuantifier
 from ..quantification.exact_discrete import quantification_vector
+from ..spatial.planelocate import PersistentPlaneLocator, plane_locate_scalar
 from ..spatial.pointlocation import SlabPointLocator
 from ..uncertain.discrete import DiscreteUncertainPoint
 
-__all__ = ["ProbabilisticVoronoiDiagram"]
+__all__ = ["LOCATORS", "ProbabilisticVoronoiDiagram", "SharedPlaneDiagram"]
+
+#: Locator kinds accepted by the diagram (and ``ServiceConfig.locator``).
+#: ``"auto"`` resolves to the output-sensitive merged-slab tree; the
+#: quadratic slab table stays selectable as the bit-pinned oracle.
+LOCATORS = ("auto", "slab", "persistent")
+
+#: Version tag of the shared-plane array layout (``to_plane_arrays``).
+PLANE_FORMAT_VERSION = 1
+
+_Locator = Union[SlabPointLocator, PersistentPlaneLocator]
+
+
+def resolve_locator(name: str = "auto") -> str:
+    """The locator kind ``"auto"`` (or an explicit name) resolves to."""
+    if name not in LOCATORS:
+        raise ValueError(f"unknown locator {name!r}; "
+                         f"expected one of {LOCATORS}")
+    return "persistent" if name == "auto" else name
 
 
 class ProbabilisticVoronoiDiagram:
@@ -85,11 +106,15 @@ class ProbabilisticVoronoiDiagram:
     def __init__(self, points: Sequence[DiscreteUncertainPoint],
                  box: Optional[Tuple[Point, Point]] = None,
                  build_mode: str = "vector",
-                 quantifier: Optional[BatchExactQuantifier] = None) -> None:
+                 quantifier: Optional[BatchExactQuantifier] = None,
+                 locator: str = "auto") -> None:
         if not points:
             raise ValueError("need at least one uncertain point")
         if build_mode not in ("vector", "scalar"):
             raise ValueError(f"unknown build mode {build_mode!r}")
+        self.locator_kind = resolve_locator(locator)
+        ENGINE.inc("vpr.builds")
+        t_build = time.perf_counter()
         self.points = list(points)
         self.build_mode = build_mode
         self._quantifier = quantifier
@@ -132,11 +157,11 @@ class ProbabilisticVoronoiDiagram:
                               np.array([(a[0], a[1], b[0], b[1])
                                         for a, b in boundary])])
             self.arrangement = SegmentArrangement(rows, mode="vector")
-        # The slab locator's size is Theta(V * S) — asymptotically the
-        # heaviest part of the structure, and only query workloads need it
-        # — so it is built lazily on first point location (the complexity
-        # experiments E10/E17 never pay for it).
-        self._locator: Optional[SlabPointLocator] = None
+        # The locator — the merged-slab tree by default, or the
+        # Theta(V * S) slab table when ``locator="slab"`` — is built
+        # lazily on first point location; only query workloads need it
+        # (the complexity experiments E10/E17 never pay for it).
+        self._locator: Optional[_Locator] = None
 
         areas = np.asarray(self.arrangement.face_areas)
         bounded = np.flatnonzero(areas > self.arrangement.tol)
@@ -161,6 +186,7 @@ class ProbabilisticVoronoiDiagram:
         if len(bounded):
             self._loop_row[bounded] = np.arange(len(bounded))
         self._face_vectors_cache: Optional[Dict[int, List[float]]] = None
+        self.build_seconds = time.perf_counter() - t_build
 
     @property
     def _face_vectors(self) -> Dict[int, List[float]]:
@@ -178,11 +204,25 @@ class ProbabilisticVoronoiDiagram:
 
     # ------------------------------------------------------------------
     @property
-    def locator(self) -> SlabPointLocator:
-        """The Theorem 4.2 point-location structure (built on first use)."""
+    def locator(self) -> _Locator:
+        """The Theorem 4.2 point-location structure (built on first use).
+
+        Kind per ``locator_kind``: the output-sensitive
+        :class:`~repro.spatial.planelocate.PersistentPlaneLocator`
+        (``"persistent"``, the ``"auto"`` default) or the quadratic
+        :class:`~repro.spatial.pointlocation.SlabPointLocator` oracle
+        (``"slab"``); both answer bitwise identically.
+        """
         if self._locator is None:
-            self._locator = SlabPointLocator(self.arrangement)
+            if self.locator_kind == "slab":
+                self._locator = SlabPointLocator(self.arrangement)
+            else:
+                self._locator = PersistentPlaneLocator(self.arrangement)
         return self._locator
+
+    def locator_stats(self) -> Dict[str, object]:
+        """The built locator's :meth:`stats` (builds it if needed)."""
+        return self.locator.stats()
 
     def _all_discrete(self) -> bool:
         return all(isinstance(p, DiscreteUncertainPoint)
@@ -364,5 +404,180 @@ class ProbabilisticVoronoiDiagram:
     def positive_probabilities(self, q: Point,
                                tol: float = 0.0) -> Dict[int, float]:
         """The paper's query output: all ``(P_i, pi_i(q))`` with positive pi."""
+        vec = self.query(q)
+        return {i: v for i, v in enumerate(vec) if v > tol}
+
+    # ------------------------------------------------------------------
+    def to_plane_arrays(self) -> Dict[str, np.ndarray]:
+        """The built ``V_Pr`` as flat arrays for shared-plane serving.
+
+        Face quantification vectors plus the persistent locator's
+        arrays, in the layout :func:`repro.spatial.codec.
+        check_plane_arrays` validates — everything a
+        :class:`SharedPlaneDiagram` needs to answer queries without
+        rebuilding the diagram.  Raises
+        :class:`~repro.spatial.codec.CodecUnsupported` when the diagram
+        cannot be exported: non-discrete site models (no batched
+        fallback engine on the far side) or a ``locator="slab"``
+        diagram (the quadratic table is deliberately not shipped).
+        """
+        from ..spatial.codec import CodecUnsupported
+
+        if not self._all_discrete():
+            raise CodecUnsupported(
+                "shared-plane serving requires discrete uncertain points")
+        if self.locator_kind != "persistent":
+            raise CodecUnsupported(
+                "shared-plane serving requires the persistent locator "
+                f"(this diagram was built with locator={self.locator_kind!r})")
+        loc = self.locator
+        assert isinstance(loc, PersistentPlaneLocator)
+        ent_row = self._loop_row[loc.ent_loop].astype(np.int64)
+        faces = np.ascontiguousarray(self._face_matrix, dtype=np.float64)
+        meta = np.array([
+            PLANE_FORMAT_VERSION, loc.leaf_base, len(self.points),
+            max(len(loc._xs) - 1, 0), len(self.arrangement._vx),
+            len(loc._ent_u), faces.shape[0]], dtype=np.int64)
+        return {
+            "meta": meta,
+            "xs": np.ascontiguousarray(loc._xs, dtype=np.float64),
+            "offs": np.ascontiguousarray(loc._offs, dtype=np.int64),
+            "ent_u": np.ascontiguousarray(loc._ent_u, dtype=np.int64),
+            "ent_v": np.ascontiguousarray(loc._ent_v, dtype=np.int64),
+            "ent_row": np.ascontiguousarray(ent_row, dtype=np.int64),
+            "vx": np.ascontiguousarray(self.arrangement._vx,
+                                       dtype=np.float64),
+            "vy": np.ascontiguousarray(self.arrangement._vy,
+                                       dtype=np.float64),
+            "faces": faces,
+            "box": np.array(self.box, dtype=np.float64),
+        }
+
+
+class SharedPlaneDiagram:
+    """A ``V_Pr`` served from pre-built plane arrays (attach, don't build).
+
+    The parent process builds the diagram once, exports it with
+    :meth:`ProbabilisticVoronoiDiagram.to_plane_arrays`, and ships the
+    arrays to workers — pickled for the ``process`` backend, zero-copy
+    through the shared-memory segment for ``shm``.  A worker wraps them
+    in this class and answers the same ``query`` / ``query_batch`` /
+    ``quantify_batch`` surface **bitwise identically**: in-window
+    queries run the ``plane_locate`` kernel over the attached locator
+    arrays and gather the precomputed face vectors; rows outside the
+    window (or on unbounded slivers) fall back to the exact batched
+    Eq. (2) sweep built from the worker's own points, exactly as the
+    parent does.  The ``Theta(N^4)`` build cost is paid exactly once
+    per serving process tree.
+    """
+
+    locator_kind = "persistent"
+
+    def __init__(self, points: Sequence[DiscreteUncertainPoint],
+                 arrays: Dict[str, np.ndarray], kernel: str = "auto",
+                 quantifier: Optional[BatchExactQuantifier] = None) -> None:
+        from ..spatial.codec import check_plane_arrays
+
+        t0 = time.perf_counter()
+        check_plane_arrays(arrays)
+        meta = arrays["meta"]
+        if int(meta[0]) != PLANE_FORMAT_VERSION:
+            raise ValueError(
+                f"plane format version {int(meta[0])} != "
+                f"{PLANE_FORMAT_VERSION}")
+        self.points = list(points)
+        if int(meta[2]) != len(self.points):
+            raise ValueError(
+                f"plane was built over {int(meta[2])} uncertain points, "
+                f"got {len(self.points)}")
+        self.kernel = kernel
+        self.leaf_base = int(meta[1])
+        self._xs = arrays["xs"]
+        self._offs = arrays["offs"]
+        self._ent_u = arrays["ent_u"]
+        self._ent_v = arrays["ent_v"]
+        self._ent_row = arrays["ent_row"]
+        self._vx = arrays["vx"]
+        self._vy = arrays["vy"]
+        self._face_matrix = arrays["faces"]
+        b = arrays["box"]
+        self.box = ((float(b[0, 0]), float(b[0, 1])),
+                    (float(b[1, 0]), float(b[1, 1])))
+        self._quantifier = quantifier
+        ENGINE.inc("vpr.plane_attaches")
+        self.attach_seconds = time.perf_counter() - t0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vx)
+
+    @property
+    def num_faces(self) -> int:
+        return int(self._face_matrix.shape[0])
+
+    def locator_stats(self) -> Dict[str, object]:
+        """Attached-plane figures, shaped like the locators' ``stats``."""
+        nbytes = sum(int(a.nbytes) for a in (
+            self._xs, self._offs, self._ent_u, self._ent_v, self._ent_row))
+        return {
+            "kind": "persistent",
+            "entries": int(len(self._ent_u)),
+            "slabs": int(max(len(self._xs) - 1, 0)),
+            "leaf_base": int(self.leaf_base),
+            "nbytes": nbytes,
+            "attach_seconds": float(self.attach_seconds),
+        }
+
+    def _exact_quantifier(self) -> BatchExactQuantifier:
+        if self._quantifier is None:
+            self._quantifier = BatchExactQuantifier(self.points)
+        return self._quantifier
+
+    # ------------------------------------------------------------------
+    def query(self, q: Point) -> List[float]:
+        """Exact vector, bitwise the parent diagram's :meth:`query`."""
+        ent = plane_locate_scalar(
+            float(q[0]), float(q[1]), self._xs, self._offs,
+            self._ent_u, self._ent_v, self._vx, self._vy, self.leaf_base)
+        if ent >= 0:
+            row = self._ent_row[ent]
+            if row >= 0:
+                return self._face_matrix[row].tolist()
+        return quantification_vector(self.points, q)
+
+    def query_batch(self, queries) -> np.ndarray:
+        """Bitwise the parent diagram's :meth:`query_batch`."""
+        from ..spatial.batch import as_query_array
+        from ..spatial.kernels import get_provider
+
+        q = as_query_array(queries)
+        m = len(q)
+        out = np.empty((m, len(self.points)), dtype=np.float64)
+        rows = np.full(m, -1, dtype=np.intp)
+        if m and len(self._xs) >= 2 and len(self._ent_u):
+            ENGINE.inc("planelocate.batches")
+            ent, found = get_provider(self.kernel).plane_locate(
+                q[:, 0], q[:, 1], self._xs, self._offs,
+                self._ent_u, self._ent_v, self._vx, self._vy,
+                self.leaf_base)
+            if found.any():
+                rows[found] = self._ent_row[ent[found]]
+        known = rows >= 0
+        if known.any():
+            out[known] = self._face_matrix[rows[known]]
+        missing = ~known
+        if missing.any():
+            out[missing] = self._exact_quantifier().matrix(q[missing])
+        return out
+
+    def quantify_batch(self, queries) -> List[Dict[int, float]]:
+        """Sparse serving dicts, bitwise the parent's."""
+        mat = self.query_batch(queries)
+        return [{int(i): float(row[i]) for i in np.flatnonzero(row > 0.0)}
+                for row in mat]
+
+    def positive_probabilities(self, q: Point,
+                               tol: float = 0.0) -> Dict[int, float]:
         vec = self.query(q)
         return {i: v for i, v in enumerate(vec) if v > tol}

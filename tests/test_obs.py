@@ -344,8 +344,11 @@ class TestEngineCounters:
         assert grew("batch_engine.chunks")
         assert grew("exact_sweep.chunks")
         assert grew("exact_sweep.rows_retired")
-        assert grew("locator.batches")
-        assert grew("locator.bisection_passes")
+        # The default V_Pr locator is the merged-slab tree; its
+        # counters carry the point-location work now (the slab oracle's
+        # locator.* families still exist behind locator="slab").
+        assert grew("planelocate.batches")
+        assert grew("planelocate.bisection_passes")
 
 
 # ----------------------------------------------------------------------

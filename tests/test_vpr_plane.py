@@ -1,0 +1,248 @@
+"""Shared-plane V_Pr: codec round-trip, attach parity, serving guards.
+
+The diagram is built once in the parent, exported as flat arrays
+(:func:`repro.spatial.codec.plane_to_arrays`), and attached by worker
+replicas (:class:`repro.voronoi.vpr.SharedPlaneDiagram`) — this suite
+holds the contract at every hop: bitwise query parity through
+encode/pickle/decode, loud rejection of malformed or mismatched
+arrays, the worker-side rebuild guard, and the service-level plumbing
+(``ServiceConfig.locator`` validation, plane fan-out with **zero**
+per-worker diagram builds).
+"""
+
+import pickle
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.index import PNNIndex
+from repro.core.workloads import random_discrete_points
+from repro.obs.metrics import ENGINE
+from repro.serving.executors.base import IndexReplica
+from repro.serving.service import ServiceConfig
+from repro.spatial.codec import (CodecUnsupported, check_plane_arrays,
+                                 plane_from_arrays, plane_to_arrays)
+from repro.uncertain.discrete import DiscreteUncertainPoint
+from repro.voronoi.vpr import (LOCATORS, ProbabilisticVoronoiDiagram,
+                               SharedPlaneDiagram, resolve_locator)
+
+
+def build_vpr(n=6, k=2, seed=5, locator="persistent"):
+    points = random_discrete_points(n, k, seed=seed, spread=2.0)
+    return points, ProbabilisticVoronoiDiagram(points, locator=locator)
+
+
+def query_grid(vpr, m=150, seed=31):
+    (xmin, ymin), (xmax, ymax) = vpr.box
+    rng = np.random.default_rng(seed)
+    return np.column_stack([
+        rng.uniform(xmin - 0.5, xmax + 0.5, m),
+        rng.uniform(ymin - 0.5, ymax + 0.5, m)])
+
+
+class TestLocatorSelection:
+    def test_resolve(self):
+        assert resolve_locator("auto") == "persistent"
+        assert resolve_locator("slab") == "slab"
+        assert resolve_locator("persistent") == "persistent"
+        with pytest.raises(ValueError):
+            resolve_locator("bogus")
+
+    def test_locators_answer_identically(self):
+        points, tree_vpr = build_vpr(locator="persistent")
+        slab_vpr = ProbabilisticVoronoiDiagram(points, locator="slab")
+        q = query_grid(tree_vpr)
+        got = tree_vpr.query_batch(q)
+        want = slab_vpr.query_batch(q)
+        assert got.tobytes() == want.tobytes()
+
+    def test_index_selector(self):
+        index = PNNIndex(random_discrete_points(4, 2, seed=3, spread=2.0))
+        vpr = index.build_vpr(locator="slab")
+        assert vpr.locator_kind == "slab"
+        assert index.build_vpr().locator_kind == "persistent"
+
+
+class TestPlaneCodecRoundTrip:
+    def test_bitwise_through_pickle(self):
+        points, vpr = build_vpr()
+        arrays = plane_to_arrays(vpr)
+        arrays = pickle.loads(pickle.dumps(arrays))  # the process hop
+        shared = plane_from_arrays(arrays, points)
+        q = query_grid(vpr)
+        assert shared.query_batch(q).tobytes() == \
+            vpr.query_batch(q).tobytes()
+        for point in q[:40]:
+            assert shared.query(tuple(point)) == vpr.query(tuple(point))
+        assert shared.quantify_batch(q[:40]) == vpr.quantify_batch(q[:40])
+        assert shared.num_faces == vpr.num_faces
+        assert shared.locator_stats()["kind"] == "persistent"
+        assert shared.locator_stats()["attach_seconds"] >= 0.0
+
+    def test_degenerate_single_point(self):
+        points = [DiscreteUncertainPoint([(0.0, 0.0)], [1.0])]
+        vpr = ProbabilisticVoronoiDiagram(points)
+        shared = plane_from_arrays(plane_to_arrays(vpr), points)
+        assert shared.query((0.5, 0.5)) == [1.0]
+        assert shared.query_batch([(0.5, 0.5), (100.0, 100.0)]) \
+            .tolist() == [[1.0], [1.0]]
+
+    def test_slab_diagram_refused(self):
+        _, vpr = build_vpr(n=3, locator="slab")
+        with pytest.raises(CodecUnsupported):
+            plane_to_arrays(vpr)
+
+    def test_non_discrete_refused(self):
+        class DuckPoint:
+            """Duck-typed site model: buildable, but not exportable."""
+
+            def __init__(self, sites):
+                self._sites = sites
+                self.k = len(sites)
+
+            def sites_with_weights(self):
+                w = 1.0 / len(self._sites)
+                return [(s, w) for s in self._sites]
+
+        points = [DuckPoint([(0.0, 0.0), (0.5, 0.5)]),
+                  DuckPoint([(3.0, 0.0), (3.5, 0.5)])]
+        vpr = ProbabilisticVoronoiDiagram(points)
+        with pytest.raises(CodecUnsupported):
+            plane_to_arrays(vpr)
+
+    def test_attach_rejects_wrong_point_count(self):
+        points, vpr = build_vpr()
+        arrays = plane_to_arrays(vpr)
+        with pytest.raises(ValueError, match="uncertain points"):
+            SharedPlaneDiagram(points[:-1], arrays)
+
+    def test_attach_rejects_wrong_version(self):
+        points, vpr = build_vpr()
+        arrays = plane_to_arrays(vpr)
+        arrays["meta"] = arrays["meta"].copy()
+        arrays["meta"][0] += 1
+        with pytest.raises(ValueError, match="version"):
+            SharedPlaneDiagram(points, arrays)
+
+
+class TestMalformedArrays:
+    """The oversized/truncated-segment error path: a manifest that does
+    not match its arrays must be rejected before any gather runs."""
+
+    def setup_method(self):
+        self.points, vpr = build_vpr(n=4)
+        self.arrays = plane_to_arrays(vpr)
+
+    def test_missing_key(self):
+        bad = dict(self.arrays)
+        del bad["ent_row"]
+        with pytest.raises(ValueError, match="missing"):
+            check_plane_arrays(bad)
+
+    def test_truncated_entries(self):
+        bad = dict(self.arrays)
+        bad["ent_u"] = bad["ent_u"][:-3]
+        with pytest.raises(ValueError, match="shape"):
+            check_plane_arrays(bad)
+
+    def test_wrong_dtype(self):
+        bad = dict(self.arrays)
+        bad["xs"] = bad["xs"].astype(np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            check_plane_arrays(bad)
+
+    def test_corrupt_leaf_base(self):
+        bad = dict(self.arrays)
+        bad["meta"] = bad["meta"].copy()
+        bad["meta"][1] = 3  # not a power of two
+        with pytest.raises(ValueError, match="power of 2"):
+            check_plane_arrays(bad)
+
+    def test_truncated_offs(self):
+        bad = dict(self.arrays)
+        bad["offs"] = bad["offs"][:-1]
+        with pytest.raises(ValueError, match="shape"):
+            check_plane_arrays(bad)
+
+
+class TestWorkerGuards:
+    def test_replica_attaches_without_building(self):
+        points, vpr = build_vpr()
+        arrays = plane_to_arrays(vpr)
+        builds = ENGINE.get("vpr.builds")
+        attaches = ENGINE.get("vpr.plane_attaches")
+        replica = IndexReplica(points, plane=arrays)
+        assert ENGINE.get("vpr.builds") == builds
+        assert ENGINE.get("vpr.plane_attaches") == attaches + 1
+        assert isinstance(replica.index._vpr, SharedPlaneDiagram)
+        q = query_grid(vpr, m=60)
+        got = replica.index.batch_quantify_vpr(q)
+        want = [{i: v for i, v in enumerate(row) if v > 0.0}
+                for row in vpr.query_batch(q)]
+        assert got == want
+
+    def test_forbidden_index_refuses_rebuild(self):
+        index = PNNIndex(random_discrete_points(3, 2, seed=1, spread=2.0))
+        index.vpr_build_forbidden = True
+        with pytest.raises(RuntimeError, match="forbidden"):
+            index.cached_vpr()
+
+
+class TestServiceLocatorConfig:
+    def test_validation(self):
+        assert ServiceConfig().locator == "auto"
+        assert ServiceConfig(locator="slab").locator == "slab"
+        with pytest.raises(ValueError, match="locator"):
+            ServiceConfig(locator="bogus")
+        assert set(LOCATORS) == {"auto", "slab", "persistent"}
+
+    def test_locator_steers_index(self):
+        index = PNNIndex(random_discrete_points(3, 2, seed=2, spread=2.0))
+        with index.serve(workers=0, coalesce=False,
+                         locator="slab") as service:
+            assert index.vpr_locator == "slab"
+            assert service.vpr_info()["resolved_locator"] == "slab"
+
+
+class TestSharedPlaneServing:
+    def test_process_backend_zero_worker_builds(self):
+        index = PNNIndex(random_discrete_points(5, 2, seed=11, spread=2.0))
+        vpr = index.build_vpr()
+        index.use_vpr(vpr)
+        q = query_grid(vpr, m=64, seed=41)
+        want = index.batch_quantify_vpr(q)
+        builds = ENGINE.get("vpr.builds")
+        with index.serve(workers=2, backend="process", coalesce=False,
+                         cache_capacity=0, shard_min_batch=8,
+                         shard_chunk=8) as service:
+            assert service.plane is not None
+            info = service.vpr_info()
+            assert info["plane_encoded"]
+            if service.executor.mode == "process":
+                assert info["plane_served"]
+            got = service.batch_quantify_vpr(q)
+            stats = service.stats()
+            assert got == want
+        # The parent built V_Pr exactly once, before serving; workers
+        # attached the exported plane instead of rebuilding.
+        assert ENGINE.get("vpr.builds") == builds
+        if stats["executor"]["mode"] == "process":
+            assert stats["executor"]["serves_plane"]
+            assert stats["methods"]["quantify_vpr"]["sharded_calls"] >= 1
+
+    def test_no_plane_no_fanout_still_correct(self):
+        """A slab-locator diagram cannot export a plane: quantify_vpr
+        must stay parent-side (no fan-out) and stay bitwise right."""
+        index = PNNIndex(random_discrete_points(4, 2, seed=13, spread=2.0))
+        vpr = index.build_vpr(locator="slab")
+        index.use_vpr(vpr)
+        q = query_grid(vpr, m=40, seed=43)
+        want = index.batch_quantify_vpr(q)
+        with index.serve(workers=2, backend="process", coalesce=False,
+                         cache_capacity=0, shard_min_batch=8,
+                         shard_chunk=8) as service:
+            assert service.plane is None
+            assert service.batch_quantify_vpr(q) == want
+            stats = service.stats()
+        assert stats["methods"]["quantify_vpr"]["sharded_calls"] == 0
